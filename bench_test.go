@@ -1,0 +1,135 @@
+package topk
+
+// Benchmarks regenerating the paper's tables and figures: one Benchmark
+// per experiment id (see DESIGN.md's per-experiment index). Each iteration
+// runs the experiment end-to-end in quick mode, so `go test -bench .`
+// doubles as a smoke run of the whole harness; use cmd/topkbench for the
+// paper-scale outputs recorded in EXPERIMENTS.md.
+//
+// The Benchmark*Algo micro-benchmarks measure the per-access bookkeeping
+// overhead of the middleware algorithms themselves (the costs the paper's
+// model deliberately ignores in favor of access costs).
+
+import (
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/algo"
+	"repro/internal/bench"
+	"repro/internal/data"
+	"repro/internal/score"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	e, ok := bench.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	cfg := bench.Config{Quick: true}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tab, err := e.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkExpE1(b *testing.B)  { benchExperiment(b, "E1") }
+func BenchmarkExpE2(b *testing.B)  { benchExperiment(b, "E2") }
+func BenchmarkExpE3(b *testing.B)  { benchExperiment(b, "E3") }
+func BenchmarkExpE4(b *testing.B)  { benchExperiment(b, "E4") }
+func BenchmarkExpE5(b *testing.B)  { benchExperiment(b, "E5") }
+func BenchmarkExpE6(b *testing.B)  { benchExperiment(b, "E6") }
+func BenchmarkExpE7(b *testing.B)  { benchExperiment(b, "E7") }
+func BenchmarkExpE8(b *testing.B)  { benchExperiment(b, "E8") }
+func BenchmarkExpE9(b *testing.B)  { benchExperiment(b, "E9") }
+func BenchmarkExpE10(b *testing.B) { benchExperiment(b, "E10") }
+func BenchmarkExpE11(b *testing.B) { benchExperiment(b, "E11") }
+func BenchmarkExpE12(b *testing.B) { benchExperiment(b, "E12") }
+
+// benchAlgorithm measures one full query execution (n=1000, m=2, k=10).
+func benchAlgorithm(b *testing.B, mk func() algo.Algorithm, scn access.Scenario, f score.Func) {
+	ds := data.MustGenerate(data.Uniform, 1000, 2, 9)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess, err := access.NewSession(access.DatasetBackend{DS: ds}, scn)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prob, err := algo.NewProblem(f, 10, sess)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := mk().Run(prob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAlgoNC(b *testing.B) {
+	benchAlgorithm(b, func() algo.Algorithm {
+		a, err := algo.NewNC([]float64{0.5, 0.5}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return a
+	}, access.Uniform(2, 1, 1), score.Min())
+}
+
+func BenchmarkAlgoTA(b *testing.B) {
+	benchAlgorithm(b, func() algo.Algorithm { return algo.TA{} }, access.Uniform(2, 1, 1), score.Min())
+}
+
+func BenchmarkAlgoNRA(b *testing.B) {
+	benchAlgorithm(b, func() algo.Algorithm { return algo.NRA{} },
+		access.MatrixCell(2, access.Cheap, access.Impossible, 10), score.Avg())
+}
+
+func BenchmarkAlgoCA(b *testing.B) {
+	benchAlgorithm(b, func() algo.Algorithm { return algo.CA{} },
+		access.MatrixCell(2, access.Cheap, access.Expensive, 10), score.Avg())
+}
+
+func BenchmarkAlgoMPro(b *testing.B) {
+	benchAlgorithm(b, func() algo.Algorithm { return algo.MPro{} },
+		access.MatrixCell(2, access.Impossible, access.Expensive, 10), score.Min())
+}
+
+// BenchmarkOptimizerHClimb measures one full plan search (dummy sample,
+// 11-point grid, 5 restarts) — the optimization overhead a middleware pays
+// per query.
+func BenchmarkOptimizerHClimb(b *testing.B) {
+	ds := data.MustGenerate(data.Uniform, 1000, 2, 9)
+	eng, err := NewEngine(DataBackend(ds), UniformScenario(2, 1, 10))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(Query{F: Min(), K: 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParallelExecutor measures a B=8 simulated-concurrency run.
+func BenchmarkParallelExecutor(b *testing.B) {
+	ds := data.MustGenerate(data.Uniform, 1000, 2, 9)
+	eng, err := NewEngine(DataBackend(ds), UniformScenario(2, 1, 5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(Query{F: Min(), K: 10}, WithParallel(8), WithNC([]float64{0.5, 0.5}, nil)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+// Command topkbench regenerates the paper's tables and figures (and the
+// extension experiments). Each experiment id (E1..E12) maps to one artifact; see DESIGN.md's
+// per-experiment index and EXPERIMENTS.md for the recorded results.
+//
+// Usage:
+//
+//	topkbench -exp E2            # one experiment at paper-scale defaults
+//	topkbench -exp all -quick    # everything, small sizes
+//	topkbench -list              # show the experiment registry
+//	topkbench -exp E3 -n 2000 -k 25 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment id (E1..E12) or 'all'")
+		n      = flag.Int("n", 0, "database size (0 = experiment default)")
+		k      = flag.Int("k", 0, "retrieval size (0 = experiment default)")
+		seed   = flag.Int64("seed", 0, "base random seed (0 = default)")
+		quick  = flag.Bool("quick", false, "shrink sizes ~8x for a fast smoke run")
+		list   = flag.Bool("list", false, "list experiments and exit")
+		format = flag.String("format", "text", "output format: text or csv")
+		verify = flag.Bool("verify", false, "after each experiment, check the paper's shape claim and report PASS/FAIL")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("id    paper artifact                                  title")
+		for _, e := range bench.Registry() {
+			fmt.Printf("%-5s %-47s %s\n", e.ID, e.Paper, e.Title)
+		}
+		return
+	}
+
+	cfg := bench.Config{N: *n, K: *k, Seed: *seed, Quick: *quick}
+	failed := false
+	var exps []bench.Experiment
+	if *exp == "all" {
+		exps = bench.Registry()
+	} else {
+		e, ok := bench.ByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "topkbench: unknown experiment %q (try -list)\n", *exp)
+			os.Exit(2)
+		}
+		exps = []bench.Experiment{e}
+	}
+	for _, e := range exps {
+		tab, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "topkbench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		var werr error
+		switch *format {
+		case "text":
+			_, werr = tab.WriteTo(os.Stdout)
+		case "csv":
+			werr = tab.WriteCSV(os.Stdout)
+		default:
+			werr = fmt.Errorf("unknown format %q (text or csv)", *format)
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "topkbench: %v\n", werr)
+			os.Exit(1)
+		}
+		if *verify {
+			if err := bench.VerifyShape(tab); err != nil {
+				fmt.Printf("shape %s: FAIL — %v\n\n", e.ID, err)
+				failed = true
+			} else {
+				fmt.Printf("shape %s: PASS\n\n", e.ID)
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,123 @@
+// Command topkd runs the top-k middleware as an HTTP service: one database
+// (a travel benchmark, a synthetic dataset, or a JSON file) under one cost
+// scenario, answering SQL-like top-k queries over POST /query.
+//
+// Usage:
+//
+//	topkd -bench q1 -addr :8080
+//	topkd -dist skewed -n 5000 -m 3 -cs 1 -cr 10
+//	topkd -data db.json -scenario costs.json
+//
+// Query it with:
+//
+//	curl -s localhost:8080/meta
+//	curl -s -X POST localhost:8080/query -d '{"sql":
+//	  "select name from db order by min(rating, closeness) stop after 5"}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"repro/internal/access"
+	"repro/internal/data"
+	"repro/internal/service"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "topkd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8080", "listen address")
+		benchQ   = flag.String("bench", "", "serve a travel benchmark: q1 (restaurants) or q2 (hotels)")
+		dist     = flag.String("dist", "", "serve a synthetic dataset from this distribution")
+		n        = flag.Int("n", 1000, "synthetic dataset size")
+		m        = flag.Int("m", 2, "synthetic predicate count")
+		seed     = flag.Int64("seed", 1, "synthetic dataset seed")
+		dataFile = flag.String("data", "", "serve a dataset from this JSON file")
+		scnFile  = flag.String("scenario", "", "load the cost scenario from this JSON file")
+		cs       = flag.Float64("cs", 1, "sorted access unit cost (without -scenario)")
+		cr       = flag.Float64("cr", 1, "random access unit cost (without -scenario)")
+	)
+	flag.Parse()
+
+	var (
+		ds      *data.Dataset
+		columns []string
+		err     error
+	)
+	switch {
+	case *dataFile != "":
+		f, err := os.Open(*dataFile)
+		if err != nil {
+			return err
+		}
+		ds, err = data.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		columns = genericColumns(ds.M())
+	case *benchQ == "q1":
+		q, _ := data.Restaurants(*n, *seed)
+		ds, columns = q.Dataset, q.PredicateNames
+	case *benchQ == "q2":
+		q, _ := data.Hotels(*n, *seed)
+		ds, columns = q.Dataset, q.PredicateNames
+	case *dist != "":
+		d, derr := data.DistributionByName(*dist)
+		if derr != nil {
+			return derr
+		}
+		ds, err = data.Generate(d, *n, *m, *seed)
+		if err != nil {
+			return err
+		}
+		columns = genericColumns(ds.M())
+	default:
+		return fmt.Errorf("choose a database: -bench, -dist, or -data")
+	}
+
+	var scn access.Scenario
+	if *scnFile != "" {
+		f, err := os.Open(*scnFile)
+		if err != nil {
+			return err
+		}
+		scn, err = access.ReadScenarioJSON(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	} else {
+		scn = access.Uniform(ds.M(), *cs, *cr)
+	}
+
+	h, err := service.NewHandler(service.Config{
+		Dataset:  ds,
+		Columns:  columns,
+		Scenario: scn,
+	})
+	if err != nil {
+		return err
+	}
+	log.Printf("topkd: serving %s (%d objects, predicates %v) under scenario %q on %s",
+		ds.Name(), ds.N(), columns, scn.Name, *addr)
+	return http.ListenAndServe(*addr, h)
+}
+
+func genericColumns(m int) []string {
+	cols := make([]string, m)
+	for i := range cols {
+		cols[i] = fmt.Sprintf("p%d", i+1)
+	}
+	return cols
+}

@@ -1,0 +1,156 @@
+// Command topkexplore prints the cost surface of the SR/G configuration
+// space for a query — a text rendition of the paper's Figure 11 contour
+// plots, for any scoring function, cost scenario, and dataset. Each cell
+// is the actual total access cost of Framework NC at depths (h1, h2); the
+// minimum cell is marked with '*' and the depths an equal-depth TA run
+// reaches are marked with '+' when TA is applicable.
+//
+// Usage:
+//
+//	topkexplore -f min -n 1000 -k 10 -grid 9 -cs 1 -cr 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/access"
+	"repro/internal/algo"
+	"repro/internal/data"
+	"repro/internal/score"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "topkexplore:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		dist  = flag.String("dist", "uniform", "dataset distribution")
+		n     = flag.Int("n", 1000, "number of objects")
+		k     = flag.Int("k", 10, "retrieval size")
+		seed  = flag.Int64("seed", 1, "random seed")
+		fname = flag.String("f", "min", "scoring function")
+		grid  = flag.Int("grid", 6, "grid points per dimension (>= 2)")
+		cs    = flag.Float64("cs", 1, "sorted access unit cost")
+		cr    = flag.Float64("cr", 1, "random access unit cost")
+	)
+	flag.Parse()
+	if *grid < 2 {
+		return fmt.Errorf("grid must be >= 2")
+	}
+
+	d, err := data.DistributionByName(*dist)
+	if err != nil {
+		return err
+	}
+	ds, err := data.Generate(d, *n, 2, *seed)
+	if err != nil {
+		return err
+	}
+	f, err := score.ByName(*fname)
+	if err != nil {
+		return err
+	}
+	scn := access.Uniform(2, *cs, *cr)
+
+	vals := make([]float64, *grid)
+	for i := range vals {
+		vals[i] = float64(i) / float64(*grid-1)
+	}
+	costs := make([][]access.Cost, *grid)
+	best := access.Cost(-1)
+	bi, bj := 0, 0
+	for i, h1 := range vals {
+		costs[i] = make([]access.Cost, *grid)
+		for j, h2 := range vals {
+			sess, err := access.NewSession(access.DatasetBackend{DS: ds}, scn)
+			if err != nil {
+				return err
+			}
+			prob, err := algo.NewProblem(f, *k, sess)
+			if err != nil {
+				return err
+			}
+			alg, err := algo.NewNC([]float64{h1, h2}, nil)
+			if err != nil {
+				return err
+			}
+			res, err := alg.Run(prob)
+			if err != nil {
+				return err
+			}
+			costs[i][j] = res.Cost()
+			if best < 0 || res.Cost() < best {
+				best, bi, bj = res.Cost(), i, j
+			}
+		}
+	}
+
+	// TA's position in the space, when applicable.
+	taI, taJ := -1, -1
+	var taCost access.Cost
+	sess, err := access.NewSession(access.DatasetBackend{DS: ds}, scn, access.WithTrace())
+	if err != nil {
+		return err
+	}
+	prob, err := algo.NewProblem(f, *k, sess)
+	if err != nil {
+		return err
+	}
+	if res, err := (algo.TA{}).Run(prob); err == nil {
+		taCost = res.Cost()
+		depth := []float64{1, 1}
+		for _, rec := range sess.Trace() {
+			if rec.Kind == access.SortedAccess {
+				depth[rec.Pred] = rec.Score
+			}
+		}
+		taI, taJ = nearest(vals, depth[0]), nearest(vals, depth[1])
+	}
+
+	fmt.Printf("cost surface: F=%s, %s n=%d k=%d, cs=%g cr=%g ('*' minimum, '+' TA's depths)\n\n",
+		f.Name(), *dist, *n, *k, *cs, *cr)
+	fmt.Printf("%8s", "h1\\h2")
+	for _, v := range vals {
+		fmt.Printf("%10.2f", v)
+	}
+	fmt.Println()
+	for i, h1 := range vals {
+		fmt.Printf("%8.2f", h1)
+		for j := range vals {
+			mark := " "
+			if i == bi && j == bj {
+				mark = "*"
+			} else if i == taI && j == taJ {
+				mark = "+"
+			}
+			fmt.Printf("%9.1f%s", costs[i][j].Units(), mark)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("\nminimum: H=(%.2f,%.2f) cost %.1f\n", vals[bi], vals[bj], best.Units())
+	if taI >= 0 {
+		fmt.Printf("TA: depths ~(%.2f,%.2f), cost %.1f -> NC-at-minimum/TA = %.0f%%\n",
+			vals[taI], vals[taJ], taCost.Units(), 100*float64(best)/float64(taCost))
+	}
+	return nil
+}
+
+func nearest(vals []float64, x float64) int {
+	best, bd := 0, 2.0
+	for i, v := range vals {
+		d := v - x
+		if d < 0 {
+			d = -d
+		}
+		if d < bd {
+			best, bd = i, d
+		}
+	}
+	return best
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/data"
+)
+
+// resolveTable materializes the table a query's FROM clause names:
+// "q1"/"restaurants" and "q2"/"hotels" yield the travel benchmarks (with
+// object labels); any distribution name yields a synthetic dataset whose
+// columns are named p1..pm.
+func resolveTable(name string, n, m int, seed int64) (*data.Dataset, bool, error) {
+	switch name {
+	case "q1", "restaurants":
+		q, _ := data.Restaurants(n, seed)
+		return q.Dataset, true, nil
+	case "q2", "hotels":
+		q, _ := data.Hotels(n, seed)
+		return q.Dataset, true, nil
+	default:
+		d, err := data.DistributionByName(name)
+		if err != nil {
+			return nil, false, fmt.Errorf("unknown table %q (q1, q2, or a distribution name)", name)
+		}
+		ds, err := data.Generate(d, n, m, seed)
+		if err != nil {
+			return nil, false, err
+		}
+		return ds, false, nil
+	}
+}
+
+// tableColumns returns the predicate (column) names of a table.
+func tableColumns(name string, m int) []string {
+	switch name {
+	case "q1", "restaurants":
+		return []string{"rating", "closeness"}
+	case "q2", "hotels":
+		return []string{"closeness", "rating", "cheap"}
+	default:
+		cols := make([]string, m)
+		for i := range cols {
+			cols[i] = fmt.Sprintf("p%d", i+1)
+		}
+		return cols
+	}
+}
+
+// projectColumns reorders/subsets a dataset's predicate columns to the
+// query's predicate order (the column indices Bind resolved). Labels are
+// preserved; an identity projection is a no-op.
+func projectColumns(ds *data.Dataset, cols []int) (*data.Dataset, error) {
+	return data.Project(ds, cols)
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestParseFloats(t *testing.T) {
+	got, err := parseFloats("0.3, 1, 0.5")
+	if err != nil || len(got) != 3 || got[0] != 0.3 || got[1] != 1 || got[2] != 0.5 {
+		t.Errorf("parseFloats = %v, %v", got, err)
+	}
+	if _, err := parseFloats(""); err == nil {
+		t.Error("empty list should fail")
+	}
+	if _, err := parseFloats("0.3,x"); err == nil {
+		t.Error("non-numeric should fail")
+	}
+}
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("1,0,2")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[2] != 2 {
+		t.Errorf("parseInts = %v, %v", got, err)
+	}
+	if _, err := parseInts("1,a"); err == nil {
+		t.Error("non-numeric should fail")
+	}
+}
+
+func TestResolveTable(t *testing.T) {
+	ds, labels, err := resolveTable("q1", 50, 0, 1)
+	if err != nil || !labels || ds.M() != 2 {
+		t.Errorf("q1: %v %v %v", ds, labels, err)
+	}
+	ds, labels, err = resolveTable("hotels", 50, 0, 1)
+	if err != nil || !labels || ds.M() != 3 {
+		t.Errorf("hotels: %v %v %v", ds, labels, err)
+	}
+	ds, labels, err = resolveTable("skewed", 40, 3, 2)
+	if err != nil || labels || ds.N() != 40 || ds.M() != 3 {
+		t.Errorf("skewed: %v %v %v", ds, labels, err)
+	}
+	if _, _, err := resolveTable("nosuch", 10, 2, 1); err == nil {
+		t.Error("unknown table should fail")
+	}
+}
+
+func TestTableColumns(t *testing.T) {
+	if cols := tableColumns("q1", 0); len(cols) != 2 || cols[0] != "rating" {
+		t.Errorf("q1 cols = %v", cols)
+	}
+	if cols := tableColumns("q2", 0); len(cols) != 3 || cols[2] != "cheap" {
+		t.Errorf("q2 cols = %v", cols)
+	}
+	if cols := tableColumns("uniform", 3); len(cols) != 3 || cols[0] != "p1" || cols[2] != "p3" {
+		t.Errorf("synthetic cols = %v", cols)
+	}
+}
+
+func TestProjectColumns(t *testing.T) {
+	ds, _, err := resolveTable("q2", 20, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identity projection returns the same dataset.
+	same, err := projectColumns(ds, []int{0, 1, 2})
+	if err != nil || same != ds {
+		t.Errorf("identity projection should be a no-op: %v", err)
+	}
+	// Reorder and subset.
+	proj, err := projectColumns(ds, []int{2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proj.M() != 2 || proj.N() != ds.N() {
+		t.Fatalf("projected %dx%d", proj.N(), proj.M())
+	}
+	for u := 0; u < ds.N(); u++ {
+		if proj.Score(u, 0) != ds.Score(u, 2) || proj.Score(u, 1) != ds.Score(u, 0) {
+			t.Fatal("projection scrambled scores")
+		}
+	}
+	if proj.Label(0) != ds.Label(0) {
+		t.Error("projection lost labels")
+	}
+}

@@ -1,0 +1,82 @@
+package topk_test
+
+import (
+	"fmt"
+
+	topk "repro"
+)
+
+// Example runs the default pipeline — optimize an SR/G configuration for
+// the query and cost scenario, then execute Framework NC — and compares
+// the bill with the Threshold Algorithm's.
+func Example() {
+	ds := topk.MustGenerateDataset("uniform", 1000, 2, 42)
+	eng, err := topk.NewEngine(topk.DataBackend(ds), topk.UniformScenario(2, 1, 10))
+	if err != nil {
+		panic(err)
+	}
+	ans, err := eng.Run(topk.Query{F: topk.Min(), K: 3})
+	if err != nil {
+		panic(err)
+	}
+	for i, it := range ans.Items {
+		fmt.Printf("%d. object %d scores %.4f\n", i+1, it.Obj, it.Score)
+	}
+	ta, err := eng.Run(topk.Query{F: topk.Min(), K: 3}, topk.WithAlgorithm("TA"))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("optimized cost %.0f vs TA %.0f\n", ans.TotalCost().Units(), ta.TotalCost().Units())
+	// Output:
+	// 1. object 9 scores 0.9417
+	// 2. object 266 scores 0.9312
+	// 3. object 599 scores 0.9243
+	// optimized cost 144 vs TA 1510
+}
+
+// ExampleEngine_Run_budget shows anytime execution: cap the spend and take
+// the best current answer when the budget runs dry.
+func ExampleEngine_Run_budget() {
+	ds := topk.MustGenerateDataset("uniform", 500, 2, 7)
+	eng, err := topk.NewEngine(topk.DataBackend(ds), topk.UniformScenario(2, 1, 1))
+	if err != nil {
+		panic(err)
+	}
+	ans, err := eng.Run(topk.Query{F: topk.Avg(), K: 5},
+		topk.WithNC([]float64{0.5, 0.5}, nil),
+		topk.WithBudget(20))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("truncated: %v, items: %d, spent <= 20: %v\n",
+		ans.Truncated, len(ans.Items), ans.TotalCost().Units() <= 20)
+	// Output:
+	// truncated: true, items: 5, spent <= 20: true
+}
+
+// ExampleEngine_Run_approximate trades a (1+epsilon) guarantee for cost in
+// a sorted-only scenario.
+func ExampleEngine_Run_approximate() {
+	ds := topk.MustGenerateDataset("uniform", 500, 3, 9)
+	scn := topk.Scenario{Name: "streams", Preds: []topk.PredCost{
+		{Sorted: topk.CostFromUnits(1), SortedOK: true},
+		{Sorted: topk.CostFromUnits(1), SortedOK: true},
+		{Sorted: topk.CostFromUnits(1), SortedOK: true},
+	}}
+	eng, err := topk.NewEngine(topk.DataBackend(ds), scn)
+	if err != nil {
+		panic(err)
+	}
+	exact, err := eng.Run(topk.Query{F: topk.Avg(), K: 5}, topk.WithNC([]float64{0, 0, 0}, nil))
+	if err != nil {
+		panic(err)
+	}
+	approx, err := eng.Run(topk.Query{F: topk.Avg(), K: 5},
+		topk.WithNC([]float64{0, 0, 0}, nil), topk.WithApproximation(0.5))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("approximate run is cheaper: %v\n", approx.TotalCost() < exact.TotalCost())
+	// Output:
+	// approximate run is cheaper: true
+}

@@ -1,0 +1,75 @@
+package access
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// scenarioJSON is the on-disk shape of a Scenario: costs in float units
+// (as humans write them), capabilities explicit.
+type scenarioJSON struct {
+	Name       string         `json:"name"`
+	Predicates []predCostJSON `json:"predicates"`
+}
+
+type predCostJSON struct {
+	Sorted *float64 `json:"sorted,omitempty"` // unit cost; absent = unsupported
+	Random *float64 `json:"random,omitempty"`
+}
+
+// WriteJSON serializes the scenario with costs in units.
+func (s Scenario) WriteJSON(w io.Writer) error {
+	payload := scenarioJSON{Name: s.Name, Predicates: make([]predCostJSON, len(s.Preds))}
+	for i, pc := range s.Preds {
+		var pj predCostJSON
+		if pc.SortedOK {
+			v := pc.Sorted.Units()
+			pj.Sorted = &v
+		}
+		if pc.RandomOK {
+			v := pc.Random.Units()
+			pj.Random = &v
+		}
+		payload.Predicates[i] = pj
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(payload); err != nil {
+		return fmt.Errorf("access: encoding scenario %q: %w", s.Name, err)
+	}
+	return nil
+}
+
+// ReadScenarioJSON loads a scenario written by WriteJSON (or
+// hand-authored); costs are unit values, and a predicate supports an
+// access type iff its cost is present.
+func ReadScenarioJSON(r io.Reader) (Scenario, error) {
+	var payload scenarioJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&payload); err != nil {
+		return Scenario{}, fmt.Errorf("access: decoding scenario: %w", err)
+	}
+	s := Scenario{Name: payload.Name, Preds: make([]PredCost, len(payload.Predicates))}
+	for i, pj := range payload.Predicates {
+		var pc PredCost
+		if pj.Sorted != nil {
+			if *pj.Sorted < 0 {
+				return Scenario{}, fmt.Errorf("access: scenario %q predicate %d: negative sorted cost", payload.Name, i)
+			}
+			pc.Sorted, pc.SortedOK = CostFromUnits(*pj.Sorted), true
+		}
+		if pj.Random != nil {
+			if *pj.Random < 0 {
+				return Scenario{}, fmt.Errorf("access: scenario %q predicate %d: negative random cost", payload.Name, i)
+			}
+			pc.Random, pc.RandomOK = CostFromUnits(*pj.Random), true
+		}
+		s.Preds[i] = pc
+	}
+	if err := s.Validate(len(s.Preds)); err != nil {
+		return Scenario{}, err
+	}
+	return s, nil
+}

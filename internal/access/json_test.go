@@ -1,0 +1,45 @@
+package access
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScenarioJSONRoundTrip(t *testing.T) {
+	orig := Scenario{Name: "travel", Preds: []PredCost{
+		{Sorted: CostFromUnits(0.2), SortedOK: true, Random: CostFromUnits(1.0), RandomOK: true},
+		{Sorted: CostFromUnits(0.1), SortedOK: true}, // sorted only
+		{Random: CostFromUnits(0.5), RandomOK: true}, // probe only
+	}}
+	var sb strings.Builder
+	if err := orig.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadScenarioJSON(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != orig.Name || len(back.Preds) != len(orig.Preds) {
+		t.Fatalf("round trip changed shape: %+v", back)
+	}
+	for i := range orig.Preds {
+		if back.Preds[i] != orig.Preds[i] {
+			t.Fatalf("pred %d changed: %+v vs %+v", i, back.Preds[i], orig.Preds[i])
+		}
+	}
+}
+
+func TestReadScenarioJSONValidates(t *testing.T) {
+	cases := []string{
+		`{"name":"x","predicates":[{}]}`,                 // no capability
+		`{"name":"x","predicates":[{"sorted":-1}]}`,      // negative cost
+		`{"name":"x","predicates":[{"random":1}]}`,       // no sorted anywhere
+		`{"name":"x","predicates":[{"sorted":1}],"z":1}`, // unknown field
+		`garbage`,
+	}
+	for _, c := range cases {
+		if _, err := ReadScenarioJSON(strings.NewReader(c)); err == nil {
+			t.Errorf("ReadScenarioJSON(%q) should fail", c)
+		}
+	}
+}

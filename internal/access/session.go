@@ -1,0 +1,326 @@
+package access
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/data"
+)
+
+// Backend supplies raw access results. The in-process implementation wraps
+// a data.Dataset; internal/websim provides an HTTP-backed implementation.
+// Backends are oblivious to costs and legality — that is the Session's job.
+type Backend interface {
+	// N and M return the object and predicate counts.
+	N() int
+	M() int
+	// Sorted returns the object at the given zero-based rank of predicate
+	// pred's descending list and its score. rank is always in [0, N).
+	Sorted(pred, rank int) (obj int, score float64, err error)
+	// Random returns p_pred[obj].
+	Random(pred, obj int) (float64, error)
+}
+
+// DatasetBackend adapts a data.Dataset to the Backend interface.
+type DatasetBackend struct{ DS *data.Dataset }
+
+// N returns the object count.
+func (b DatasetBackend) N() int { return b.DS.N() }
+
+// M returns the predicate count.
+func (b DatasetBackend) M() int { return b.DS.M() }
+
+// Sorted returns the rank-th entry of pred's descending list.
+func (b DatasetBackend) Sorted(pred, rank int) (int, float64, error) {
+	obj, s := b.DS.SortedAt(pred, rank)
+	return obj, s, nil
+}
+
+// Random returns the exact score.
+func (b DatasetBackend) Random(pred, obj int) (float64, error) {
+	return b.DS.Score(obj, pred), nil
+}
+
+// Sentinel errors for illegal or unavailable accesses.
+var (
+	// ErrExhausted is returned by SortedNext once a list has been fully
+	// consumed.
+	ErrExhausted = errors.New("access: sorted list exhausted")
+	// ErrSortedUnsupported is returned when the scenario forbids sa_i.
+	ErrSortedUnsupported = errors.New("access: sorted access unsupported on this predicate")
+	// ErrRandomUnsupported is returned when the scenario forbids ra_i.
+	ErrRandomUnsupported = errors.New("access: random access unsupported on this predicate")
+	// ErrWildGuess is returned when a random access targets an object not
+	// yet seen by any sorted access while no-wild-guesses is enforced.
+	ErrWildGuess = errors.New("access: random access to unseen object (no wild guesses)")
+	// ErrRepeatedProbe is returned on a second random access to the same
+	// (predicate, object) pair; such accesses return no new information
+	// and indicate an algorithm bug.
+	ErrRepeatedProbe = errors.New("access: repeated random access")
+	// ErrBudgetExhausted is returned when performing an access would push
+	// the session's accrued cost past its budget (WithBudget). The access
+	// is not performed and nothing is charged; anytime algorithms catch
+	// this sentinel and return their best current answer.
+	ErrBudgetExhausted = errors.New("access: cost budget exhausted")
+)
+
+// Record is one entry of an access trace.
+type Record struct {
+	Kind  Kind
+	Pred  int
+	Obj   int // the object returned (sa) or targeted (ra)
+	Score float64
+	Cost  Cost
+}
+
+// String formats the record like the paper's notation, e.g. "sa1->u3(0.70)"
+// or "ra2(u3)=0.70" (predicates printed 1-based as in the paper).
+func (r Record) String() string {
+	if r.Kind == SortedAccess {
+		return fmt.Sprintf("sa%d->u%d(%.2f)", r.Pred+1, r.Obj, r.Score)
+	}
+	return fmt.Sprintf("ra%d(u%d)=%.2f", r.Pred+1, r.Obj, r.Score)
+}
+
+// Ledger is a snapshot of a session's accrued accesses and cost, the
+// quantities of the paper's Eq. 1.
+type Ledger struct {
+	SortedCounts []int // ns_i
+	RandomCounts []int // nr_i
+	TotalCost    Cost  // sum ns_i*cs_i + nr_i*cr_i (at the costs in force when each access ran)
+}
+
+// TotalAccesses returns the total number of accesses of both kinds.
+func (l Ledger) TotalAccesses() int {
+	t := 0
+	for _, c := range l.SortedCounts {
+		t += c
+	}
+	for _, c := range l.RandomCounts {
+		t += c
+	}
+	return t
+}
+
+// Option configures a Session.
+type Option func(*Session)
+
+// WithTrace enables access-trace recording (off by default; traces are
+// useful for tests and debugging but cost memory).
+func WithTrace() Option { return func(s *Session) { s.traceOn = true } }
+
+// WithoutNoWildGuesses disables the no-wild-guesses rule, allowing random
+// access to objects never seen by sorted access. The paper's framework
+// "can generally work with or without" the rule (Section 8); middleware
+// over Web sources normally enforce it.
+func WithoutNoWildGuesses() Option { return func(s *Session) { s.nwg = false } }
+
+// WithShifts installs dynamic cost shifts (adaptivity experiments).
+func WithShifts(shifts ...CostShift) Option {
+	return func(s *Session) { s.shifts = append(s.shifts, shifts...) }
+}
+
+// WithBudget caps the session's total access cost: an access that would
+// exceed the budget fails with ErrBudgetExhausted (and is not charged).
+// Budgets turn exact algorithms into anytime ones — Framework NC returns
+// its best current answer when the budget runs dry.
+func WithBudget(budget Cost) Option {
+	return func(s *Session) { s.budget = budget; s.hasBudget = true }
+}
+
+// Session mediates all accesses of one query execution: it enforces
+// legality, walks sorted lists in order, accrues costs, and records
+// traces. A Session is single-use and not safe for concurrent use; the
+// parallel executor serializes its bookkeeping.
+type Session struct {
+	backend Backend
+	scn     Scenario
+	nwg     bool
+
+	cursor  []int    // next rank per predicate
+	probed  [][]bool // probed[pred][obj]
+	seen    []bool
+	nseen   int
+	ns, nr  []int
+	cost    Cost
+	nAccess int
+
+	shifts    []CostShift
+	current   []PredCost // costs currently in force
+	budget    Cost
+	hasBudget bool
+
+	traceOn bool
+	trace   []Record
+}
+
+// NewSession creates a session over the backend with the given scenario.
+func NewSession(b Backend, scn Scenario, opts ...Option) (*Session, error) {
+	if err := scn.Validate(b.M()); err != nil {
+		return nil, err
+	}
+	m, n := b.M(), b.N()
+	s := &Session{
+		backend: b,
+		scn:     scn,
+		nwg:     true,
+		cursor:  make([]int, m),
+		probed:  make([][]bool, m),
+		seen:    make([]bool, n),
+		ns:      make([]int, m),
+		nr:      make([]int, m),
+		current: make([]PredCost, m),
+	}
+	copy(s.current, scn.Preds)
+	for i := range s.probed {
+		s.probed[i] = make([]bool, n)
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s, nil
+}
+
+// N returns the object count.
+func (s *Session) N() int { return s.backend.N() }
+
+// M returns the predicate count.
+func (s *Session) M() int { return s.backend.M() }
+
+// Scenario returns the session's (initial) cost scenario.
+func (s *Session) Scenario() Scenario { return s.scn }
+
+// CurrentScenario snapshots the unit costs currently in force (they can
+// differ from the initial scenario under dynamic cost shifts). Adaptive
+// optimizers re-plan against this snapshot.
+func (s *Session) CurrentScenario() Scenario {
+	preds := make([]PredCost, len(s.current))
+	copy(preds, s.current)
+	return Scenario{Name: s.scn.Name + "/current", Preds: preds}
+}
+
+// Costs returns the unit costs currently in force for predicate i. With
+// dynamic shifts these can differ from the scenario's initial values;
+// adaptive algorithms read them at runtime.
+func (s *Session) Costs(i int) PredCost { return s.current[i] }
+
+// NoWildGuesses reports whether the NWG rule is enforced.
+func (s *Session) NoWildGuesses() bool { return s.nwg }
+
+// Seen reports whether object u has been returned by any sorted access.
+func (s *Session) Seen(u int) bool { return s.seen[u] }
+
+// SeenCount returns how many distinct objects have been seen.
+func (s *Session) SeenCount() int { return s.nseen }
+
+// SortedDepth returns how many sorted accesses have been performed on
+// predicate i (the current depth into its list).
+func (s *Session) SortedDepth(i int) int { return s.cursor[i] }
+
+// SortedExhausted reports whether predicate i's list is fully consumed.
+func (s *Session) SortedExhausted(i int) bool { return s.cursor[i] >= s.backend.N() }
+
+// Probed reports whether ra_i(u) has already been performed.
+func (s *Session) Probed(i, u int) bool { return s.probed[i][u] }
+
+func (s *Session) applyShifts() {
+	for _, sh := range s.shifts {
+		if s.nAccess == sh.AfterAccesses && sh.Pred >= 0 && sh.Pred < len(s.current) {
+			pc := s.current[sh.Pred]
+			if sh.SortedFactor > 0 {
+				pc.Sorted = scaleCost(pc.Sorted, sh.SortedFactor)
+			}
+			if sh.RandomFactor > 0 {
+				pc.Random = scaleCost(pc.Random, sh.RandomFactor)
+			}
+			s.current[sh.Pred] = pc
+		}
+	}
+}
+
+// SortedNext performs sa_i: it returns the next object in descending p_i
+// order along with its score, accruing cs_i. It fails with ErrExhausted at
+// the end of the list and ErrSortedUnsupported if the scenario forbids it.
+func (s *Session) SortedNext(i int) (obj int, score float64, err error) {
+	if i < 0 || i >= s.M() {
+		return 0, 0, fmt.Errorf("access: predicate %d out of range", i)
+	}
+	if !s.current[i].SortedOK {
+		return 0, 0, fmt.Errorf("%w: p%d", ErrSortedUnsupported, i+1)
+	}
+	if s.SortedExhausted(i) {
+		return 0, 0, fmt.Errorf("%w: p%d", ErrExhausted, i+1)
+	}
+	s.applyShifts()
+	if s.hasBudget && s.cost+s.current[i].Sorted > s.budget {
+		return 0, 0, fmt.Errorf("%w: sa%d would cost %v with %v left", ErrBudgetExhausted, i+1, s.current[i].Sorted, s.budget-s.cost)
+	}
+	rank := s.cursor[i]
+	obj, score, err = s.backend.Sorted(i, rank)
+	if err != nil {
+		return 0, 0, fmt.Errorf("access: backend sorted(p%d, rank %d): %w", i+1, rank, err)
+	}
+	s.cursor[i]++
+	s.ns[i]++
+	s.nAccess++
+	s.cost += s.current[i].Sorted
+	if !s.seen[obj] {
+		s.seen[obj] = true
+		s.nseen++
+	}
+	if s.traceOn {
+		s.trace = append(s.trace, Record{Kind: SortedAccess, Pred: i, Obj: obj, Score: score, Cost: s.current[i].Sorted})
+	}
+	return obj, score, nil
+}
+
+// Random performs ra_i(u), accruing cr_i. Under no-wild-guesses the object
+// must already have been seen. Repeating a probe is an error.
+func (s *Session) Random(i, u int) (float64, error) {
+	if i < 0 || i >= s.M() {
+		return 0, fmt.Errorf("access: predicate %d out of range", i)
+	}
+	if u < 0 || u >= s.N() {
+		return 0, fmt.Errorf("access: object %d out of range", u)
+	}
+	if !s.current[i].RandomOK {
+		return 0, fmt.Errorf("%w: p%d", ErrRandomUnsupported, i+1)
+	}
+	if s.nwg && !s.seen[u] {
+		return 0, fmt.Errorf("%w: ra%d(u%d)", ErrWildGuess, i+1, u)
+	}
+	if s.probed[i][u] {
+		return 0, fmt.Errorf("%w: ra%d(u%d)", ErrRepeatedProbe, i+1, u)
+	}
+	s.applyShifts()
+	if s.hasBudget && s.cost+s.current[i].Random > s.budget {
+		return 0, fmt.Errorf("%w: ra%d would cost %v with %v left", ErrBudgetExhausted, i+1, s.current[i].Random, s.budget-s.cost)
+	}
+	score, err := s.backend.Random(i, u)
+	if err != nil {
+		return 0, fmt.Errorf("access: backend random(p%d, u%d): %w", i+1, u, err)
+	}
+	s.probed[i][u] = true
+	s.nr[i]++
+	s.nAccess++
+	s.cost += s.current[i].Random
+	if s.traceOn {
+		s.trace = append(s.trace, Record{Kind: RandomAccess, Pred: i, Obj: u, Score: score, Cost: s.current[i].Random})
+	}
+	return score, nil
+}
+
+// Ledger returns a snapshot of accrued accesses and total cost.
+func (s *Session) Ledger() Ledger {
+	l := Ledger{
+		SortedCounts: make([]int, s.M()),
+		RandomCounts: make([]int, s.M()),
+		TotalCost:    s.cost,
+	}
+	copy(l.SortedCounts, s.ns)
+	copy(l.RandomCounts, s.nr)
+	return l
+}
+
+// Trace returns the recorded access trace (nil unless WithTrace was set).
+func (s *Session) Trace() []Record { return s.trace }

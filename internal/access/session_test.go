@@ -1,0 +1,283 @@
+package access
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/data"
+)
+
+func fig3Dataset() *data.Dataset {
+	return data.MustNew("fig3", [][]float64{
+		{0.6, 0.8},
+		{0.65, 0.8},
+		{0.7, 0.9},
+	})
+}
+
+func newTestSession(t *testing.T, opts ...Option) *Session {
+	t.Helper()
+	s, err := NewSession(DatasetBackend{DS: fig3Dataset()}, Uniform(2, 1, 1), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestCostConversion(t *testing.T) {
+	c := CostFromUnits(1.5)
+	if c != 1_500_000 {
+		t.Errorf("CostFromUnits(1.5) = %d", c)
+	}
+	if c.Units() != 1.5 {
+		t.Errorf("Units = %g", c.Units())
+	}
+	if c.String() != "1.500" {
+		t.Errorf("String = %q", c.String())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative cost should panic")
+		}
+	}()
+	CostFromUnits(-1)
+}
+
+func TestScenarioValidate(t *testing.T) {
+	if err := Uniform(2, 1, 10).Validate(2); err != nil {
+		t.Errorf("uniform: %v", err)
+	}
+	if err := Uniform(2, 1, 1).Validate(3); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	bad := Scenario{Name: "none", Preds: []PredCost{{}}}
+	if err := bad.Validate(1); err == nil {
+		t.Error("no-capability predicate should fail")
+	}
+	probeOnly := Scenario{Name: "probe", Preds: []PredCost{
+		{Random: UnitCost, RandomOK: true},
+	}}
+	if err := probeOnly.Validate(1); err == nil {
+		t.Error("scenario with no sorted capability anywhere should fail")
+	}
+}
+
+func TestMatrixCell(t *testing.T) {
+	s := MatrixCell(2, Cheap, Expensive, 10)
+	for i, pc := range s.Preds {
+		if !pc.SortedOK || pc.Sorted != UnitCost {
+			t.Errorf("pred %d sorted = %+v", i, pc)
+		}
+		if !pc.RandomOK || pc.Random != 10*UnitCost {
+			t.Errorf("pred %d random = %+v", i, pc)
+		}
+	}
+	s = MatrixCell(3, Impossible, Cheap, 10)
+	if !s.Preds[0].SortedOK {
+		t.Error("sa-impossible cell must keep a retrieval predicate")
+	}
+	if s.Preds[1].SortedOK || s.Preds[2].SortedOK {
+		t.Error("non-retrieval predicates must be probe-only")
+	}
+	if err := s.Validate(3); err != nil {
+		t.Errorf("sa-impossible cell should validate: %v", err)
+	}
+	s = MatrixCell(2, Cheap, Impossible, 10)
+	if s.Preds[0].RandomOK || s.Preds[1].RandomOK {
+		t.Error("ra-impossible cell must forbid probes")
+	}
+}
+
+func TestSortedNextWalksListAndCounts(t *testing.T) {
+	s := newTestSession(t, WithTrace())
+	want := []struct {
+		obj int
+		sc  float64
+	}{{2, 0.7}, {1, 0.65}, {0, 0.6}}
+	for r, w := range want {
+		obj, sc, err := s.SortedNext(0)
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+		if obj != w.obj || sc != w.sc {
+			t.Fatalf("rank %d: got u%d(%g), want u%d(%g)", r, obj, sc, w.obj, w.sc)
+		}
+	}
+	if _, _, err := s.SortedNext(0); !errors.Is(err, ErrExhausted) {
+		t.Errorf("exhausted list: err = %v", err)
+	}
+	l := s.Ledger()
+	if l.SortedCounts[0] != 3 || l.SortedCounts[1] != 0 {
+		t.Errorf("sorted counts = %v", l.SortedCounts)
+	}
+	if l.TotalCost != 3*UnitCost {
+		t.Errorf("total cost = %v", l.TotalCost)
+	}
+	if l.TotalAccesses() != 3 {
+		t.Errorf("total accesses = %d", l.TotalAccesses())
+	}
+	if len(s.Trace()) != 3 || s.Trace()[0].String() != "sa1->u2(0.70)" {
+		t.Errorf("trace = %v", s.Trace())
+	}
+}
+
+func TestRandomLegality(t *testing.T) {
+	s := newTestSession(t)
+	// Wild guess forbidden before any sorted access.
+	if _, err := s.Random(1, 2); !errors.Is(err, ErrWildGuess) {
+		t.Fatalf("expected wild-guess error, got %v", err)
+	}
+	if _, _, err := s.SortedNext(0); err != nil { // sees u2
+		t.Fatal(err)
+	}
+	sc, err := s.Random(1, 2)
+	if err != nil || sc != 0.9 {
+		t.Fatalf("ra2(u2) = %g, %v", sc, err)
+	}
+	if _, err := s.Random(1, 2); !errors.Is(err, ErrRepeatedProbe) {
+		t.Fatalf("expected repeated-probe error, got %v", err)
+	}
+	if !s.Probed(1, 2) || s.Probed(0, 2) {
+		t.Error("Probed bookkeeping wrong")
+	}
+}
+
+func TestWithoutNoWildGuesses(t *testing.T) {
+	s := newTestSession(t, WithoutNoWildGuesses())
+	if s.NoWildGuesses() {
+		t.Fatal("NWG should be off")
+	}
+	sc, err := s.Random(0, 1)
+	if err != nil || sc != 0.65 {
+		t.Fatalf("wild probe = %g, %v", sc, err)
+	}
+}
+
+func TestUnsupportedAccess(t *testing.T) {
+	scn := Scenario{Name: "mixed", Preds: []PredCost{
+		{Sorted: UnitCost, SortedOK: true},                                    // sorted only
+		{Sorted: UnitCost, SortedOK: true, Random: UnitCost, RandomOK: false}, // sorted only
+	}}
+	s, err := NewSession(DatasetBackend{DS: fig3Dataset()}, scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.SortedNext(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Random(0, 2); !errors.Is(err, ErrRandomUnsupported) {
+		t.Errorf("expected unsupported error, got %v", err)
+	}
+}
+
+func TestSeenTracking(t *testing.T) {
+	s := newTestSession(t)
+	if s.SeenCount() != 0 || s.Seen(2) {
+		t.Fatal("nothing seen initially")
+	}
+	s.SortedNext(0) // u2
+	s.SortedNext(1) // u2 again via p2
+	if s.SeenCount() != 1 || !s.Seen(2) {
+		t.Errorf("seen count = %d", s.SeenCount())
+	}
+	s.SortedNext(0) // u1
+	if s.SeenCount() != 2 {
+		t.Errorf("seen count = %d", s.SeenCount())
+	}
+	if s.SortedDepth(0) != 2 || s.SortedDepth(1) != 1 {
+		t.Errorf("depths = %d, %d", s.SortedDepth(0), s.SortedDepth(1))
+	}
+}
+
+func TestCostAccrualMixedScenario(t *testing.T) {
+	scn := Scenario{Name: "ex1", Preds: []PredCost{
+		{Sorted: CostFromUnits(0.2), SortedOK: true, Random: CostFromUnits(1.0), RandomOK: true},
+		{Sorted: CostFromUnits(0.1), SortedOK: true, Random: CostFromUnits(0.5), RandomOK: true},
+	}}
+	s, err := NewSession(DatasetBackend{DS: fig3Dataset()}, scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SortedNext(0)
+	s.SortedNext(1)
+	s.Random(1, 2)
+	want := CostFromUnits(0.2) + CostFromUnits(0.1) + CostFromUnits(0.5)
+	if got := s.Ledger().TotalCost; got != want {
+		t.Errorf("total cost = %v, want %v", got, want)
+	}
+	if math.Abs(s.Ledger().TotalCost.Units()-0.8) > 1e-9 {
+		t.Errorf("units = %g", s.Ledger().TotalCost.Units())
+	}
+}
+
+func TestCostShift(t *testing.T) {
+	s := newTestSession(t, WithShifts(CostShift{AfterAccesses: 2, Pred: 0, SortedFactor: 10, RandomFactor: 10}))
+	s.SortedNext(0) // cost 1
+	s.SortedNext(0) // cost 1; shift applies before the *next* access
+	if s.Costs(0).Sorted != UnitCost {
+		t.Fatalf("shift applied too early")
+	}
+	s.SortedNext(0) // cost 10
+	if s.Costs(0).Sorted != 10*UnitCost {
+		t.Fatalf("shift not applied: %v", s.Costs(0).Sorted)
+	}
+	if got := s.Ledger().TotalCost; got != 12*UnitCost {
+		t.Errorf("total = %v, want 12", got)
+	}
+	// Unshifted predicate unaffected.
+	if s.Costs(1).Sorted != UnitCost {
+		t.Error("shift leaked to other predicate")
+	}
+}
+
+func TestOutOfRangeArguments(t *testing.T) {
+	s := newTestSession(t)
+	if _, _, err := s.SortedNext(5); err == nil {
+		t.Error("bad predicate should fail")
+	}
+	if _, err := s.Random(0, 99); err == nil {
+		t.Error("bad object should fail")
+	}
+	if _, err := s.Random(-1, 0); err == nil {
+		t.Error("negative predicate should fail")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if SortedAccess.String() != "sa" || RandomAccess.String() != "ra" {
+		t.Error("Kind.String mismatch")
+	}
+	r := Record{Kind: RandomAccess, Pred: 1, Obj: 3, Score: 0.7}
+	if r.String() != "ra2(u3)=0.70" {
+		t.Errorf("record string = %q", r.String())
+	}
+	if Cheap.String() != "cheap" || Expensive.String() != "expensive" || Impossible.String() != "impossible" {
+		t.Error("Capability.String mismatch")
+	}
+}
+
+// TestTraceCostsSumToLedger: the per-record costs in a trace must always
+// sum to the ledger total, including across dynamic cost shifts.
+func TestTraceCostsSumToLedger(t *testing.T) {
+	s := newTestSession(t, WithTrace(),
+		WithShifts(CostShift{AfterAccesses: 2, Pred: 1, SortedFactor: 7, RandomFactor: 3}))
+	s.SortedNext(0)
+	s.SortedNext(1)
+	s.SortedNext(1) // shifted
+	obj := 0
+	for u := 0; u < s.N(); u++ {
+		if s.Seen(u) {
+			obj = u
+			break
+		}
+	}
+	s.Random(1, obj) // shifted random
+	var sum Cost
+	for _, rec := range s.Trace() {
+		sum += rec.Cost
+	}
+	if sum != s.Ledger().TotalCost {
+		t.Errorf("trace sum %v != ledger %v", sum, s.Ledger().TotalCost)
+	}
+}

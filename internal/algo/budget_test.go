@@ -1,0 +1,135 @@
+package algo
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/data"
+	"repro/internal/score"
+)
+
+func TestBudgetedNCIsAnytime(t *testing.T) {
+	ds := data.MustGenerate(data.Uniform, 300, 2, 66)
+	scn := access.Uniform(2, 1, 1)
+	k := 8
+	f := score.Avg()
+
+	// Unbudgeted reference.
+	full, _ := mustRun(t, MustNCForTest(2), ds, scn, f, k)
+	if full.Truncated {
+		t.Fatal("unbudgeted run must not truncate")
+	}
+	fullCost := full.Cost()
+
+	// Budget at half the needed cost: truncated, within budget, right
+	// number of best-effort answers.
+	half := access.Cost(fullCost / 2)
+	res, sess := mustRun(t, MustNCForTest(2), ds, scn, f, k, access.WithBudget(half))
+	if !res.Truncated {
+		t.Fatal("half-budget run should truncate")
+	}
+	if got := sess.Ledger().TotalCost; got > half {
+		t.Fatalf("spent %v over budget %v", got, half)
+	}
+	if len(res.Items) != k {
+		t.Fatalf("anytime run returned %d items, want %d best-effort answers", len(res.Items), k)
+	}
+	for _, it := range res.Items {
+		truth := f.Eval(ds.Scores(it.Obj))
+		if it.Exact && math.Abs(it.Score-truth) > 1e-9 {
+			t.Fatalf("item claims exact score %g, truth %g", it.Score, truth)
+		}
+		if !it.Exact && it.Score > truth+1e-9 {
+			t.Fatalf("lower-bound score %g overstates truth %g", it.Score, truth)
+		}
+	}
+
+	// Quality improves with budget: recall against the oracle set.
+	oracle := make(map[int]bool, k)
+	for _, r := range ds.TopK(f.Eval, k) {
+		oracle[r.Obj] = true
+	}
+	recall := func(items []Item) float64 {
+		hit := 0
+		for _, it := range items {
+			if oracle[it.Obj] {
+				hit++
+			}
+		}
+		return float64(hit) / float64(k)
+	}
+	tiny, _ := mustRun(t, MustNCForTest(2), ds, scn, f, k, access.WithBudget(fullCost/10))
+	generous, _ := mustRun(t, MustNCForTest(2), ds, scn, f, k, access.WithBudget(fullCost*9/10))
+	if recall(generous.Items) < recall(tiny.Items) {
+		t.Errorf("recall should not degrade with budget: %.2f (10%%) vs %.2f (90%%)",
+			recall(tiny.Items), recall(generous.Items))
+	}
+
+	// A generous budget changes nothing.
+	unconstrained, _ := mustRun(t, MustNCForTest(2), ds, scn, f, k, access.WithBudget(fullCost*2))
+	if unconstrained.Truncated || unconstrained.Cost() != fullCost {
+		t.Errorf("generous budget changed the run: %v vs %v", unconstrained.Cost(), fullCost)
+	}
+}
+
+func TestBudgetedBaselineErrors(t *testing.T) {
+	ds := data.MustGenerate(data.Uniform, 100, 2, 3)
+	sess := mustSession(t, ds, access.Uniform(2, 1, 1), access.WithBudget(5*access.UnitCost))
+	prob, _ := NewProblem(score.Avg(), 10, sess)
+	_, err := (TA{}).Run(prob)
+	if !errors.Is(err, access.ErrBudgetExhausted) {
+		t.Errorf("TA under budget: err = %v, want ErrBudgetExhausted", err)
+	}
+}
+
+func TestBudgetNotChargedOnRefusal(t *testing.T) {
+	ds := data.MustGenerate(data.Uniform, 10, 2, 3)
+	sess := mustSession(t, ds, access.Uniform(2, 1, 10), access.WithBudget(15*access.UnitCost))
+	if _, _, err := sess.SortedNext(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Random(0, sessFirstSeen(t, sess, ds)); err != nil {
+		t.Fatal(err)
+	}
+	// 11 units spent; another probe (10) exceeds 15 and must not charge.
+	before := sess.Ledger().TotalCost
+	if _, err := sess.Random(1, sessFirstSeen(t, sess, ds)); !errors.Is(err, access.ErrBudgetExhausted) {
+		t.Fatalf("err = %v", err)
+	}
+	if sess.Ledger().TotalCost != before {
+		t.Error("refused access was charged")
+	}
+	// A cheap sorted access (1 unit) still fits.
+	if _, _, err := sess.SortedNext(1); err != nil {
+		t.Errorf("affordable access refused: %v", err)
+	}
+}
+
+// sessFirstSeen returns an object already seen in the session.
+func sessFirstSeen(t *testing.T, sess *access.Session, ds *data.Dataset) int {
+	t.Helper()
+	for u := 0; u < ds.N(); u++ {
+		if sess.Seen(u) {
+			return u
+		}
+	}
+	t.Fatal("no seen object")
+	return -1
+}
+
+func TestProblemIsSingleUse(t *testing.T) {
+	ds := data.MustGenerate(data.Uniform, 20, 2, 1)
+	sess := mustSession(t, ds, access.Uniform(2, 1, 1))
+	prob, _ := NewProblem(score.Avg(), 3, sess)
+	if _, err := (TA{}).Run(prob); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (TA{}).Run(prob); err == nil {
+		t.Error("second run on a consumed problem should fail")
+	}
+	if _, err := MustNCForTest(2).Run(prob); err == nil {
+		t.Error("a different algorithm on a consumed problem should fail too")
+	}
+}

@@ -1,0 +1,144 @@
+package algo
+
+import (
+	"fmt"
+
+	"repro/internal/access"
+	"repro/internal/data"
+	"repro/internal/score"
+	"repro/internal/state"
+)
+
+// This file makes Lemma 1 ("for any algorithm there exists an
+// SR-counterpart with no more cost") executable: SRCounterpart reorders
+// any performed access trace into sorted-then-random form, and
+// ReplayTrace/Sufficient verify that a trace still gathers enough
+// information to answer the query (Theorem 1's halting condition). The
+// paper reports SR-inclusion as an empirical observation without a formal
+// proof; the property tests built on these functions are that experiment,
+// reproducible at will.
+
+// SRCounterpart returns the SR-ordered version of a trace: all sorted
+// accesses first (preserving their per-list order, which is forced — a
+// sorted stream has only one order), then all random accesses in their
+// original relative order. The counterpart performs exactly the same
+// multiset of accesses, so by Eq. 1 it has exactly the original's cost;
+// and because sorted accesses only move earlier, every random access still
+// targets a seen object under no-wild-guesses.
+func SRCounterpart(trace []access.Record) []access.Record {
+	out := make([]access.Record, 0, len(trace))
+	for _, r := range trace {
+		if r.Kind == access.SortedAccess {
+			out = append(out, r)
+		}
+	}
+	for _, r := range trace {
+		if r.Kind == access.RandomAccess {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// ReplayTrace feeds a trace into a fresh score-state table for the given
+// dataset and scoring function, validating legality as it goes: sorted
+// accesses must walk each list in order from the top, and random accesses
+// must respect no-wild-guesses (when nwg is true) and non-repetition.
+func ReplayTrace(ds *data.Dataset, f score.Func, trace []access.Record, nwg bool) (*state.Table, error) {
+	tab, err := state.NewTable(ds.N(), ds.M(), f)
+	if err != nil {
+		return nil, err
+	}
+	cursor := make([]int, ds.M())
+	probed := make(map[[2]int]bool)
+	for i, r := range trace {
+		switch r.Kind {
+		case access.SortedAccess:
+			obj, s := ds.SortedAt(r.Pred, cursor[r.Pred])
+			if obj != r.Obj || s != r.Score {
+				return nil, fmt.Errorf("algo: replay step %d: sa%d rank %d yields u%d(%g), trace says u%d(%g)",
+					i, r.Pred+1, cursor[r.Pred], obj, s, r.Obj, r.Score)
+			}
+			cursor[r.Pred]++
+			tab.ObserveSorted(r.Pred, obj, s)
+		case access.RandomAccess:
+			if nwg && !tab.Seen(r.Obj) {
+				return nil, fmt.Errorf("algo: replay step %d: wild guess ra%d(u%d)", i, r.Pred+1, r.Obj)
+			}
+			key := [2]int{r.Pred, r.Obj}
+			if probed[key] {
+				return nil, fmt.Errorf("algo: replay step %d: repeated probe ra%d(u%d)", i, r.Pred+1, r.Obj)
+			}
+			probed[key] = true
+			if truth := ds.Score(r.Obj, r.Pred); truth != r.Score {
+				return nil, fmt.Errorf("algo: replay step %d: ra%d(u%d) = %g, trace says %g",
+					i, r.Pred+1, r.Obj, truth, r.Score)
+			}
+			tab.ObserveRandom(r.Pred, r.Obj, r.Score)
+		}
+	}
+	return tab, nil
+}
+
+// Sufficient reports whether the gathered score state satisfies
+// Theorem 1's halting condition for a top-k query, up to ties: there are k
+// completely evaluated objects whose exact scores are at least the
+// maximal-possible score of every other object (including the virtual
+// unseen one). Tie-tolerance matters: algorithms like TA halt with
+// "at least the threshold", so an unresolved object may legitimately tie
+// the k-th answer — any such tie permutation is a correct top-k. It
+// returns one valid answer when sufficient.
+func Sufficient(tab *state.Table, k int) ([]Item, bool) {
+	if k > tab.N() {
+		k = tab.N()
+	}
+	type cand struct {
+		obj int
+		ex  float64
+	}
+	top := make([]cand, 0, k)
+	worse := func(a, b cand) bool { return data.Less(a.ex, a.obj, b.ex, b.obj) }
+	inTop := make(map[int]bool, k)
+	for u := 0; u < tab.N(); u++ {
+		if !tab.Complete(u) {
+			continue
+		}
+		ex, _ := tab.Exact(u)
+		c := cand{obj: u, ex: ex}
+		pos := len(top)
+		for pos > 0 && worse(top[pos-1], c) {
+			pos--
+		}
+		if pos < k {
+			if len(top) < k {
+				top = append(top, cand{})
+			}
+			copy(top[pos+1:], top[pos:len(top)-1])
+			top[pos] = c
+		}
+	}
+	if len(top) < k {
+		return nil, false
+	}
+	kth := top[len(top)-1].ex
+	for _, c := range top {
+		inTop[c.obj] = true
+	}
+	const eps = 1e-12
+	if !tab.AllSeen() && tab.UnseenUpper() > kth+eps {
+		return nil, false
+	}
+	for u := 0; u < tab.N(); u++ {
+		if inTop[u] {
+			continue
+		}
+		if tab.Upper(u) > kth+eps {
+			return nil, false
+		}
+	}
+	items := make([]Item, len(top))
+	for i, c := range top {
+		items[i] = Item{Obj: c.obj, Score: c.ex, Exact: true}
+	}
+	return items, true
+}

@@ -1,0 +1,216 @@
+package algo
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/data"
+	"repro/internal/score"
+)
+
+// traceOf runs an algorithm with tracing and returns the dataset-verified
+// trace plus the result.
+func traceOf(t *testing.T, alg Algorithm, ds *data.Dataset, scn access.Scenario, f score.Func, k int) ([]access.Record, *Result) {
+	t.Helper()
+	res, sess := mustRun(t, alg, ds, scn, f, k, access.WithTrace())
+	return sess.Trace(), res
+}
+
+// TestSRInclusionProperty is the paper's empirical SR-inclusion check
+// (Section 7.1): for traces produced by a spectrum of algorithms, the
+// SR-counterpart (all sorted accesses first) is legal under
+// no-wild-guesses, costs exactly the same, and still gathers sufficient
+// information to answer the query per Theorem 1.
+func TestSRInclusionProperty(t *testing.T) {
+	algs := []Algorithm{
+		TA{}, FA{}, CA{},
+		MustNCForTest(2),
+		mustNC(t, []float64{0.2, 0.9}, []int{1, 0}),
+	}
+	for seed := int64(0); seed < 8; seed++ {
+		ds := data.MustGenerate(data.Uniform, 60, 2, seed)
+		for _, alg := range algs {
+			for _, f := range []score.Func{score.Min(), score.Avg()} {
+				k := int(seed%5) + 1
+				trace, res := traceOf(t, alg, ds, access.Uniform(2, 1, 1), f, k)
+				sr := SRCounterpart(trace)
+				if len(sr) != len(trace) {
+					t.Fatalf("%s: counterpart changed access count", alg.Name())
+				}
+				// Same multiset => same cost under Eq. 1. Verify by
+				// counting kinds per predicate.
+				if c1, c2 := countKinds(trace), countKinds(sr); c1 != c2 {
+					t.Fatalf("%s: counterpart changed access multiset: %v vs %v", alg.Name(), c1, c2)
+				}
+				tab, err := ReplayTrace(ds, f, sr, true)
+				if err != nil {
+					t.Fatalf("%s seed %d: SR-counterpart illegal: %v", alg.Name(), seed, err)
+				}
+				items, ok := Sufficient(tab, k)
+				if !ok {
+					t.Fatalf("%s seed %d %s k=%d: SR-counterpart insufficient", alg.Name(), seed, f.Name(), k)
+				}
+				// And it determines the same answer the original found.
+				for i := range items {
+					truth := f.Eval(ds.Scores(res.Items[i].Obj))
+					if math.Abs(items[i].Score-truth) > 1e-9 {
+						t.Fatalf("%s: counterpart answer diverges at rank %d", alg.Name(), i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func countKinds(trace []access.Record) [2][8]int {
+	var out [2][8]int
+	for _, r := range trace {
+		out[int(r.Kind)][r.Pred]++
+	}
+	return out
+}
+
+func mustNC(t *testing.T, h []float64, omega []int) Algorithm {
+	t.Helper()
+	alg, err := NewNC(h, omega)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return alg
+}
+
+func TestReplayTraceRejectsIllegal(t *testing.T) {
+	ds := fig3()
+	// Wild guess: probe before any sorted access.
+	bad := []access.Record{{Kind: access.RandomAccess, Pred: 0, Obj: 1, Score: 0.65}}
+	if _, err := ReplayTrace(ds, score.Min(), bad, true); err == nil {
+		t.Error("wild guess should fail replay")
+	}
+	if _, err := ReplayTrace(ds, score.Min(), bad, false); err != nil {
+		t.Errorf("without NWG the probe is legal: %v", err)
+	}
+	// Repeated probe.
+	dup := []access.Record{
+		{Kind: access.SortedAccess, Pred: 0, Obj: 2, Score: 0.7},
+		{Kind: access.RandomAccess, Pred: 1, Obj: 2, Score: 0.9},
+		{Kind: access.RandomAccess, Pred: 1, Obj: 2, Score: 0.9},
+	}
+	if _, err := ReplayTrace(ds, score.Min(), dup, true); err == nil {
+		t.Error("repeated probe should fail replay")
+	}
+	// Sorted record inconsistent with the list order.
+	wrong := []access.Record{{Kind: access.SortedAccess, Pred: 0, Obj: 0, Score: 0.6}}
+	if _, err := ReplayTrace(ds, score.Min(), wrong, true); err == nil {
+		t.Error("out-of-order sorted access should fail replay")
+	}
+	// Probe score inconsistent with the dataset.
+	lie := []access.Record{
+		{Kind: access.SortedAccess, Pred: 0, Obj: 2, Score: 0.7},
+		{Kind: access.RandomAccess, Pred: 1, Obj: 2, Score: 0.123},
+	}
+	if _, err := ReplayTrace(ds, score.Min(), lie, true); err == nil {
+		t.Error("mismatched probe score should fail replay")
+	}
+}
+
+func TestSufficientDetectsInsufficiency(t *testing.T) {
+	ds := fig3()
+	// Only one sorted access: nothing is complete, nothing is provable.
+	partial := []access.Record{{Kind: access.SortedAccess, Pred: 0, Obj: 2, Score: 0.7}}
+	tab, err := ReplayTrace(ds, score.Min(), partial, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := Sufficient(tab, 1); ok {
+		t.Error("one access cannot suffice for top-1")
+	}
+	// The Example 3 trace (all scores of all objects) suffices for any k.
+	full := []access.Record{
+		{Kind: access.SortedAccess, Pred: 0, Obj: 2, Score: 0.7},
+		{Kind: access.RandomAccess, Pred: 1, Obj: 2, Score: 0.9},
+		{Kind: access.SortedAccess, Pred: 0, Obj: 1, Score: 0.65},
+		{Kind: access.RandomAccess, Pred: 1, Obj: 1, Score: 0.8},
+		{Kind: access.SortedAccess, Pred: 0, Obj: 0, Score: 0.6},
+		{Kind: access.RandomAccess, Pred: 1, Obj: 0, Score: 0.8},
+	}
+	tab, err = ReplayTrace(ds, score.Min(), full, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items, ok := Sufficient(tab, 3)
+	if !ok || len(items) != 3 || items[0].Obj != 2 {
+		t.Errorf("full trace should suffice: %v %v", items, ok)
+	}
+	// k larger than n clamps.
+	if items, ok := Sufficient(tab, 10); !ok || len(items) != 3 {
+		t.Errorf("k>n should clamp: %v %v", items, ok)
+	}
+}
+
+// TestApproximateNC verifies the theta-approximation guarantee and its
+// cost benefit: every returned object u must satisfy
+// (1+eps)*F(u) >= F(v) for every non-returned v, and the run must not
+// cost more than the exact one.
+func TestApproximateNC(t *testing.T) {
+	ds := data.MustGenerate(data.Uniform, 400, 2, 33)
+	scn := access.Uniform(2, 1, 10)
+	f := score.Avg()
+	k := 10
+
+	exactAlg := mustNC(t, []float64{0.5, 0.5}, nil)
+	exactRes, _ := mustRun(t, exactAlg, ds, scn, f, k)
+
+	for _, eps := range []float64{0.05, 0.2, 0.5} {
+		sel := MustNewSRG([]float64{0.5, 0.5}, nil)
+		approx := &NC{Sel: sel, Epsilon: eps}
+		res, _ := mustRun(t, approx, ds, scn, f, k)
+		if len(res.Items) != k {
+			t.Fatalf("eps=%g: returned %d items", eps, len(res.Items))
+		}
+		returned := make(map[int]bool, k)
+		minTruth := math.Inf(1)
+		for _, it := range res.Items {
+			returned[it.Obj] = true
+			truth := f.Eval(ds.Scores(it.Obj))
+			if truth < minTruth {
+				minTruth = truth
+			}
+			// Reported score never overstates the truth.
+			if it.Score > truth+1e-9 {
+				t.Fatalf("eps=%g: reported %g above truth %g", eps, it.Score, truth)
+			}
+		}
+		for u := 0; u < ds.N(); u++ {
+			if returned[u] {
+				continue
+			}
+			if truth := f.Eval(ds.Scores(u)); (1+eps)*minTruth < truth-1e-9 {
+				t.Fatalf("eps=%g: guarantee violated: returned min %g vs outside %g", eps, minTruth, truth)
+			}
+		}
+		if res.Cost() > exactRes.Cost() {
+			t.Errorf("eps=%g: approximate run cost %v exceeds exact %v", eps, res.Cost(), exactRes.Cost())
+		}
+	}
+}
+
+func TestApproximateCostDecreasesWithEpsilon(t *testing.T) {
+	// Sorted-only access is where approximation bites: bound intervals
+	// tighten gradually from both sides, so a theta slack lets the run
+	// halt well before objects are fully resolved.
+	ds := data.MustGenerate(data.Uniform, 600, 3, 44)
+	scn := access.MatrixCell(3, access.Cheap, access.Impossible, 10)
+	cost := func(eps float64) access.Cost {
+		approx := &NC{Sel: MustNewSRG([]float64{0, 0, 0}, nil), Epsilon: eps}
+		res, _ := mustRun(t, approx, ds, scn, score.Avg(), 10)
+		return res.Cost()
+	}
+	c0, c2, c5 := cost(0), cost(0.2), cost(0.5)
+	if !(c5 <= c2 && c2 <= c0) {
+		t.Errorf("costs should be monotone in epsilon: %v, %v, %v", c0, c2, c5)
+	}
+	if c5 >= c0 {
+		t.Errorf("eps=0.5 should strictly save over exact: %v vs %v", c5, c0)
+	}
+}

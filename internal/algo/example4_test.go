@@ -1,0 +1,69 @@
+package algo
+
+import (
+	"testing"
+
+	"repro/internal/access"
+)
+
+// TestExample4CostModelScenarioSpecific reproduces the point of the
+// paper's Example 4: the same two algorithms rank differently under
+// different cost scenarios, which is why optimization must be specific to
+// the runtime scenario. Algorithm A1 mixes sorted and random accesses
+// (3 sa + 3 ra); A2 uses sorted accesses only (6 sa). In Example 1's
+// scenario (random expensive) A2 is cheaper; in Example 2's scenario
+// (random free) A1 is cheaper.
+func TestExample4CostModelScenarioSpecific(t *testing.T) {
+	ds := fig3()
+
+	runTrace := func(scn access.Scenario, plan []Choice) access.Cost {
+		t.Helper()
+		sess := mustSession(t, ds, scn, access.WithoutNoWildGuesses())
+		// Feed the fixed access schedule through the session, targeting
+		// object ids deterministically for random accesses.
+		nextObj := 0
+		for _, ch := range plan {
+			switch ch.Kind {
+			case access.SortedAccess:
+				if _, _, err := sess.SortedNext(ch.Pred); err != nil {
+					t.Fatal(err)
+				}
+			case access.RandomAccess:
+				if _, err := sess.Random(ch.Pred, nextObj); err != nil {
+					t.Fatal(err)
+				}
+				nextObj++
+			}
+		}
+		return sess.Ledger().TotalCost
+	}
+
+	// A1: sa1, ra2, sa1, ra2, sa1, ra2 (alternating, as Example 5's TG
+	// illustration generates A1). A2: three sa on each list.
+	a1 := []Choice{
+		{access.SortedAccess, 0}, {access.RandomAccess, 1},
+		{access.SortedAccess, 0}, {access.RandomAccess, 1},
+		{access.SortedAccess, 0}, {access.RandomAccess, 1},
+	}
+	a2 := []Choice{
+		{access.SortedAccess, 0}, {access.SortedAccess, 1},
+		{access.SortedAccess, 0}, {access.SortedAccess, 1},
+		{access.SortedAccess, 0}, {access.SortedAccess, 1},
+	}
+
+	// Example 1's shape: random accesses more expensive in both sources.
+	ex1 := access.Scenario{Name: "ex1", Preds: []access.PredCost{
+		{Sorted: access.CostFromUnits(0.2), SortedOK: true, Random: access.CostFromUnits(1.0), RandomOK: true},
+		{Sorted: access.CostFromUnits(0.1), SortedOK: true, Random: access.CostFromUnits(0.5), RandomOK: true},
+	}}
+	// Example 2's shape: sorted accesses carry all attributes, random free.
+	free := access.PredCost{Sorted: access.CostFromUnits(0.3), SortedOK: true, Random: 0, RandomOK: true}
+	ex2 := access.Scenario{Name: "ex2", Preds: []access.PredCost{free, free}}
+
+	if c1, c2 := runTrace(ex1, a1), runTrace(ex1, a2); c1 <= c2 {
+		t.Errorf("Example 1 scenario: A1 (%v) should cost more than A2 (%v)", c1, c2)
+	}
+	if c1, c2 := runTrace(ex2, a1), runTrace(ex2, a2); c1 >= c2 {
+		t.Errorf("Example 2 scenario: A1 (%v) should cost less than A2 (%v)", c1, c2)
+	}
+}

@@ -1,0 +1,69 @@
+package algo
+
+import (
+	"fmt"
+)
+
+// MPro is the probe-scheduling algorithm for the "sorted access
+// impossible" column of Figure 2: objects are discovered through a single
+// cheap retrieval predicate, while all other predicates are evaluated only
+// by (expensive) probes following one fixed global predicate schedule
+// Omega — the G of the paper's SR/G heuristics, which Section 7.1 adopts
+// from MPro.
+//
+// As Section 8 argues, MPro is a point of the NC space: it is exactly
+// Framework NC driven by an SR/G selector with a fully-drained depth on
+// the retrieval predicate (h = 0) and no sorted access anywhere else
+// (h = 1). We implement it precisely that way, which makes the paper's
+// unification claim executable.
+type MPro struct {
+	// Omega is the global probe schedule (a permutation of all predicate
+	// indices). Nil defaults to index order; the optimizer's
+	// Omega-optimization supplies better schedules.
+	Omega []int
+}
+
+// Name returns "MPro".
+func (mp MPro) Name() string { return "MPro" }
+
+// Run executes MPro via Framework NC.
+func (mp MPro) Run(p *Problem) (*Result, error) {
+	sess := p.Session
+	h := make([]float64, sess.M())
+	retrieval := -1
+	for i := 0; i < sess.M(); i++ {
+		if sess.Costs(i).SortedOK {
+			if retrieval == -1 {
+				retrieval = i
+				h[i] = 0 // drain the retrieval list as deep as needed
+			} else {
+				h[i] = 1 // additional sorted lists exist: MPro ignores them
+			}
+		} else {
+			h[i] = 1
+		}
+	}
+	if retrieval == -1 {
+		return nil, fmt.Errorf("algo: MPro requires a retrieval predicate with sorted access")
+	}
+	sel, err := NewSRG(h, mp.Omega)
+	if err != nil {
+		return nil, err
+	}
+	return (&NC{Sel: sel}).Run(p)
+}
+
+// Upper is the per-object adaptive probing algorithm (Marian et al.),
+// the other reference of the probe-only column: like MPro it works on the
+// object with the greatest maximal-possible score, but it chooses which
+// predicate to probe per object, by greatest potential bound reduction per
+// unit cost, instead of one global schedule.
+type Upper struct{}
+
+// Name returns "Upper".
+func (Upper) Name() string { return "Upper" }
+
+// Run executes Upper via Framework NC with the adaptive selector.
+func (Upper) Run(p *Problem) (*Result, error) {
+	return (&NC{Sel: &UpperSelector{}}).Run(p)
+}

@@ -1,0 +1,217 @@
+package algo
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/access"
+	"repro/internal/state"
+)
+
+// Choice is one candidate access among the necessary choices N_j of an
+// unsatisfied scoring task (Definition 2). For RandomAccess the target
+// object is the task's object; for SortedAccess the returned object is
+// whatever the list yields next.
+type Choice struct {
+	Kind access.Kind
+	Pred int
+}
+
+// AccessContext is the read-only view of a middleware access runtime that
+// choice construction and selection need: capabilities and current costs,
+// sorted-list progress, probe history, and visibility. *access.Session
+// implements it; so does the live concurrent executor, which keeps its own
+// bookkeeping while issuing real requests.
+type AccessContext interface {
+	M() int
+	Costs(i int) access.PredCost
+	SortedExhausted(i int) bool
+	Probed(i, u int) bool
+	Seen(u int) bool
+	NoWildGuesses() bool
+}
+
+var _ AccessContext = (*access.Session)(nil)
+
+// Selector decides which necessary choice to perform — the Select routine
+// of Framework NC (Figure 6, line 6). Different Selectors generate the
+// different concrete algorithms of the NC space; SRG is the paper's
+// optimizer-driven instantiation.
+type Selector interface {
+	Name() string
+	// Choose picks one of the (non-empty, legal) choices for the
+	// unsatisfied task of object target. target is state.UnseenID for the
+	// virtual unseen object, in which case all choices are sorted
+	// accesses.
+	Choose(t *state.Table, ctx AccessContext, target int, choices []Choice) Choice
+}
+
+// NC is Framework NC (Figure 6): it maintains the current top-k objects by
+// maximal-possible score, repeatedly finds an unsatisfied scoring task
+// among them (Theorem 1 guarantees one exists until the query is
+// answerable), constructs the task's necessary choices, and delegates the
+// pick to the Selector.
+//
+// The implementation works incrementally on the single best candidate: if
+// the queue's top is complete it is provably the next answer (its exact
+// score dominates every other candidate's upper bound), so it is emitted;
+// otherwise it is the highest-ranked incomplete member of K_P — exactly
+// the task Figure 6's comment suggests choosing.
+type NC struct {
+	Sel Selector
+	// Epsilon > 0 relaxes the query to theta-approximation with
+	// theta = 1 + Epsilon (the classic approximate-top-k guarantee of the
+	// TA family): every returned object u satisfies
+	// (1+Epsilon)*F(u) >= F(v) for every object v ranked after it. The
+	// framework then emits a candidate not only when it is complete but
+	// also when its own bound interval is tight enough —
+	// F-bar(u) <= (1+Epsilon)*F-floor(u) — trading exactness for fewer
+	// accesses. Such items carry Exact=false and their final lower bound
+	// as Score. Zero means exact semantics.
+	Epsilon float64
+	// Hooks for instrumentation (may be nil): OnAccess fires after each
+	// performed access with the updated table.
+	OnAccess func(t *state.Table, rec Choice)
+}
+
+// Name identifies the framework with its selector.
+func (nc *NC) Name() string { return "NC/" + nc.Sel.Name() }
+
+// Run executes the framework until the top-k is determined.
+func (nc *NC) Run(p *Problem) (*Result, error) {
+	if err := p.Begin(); err != nil {
+		return nil, err
+	}
+	sess := p.Session
+	tab, err := state.NewTable(sess.N(), sess.M(), p.F)
+	if err != nil {
+		return nil, err
+	}
+	q := state.NewQueue(tab, sess.NoWildGuesses())
+	emitted := make([]bool, sess.N())
+
+	var items []Item
+	for len(items) < p.K {
+		top, ok := q.Peek()
+		if !ok {
+			break // fewer than k objects exist; return all
+		}
+		if top.ID != state.UnseenID && tab.Complete(top.ID) {
+			// Satisfied task at the head: top.Upper is its exact score and
+			// dominates every remaining candidate's bound, so it is the
+			// next answer (Theorem 1, condition 2, applied incrementally).
+			q.Pop()
+			emitted[top.ID] = true
+			exact, _ := tab.Exact(top.ID)
+			items = append(items, Item{Obj: top.ID, Score: exact, Exact: true})
+			continue
+		}
+		if nc.Epsilon > 0 && top.ID != state.UnseenID {
+			// Approximate emission: the candidate dominates every
+			// remaining bound (it is the queue head), and its own interval
+			// is within the theta = 1+Epsilon slack, so for any later v:
+			// (1+eps)*F(top) >= (1+eps)*F-floor(top) >= F-bar(top)
+			//                >= F-bar(v) >= F(v).
+			if lo := tab.Lower(top.ID); top.Upper <= (1+nc.Epsilon)*lo {
+				q.Pop()
+				emitted[top.ID] = true
+				items = append(items, Item{Obj: top.ID, Score: lo, Exact: false})
+				continue
+			}
+		}
+		// Unsatisfied task (Theorem 1, condition 1): gather its necessary
+		// choices (Definition 2, exported as NecessaryChoices) and let the
+		// Selector pick.
+		choices := NecessaryChoices(tab, sess, top.ID)
+		if len(choices) == 0 {
+			return nil, fmt.Errorf("algo: NC stuck: task for object %d has no legal choices (scenario %q cannot answer the query)", top.ID, sess.Scenario().Name)
+		}
+		ch := nc.Sel.Choose(tab, sess, top.ID, choices)
+		obj, err := performChoice(tab, sess, top.ID, ch)
+		if errors.Is(err, access.ErrBudgetExhausted) {
+			// Anytime behaviour: the budget cannot cover the framework's
+			// chosen access, so return the best current answer — the
+			// emitted (guaranteed) prefix plus the leading candidates by
+			// maximal-possible score, reported with their lower bounds.
+			for len(items) < p.K {
+				e, ok := q.Pop()
+				if !ok {
+					break
+				}
+				if e.ID == state.UnseenID {
+					continue
+				}
+				if exact, done := tab.Exact(e.ID); done {
+					items = append(items, Item{Obj: e.ID, Score: exact, Exact: true})
+					continue
+				}
+				items = append(items, Item{Obj: e.ID, Score: tab.Lower(e.ID), Exact: false})
+			}
+			return &Result{Items: items, Ledger: sess.Ledger(), Truncated: true}, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if ch.Kind == access.SortedAccess && !emitted[obj] && !q.Contains(obj) {
+			q.Add(obj)
+		}
+		if nc.OnAccess != nil {
+			nc.OnAccess(tab, ch)
+		}
+	}
+	return &Result{Items: items, Ledger: sess.Ledger()}, nil
+}
+
+// NecessaryChoices constructs N_j for the unsatisfied task of the given
+// object (Definition 2): every supported access that can return exact or
+// bounding scores about the object's undetermined predicates. For the
+// virtual unseen object only sorted accesses apply (Figure 10).
+func NecessaryChoices(tab *state.Table, sess AccessContext, id int) []Choice {
+	var out []Choice
+	if id == state.UnseenID {
+		for i := 0; i < sess.M(); i++ {
+			if sess.Costs(i).SortedOK && !sess.SortedExhausted(i) {
+				out = append(out, Choice{Kind: access.SortedAccess, Pred: i})
+			}
+		}
+		return out
+	}
+	for i := 0; i < sess.M(); i++ {
+		if tab.Known(id, i) {
+			continue
+		}
+		pc := sess.Costs(i)
+		if pc.SortedOK && !sess.SortedExhausted(i) {
+			out = append(out, Choice{Kind: access.SortedAccess, Pred: i})
+		}
+		if pc.RandomOK && !sess.Probed(i, id) && (!sess.NoWildGuesses() || sess.Seen(id)) {
+			out = append(out, Choice{Kind: access.RandomAccess, Pred: i})
+		}
+	}
+	return out
+}
+
+// performChoice executes the chosen access against the session and feeds
+// the observation into the table. For a sorted access it returns the
+// object the list yielded (the caller decides whether it (re-)enters the
+// candidate queue); for a random access it returns the target.
+func performChoice(tab *state.Table, sess *access.Session, target int, ch Choice) (int, error) {
+	switch ch.Kind {
+	case access.SortedAccess:
+		obj, s, err := sess.SortedNext(ch.Pred)
+		if err != nil {
+			return 0, err
+		}
+		tab.ObserveSorted(ch.Pred, obj, s)
+		return obj, nil
+	case access.RandomAccess:
+		s, err := sess.Random(ch.Pred, target)
+		if err != nil {
+			return 0, err
+		}
+		tab.ObserveRandom(ch.Pred, target, s)
+		return target, nil
+	default:
+		return 0, fmt.Errorf("algo: unknown access kind %v", ch.Kind)
+	}
+}

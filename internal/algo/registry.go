@@ -1,0 +1,48 @@
+package algo
+
+import "fmt"
+
+// NewNC builds the Framework-NC algorithm with an SR/G selector for the
+// given depth and schedule configuration — the unit the optimizer
+// enumerates over (every SR algorithm is identified by an (H, Omega) pair,
+// Section 7.1).
+func NewNC(h []float64, omega []int) (Algorithm, error) {
+	sel, err := NewSRG(h, omega)
+	if err != nil {
+		return nil, err
+	}
+	return &NC{Sel: sel}, nil
+}
+
+// ByName instantiates a baseline algorithm by name: "FA", "TA", "CA",
+// "NRA", "MPro", "Upper", "Quick-Combine", "Stream-Combine", "SR-Combine".
+// Framework NC needs a configuration and is built with NewNC instead.
+func ByName(name string) (Algorithm, error) {
+	switch name {
+	case "FA":
+		return FA{}, nil
+	case "TA":
+		return TA{}, nil
+	case "CA":
+		return CA{}, nil
+	case "NRA":
+		return NRA{}, nil
+	case "MPro":
+		return MPro{}, nil
+	case "Upper":
+		return Upper{}, nil
+	case "Quick-Combine":
+		return QuickCombine{}, nil
+	case "Stream-Combine":
+		return StreamCombine{}, nil
+	case "SR-Combine":
+		return SRCombine{}, nil
+	default:
+		return nil, fmt.Errorf("algo: unknown algorithm %q", name)
+	}
+}
+
+// Names lists the baseline algorithm names accepted by ByName.
+func Names() []string {
+	return []string{"FA", "TA", "CA", "NRA", "MPro", "Upper", "Quick-Combine", "Stream-Combine", "SR-Combine"}
+}

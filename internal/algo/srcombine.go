@@ -1,0 +1,159 @@
+package algo
+
+import (
+	"repro/internal/state"
+)
+
+// SRCombine is the last member of the paper's Figure 2 taxonomy (Balke et
+// al.), listed there next to CA in the "random access expensive" row: a
+// CA-style algorithm enhanced with the Combine family's runtime steering.
+// Like CA it interleaves sorted rounds with occasional exhaustive probes
+// of the most promising incomplete object (probe spending paced by the
+// random/sorted cost ratio), but instead of equal-depth round-robin it
+// advances the single list with the greatest derivative-weighted recent
+// score drop per unit cost — Quick-Combine's indicator applied to CA's
+// schedule. It halts when k complete objects dominate every other
+// candidate's bound. Like its siblings it depends on partial derivatives
+// and therefore refuses scoring functions such as min (ErrInapplicable).
+type SRCombine struct{}
+
+// Name returns "SR-Combine".
+func (SRCombine) Name() string { return "SR-Combine" }
+
+// Run executes SR-Combine.
+func (SRCombine) Run(p *Problem) (*Result, error) {
+	if err := p.Begin(); err != nil {
+		return nil, err
+	}
+	sess := p.Session
+	if err := requireAll("SR-Combine", sess, true, true); err != nil {
+		return nil, err
+	}
+	tab, err := state.NewTable(sess.N(), sess.M(), p.F)
+	if err != nil {
+		return nil, err
+	}
+	steer := newCombineSteer(sess.M())
+	bounds := make([]float64, sess.M())
+	var scratch []int
+	// Probe pacing matches CA's: one exhaustive probe phase per h rounds
+	// of sorted work, a "round" being one access per list.
+	period := costRatio(sess) * sess.M()
+	sortedSince := 0
+
+	for {
+		if items, ok := completeHalt(tab, p.K); ok {
+			return &Result{Items: items, Ledger: sess.Ledger()}, nil
+		}
+		if sortedSince >= period {
+			// Probe phase (CA's policy): complete the incomplete seen
+			// object with the greatest maximal-possible score.
+			sortedSince = 0
+			best, bestUp := -1, -1.0
+			for u := 0; u < tab.N(); u++ {
+				if !tab.Seen(u) || tab.Complete(u) {
+					continue
+				}
+				if up := tab.Upper(u); best == -1 || up > bestUp || (up == bestUp && u > best) {
+					best, bestUp = u, up
+				}
+			}
+			if best >= 0 {
+				scratch = tab.UnknownPreds(best, scratch[:0])
+				for _, j := range scratch {
+					v, err := sess.Random(j, best)
+					if err != nil {
+						return nil, err
+					}
+					tab.ObserveRandom(j, best, v)
+				}
+				continue
+			}
+		}
+		// Sorted phase: the steered choice of which list to advance.
+		var candidates []int
+		for i := 0; i < sess.M(); i++ {
+			if !sess.SortedExhausted(i) {
+				candidates = append(candidates, i)
+			}
+		}
+		if len(candidates) == 0 {
+			// Lists drained without halting (k close to n): force probes
+			// until the halting test succeeds or nothing is incomplete.
+			progressed := false
+			for u := 0; u < tab.N(); u++ {
+				if tab.Complete(u) {
+					continue
+				}
+				scratch = tab.UnknownPreds(u, scratch[:0])
+				for _, j := range scratch {
+					v, err := sess.Random(j, u)
+					if err != nil {
+						return nil, err
+					}
+					tab.ObserveRandom(j, u, v)
+				}
+				progressed = true
+				break
+			}
+			if !progressed {
+				items, _ := completeHalt(tab, min(p.K, tab.N()))
+				return &Result{Items: items, Ledger: sess.Ledger()}, nil
+			}
+			continue
+		}
+		for i := range bounds {
+			bounds[i] = tab.LastSeen(i)
+		}
+		next, bestGain := -1, -1.0
+		if i, ok := staleness(tab, candidates); ok {
+			next, bestGain = i, 1 // refresh a starved list's estimate
+		} else {
+			for _, i := range candidates {
+				if len(steer.hist[i]) < 2 {
+					next, bestGain = i, 1 // drop not estimable yet: sample it
+					break
+				}
+				d, ok := tab.Func().Derivative(bounds, i)
+				if !ok {
+					return nil, inapplicableDerivative(tab)
+				}
+				hist := steer.hist[i]
+				gain := d * (hist[0] - hist[len(hist)-1]) / sess.Costs(i).Sorted.Units()
+				if gain > bestGain {
+					next, bestGain = i, gain
+				}
+			}
+		}
+		if bestGain <= 0 {
+			// Flat drops everywhere: advance the shallowest list rather
+			// than starving one on a stale zero estimate.
+			next = candidates[0]
+			for _, i := range candidates[1:] {
+				if tab.Depth(i) < tab.Depth(next) {
+					next = i
+				}
+			}
+		}
+		obj, s, err := sess.SortedNext(next)
+		if err != nil {
+			return nil, err
+		}
+		tab.ObserveSorted(next, obj, s)
+		steer.observe(next, s)
+		sortedSince++
+	}
+}
+
+func inapplicableDerivative(tab *state.Table) error {
+	return &inapplicableError{fn: tab.Func().Name()}
+}
+
+// inapplicableError wraps ErrInapplicable with the offending function.
+type inapplicableError struct{ fn string }
+
+func (e *inapplicableError) Error() string {
+	return "algo: " + e.fn + " has no usable partial derivative for the Combine indicator: " + ErrInapplicable.Error()
+}
+
+func (e *inapplicableError) Unwrap() error { return ErrInapplicable }

@@ -1,0 +1,76 @@
+package algo
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/data"
+	"repro/internal/score"
+)
+
+func TestSRCombineMatchesOracle(t *testing.T) {
+	for _, dist := range []data.Distribution{data.Uniform, data.AntiCorrelated} {
+		ds := data.MustGenerate(dist, 60, 3, 41)
+		for _, scn := range []access.Scenario{
+			access.Uniform(3, 1, 1),
+			access.MatrixCell(3, access.Cheap, access.Expensive, 10),
+		} {
+			for _, k := range []int{1, 5, 15} {
+				res, _ := mustRun(t, SRCombine{}, ds, scn, score.Avg(), k)
+				assertTopK(t, "SR-Combine/"+dist.String(), ds, score.Avg(), k, res)
+			}
+		}
+	}
+}
+
+func TestSRCombineRefusesMin(t *testing.T) {
+	ds := data.MustGenerate(data.Uniform, 20, 2, 1)
+	sess := mustSession(t, ds, access.Uniform(2, 1, 1))
+	prob, _ := NewProblem(score.Min(), 3, sess)
+	if _, err := (SRCombine{}).Run(prob); !errors.Is(err, ErrInapplicable) {
+		t.Errorf("SR-Combine on min: err = %v, want ErrInapplicable", err)
+	}
+}
+
+func TestSRCombineRequiresBothAccessTypes(t *testing.T) {
+	ds := data.MustGenerate(data.Uniform, 20, 2, 1)
+	sess := mustSession(t, ds, access.MatrixCell(2, access.Cheap, access.Impossible, 10))
+	prob, _ := NewProblem(score.Avg(), 3, sess)
+	if _, err := (SRCombine{}).Run(prob); err == nil {
+		t.Error("SR-Combine should refuse a no-random scenario")
+	}
+}
+
+func TestSRCombineAdaptsToExpensiveProbes(t *testing.T) {
+	// Under expensive probes, SR-Combine should do far fewer random
+	// accesses than Quick-Combine's exhaustive probing.
+	ds := data.MustGenerate(data.Uniform, 300, 2, 42)
+	scn := access.MatrixCell(2, access.Cheap, access.Expensive, 25)
+	sr, srSess := mustRun(t, SRCombine{}, ds, scn, score.Avg(), 10)
+	qc, qcSess := mustRun(t, QuickCombine{}, ds, scn, score.Avg(), 10)
+	assertTopK(t, "SR-Combine", ds, score.Avg(), 10, sr)
+	assertTopK(t, "Quick-Combine", ds, score.Avg(), 10, qc)
+	srProbes := sum(srSess.Ledger().RandomCounts)
+	qcProbes := sum(qcSess.Ledger().RandomCounts)
+	if srProbes >= qcProbes {
+		t.Errorf("SR-Combine probes %d should be below Quick-Combine's %d", srProbes, qcProbes)
+	}
+	if sr.Cost() >= qc.Cost() {
+		t.Errorf("SR-Combine cost %v should beat Quick-Combine %v here", sr.Cost(), qc.Cost())
+	}
+}
+
+func TestSRCombineKLargerThanN(t *testing.T) {
+	ds := data.MustGenerate(data.Uniform, 8, 2, 3)
+	res, _ := mustRun(t, SRCombine{}, ds, access.Uniform(2, 1, 1), score.Avg(), 30)
+	assertTopK(t, "SR-Combine/k>n", ds, score.Avg(), 30, res)
+}
+
+func sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}

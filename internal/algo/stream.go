@@ -1,0 +1,129 @@
+package algo
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/access"
+	"repro/internal/state"
+)
+
+// Stream is the incremental form of Framework NC: answers are produced
+// one at a time, best first, and the caller decides when to stop — the
+// natural API for the paper's "best first" motivation. A top-k query is
+// simply draining k items; "give me five more" is five more Next calls,
+// reusing all score state already paid for (retrieval size never has to
+// be fixed up front).
+//
+// Next returns io.EOF once every object has been emitted, and
+// access.ErrBudgetExhausted (wrapped) when a session budget runs dry —
+// unlike NC.Run's anytime fill, a stream has no k to fill toward, so it
+// surfaces the condition and leaves the caller in charge.
+type Stream struct {
+	sel     Selector
+	epsilon float64
+	sess    *access.Session
+	tab     *state.Table
+	q       *state.Queue
+	emitted []bool
+	err     error
+}
+
+// NewStream prepares incremental evaluation for the problem's query. The
+// problem's K is ignored (the caller controls how far to drain) but must
+// still be positive for validation symmetry. The problem is consumed, as
+// with any algorithm.
+func NewStream(p *Problem, sel Selector, epsilon float64) (*Stream, error) {
+	if sel == nil {
+		return nil, fmt.Errorf("algo: stream requires a selector")
+	}
+	if epsilon < 0 {
+		return nil, fmt.Errorf("algo: stream epsilon must be >= 0, got %g", epsilon)
+	}
+	if err := p.Begin(); err != nil {
+		return nil, err
+	}
+	tab, err := state.NewTable(p.Session.N(), p.Session.M(), p.F)
+	if err != nil {
+		return nil, err
+	}
+	return &Stream{
+		sel:     sel,
+		epsilon: epsilon,
+		sess:    p.Session,
+		tab:     tab,
+		q:       state.NewQueue(tab, p.Session.NoWildGuesses()),
+		emitted: make([]bool, p.Session.N()),
+	}, nil
+}
+
+// Next produces the next-best object. It performs exactly the accesses
+// Framework NC would perform to prove the next answer, and no more.
+func (s *Stream) Next() (Item, error) {
+	if s.err != nil {
+		return Item{}, s.err
+	}
+	for {
+		top, ok := s.q.Peek()
+		if !ok {
+			s.err = io.EOF
+			return Item{}, s.err
+		}
+		if top.ID != state.UnseenID && s.tab.Complete(top.ID) {
+			s.q.Pop()
+			s.emitted[top.ID] = true
+			exact, _ := s.tab.Exact(top.ID)
+			return Item{Obj: top.ID, Score: exact, Exact: true}, nil
+		}
+		if s.epsilon > 0 && top.ID != state.UnseenID {
+			if lo := s.tab.Lower(top.ID); top.Upper <= (1+s.epsilon)*lo {
+				s.q.Pop()
+				s.emitted[top.ID] = true
+				return Item{Obj: top.ID, Score: lo, Exact: false}, nil
+			}
+		}
+		choices := NecessaryChoices(s.tab, s.sess, top.ID)
+		if len(choices) == 0 {
+			s.err = fmt.Errorf("algo: stream stuck: task for object %d has no legal choices (scenario %q cannot answer the query)", top.ID, s.sess.Scenario().Name)
+			return Item{}, s.err
+		}
+		ch := s.sel.Choose(s.tab, s.sess, top.ID, choices)
+		obj, err := performChoice(s.tab, s.sess, top.ID, ch)
+		if err != nil {
+			if errors.Is(err, access.ErrBudgetExhausted) {
+				// Recoverable for the caller (raise the budget, accept the
+				// partial ranking); the stream itself stays closed.
+				s.err = err
+			} else {
+				s.err = fmt.Errorf("algo: stream access failed: %w", err)
+			}
+			return Item{}, s.err
+		}
+		if ch.Kind == access.SortedAccess && !s.emitted[obj] && !s.q.Contains(obj) {
+			s.q.Add(obj)
+		}
+	}
+}
+
+// Drain pulls up to k items (fewer if the database is smaller).
+func (s *Stream) Drain(k int) ([]Item, error) {
+	var items []Item
+	for len(items) < k {
+		it, err := s.Next()
+		if errors.Is(err, io.EOF) {
+			return items, nil
+		}
+		if err != nil {
+			return items, err
+		}
+		items = append(items, it)
+	}
+	return items, nil
+}
+
+// Cost reports the access cost accrued so far.
+func (s *Stream) Cost() access.Cost { return s.sess.Ledger().TotalCost }
+
+// Ledger snapshots the accesses performed so far.
+func (s *Stream) Ledger() access.Ledger { return s.sess.Ledger() }

@@ -1,0 +1,154 @@
+package algo
+
+import (
+	"errors"
+	"io"
+	"math"
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/data"
+	"repro/internal/score"
+)
+
+func newStream(t *testing.T, ds *data.Dataset, scn access.Scenario, f score.Func, eps float64, opts ...access.Option) *Stream {
+	t.Helper()
+	sess := mustSession(t, ds, scn, opts...)
+	prob, err := NewProblem(f, 1, sess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewStream(prob, MustNewSRG(midDepths(ds.M()), nil), eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func midDepths(m int) []float64 {
+	h := make([]float64, m)
+	for i := range h {
+		h[i] = 0.5
+	}
+	return h
+}
+
+func TestStreamMatchesFullRanking(t *testing.T) {
+	ds := data.MustGenerate(data.Uniform, 60, 2, 71)
+	f := score.Avg()
+	s := newStream(t, ds, access.Uniform(2, 1, 1), f, 0)
+	oracle := ds.TopK(f.Eval, ds.N())
+	for i, want := range oracle {
+		it, err := s.Next()
+		if err != nil {
+			t.Fatalf("rank %d: %v", i, err)
+		}
+		if math.Abs(it.Score-want.Score) > 1e-9 {
+			t.Fatalf("rank %d: got %g want %g", i, it.Score, want.Score)
+		}
+		if !it.Exact {
+			t.Fatalf("rank %d not exact", i)
+		}
+	}
+	if _, err := s.Next(); !errors.Is(err, io.EOF) {
+		t.Errorf("drained stream should EOF, got %v", err)
+	}
+	// EOF is sticky.
+	if _, err := s.Next(); !errors.Is(err, io.EOF) {
+		t.Errorf("EOF should be sticky, got %v", err)
+	}
+}
+
+func TestStreamIncrementalCostsNoMoreThanOneShot(t *testing.T) {
+	ds := data.MustGenerate(data.Gaussian, 300, 2, 72)
+	f := score.Min()
+	scn := access.Uniform(2, 1, 3)
+
+	// One-shot top-10 via NC.Run.
+	alg, _ := NewNC(midDepths(2), nil)
+	oneShot, _ := mustRun(t, alg, ds, scn, f, 10)
+
+	// Streamed: 5 now, 5 later — same answers, same total cost (state is
+	// reused, nothing re-paid).
+	s := newStream(t, ds, scn, f, 0)
+	first, err := s.Drain(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costAfter5 := s.Cost()
+	second, err := s.Drain(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first)+len(second) != 10 {
+		t.Fatalf("drained %d+%d items", len(first), len(second))
+	}
+	for i, it := range append(first, second...) {
+		if it.Obj != oneShot.Items[i].Obj {
+			t.Fatalf("rank %d: stream %d vs one-shot %d", i, it.Obj, oneShot.Items[i].Obj)
+		}
+	}
+	if s.Cost() != oneShot.Cost() {
+		t.Errorf("streamed total %v != one-shot %v", s.Cost(), oneShot.Cost())
+	}
+	if costAfter5 >= s.Cost() {
+		t.Errorf("the second batch should have cost something: %v then %v", costAfter5, s.Cost())
+	}
+	if s.Ledger().TotalAccesses() == 0 {
+		t.Error("ledger empty")
+	}
+}
+
+func TestStreamApproximate(t *testing.T) {
+	ds := data.MustGenerate(data.Uniform, 300, 3, 73)
+	scn := access.MatrixCell(3, access.Cheap, access.Impossible, 10)
+	exact := newStream(t, ds, scn, score.Avg(), 0)
+	if _, err := exact.Drain(10); err != nil {
+		t.Fatal(err)
+	}
+	approx := newStream(t, ds, scn, score.Avg(), 0.5)
+	items, err := approx.Drain(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if approx.Cost() > exact.Cost() {
+		t.Errorf("approximate stream cost %v exceeds exact %v", approx.Cost(), exact.Cost())
+	}
+	for _, it := range items {
+		truth := score.Avg().Eval(ds.Scores(it.Obj))
+		if it.Score > truth+1e-9 {
+			t.Fatalf("reported %g overstates truth %g", it.Score, truth)
+		}
+	}
+}
+
+func TestStreamBudgetSurfaces(t *testing.T) {
+	ds := data.MustGenerate(data.Uniform, 200, 2, 74)
+	s := newStream(t, ds, access.Uniform(2, 1, 1), score.Avg(), 0, access.WithBudget(10*access.UnitCost))
+	_, err := s.Drain(50)
+	if !errors.Is(err, access.ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want budget exhaustion", err)
+	}
+	if s.Cost() > 10*access.UnitCost {
+		t.Errorf("overspent: %v", s.Cost())
+	}
+}
+
+func TestStreamValidation(t *testing.T) {
+	ds := data.MustGenerate(data.Uniform, 10, 2, 1)
+	sess := mustSession(t, ds, access.Uniform(2, 1, 1))
+	prob, _ := NewProblem(score.Avg(), 1, sess)
+	if _, err := NewStream(prob, nil, 0); err == nil {
+		t.Error("nil selector should fail")
+	}
+	if _, err := NewStream(prob, MustNewSRG(midDepths(2), nil), -1); err == nil {
+		t.Error("negative epsilon should fail")
+	}
+	if _, err := NewStream(prob, MustNewSRG(midDepths(2), nil), 0); err != nil {
+		t.Fatalf("valid stream rejected: %v", err)
+	}
+	// The problem is consumed by the stream.
+	if _, err := (TA{}).Run(prob); err == nil {
+		t.Error("consumed problem should refuse other algorithms")
+	}
+}

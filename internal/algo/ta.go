@@ -1,0 +1,176 @@
+package algo
+
+import (
+	"errors"
+
+	"repro/internal/state"
+)
+
+// TA is Fagin's Threshold Algorithm, the classic for the uniform-cost
+// cells of Figure 2. Its three characteristic behaviours (Section 8.1):
+// equal-depth sorted access (one access per list per round),
+// exhaustive random access (every newly seen object is fully probed
+// immediately), and early stop (halt as soon as k objects score at least
+// the threshold T = F(ell_1, ..., ell_m)).
+//
+// TA requires sorted and random capability on every predicate.
+type TA struct{}
+
+// Name returns "TA".
+func (TA) Name() string { return "TA" }
+
+// Run executes TA.
+func (TA) Run(p *Problem) (*Result, error) {
+	if err := p.Begin(); err != nil {
+		return nil, err
+	}
+	sess := p.Session
+	if err := requireAll("TA", sess, true, true); err != nil {
+		return nil, err
+	}
+	tab, err := state.NewTable(sess.N(), sess.M(), p.F)
+	if err != nil {
+		return nil, err
+	}
+	preds := roundRobinPreds(sess)
+	var done []Item
+	processed := make([]bool, sess.N())
+	var scratch []int
+
+	for {
+		advanced := false
+		for _, i := range preds {
+			if sess.SortedExhausted(i) {
+				continue
+			}
+			obj, s, err := sess.SortedNext(i)
+			if err != nil {
+				return nil, err
+			}
+			advanced = true
+			tab.ObserveSorted(i, obj, s)
+			if processed[obj] {
+				continue
+			}
+			processed[obj] = true
+			scratch = tab.UnknownPreds(obj, scratch[:0])
+			for _, j := range scratch {
+				v, err := sess.Random(j, obj)
+				if err != nil {
+					return nil, err
+				}
+				tab.ObserveRandom(j, obj, v)
+			}
+			exact, _ := tab.Exact(obj)
+			done = append(done, Item{Obj: obj, Score: exact, Exact: true})
+		}
+		if !advanced {
+			break // every list exhausted: all objects processed
+		}
+		if len(done) >= p.K && kthBest(done, p.K) >= tab.UnseenUpper() {
+			break // early-stop: k objects at or above the threshold
+		}
+	}
+	return &Result{Items: rankItems(done, p.K), Ledger: sess.Ledger()}, nil
+}
+
+// kthBest returns the k-th largest score among items (k <= len(items)).
+func kthBest(items []Item, k int) float64 {
+	// Selection by partial copy; n stays small enough that an O(n log n)
+	// approach is irrelevant to access-cost experiments, but we avoid
+	// sorting the caller's slice.
+	top := make([]float64, 0, k)
+	for _, it := range items {
+		s := it.Score
+		pos := len(top)
+		for pos > 0 && top[pos-1] < s {
+			pos--
+		}
+		if pos < k {
+			if len(top) < k {
+				top = append(top, 0)
+			}
+			copy(top[pos+1:], top[pos:len(top)-1])
+			top[pos] = s
+		}
+	}
+	return top[len(top)-1]
+}
+
+// FA is Fagin's original algorithm [FA96]: round-robin sorted access until
+// at least k objects have been seen under *every* predicate, then random
+// access to complete every seen object, then rank. It is correct for any
+// monotone F but accesses far more than TA; it serves as the historical
+// baseline of the uniform cells.
+type FA struct{}
+
+// Name returns "FA".
+func (FA) Name() string { return "FA" }
+
+// Run executes FA.
+func (FA) Run(p *Problem) (*Result, error) {
+	if err := p.Begin(); err != nil {
+		return nil, err
+	}
+	sess := p.Session
+	if err := requireAll("FA", sess, true, true); err != nil {
+		return nil, err
+	}
+	tab, err := state.NewTable(sess.N(), sess.M(), p.F)
+	if err != nil {
+		return nil, err
+	}
+	preds := roundRobinPreds(sess)
+	m := len(preds)
+
+	// Phase 1: equal-depth sorted rounds until k objects are seen in all
+	// lists. During this phase every known score came from sorted access,
+	// so KnownCount(u) == m iff u appeared in every list.
+	seenAll := 0
+	for seenAll < p.K {
+		advanced := false
+		for _, i := range preds {
+			if sess.SortedExhausted(i) {
+				continue
+			}
+			obj, s, err := sess.SortedNext(i)
+			if err != nil {
+				return nil, err
+			}
+			advanced = true
+			before := tab.KnownCount(obj)
+			tab.ObserveSorted(i, obj, s)
+			if before == m-1 && tab.KnownCount(obj) == m {
+				seenAll++
+			}
+		}
+		if !advanced {
+			break
+		}
+	}
+
+	// Phase 2: complete every seen object by random access and rank.
+	var done []Item
+	var scratch []int
+	for u := 0; u < sess.N(); u++ {
+		if !sess.Seen(u) {
+			continue
+		}
+		scratch = tab.UnknownPreds(u, scratch[:0])
+		for _, j := range scratch {
+			v, err := sess.Random(j, u)
+			if err != nil {
+				return nil, err
+			}
+			tab.ObserveRandom(j, u, v)
+		}
+		exact, _ := tab.Exact(u)
+		done = append(done, Item{Obj: u, Score: exact, Exact: true})
+	}
+	return &Result{Items: rankItems(done, p.K), Ledger: sess.Ledger()}, nil
+}
+
+// ErrInapplicable marks algorithms refusing a scenario or scoring function
+// outside their design envelope (e.g. Quick-Combine on min, whose
+// derivative indicator the paper notes is inapplicable).
+var ErrInapplicable = errors.New("algo: algorithm inapplicable")

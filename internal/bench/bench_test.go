@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	reg := Registry()
+	if len(reg) != 12 {
+		t.Fatalf("registry has %d experiments, want 12", len(reg))
+	}
+	for i, e := range reg {
+		want := fmt.Sprintf("E%d", i+1)
+		if e.ID != want {
+			t.Errorf("registry[%d] = %s, want %s", i, e.ID, want)
+		}
+		if e.Title == "" || e.Paper == "" || e.Run == nil {
+			t.Errorf("%s is incomplete", e.ID)
+		}
+		got, ok := ByID(e.ID)
+		if !ok || got.ID != e.ID {
+			t.Errorf("ByID(%s) failed", e.ID)
+		}
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Error("ByID(E99) should fail")
+	}
+}
+
+// TestAllExperimentsRunQuick executes every experiment end-to-end in quick
+// mode and sanity-checks the emitted tables. This is the harness's
+// integration test: every paper artifact must regenerate without error.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments take a few seconds")
+	}
+	cfg := Config{Quick: true}
+	for _, e := range Registry() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tab, err := e.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if tab.ID != e.ID {
+				t.Errorf("table id %s != %s", tab.ID, e.ID)
+			}
+			if len(tab.Rows) == 0 {
+				t.Error("no rows")
+			}
+			out := tab.String()
+			if !strings.Contains(out, e.ID) {
+				t.Error("rendered table lacks its id")
+			}
+		})
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tab := &Table{ID: "X", Title: "demo", Header: []string{"a", "b"}}
+	tab.AddRow("x", 1.5)
+	tab.AddRow(2, "y")
+	tab.Notes = append(tab.Notes, "hello")
+	out := tab.String()
+	for _, want := range []string{"== X: demo ==", "a", "1.50", "note: hello"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.N != 1000 || c.K != 10 || c.Seed != 1 {
+		t.Errorf("defaults = %+v", c)
+	}
+	q := Config{Quick: true}.withDefaults()
+	if q.N >= 1000 || q.K > q.N/4 {
+		t.Errorf("quick config too large: %+v", q)
+	}
+}
+
+func TestHeterogeneousDataset(t *testing.T) {
+	ds, err := heterogeneousDataset(500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := func(i int) float64 {
+		s := 0.0
+		for u := 0; u < ds.N(); u++ {
+			s += ds.Score(u, i)
+		}
+		return s / float64(ds.N())
+	}
+	if !(mean(0) < mean(1) && mean(1) < mean(2)) {
+		t.Errorf("means not ordered: %.2f %.2f %.2f", mean(0), mean(1), mean(2))
+	}
+}
+
+func TestReversed(t *testing.T) {
+	got := reversed([]int{2, 0, 1})
+	if got[0] != 1 || got[1] != 0 || got[2] != 2 {
+		t.Errorf("reversed = %v", got)
+	}
+}
+
+func TestTableWriteCSV(t *testing.T) {
+	tab := &Table{ID: "EX", Title: "demo", Header: []string{"a", "b"}}
+	tab.AddRow("x, y", 1.5)
+	tab.Notes = append(tab.Notes, "a note")
+	var sb strings.Builder
+	if err := tab.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"experiment,a,b", `EX,"x, y",1.50`, "# a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("csv missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/access"
+	"repro/internal/data"
+	"repro/internal/score"
+)
+
+// contour runs the Figure-11 experiment: evaluate the *actual* cost of
+// every grid configuration H on the full dataset, locate the minimum (the
+// paper marks it with a rectangle), and mark the depths TA reaches (the
+// paper's oval) with TA's cost, so the two algorithms can be compared as
+// points of the same space.
+func contour(id, title, paperRef string, f score.Func, cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	g := 6
+	if cfg.Quick {
+		g = 4
+	}
+	ds, err := data.Generate(data.Uniform, cfg.N, 2, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	scn := access.Uniform(2, 1, 1)
+
+	vals := make([]float64, g)
+	for i := range vals {
+		vals[i] = float64(i) / float64(g-1)
+	}
+	t := &Table{ID: id, Title: title}
+	t.Header = append([]string{"h1\\h2"}, func() []string {
+		hs := make([]string, g)
+		for j, v := range vals {
+			hs[j] = fmt.Sprintf("%.2f", v)
+		}
+		return hs
+	}()...)
+
+	bestCost := access.Cost(-1)
+	var bestH [2]float64
+	for _, h1 := range vals {
+		row := []string{fmt.Sprintf("%.2f", h1)}
+		for _, h2 := range vals {
+			c, err := runNC([]float64{h1, h2}, nil, ds, scn, f, cfg.K)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, costStr(c))
+			if bestCost < 0 || c < bestCost {
+				bestCost, bestH = c, [2]float64{h1, h2}
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+
+	taDepth, taCost, err := taEquivalentDepth(ds, scn, f, cfg.K)
+	if err != nil {
+		return nil, err
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("grid minimum (paper's rectangle): H=(%.2f,%.2f) cost %s", bestH[0], bestH[1], costStr(bestCost)),
+		fmt.Sprintf("TA reaches depths (paper's oval): (%.2f,%.2f) at cost %s", taDepth[0], taDepth[1], costStr(taCost)),
+		fmt.Sprintf("NC-at-minimum / TA = %s", pct(bestCost, taCost)),
+		"paper artifact: "+paperRef,
+	)
+	return t, nil
+}
+
+// RunE1 regenerates Figure 11(a): scenario S1, F = avg, uniform scores,
+// cs = cr = 1. Expected shape: the minimum sits near the diagonal (equal
+// depths) close to where TA lands, and NC's advantage over TA is small.
+func RunE1(cfg Config) (*Table, error) {
+	return contour("E1", "cost contour over H — S1: F=avg, uniform, cs=cr=1", "Figure 11(a)", score.Avg(), cfg)
+}
+
+// RunE2 regenerates Figure 11(b): scenario S2, F = min. Expected shape:
+// the minimum is an asymmetric, focused configuration (deep on one list,
+// shallow on the other) and NC saves substantially (paper: ~30%) over TA's
+// equal-depth point.
+func RunE2(cfg Config) (*Table, error) {
+	return contour("E2", "cost contour over H — S2: F=min, uniform, cs=cr=1", "Figure 11(b)", score.Min(), cfg)
+}

@@ -1,0 +1,168 @@
+// Package bench is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation (reconstructed per DESIGN.md's
+// per-experiment index) as printable tables. Each experiment has a stable
+// id (E1..E10) shared by DESIGN.md, EXPERIMENTS.md, cmd/topkbench, and the
+// root-level Go benchmarks.
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// Table is one experiment's formatted output: a titled grid of rows plus
+// free-form notes (expected shape, caveats).
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a row of stringified cells.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// WriteTo renders the table as aligned text.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	if len(t.Header) > 0 {
+		fmt.Fprintln(tw, strings.Join(t.Header, "\t"))
+		rule := make([]string, len(t.Header))
+		for i, h := range t.Header {
+			rule[i] = strings.Repeat("-", len(h))
+		}
+		fmt.Fprintln(tw, strings.Join(rule, "\t"))
+	}
+	for _, row := range t.Rows {
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	if err := tw.Flush(); err != nil {
+		return 0, err
+	}
+	for _, note := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", note)
+	}
+	b.WriteByte('\n')
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// WriteCSV renders the table as CSV: a header row (prefixed with the
+// experiment id column), the data rows, and the notes as trailing comment
+// lines — machine-readable output for downstream plotting.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if len(t.Header) > 0 {
+		if err := cw.Write(append([]string{"experiment"}, t.Header...)); err != nil {
+			return err
+		}
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(append([]string{t.ID}, row...)); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	for _, note := range t.Notes {
+		if _, err := fmt.Fprintf(w, "# %s\n", note); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	if _, err := t.WriteTo(&b); err != nil {
+		return fmt.Sprintf("table %s: %v", t.ID, err)
+	}
+	return b.String()
+}
+
+// Config tunes experiment sizes. The zero value is upgraded to the
+// defaults used in EXPERIMENTS.md; Quick shrinks everything for use in
+// unit tests and smoke runs.
+type Config struct {
+	N     int   // database size (default 1000)
+	K     int   // retrieval size (default 10)
+	Seed  int64 // base seed (default 1)
+	Quick bool  // shrink sizes ~8x for fast runs
+}
+
+func (c Config) withDefaults() Config {
+	if c.N == 0 {
+		c.N = 1000
+	}
+	if c.K == 0 {
+		c.K = 10
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Quick {
+		c.N = max(60, c.N/8)
+		if c.K > c.N/4 {
+			c.K = c.N / 4
+		}
+	}
+	return c
+}
+
+// Experiment couples an id with its runner.
+type Experiment struct {
+	ID    string
+	Title string
+	Paper string // which paper artifact it regenerates
+	Run   func(cfg Config) (*Table, error)
+}
+
+// Registry lists all experiments in id order.
+func Registry() []Experiment {
+	return []Experiment{
+		{"E1", "Cost contour over H, scenario S1 (avg, uniform, cs=cr=1)", "Figure 11(a)", RunE1},
+		{"E2", "Cost contour over H, scenario S2 (min, uniform, cs=cr=1)", "Figure 11(b)", RunE2},
+		{"E3", "NC vs TA across symmetric and asymmetric scenarios", "Figure 12", RunE3},
+		{"E4", "NC vs the specialist of each access-scenario cell", "Figure 2 matrix / Section 9 synthetic study", RunE4},
+		{"E5", "Travel-agent benchmark queries Q1 and Q2", "Examples 1-2 / Section 9 real-life study", RunE5},
+		{"E6", "Optimization schemes: Naive vs Strategies vs HClimb", "Appendix scheme comparison", RunE6},
+		{"E7", "Parallelization: elapsed time vs concurrency bound", "Section 9.1.1", RunE7},
+		{"E8", "Ablations: SR rule, global schedule, sample size", "Section 7 design choices", RunE8},
+		{"E9", "Scaling with n, k, and m", "Section 9 sensitivity", RunE9},
+		{"E10", "Adaptivity to mid-query cost shifts", "Section 1 motivation (dynamic costs)", RunE10},
+		{"E11", "Extension: approximate top-k, cost vs epsilon", "extension (TA-family theta-approximation on NC)", RunE11},
+		{"E12", "Extension: optimizer sample provenance across distributions", "extension (Section 7.3 refined)", RunE12},
+	}
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

@@ -1,0 +1,213 @@
+// Package catalog assembles a middleware's view of heterogeneous Web
+// sources: which source scores which predicate, through which access
+// types, at what cost. Sources register a backend per predicate; the
+// catalog composes them into a single routed access.Backend for the query
+// engine and derives the cost scenario either from declared unit costs or
+// by *calibration* — timing real accesses, the way a Web middleware turns
+// observed latencies into the cost model of the paper's Figure 1.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/access"
+)
+
+// Registration describes one predicate served by one source.
+type Registration struct {
+	// Source is a human-readable source name (e.g. "superpages.com").
+	Source string
+	// PredName is the predicate's name as queries refer to it.
+	PredName string
+	// Backend serves the predicate; LocalPred is its index there.
+	Backend   access.Backend
+	LocalPred int
+	// Sorted and Random declare the supported access types.
+	Sorted, Random bool
+	// SortedCost and RandomCost optionally declare unit costs (in cost
+	// units); zero means "unknown, calibrate me".
+	SortedCost, RandomCost float64
+}
+
+// Catalog accumulates registrations, one per query predicate, in
+// registration order.
+type Catalog struct {
+	regs []Registration
+	n    int
+}
+
+// New creates an empty catalog.
+func New() *Catalog { return &Catalog{n: -1} }
+
+// Register adds one predicate. All registered backends must serve the
+// same object universe (identical N) and the registration must support at
+// least one access type with a valid local predicate.
+func (c *Catalog) Register(r Registration) error {
+	if r.Backend == nil {
+		return fmt.Errorf("catalog: registration %q/%q has no backend", r.Source, r.PredName)
+	}
+	if !r.Sorted && !r.Random {
+		return fmt.Errorf("catalog: predicate %q supports no access type", r.PredName)
+	}
+	if r.LocalPred < 0 || r.LocalPred >= r.Backend.M() {
+		return fmt.Errorf("catalog: predicate %q local index %d out of source range [0,%d)", r.PredName, r.LocalPred, r.Backend.M())
+	}
+	if r.SortedCost < 0 || r.RandomCost < 0 {
+		return fmt.Errorf("catalog: predicate %q has negative declared cost", r.PredName)
+	}
+	for _, prev := range c.regs {
+		if prev.PredName == r.PredName {
+			return fmt.Errorf("catalog: predicate %q registered twice", r.PredName)
+		}
+	}
+	if c.n == -1 {
+		c.n = r.Backend.N()
+	} else if r.Backend.N() != c.n {
+		return fmt.Errorf("catalog: source %q serves %d objects, catalog universe has %d", r.Source, r.Backend.N(), c.n)
+	}
+	c.regs = append(c.regs, r)
+	return nil
+}
+
+// M returns the number of registered predicates.
+func (c *Catalog) M() int { return len(c.regs) }
+
+// PredicateNames returns the predicate names in registration (= query
+// predicate) order.
+func (c *Catalog) PredicateNames() []string {
+	out := make([]string, len(c.regs))
+	for i, r := range c.regs {
+		out[i] = r.PredName
+	}
+	return out
+}
+
+// routed composes the registrations into one Backend: query predicate i is
+// served by registration i.
+type routed struct {
+	regs []Registration
+	n    int
+}
+
+func (b routed) N() int { return b.n }
+func (b routed) M() int { return len(b.regs) }
+
+func (b routed) Sorted(pred, rank int) (int, float64, error) {
+	if pred < 0 || pred >= len(b.regs) {
+		return 0, 0, fmt.Errorf("catalog: predicate %d out of range", pred)
+	}
+	r := b.regs[pred]
+	return r.Backend.Sorted(r.LocalPred, rank)
+}
+
+func (b routed) Random(pred, obj int) (float64, error) {
+	if pred < 0 || pred >= len(b.regs) {
+		return 0, fmt.Errorf("catalog: predicate %d out of range", pred)
+	}
+	r := b.regs[pred]
+	return r.Backend.Random(r.LocalPred, obj)
+}
+
+// Backend returns the composed multi-source backend. It requires at least
+// one registration.
+func (c *Catalog) Backend() (access.Backend, error) {
+	if len(c.regs) == 0 {
+		return nil, fmt.Errorf("catalog: no predicates registered")
+	}
+	return routed{regs: append([]Registration(nil), c.regs...), n: c.n}, nil
+}
+
+// DeclaredScenario builds the cost scenario from the registrations'
+// declared unit costs, failing if any supported access type lacks one.
+func (c *Catalog) DeclaredScenario(name string) (access.Scenario, error) {
+	preds := make([]access.PredCost, len(c.regs))
+	for i, r := range c.regs {
+		var pc access.PredCost
+		if r.Sorted {
+			if r.SortedCost == 0 {
+				return access.Scenario{}, fmt.Errorf("catalog: predicate %q has no declared sorted cost; use Calibrate", r.PredName)
+			}
+			pc.Sorted, pc.SortedOK = access.CostFromUnits(r.SortedCost), true
+		}
+		if r.Random {
+			if r.RandomCost == 0 {
+				return access.Scenario{}, fmt.Errorf("catalog: predicate %q has no declared random cost; use Calibrate", r.PredName)
+			}
+			pc.Random, pc.RandomOK = access.CostFromUnits(r.RandomCost), true
+		}
+		preds[i] = pc
+	}
+	return access.Scenario{Name: name, Preds: preds}, nil
+}
+
+// Calibrate measures per-access latency by timing `probes` real accesses
+// of each supported type on every predicate (walking ranks/objects
+// round-robin) and returns a scenario whose unit costs are the median
+// latency in milliseconds. Declared non-zero costs are kept as-is;
+// calibration only fills the unknowns. Calibration traffic does not count
+// toward any query's ledger — it is the middleware's startup cost.
+func (c *Catalog) Calibrate(name string, probes int) (access.Scenario, error) {
+	if len(c.regs) == 0 {
+		return access.Scenario{}, fmt.Errorf("catalog: no predicates registered")
+	}
+	if probes < 1 {
+		probes = 3
+	}
+	preds := make([]access.PredCost, len(c.regs))
+	for i, r := range c.regs {
+		var pc access.PredCost
+		if r.Sorted {
+			pc.SortedOK = true
+			if r.SortedCost > 0 {
+				pc.Sorted = access.CostFromUnits(r.SortedCost)
+			} else {
+				ms, err := c.timeAccesses(probes, func(j int) error {
+					_, _, err := r.Backend.Sorted(r.LocalPred, j%c.n)
+					return err
+				})
+				if err != nil {
+					return access.Scenario{}, fmt.Errorf("catalog: calibrating sorted %q: %w", r.PredName, err)
+				}
+				pc.Sorted = access.CostFromUnits(ms)
+			}
+		}
+		if r.Random {
+			pc.RandomOK = true
+			if r.RandomCost > 0 {
+				pc.Random = access.CostFromUnits(r.RandomCost)
+			} else {
+				ms, err := c.timeAccesses(probes, func(j int) error {
+					_, err := r.Backend.Random(r.LocalPred, j%c.n)
+					return err
+				})
+				if err != nil {
+					return access.Scenario{}, fmt.Errorf("catalog: calibrating random %q: %w", r.PredName, err)
+				}
+				pc.Random = access.CostFromUnits(ms)
+			}
+		}
+		preds[i] = pc
+	}
+	return access.Scenario{Name: name, Preds: preds}, nil
+}
+
+// timeAccesses returns the median latency, in milliseconds, of running fn
+// `probes` times.
+func (c *Catalog) timeAccesses(probes int, fn func(j int) error) (float64, error) {
+	lat := make([]float64, 0, probes)
+	for j := 0; j < probes; j++ {
+		start := time.Now()
+		if err := fn(j); err != nil {
+			return 0, err
+		}
+		lat = append(lat, float64(time.Since(start).Microseconds())/1000)
+	}
+	sort.Float64s(lat)
+	med := lat[len(lat)/2]
+	if med <= 0 {
+		med = 0.001 // sub-microsecond local backends: charge a nominal cost
+	}
+	return med, nil
+}

@@ -1,0 +1,206 @@
+package catalog
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/access"
+	"repro/internal/algo"
+	"repro/internal/data"
+	"repro/internal/score"
+)
+
+type slowBackend struct {
+	access.DatasetBackend
+	sorted, random time.Duration
+}
+
+func (b slowBackend) Sorted(pred, rank int) (int, float64, error) {
+	time.Sleep(b.sorted)
+	return b.DatasetBackend.Sorted(pred, rank)
+}
+
+func (b slowBackend) Random(pred, obj int) (float64, error) {
+	time.Sleep(b.random)
+	return b.DatasetBackend.Random(pred, obj)
+}
+
+func twoSourceCatalog(t *testing.T, ds *data.Dataset) *Catalog {
+	t.Helper()
+	c := New()
+	if err := c.Register(Registration{
+		Source: "alpha", PredName: "rating",
+		Backend: access.DatasetBackend{DS: ds}, LocalPred: 0,
+		Sorted: true, Random: true, SortedCost: 0.2, RandomCost: 1.0,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Register(Registration{
+		Source: "beta", PredName: "closeness",
+		Backend: access.DatasetBackend{DS: ds}, LocalPred: 1,
+		Sorted: true, Random: true, SortedCost: 0.1, RandomCost: 0.5,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestRegisterValidation(t *testing.T) {
+	ds := data.MustGenerate(data.Uniform, 20, 2, 1)
+	other := data.MustGenerate(data.Uniform, 30, 2, 1)
+	c := New()
+	be := access.DatasetBackend{DS: ds}
+	if err := c.Register(Registration{Source: "s", PredName: "p", LocalPred: 0, Sorted: true}); err == nil {
+		t.Error("nil backend should fail")
+	}
+	if err := c.Register(Registration{Source: "s", PredName: "p", Backend: be, LocalPred: 0}); err == nil {
+		t.Error("no capability should fail")
+	}
+	if err := c.Register(Registration{Source: "s", PredName: "p", Backend: be, LocalPred: 5, Sorted: true}); err == nil {
+		t.Error("bad local pred should fail")
+	}
+	if err := c.Register(Registration{Source: "s", PredName: "p", Backend: be, LocalPred: 0, Sorted: true, SortedCost: -1}); err == nil {
+		t.Error("negative cost should fail")
+	}
+	if err := c.Register(Registration{Source: "s", PredName: "p", Backend: be, LocalPred: 0, Sorted: true}); err != nil {
+		t.Fatalf("valid registration rejected: %v", err)
+	}
+	if err := c.Register(Registration{Source: "s2", PredName: "p", Backend: be, LocalPred: 1, Sorted: true}); err == nil {
+		t.Error("duplicate predicate name should fail")
+	}
+	if err := c.Register(Registration{Source: "s3", PredName: "q", Backend: access.DatasetBackend{DS: other}, LocalPred: 0, Sorted: true}); err == nil {
+		t.Error("mismatched universe should fail")
+	}
+}
+
+func TestRoutedBackendAndDeclaredScenario(t *testing.T) {
+	ds := data.MustGenerate(data.Uniform, 50, 2, 5)
+	c := twoSourceCatalog(t, ds)
+	if c.M() != 2 {
+		t.Fatalf("M = %d", c.M())
+	}
+	names := c.PredicateNames()
+	if names[0] != "rating" || names[1] != "closeness" {
+		t.Errorf("names = %v", names)
+	}
+	be, err := c.Backend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if be.N() != 50 || be.M() != 2 {
+		t.Fatalf("backend %dx%d", be.N(), be.M())
+	}
+	obj, s, err := be.Sorted(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantObj, wantS := ds.SortedAt(1, 0); obj != wantObj || s != wantS {
+		t.Errorf("routing wrong: got u%d(%g)", obj, s)
+	}
+	if _, _, err := be.Sorted(9, 0); err == nil {
+		t.Error("out-of-range predicate should fail")
+	}
+	if _, err := be.Random(-1, 0); err == nil {
+		t.Error("out-of-range predicate should fail")
+	}
+
+	scn, err := c.DeclaredScenario("travel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scn.Preds[0].Sorted != access.CostFromUnits(0.2) || scn.Preds[1].Random != access.CostFromUnits(0.5) {
+		t.Errorf("scenario = %+v", scn.Preds)
+	}
+	// End to end: the catalog's backend + scenario answer queries.
+	sess, err := access.NewSession(be, scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob, err := algo.NewProblem(score.Min(), 3, sess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg, _ := algo.NewNC([]float64{0.5, 0.5}, nil)
+	res, err := alg.Run(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := ds.TopK(score.Min().Eval, 3)
+	for i := range oracle {
+		got := score.Min().Eval(ds.Scores(res.Items[i].Obj))
+		if math.Abs(got-oracle[i].Score) > 1e-9 {
+			t.Fatalf("rank %d wrong", i)
+		}
+	}
+}
+
+func TestDeclaredScenarioRequiresCosts(t *testing.T) {
+	ds := data.MustGenerate(data.Uniform, 10, 1, 1)
+	c := New()
+	if err := c.Register(Registration{Source: "s", PredName: "p", Backend: access.DatasetBackend{DS: ds}, LocalPred: 0, Sorted: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.DeclaredScenario("x"); err == nil {
+		t.Error("missing declared cost should fail")
+	}
+}
+
+func TestCalibrateOrdersLatencies(t *testing.T) {
+	ds := data.MustGenerate(data.Uniform, 40, 2, 7)
+	fast := slowBackend{DatasetBackend: access.DatasetBackend{DS: ds}, sorted: time.Millisecond, random: time.Millisecond}
+	slow := slowBackend{DatasetBackend: access.DatasetBackend{DS: ds}, sorted: 6 * time.Millisecond, random: 12 * time.Millisecond}
+	c := New()
+	if err := c.Register(Registration{Source: "slow", PredName: "a", Backend: slow, LocalPred: 0, Sorted: true, Random: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Register(Registration{Source: "fast", PredName: "b", Backend: fast, LocalPred: 1, Sorted: true, Random: true}); err != nil {
+		t.Fatal(err)
+	}
+	scn, err := c.Calibrate("measured", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := scn.Validate(2); err != nil {
+		t.Fatal(err)
+	}
+	// Calibrated order must reflect real latencies: slow source's probe is
+	// the priciest, fast source the cheapest.
+	if !(scn.Preds[0].Random > scn.Preds[0].Sorted) {
+		t.Errorf("slow source: random %v should exceed sorted %v", scn.Preds[0].Random, scn.Preds[0].Sorted)
+	}
+	if !(scn.Preds[0].Sorted > scn.Preds[1].Sorted) {
+		t.Errorf("slow sorted %v should exceed fast sorted %v", scn.Preds[0].Sorted, scn.Preds[1].Sorted)
+	}
+}
+
+func TestCalibrateKeepsDeclaredCosts(t *testing.T) {
+	ds := data.MustGenerate(data.Uniform, 10, 1, 1)
+	c := New()
+	if err := c.Register(Registration{
+		Source: "s", PredName: "p", Backend: access.DatasetBackend{DS: ds}, LocalPred: 0,
+		Sorted: true, SortedCost: 7.5, Random: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	scn, err := c.Calibrate("mixed", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scn.Preds[0].Sorted != access.CostFromUnits(7.5) {
+		t.Errorf("declared sorted cost overwritten: %v", scn.Preds[0].Sorted)
+	}
+	if !scn.Preds[0].RandomOK || scn.Preds[0].Random <= 0 {
+		t.Errorf("random cost not calibrated: %+v", scn.Preds[0])
+	}
+}
+
+func TestEmptyCatalog(t *testing.T) {
+	c := New()
+	if _, err := c.Backend(); err == nil {
+		t.Error("empty backend should fail")
+	}
+	if _, err := c.Calibrate("x", 1); err == nil {
+		t.Error("empty calibrate should fail")
+	}
+}

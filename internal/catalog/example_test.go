@@ -1,0 +1,43 @@
+package catalog_test
+
+import (
+	"fmt"
+
+	"repro/internal/access"
+	"repro/internal/catalog"
+	"repro/internal/data"
+)
+
+// Example registers two sources over one object universe, builds the
+// routed backend, and derives the cost scenario from declared unit costs.
+func Example() {
+	ds := data.MustGenerate(data.Uniform, 100, 2, 1)
+	cat := catalog.New()
+	must := func(err error) {
+		if err != nil {
+			panic(err)
+		}
+	}
+	must(cat.Register(catalog.Registration{
+		Source: "dineme.com", PredName: "rating",
+		Backend: access.DatasetBackend{DS: ds}, LocalPred: 0,
+		Sorted: true, SortedCost: 0.2, Random: true, RandomCost: 1.0,
+	}))
+	must(cat.Register(catalog.Registration{
+		Source: "superpages.com", PredName: "closeness",
+		Backend: access.DatasetBackend{DS: ds}, LocalPred: 1,
+		Sorted: true, SortedCost: 0.1, Random: true, RandomCost: 0.5,
+	}))
+
+	backend, err := cat.Backend()
+	must(err)
+	scn, err := cat.DeclaredScenario("travel")
+	must(err)
+	fmt.Println("predicates:", cat.PredicateNames())
+	fmt.Printf("universe: %d objects, %d predicates\n", backend.N(), backend.M())
+	fmt.Printf("rating probe costs %.1f units\n", scn.Preds[0].Random.Units())
+	// Output:
+	// predicates: [rating closeness]
+	// universe: 100 objects, 2 predicates
+	// rating probe costs 1.0 units
+}

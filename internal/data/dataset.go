@@ -1,0 +1,209 @@
+// Package data provides the database substrate for top-k middleware
+// experiments: in-memory datasets of per-predicate scores, synthetic score
+// distributions (uniform, gaussian, zipf-skewed, correlated,
+// anti-correlated), a brute-force top-k oracle for correctness checks, and
+// the paper's travel-agent benchmark generator (restaurants for Query Q1,
+// hotels for Query Q2).
+//
+// A Dataset is immutable after construction. Sorted views (the descending
+// per-predicate orders that sorted access walks) are built once and shared.
+package data
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Dataset holds n objects with m predicate scores each, all in [0,1].
+// Objects are identified by their index 0..n-1 ("OID"). Following the
+// paper (Section 3.1) ties in overall score are broken deterministically;
+// we adopt the paper's Example 9 convention that the higher OID wins.
+type Dataset struct {
+	name   string
+	scores [][]float64 // scores[obj][pred]
+	sorted [][]int     // sorted[pred] = object ids in descending score order
+	labels []string    // optional human-readable object labels
+}
+
+// New constructs a dataset from a score matrix. The matrix is copied.
+// It returns an error if the matrix is empty, ragged, or contains scores
+// outside [0,1].
+func New(name string, scores [][]float64) (*Dataset, error) {
+	n := len(scores)
+	if n == 0 {
+		return nil, fmt.Errorf("data: dataset %q has no objects", name)
+	}
+	m := len(scores[0])
+	if m == 0 {
+		return nil, fmt.Errorf("data: dataset %q has no predicates", name)
+	}
+	cp := make([][]float64, n)
+	flat := make([]float64, n*m)
+	for u, row := range scores {
+		if len(row) != m {
+			return nil, fmt.Errorf("data: dataset %q is ragged: object %d has %d scores, want %d", name, u, len(row), m)
+		}
+		cp[u] = flat[u*m : (u+1)*m : (u+1)*m]
+		for i, s := range row {
+			if math.IsNaN(s) || s < 0 || s > 1 {
+				return nil, fmt.Errorf("data: dataset %q score [%d][%d] = %v outside [0,1]", name, u, i, s)
+			}
+			cp[u][i] = s
+		}
+	}
+	d := &Dataset{name: name, scores: cp}
+	d.buildSorted()
+	return d, nil
+}
+
+// MustNew is New that panics on error, for tests and literal fixtures.
+func MustNew(name string, scores [][]float64) *Dataset {
+	d, err := New(name, scores)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func (d *Dataset) buildSorted() {
+	m := d.M()
+	d.sorted = make([][]int, m)
+	for i := 0; i < m; i++ {
+		ids := make([]int, d.N())
+		for u := range ids {
+			ids[u] = u
+		}
+		pred := i
+		sort.SliceStable(ids, func(a, b int) bool {
+			sa, sb := d.scores[ids[a]][pred], d.scores[ids[b]][pred]
+			if sa != sb {
+				return sa > sb
+			}
+			// Deterministic tie-break within a sorted list: higher OID
+			// first, consistent with the overall-score tie-breaker.
+			return ids[a] > ids[b]
+		})
+		d.sorted[i] = ids
+	}
+}
+
+// Name returns the dataset's name.
+func (d *Dataset) Name() string { return d.name }
+
+// N returns the number of objects.
+func (d *Dataset) N() int { return len(d.scores) }
+
+// M returns the number of predicates.
+func (d *Dataset) M() int { return len(d.scores[0]) }
+
+// Score returns p_i[u], the exact score of object u on predicate i.
+func (d *Dataset) Score(u, i int) float64 { return d.scores[u][i] }
+
+// Scores returns a copy of object u's score vector.
+func (d *Dataset) Scores(u int) []float64 {
+	out := make([]float64, d.M())
+	copy(out, d.scores[u])
+	return out
+}
+
+// SortedAt returns the object at the given zero-based rank of predicate
+// i's descending sorted list, together with its score.
+func (d *Dataset) SortedAt(i, rank int) (obj int, s float64) {
+	obj = d.sorted[i][rank]
+	return obj, d.scores[obj][i]
+}
+
+// Label returns the human-readable label of object u, or "u<id>" if none
+// was set.
+func (d *Dataset) Label(u int) string {
+	if d.labels != nil && d.labels[u] != "" {
+		return d.labels[u]
+	}
+	return fmt.Sprintf("u%d", u)
+}
+
+// SetLabels attaches human-readable labels (copied; may be shorter than N,
+// missing entries default). Intended for benchmark generators.
+func (d *Dataset) SetLabels(labels []string) {
+	d.labels = make([]string, d.N())
+	copy(d.labels, labels)
+}
+
+// Less reports whether object a ranks strictly below object b under the
+// deterministic total order (score desc, then OID desc) for the given
+// overall scores. It is the single source of truth for tie-breaking.
+func Less(scoreA float64, a int, scoreB float64, b int) bool {
+	if scoreA != scoreB {
+		return scoreA < scoreB
+	}
+	return a < b
+}
+
+// Project returns a dataset whose predicate columns are the given columns
+// of d, in order (reordering and subsetting; duplicates are rejected since
+// duplicate predicates make access bookkeeping ambiguous). Labels carry
+// over; an identity projection returns d itself.
+func Project(d *Dataset, cols []int) (*Dataset, error) {
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("data: projection needs at least one column")
+	}
+	identity := len(cols) == d.M()
+	seen := make(map[int]bool, len(cols))
+	for i, c := range cols {
+		if c < 0 || c >= d.M() {
+			return nil, fmt.Errorf("data: projection column %d out of range [0,%d)", c, d.M())
+		}
+		if seen[c] {
+			return nil, fmt.Errorf("data: projection repeats column %d", c)
+		}
+		seen[c] = true
+		if c != i {
+			identity = false
+		}
+	}
+	if identity {
+		return d, nil
+	}
+	rows := make([][]float64, d.N())
+	for u := 0; u < d.N(); u++ {
+		row := make([]float64, len(cols))
+		for i, c := range cols {
+			row[i] = d.scores[u][c]
+		}
+		rows[u] = row
+	}
+	out, err := New(d.name+"/projected", rows)
+	if err != nil {
+		return nil, err
+	}
+	if d.labels != nil {
+		out.SetLabels(d.labels)
+	}
+	return out, nil
+}
+
+// Ranked is one entry of an oracle ranking.
+type Ranked struct {
+	Obj   int
+	Score float64
+}
+
+// TopK computes the exact top-k answer by brute force using the scoring
+// function eval (called with each object's full score vector). It is the
+// correctness oracle for every middleware algorithm. k is clamped to N.
+func (d *Dataset) TopK(eval func([]float64) float64, k int) []Ranked {
+	n := d.N()
+	if k > n {
+		k = n
+	}
+	all := make([]Ranked, n)
+	for u := 0; u < n; u++ {
+		all[u] = Ranked{Obj: u, Score: eval(d.scores[u])}
+	}
+	sort.Slice(all, func(a, b int) bool {
+		// Descending: b below a.
+		return Less(all[b].Score, all[b].Obj, all[a].Score, all[a].Obj)
+	})
+	return all[:k]
+}

@@ -1,0 +1,202 @@
+package data
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// paperDataset reproduces Dataset 1 of the paper (Figure 3): three objects
+// u1..u3 with predicate scores such that sorted access on p1 returns
+// u3(.7), u2(.65), u1(.6) and u3 is the top-1 under min with score .7.
+// We map u1,u2,u3 to OIDs 0,1,2.
+func paperDataset() *Dataset {
+	return MustNew("paper-fig3", [][]float64{
+		{0.6, 0.8},  // u1
+		{0.65, 0.8}, // u2
+		{0.7, 0.9},  // u3  (adjusted p2 so min(u3)=.7 as in the running example)
+	})
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("empty", nil); err == nil {
+		t.Error("empty dataset should fail")
+	}
+	if _, err := New("nopred", [][]float64{{}}); err == nil {
+		t.Error("zero-predicate dataset should fail")
+	}
+	if _, err := New("ragged", [][]float64{{0.5, 0.5}, {0.5}}); err == nil {
+		t.Error("ragged dataset should fail")
+	}
+	if _, err := New("range", [][]float64{{1.5}}); err == nil {
+		t.Error("score > 1 should fail")
+	}
+	if _, err := New("nan", [][]float64{{math.NaN()}}); err == nil {
+		t.Error("NaN score should fail")
+	}
+	if _, err := New("ok", [][]float64{{0, 1}, {0.5, 0.25}}); err != nil {
+		t.Errorf("valid dataset rejected: %v", err)
+	}
+}
+
+func TestNewCopiesInput(t *testing.T) {
+	raw := [][]float64{{0.5, 0.5}}
+	d := MustNew("copy", raw)
+	raw[0][0] = 0.9
+	if d.Score(0, 0) != 0.5 {
+		t.Error("New must copy the score matrix")
+	}
+}
+
+func TestSortedOrder(t *testing.T) {
+	d := paperDataset()
+	wantP1 := []int{2, 1, 0} // u3 .7, u2 .65, u1 .6
+	for r, want := range wantP1 {
+		obj, s := d.SortedAt(0, r)
+		if obj != want {
+			t.Errorf("sorted p1 rank %d: got obj %d (score %g), want %d", r, obj, s, want)
+		}
+	}
+	// p2 has a tie between u1 and u2 at .8; higher OID first.
+	obj0, s0 := d.SortedAt(1, 0)
+	if obj0 != 2 || s0 != 0.9 {
+		t.Errorf("sorted p2 rank 0 = %d(%g), want 2(0.9)", obj0, s0)
+	}
+	obj1, _ := d.SortedAt(1, 1)
+	obj2, _ := d.SortedAt(1, 2)
+	if obj1 != 1 || obj2 != 0 {
+		t.Errorf("sorted p2 tie order = %d,%d, want 1,0 (higher OID first)", obj1, obj2)
+	}
+}
+
+func TestSortedListNonIncreasingProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	prop := func(seedRaw int64, nRaw, mRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		m := int(mRaw%4) + 1
+		d := MustGenerate(Uniform, n, m, seedRaw)
+		for i := 0; i < m; i++ {
+			prev := math.Inf(1)
+			seen := make(map[int]bool, n)
+			for r := 0; r < n; r++ {
+				obj, s := d.SortedAt(i, r)
+				if s > prev {
+					return false
+				}
+				if seen[obj] {
+					return false
+				}
+				seen[obj] = true
+				prev = s
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTopKOracle(t *testing.T) {
+	d := paperDataset()
+	minF := func(xs []float64) float64 {
+		v := xs[0]
+		for _, x := range xs[1:] {
+			if x < v {
+				v = x
+			}
+		}
+		return v
+	}
+	top := d.TopK(minF, 1)
+	if len(top) != 1 || top[0].Obj != 2 || math.Abs(top[0].Score-0.7) > 1e-12 {
+		t.Errorf("top-1 under min = %+v, want obj 2 score 0.7", top)
+	}
+	top3 := d.TopK(minF, 3)
+	if len(top3) != 3 || top3[1].Obj != 1 || top3[2].Obj != 0 {
+		t.Errorf("full ranking = %+v, want 2,1,0", top3)
+	}
+	if got := d.TopK(minF, 10); len(got) != 3 {
+		t.Errorf("k clamps to n: got %d", len(got))
+	}
+}
+
+func TestTopKTieBreakHigherOID(t *testing.T) {
+	d := MustNew("ties", [][]float64{
+		{0.5}, {0.5}, {0.5},
+	})
+	id := func(xs []float64) float64 { return xs[0] }
+	top := d.TopK(id, 3)
+	want := []int{2, 1, 0}
+	for i, r := range top {
+		if r.Obj != want[i] {
+			t.Fatalf("tie order = %v, want 2,1,0", top)
+		}
+	}
+}
+
+func TestTopKMatchesSortProperty(t *testing.T) {
+	avg := func(xs []float64) float64 {
+		s := 0.0
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		d := MustGenerate(Gaussian, 40, 3, seed)
+		k := int(seed%7) + 1
+		top := d.TopK(avg, k)
+		// Independent check: sort all scores and compare the k-th values.
+		all := make([]float64, d.N())
+		for u := 0; u < d.N(); u++ {
+			all[u] = avg(d.Scores(u))
+		}
+		sort.Sort(sort.Reverse(sort.Float64Slice(all)))
+		for i := 0; i < k; i++ {
+			if math.Abs(top[i].Score-all[i]) > 1e-12 {
+				t.Fatalf("seed %d: rank %d score %g, want %g", seed, i, top[i].Score, all[i])
+			}
+		}
+		// Scores must be non-increasing.
+		for i := 1; i < k; i++ {
+			if top[i].Score > top[i-1].Score {
+				t.Fatalf("seed %d: ranking not sorted: %v", seed, top)
+			}
+		}
+	}
+}
+
+func TestLabels(t *testing.T) {
+	d := MustNew("lbl", [][]float64{{0.1}, {0.2}})
+	if d.Label(1) != "u1" {
+		t.Errorf("default label = %q", d.Label(1))
+	}
+	d.SetLabels([]string{"alpha"})
+	if d.Label(0) != "alpha" || d.Label(1) != "u1" {
+		t.Errorf("labels = %q, %q", d.Label(0), d.Label(1))
+	}
+}
+
+func TestScoresReturnsCopy(t *testing.T) {
+	d := MustNew("cp", [][]float64{{0.3, 0.4}})
+	v := d.Scores(0)
+	v[0] = 0.9
+	if d.Score(0, 0) != 0.3 {
+		t.Error("Scores must return a copy")
+	}
+}
+
+func TestLess(t *testing.T) {
+	if !Less(0.4, 9, 0.5, 1) {
+		t.Error("lower score ranks below")
+	}
+	if Less(0.5, 2, 0.5, 1) {
+		t.Error("tie: higher OID wins (2 not below 1)")
+	}
+	if !Less(0.5, 1, 0.5, 2) {
+		t.Error("tie: lower OID loses")
+	}
+}

@@ -1,0 +1,169 @@
+package data
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Distribution identifies a synthetic score distribution used by the
+// experiment harness. The paper's evaluation spans "a wider range of
+// synthesized middleware settings"; these are the standard families in the
+// top-k literature.
+type Distribution int
+
+const (
+	// Uniform draws every predicate score iid uniformly from [0,1].
+	Uniform Distribution = iota
+	// Gaussian draws scores from a clipped normal N(0.5, 0.15^2).
+	Gaussian
+	// Skewed draws scores u^theta (theta > 1), piling mass near 0; the
+	// sorted lists then drop fast at the top, which is where skew matters
+	// for access scheduling.
+	Skewed
+	// Correlated draws predicate scores around a shared per-object latent
+	// value, so lists agree (easy case: top objects surface everywhere).
+	Correlated
+	// AntiCorrelated makes predicates trade off against each other (hard
+	// case: objects good on one list are bad on others), the classic
+	// adversarial workload for threshold algorithms.
+	AntiCorrelated
+)
+
+// String returns the distribution name.
+func (d Distribution) String() string {
+	switch d {
+	case Uniform:
+		return "uniform"
+	case Gaussian:
+		return "gaussian"
+	case Skewed:
+		return "skewed"
+	case Correlated:
+		return "correlated"
+	case AntiCorrelated:
+		return "anticorrelated"
+	default:
+		return fmt.Sprintf("Distribution(%d)", int(d))
+	}
+}
+
+// DistributionByName parses a distribution name as printed by String.
+func DistributionByName(name string) (Distribution, error) {
+	for _, d := range []Distribution{Uniform, Gaussian, Skewed, Correlated, AntiCorrelated} {
+		if d.String() == name {
+			return d, nil
+		}
+	}
+	return 0, fmt.Errorf("data: unknown distribution %q", name)
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// Generate synthesizes a dataset of n objects and m predicates from the
+// given distribution, deterministically for a given seed.
+func Generate(dist Distribution, n, m int, seed int64) (*Dataset, error) {
+	if n <= 0 || m <= 0 {
+		return nil, fmt.Errorf("data: Generate(n=%d, m=%d) requires positive sizes", n, m)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	scores := make([][]float64, n)
+	for u := range scores {
+		row := make([]float64, m)
+		switch dist {
+		case Uniform:
+			for i := range row {
+				row[i] = rng.Float64()
+			}
+		case Gaussian:
+			for i := range row {
+				row[i] = clamp01(0.5 + 0.15*rng.NormFloat64())
+			}
+		case Skewed:
+			const theta = 3.0
+			for i := range row {
+				row[i] = math.Pow(rng.Float64(), theta)
+			}
+		case Correlated:
+			latent := rng.Float64()
+			for i := range row {
+				row[i] = clamp01(latent + 0.1*rng.NormFloat64())
+			}
+		case AntiCorrelated:
+			// Distribute a shared budget across predicates with jitter:
+			// high score on one predicate implies low scores elsewhere.
+			budget := 0.4 + 0.2*rng.Float64() // per-predicate average
+			weights := make([]float64, m)
+			sum := 0.0
+			for i := range weights {
+				weights[i] = rng.ExpFloat64()
+				sum += weights[i]
+			}
+			for i := range row {
+				row[i] = clamp01(budget*float64(m)*weights[i]/sum + 0.05*rng.NormFloat64())
+			}
+		default:
+			return nil, fmt.Errorf("data: unknown distribution %v", dist)
+		}
+		scores[u] = row
+	}
+	return New(fmt.Sprintf("%s(n=%d,m=%d,seed=%d)", dist, n, m, seed), scores)
+}
+
+// MustGenerate is Generate that panics on error, for tests and benchmarks
+// with known-good parameters.
+func MustGenerate(dist Distribution, n, m int, seed int64) *Dataset {
+	d, err := Generate(dist, n, m, seed)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Sample draws a without-replacement random sample of s objects from ds,
+// deterministically for a given seed, and returns it as a new dataset.
+// It is used by the optimizer's cost estimator (Section 7.3) when real
+// samples are available. s is clamped to ds.N().
+func Sample(ds *Dataset, s int, seed int64) *Dataset {
+	n := ds.N()
+	if s > n {
+		s = n
+	}
+	if s <= 0 {
+		s = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)[:s]
+	scores := make([][]float64, s)
+	for j, u := range perm {
+		scores[j] = ds.Scores(u)
+	}
+	out, err := New(fmt.Sprintf("%s/sample(%d,seed=%d)", ds.Name(), s, seed), scores)
+	if err != nil {
+		// Unreachable: rows come from a validated dataset.
+		panic(err)
+	}
+	return out
+}
+
+// DummySample synthesizes a sample of s objects and m predicates from an
+// assumed uniform distribution, as Section 7.3 prescribes "when samples
+// are unavailable or too costly to obtain online". Such samples cannot
+// reflect the real score distribution but still let the optimizer adapt to
+// the scoring function, k, and the cost scenario — the paper's worst-case
+// validation setting, and our default.
+func DummySample(s, m int, seed int64) *Dataset {
+	d, err := Generate(Uniform, s, m, seed)
+	if err != nil {
+		panic(err) // unreachable for s, m >= 1
+	}
+	return d
+}

@@ -1,0 +1,58 @@
+package data
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDatasetJSONRoundTrip(t *testing.T) {
+	ds := MustGenerate(Gaussian, 25, 3, 17)
+	ds.SetLabels([]string{"alpha", "beta"})
+	var sb strings.Builder
+	if err := ds.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != ds.N() || back.M() != ds.M() || back.Name() != ds.Name() {
+		t.Fatalf("round trip changed shape: %s %dx%d", back.Name(), back.N(), back.M())
+	}
+	for u := 0; u < ds.N(); u++ {
+		for i := 0; i < ds.M(); i++ {
+			if back.Score(u, i) != ds.Score(u, i) {
+				t.Fatalf("score [%d][%d] changed", u, i)
+			}
+		}
+	}
+	if back.Label(0) != "alpha" || back.Label(1) != "beta" || back.Label(2) != "u2" {
+		t.Errorf("labels = %q %q %q", back.Label(0), back.Label(1), back.Label(2))
+	}
+	// Sorted views rebuilt identically.
+	for i := 0; i < ds.M(); i++ {
+		for r := 0; r < ds.N(); r++ {
+			o1, _ := ds.SortedAt(i, r)
+			o2, _ := back.SortedAt(i, r)
+			if o1 != o2 {
+				t.Fatalf("sorted view diverged at pred %d rank %d", i, r)
+			}
+		}
+	}
+}
+
+func TestReadJSONValidates(t *testing.T) {
+	cases := []string{
+		`{"name":"x","scores":[[1.5]]}`,                    // out of range
+		`{"name":"x","scores":[]}`,                         // empty
+		`{"name":"x","scores":[[0.5],[0.1,0.2]]}`,          // ragged
+		`{"name":"x","scores":[[0.5]],"extra":1}`,          // unknown field
+		`{"name":"x","scores":[[0.5]],"labels":["a","b"]}`, // too many labels
+		`not json`,
+	}
+	for _, c := range cases {
+		if _, err := ReadJSON(strings.NewReader(c)); err == nil {
+			t.Errorf("ReadJSON(%q) should fail", c)
+		}
+	}
+}

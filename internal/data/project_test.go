@@ -1,0 +1,24 @@
+package data
+
+import "testing"
+
+func TestProjectValidation(t *testing.T) {
+	ds := MustGenerate(Uniform, 10, 3, 1)
+	if _, err := Project(ds, nil); err == nil {
+		t.Error("empty projection should fail")
+	}
+	if _, err := Project(ds, []int{0, 5}); err == nil {
+		t.Error("out-of-range column should fail")
+	}
+	if _, err := Project(ds, []int{0, 0}); err == nil {
+		t.Error("duplicate column should fail")
+	}
+	same, err := Project(ds, []int{0, 1, 2})
+	if err != nil || same != ds {
+		t.Error("identity projection should return the same dataset")
+	}
+	sub, err := Project(ds, []int{2})
+	if err != nil || sub.M() != 1 || sub.Score(3, 0) != ds.Score(3, 2) {
+		t.Errorf("subset projection wrong: %v", err)
+	}
+}

@@ -1,0 +1,97 @@
+package data
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRestaurantsBenchmark(t *testing.T) {
+	q, rs := Restaurants(120, 1)
+	if q.Dataset.N() != 120 || q.Dataset.M() != 2 {
+		t.Fatalf("size %dx%d", q.Dataset.N(), q.Dataset.M())
+	}
+	if len(rs) != 120 {
+		t.Fatalf("returned %d restaurants", len(rs))
+	}
+	if len(q.PredicateNames) != 2 || q.PredicateNames[0] != "rating" {
+		t.Errorf("predicate names = %v", q.PredicateNames)
+	}
+	for u, r := range rs {
+		if r.Rating < 0 || r.Rating > 5 {
+			t.Fatalf("rating out of range: %g", r.Rating)
+		}
+		if got, want := q.Dataset.Score(u, 0), r.Rating/5; math.Abs(got-want) > 1e-12 {
+			t.Fatalf("rating score mismatch: %g vs %g", got, want)
+		}
+		// Closeness must decrease with distance from (UserX, UserY).
+		d := math.Hypot(r.X-q.UserX, r.Y-q.UserY)
+		want := 1 - d/(10*math.Sqrt2)
+		if want < 0 {
+			want = 0
+		}
+		if got := q.Dataset.Score(u, 1); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("closeness mismatch for %s: %g vs %g", r.Name, got, want)
+		}
+	}
+	if q.Dataset.Label(0) != rs[0].Name {
+		t.Error("labels not attached")
+	}
+}
+
+func TestHotelsBenchmark(t *testing.T) {
+	q, hs := Hotels(150, 2)
+	if q.Dataset.N() != 150 || q.Dataset.M() != 3 {
+		t.Fatalf("size %dx%d", q.Dataset.N(), q.Dataset.M())
+	}
+	if q.Budget <= 0 {
+		t.Error("hotel query must carry a budget")
+	}
+	for u, h := range hs {
+		if h.Stars < 1 || h.Stars > 5 {
+			t.Fatalf("stars out of range: %g", h.Stars)
+		}
+		if h.Price < 30 {
+			t.Fatalf("price out of range: %g", h.Price)
+		}
+		for i := 0; i < 3; i++ {
+			s := q.Dataset.Score(u, i)
+			if s < 0 || s > 1 {
+				t.Fatalf("score out of range: pred %d = %g", i, s)
+			}
+		}
+	}
+}
+
+func TestCheapScoreShape(t *testing.T) {
+	budget := 150.0
+	if s := cheapScore(60, budget); s != 1 {
+		t.Errorf("cheap(60) = %g, want 1 (below budget/2)", s)
+	}
+	if s := cheapScore(400, budget); s != 0 {
+		t.Errorf("cheap(400) = %g, want 0 (above 2*budget)", s)
+	}
+	mid := cheapScore(150, budget)
+	if mid <= 0 || mid >= 1 {
+		t.Errorf("cheap(budget) = %g, want strictly between 0 and 1", mid)
+	}
+	if cheapScore(100, budget) <= cheapScore(200, budget) {
+		t.Error("cheap must decrease with price")
+	}
+}
+
+func TestTravelDeterminism(t *testing.T) {
+	a, _ := Restaurants(50, 9)
+	b, _ := Restaurants(50, 9)
+	for u := 0; u < 50; u++ {
+		for i := 0; i < 2; i++ {
+			if a.Dataset.Score(u, i) != b.Dataset.Score(u, i) {
+				t.Fatal("Restaurants not deterministic")
+			}
+		}
+	}
+	h1, _ := Hotels(50, 9)
+	h2, _ := Hotels(50, 9)
+	if h1.Dataset.Score(3, 2) != h2.Dataset.Score(3, 2) {
+		t.Fatal("Hotels not deterministic")
+	}
+}

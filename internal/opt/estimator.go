@@ -1,0 +1,233 @@
+// Package opt implements the paper's dynamic cost-based optimization
+// (Section 7): searching the SR/G-reduced NC space for a low-cost
+// (H, Omega) configuration.
+//
+//   - Cost estimation (Section 7.3) runs the actual SR/G algorithm on a
+//     sample dataset — a "simulation run" — with the retrieval size scaled
+//     proportionally (k' = k*|sample|/n) and the resulting cost scaled back
+//     up. Samples may come from the real data or be "dummy" samples from
+//     an assumed uniform distribution when real statistics are
+//     unavailable, the paper's worst-case setting and our default.
+//   - H-optimization (Section 7.2) offers the paper's three schemes:
+//     Naive exhaustive grid search, query-driven Strategies, and
+//     multi-start hill climbing (HClimb, the paper's pick).
+//   - Omega-optimization adopts MPro's global probe scheduling: predicates
+//     ordered by expected bound reduction per unit of probe cost.
+//
+// The package also provides Adaptive, an algo.Algorithm that re-plans
+// mid-query against the costs currently in force, demonstrating the
+// framework's runtime adaptivity on dynamic Web sources.
+package opt
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/access"
+	"repro/internal/algo"
+	"repro/internal/data"
+	"repro/internal/score"
+)
+
+// Estimator prices SR/G configurations by simulation runs on a sample.
+// It memoizes estimates per configuration, so search schemes can revisit
+// grid points for free; Evals counts distinct simulation runs, the
+// optimization-overhead measure of the paper's appendix experiment.
+type Estimator struct {
+	sample *data.Dataset
+	scn    access.Scenario
+	f      score.Func
+	kPrime int
+	scale  float64 // n / |sample|
+	nwg    bool
+
+	cache map[string]access.Cost
+	evals int
+}
+
+// NewEstimator builds an estimator for a query of size k over n objects
+// under the given scenario, using the provided sample dataset. The sample
+// must have the scenario's predicate count.
+func NewEstimator(sample *data.Dataset, scn access.Scenario, f score.Func, k, n int, nwg bool) (*Estimator, error) {
+	if err := scn.Validate(sample.M()); err != nil {
+		return nil, err
+	}
+	if err := score.Validate(f, sample.M()); err != nil {
+		return nil, err
+	}
+	if k <= 0 || n <= 0 {
+		return nil, fmt.Errorf("opt: estimator requires positive k and n, got k=%d n=%d", k, n)
+	}
+	kPrime := int(math.Round(float64(k) * float64(sample.N()) / float64(n)))
+	if kPrime < 1 {
+		kPrime = 1
+	}
+	if kPrime > sample.N() {
+		kPrime = sample.N()
+	}
+	return &Estimator{
+		sample: sample,
+		scn:    scn,
+		f:      f,
+		kPrime: kPrime,
+		scale:  float64(n) / float64(sample.N()),
+		nwg:    nwg,
+		cache:  make(map[string]access.Cost),
+	}, nil
+}
+
+// Evals returns the number of distinct simulation runs performed so far.
+func (e *Estimator) Evals() int { return e.evals }
+
+// KPrime returns the scaled retrieval size used in simulation runs.
+func (e *Estimator) KPrime() int { return e.kPrime }
+
+func cfgKey(h []float64, omega []int) string {
+	var b strings.Builder
+	for _, x := range h {
+		b.WriteString(strconv.FormatFloat(x, 'f', 6, 64))
+		b.WriteByte(',')
+	}
+	b.WriteByte('|')
+	for _, p := range omega {
+		b.WriteString(strconv.Itoa(p))
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+// Estimate returns the estimated total access cost of NC with SR/G
+// configuration (h, omega) on the full database: the simulation run's cost
+// scaled by n/|sample|.
+func (e *Estimator) Estimate(h []float64, omega []int) (access.Cost, error) {
+	key := cfgKey(h, omega)
+	if c, ok := e.cache[key]; ok {
+		return c, nil
+	}
+	var opts []access.Option
+	if !e.nwg {
+		opts = append(opts, access.WithoutNoWildGuesses())
+	}
+	sess, err := access.NewSession(access.DatasetBackend{DS: e.sample}, e.scn, opts...)
+	if err != nil {
+		return 0, err
+	}
+	alg, err := algo.NewNC(h, omega)
+	if err != nil {
+		return 0, err
+	}
+	prob, err := algo.NewProblem(e.f, e.kPrime, sess)
+	if err != nil {
+		return 0, err
+	}
+	res, err := alg.Run(prob)
+	if err != nil {
+		return 0, fmt.Errorf("opt: simulation run failed for H=%v Omega=%v: %w", h, omega, err)
+	}
+	cost := access.Cost(math.Round(float64(res.Cost()) * e.scale))
+	e.cache[key] = cost
+	e.evals++
+	return cost, nil
+}
+
+// OptimizeOmega computes a global probe schedule following MPro's
+// cost-based scheduling insight: probe first the predicate expected to
+// shrink an object's maximal-possible score the most per unit of random-
+// access cost. The expected shrink of predicate i is estimated from the
+// sample as 1 - mean(p_i) (how far, on average, the perfect bound falls
+// when the probe lands); predicates without random access go last, in
+// index order, since they can only be resolved by sorted access anyway.
+func OptimizeOmega(sample *data.Dataset, scn access.Scenario) []int {
+	m := sample.M()
+	means := make([]float64, m)
+	for i := 0; i < m; i++ {
+		sum := 0.0
+		for u := 0; u < sample.N(); u++ {
+			sum += sample.Score(u, i)
+		}
+		means[i] = sum / float64(sample.N())
+	}
+	type ranked struct {
+		pred int
+		gain float64
+	}
+	rs := make([]ranked, m)
+	for i := 0; i < m; i++ {
+		pc := scn.Preds[i]
+		if !pc.RandomOK {
+			rs[i] = ranked{pred: i, gain: math.Inf(-1)}
+			continue
+		}
+		cost := pc.Random.Units()
+		if cost <= 0 {
+			cost = 1e-9
+		}
+		rs[i] = ranked{pred: i, gain: (1 - means[i]) / cost}
+	}
+	// Stable selection sort by gain descending, index ascending on ties:
+	// m is tiny, clarity over cleverness.
+	omega := make([]int, 0, m)
+	used := make([]bool, m)
+	for len(omega) < m {
+		best := -1
+		for i := 0; i < m; i++ {
+			if used[i] {
+				continue
+			}
+			if best == -1 || rs[i].gain > rs[best].gain {
+				best = i
+			}
+		}
+		used[best] = true
+		omega = append(omega, rs[best].pred)
+	}
+	return omega
+}
+
+// OptimizeOmegaExhaustive searches all m! probe schedules with the
+// estimator at the given depth configuration and returns the cheapest.
+// It exists to validate the greedy OptimizeOmega (the paper adopts MPro's
+// global scheduling precisely because exhaustive per-object scheduling
+// "significantly reduc[es] the complexity" without hurting quality) and is
+// practical only for small m; it refuses m > maxExhaustiveOmega.
+func OptimizeOmegaExhaustive(e *Estimator, h []float64) ([]int, access.Cost, error) {
+	m := e.sample.M()
+	const maxExhaustiveOmega = 6
+	if m > maxExhaustiveOmega {
+		return nil, 0, fmt.Errorf("opt: exhaustive Omega search refuses m=%d (> %d): %d! schedules", m, maxExhaustiveOmega, m)
+	}
+	perm := make([]int, m)
+	for i := range perm {
+		perm[i] = i
+	}
+	var best []int
+	bestCost := access.Cost(-1)
+	var recurse func(depth int) error
+	recurse = func(depth int) error {
+		if depth == m {
+			c, err := e.Estimate(h, perm)
+			if err != nil {
+				return err
+			}
+			if bestCost < 0 || c < bestCost {
+				bestCost = c
+				best = append(best[:0], perm...)
+			}
+			return nil
+		}
+		for i := depth; i < m; i++ {
+			perm[depth], perm[i] = perm[i], perm[depth]
+			if err := recurse(depth + 1); err != nil {
+				return err
+			}
+			perm[depth], perm[i] = perm[i], perm[depth]
+		}
+		return nil
+	}
+	if err := recurse(0); err != nil {
+		return nil, 0, err
+	}
+	return best, bestCost, nil
+}

@@ -1,0 +1,196 @@
+package opt
+
+import (
+	"fmt"
+
+	"repro/internal/access"
+	"repro/internal/algo"
+	"repro/internal/data"
+	"repro/internal/score"
+	"repro/internal/state"
+)
+
+// Config parameterizes the optimizer. The zero value is usable: HClimb
+// over an 11-point grid with a 50-object dummy sample and 5 restarts.
+type Config struct {
+	Scheme     Scheme
+	Grid       int   // grid points per dimension (default 11)
+	SampleSize int   // dummy-sample size when no sample is given (default 50)
+	Restarts   int   // HClimb restarts (default 5)
+	MaxEvals   int   // Naive mesh budget (default 20000)
+	Seed       int64 // randomness for HClimb starts and dummy samples
+	// Sample optionally supplies real sample objects (Section 7.3); when
+	// nil a dummy uniform sample is synthesized, the paper's worst case.
+	Sample *data.Dataset
+	// NoWildGuesses mirrors the execution session's setting so simulation
+	// runs exercise the same code path (default true).
+	DisableNWG bool
+	// RefineOmega enables the second stage of Section 7.2's two-stage
+	// approximation in exhaustive form: after the H-search, all m!
+	// probe schedules are estimated at the chosen depths and the best is
+	// kept. Only honored for m <= 4 (beyond that the greedy schedule
+	// stands, as the paper prescribes).
+	RefineOmega bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Grid == 0 {
+		c.Grid = 11
+	}
+	if c.SampleSize == 0 {
+		c.SampleSize = 50
+	}
+	if c.Restarts == 0 {
+		c.Restarts = 5
+	}
+	if c.MaxEvals == 0 {
+		c.MaxEvals = 20000
+	}
+	return c
+}
+
+// Optimize searches the SR/G space for a low-cost configuration for a
+// (F, k) query over n objects under the given cost scenario. It first
+// fixes Omega (global probe scheduling, following MPro), then runs the
+// configured H-scheme against a fresh estimator, per Section 7.2's
+// two-stage approximation.
+func Optimize(cfg Config, scn access.Scenario, f score.Func, k, n int) (Plan, error) {
+	cfg = cfg.withDefaults()
+	sample := cfg.Sample
+	if sample == nil {
+		sample = data.DummySample(cfg.SampleSize, scn.M(), cfg.Seed)
+	}
+	omega := OptimizeOmega(sample, scn)
+	est, err := NewEstimator(sample, scn, f, k, n, !cfg.DisableNWG)
+	if err != nil {
+		return Plan{}, err
+	}
+	var plan Plan
+	switch cfg.Scheme {
+	case SchemeNaive:
+		plan, err = Naive(est, omega, cfg.Grid, cfg.MaxEvals)
+	case SchemeStrategies:
+		plan, err = Strategies(est, f, omega, cfg.Grid)
+	case SchemeHClimb:
+		plan, err = HClimb(est, omega, cfg.Grid, cfg.Restarts, cfg.Seed)
+	default:
+		return Plan{}, fmt.Errorf("opt: unknown scheme %v", cfg.Scheme)
+	}
+	if err != nil {
+		return Plan{}, err
+	}
+	if cfg.RefineOmega && scn.M() <= 4 {
+		// Stage 2: the best schedule for the chosen depths.
+		best, bestCost, oerr := OptimizeOmegaExhaustive(est, plan.H)
+		if oerr != nil {
+			return Plan{}, oerr
+		}
+		if bestCost < plan.EstimatedCost {
+			plan.Omega, plan.EstimatedCost = best, bestCost
+		}
+		plan.Evals = est.Evals()
+	}
+	return plan, nil
+}
+
+// Optimized is an algo.Algorithm that optimizes before executing: the
+// paper's complete pipeline (estimate, search, run the chosen NC
+// configuration). The plan chosen at run time is recorded for inspection.
+type Optimized struct {
+	Cfg      Config
+	LastPlan Plan
+}
+
+// Name returns the pipeline name with the scheme.
+func (o *Optimized) Name() string {
+	return "NC-Opt/" + o.Cfg.withDefaults().Scheme.String()
+}
+
+// Run optimizes for the problem's scenario and executes the chosen plan.
+func (o *Optimized) Run(p *algo.Problem) (*algo.Result, error) {
+	scn := p.Session.CurrentScenario()
+	plan, err := Optimize(o.Cfg, scn, p.F, p.K, p.Session.N())
+	if err != nil {
+		return nil, err
+	}
+	o.LastPlan = plan
+	alg, err := algo.NewNC(plan.H, plan.Omega)
+	if err != nil {
+		return nil, err
+	}
+	return alg.Run(p)
+}
+
+// Adaptive is an algo.Algorithm that re-plans mid-query: every Period
+// accesses it re-reads the costs currently in force (which dynamic
+// scenarios may have shifted) and re-optimizes the SR/G configuration,
+// swapping the selector while NC's state carries over — sound because
+// SR/G selectors are stateless over the shared score state. It
+// demonstrates the adaptivity motivation of Section 1 on dynamic sources.
+type Adaptive struct {
+	Cfg    Config
+	Period int // accesses between re-plans (default 25)
+	// Replans counts how many re-optimizations the last run performed.
+	Replans int
+}
+
+// Name returns "NC-Adaptive".
+func (a *Adaptive) Name() string { return "NC-Adaptive" }
+
+// Run executes the adaptive pipeline.
+func (a *Adaptive) Run(p *algo.Problem) (*algo.Result, error) {
+	period := a.Period
+	if period <= 0 {
+		period = 25
+	}
+	a.Replans = 0
+	plan, err := Optimize(a.Cfg, p.Session.CurrentScenario(), p.F, p.K, p.Session.N())
+	if err != nil {
+		return nil, err
+	}
+	sel, err := algo.NewSRG(plan.H, plan.Omega)
+	if err != nil {
+		return nil, err
+	}
+	nc := &algo.NC{Sel: sel}
+	accesses := 0
+	lastScn := p.Session.CurrentScenario()
+	nc.OnAccess = func(_ *state.Table, _ algo.Choice) {
+		accesses++
+		if accesses%period != 0 {
+			return
+		}
+		cur := p.Session.CurrentScenario()
+		if scenarioEqual(cur, lastScn) {
+			return // nothing changed; skip the re-plan
+		}
+		lastScn = cur
+		// Seed shifted per re-plan so dummy samples differ across plans
+		// only deterministically.
+		cfg := a.Cfg
+		cfg.Seed += int64(accesses)
+		newPlan, err := Optimize(cfg, cur, p.F, p.K, p.Session.N())
+		if err != nil {
+			return // keep the current plan; re-planning is best-effort
+		}
+		newSel, err := algo.NewSRG(newPlan.H, newPlan.Omega)
+		if err != nil {
+			return
+		}
+		nc.Sel = newSel
+		a.Replans++
+	}
+	return nc.Run(p)
+}
+
+func scenarioEqual(a, b access.Scenario) bool {
+	if len(a.Preds) != len(b.Preds) {
+		return false
+	}
+	for i := range a.Preds {
+		if a.Preds[i] != b.Preds[i] {
+			return false
+		}
+	}
+	return true
+}

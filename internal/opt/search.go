@@ -1,0 +1,271 @@
+package opt
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/access"
+	"repro/internal/score"
+)
+
+// Plan is a chosen SR/G configuration with its estimated cost and the
+// optimization overhead (number of simulation runs) spent finding it.
+type Plan struct {
+	H             []float64
+	Omega         []int
+	EstimatedCost access.Cost
+	Evals         int
+}
+
+// Scheme selects the H-search strategy of Section 7.2.
+type Scheme int
+
+const (
+	// SchemeHClimb is multi-start hill climbing, "evaluated to be the most
+	// effective" in the paper's appendix; the default.
+	SchemeHClimb Scheme = iota
+	// SchemeNaive meshes the whole H space into a grid and evaluates every
+	// point; the exhaustive baseline.
+	SchemeNaive
+	// SchemeStrategies focuses on configurations matching the scoring
+	// function's shape (focused for min-like, equal-depth for mean-like).
+	SchemeStrategies
+)
+
+// String returns the scheme name.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeHClimb:
+		return "HClimb"
+	case SchemeNaive:
+		return "Naive"
+	case SchemeStrategies:
+		return "Strategies"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// SchemeByName parses a scheme name.
+func SchemeByName(name string) (Scheme, error) {
+	for _, s := range []Scheme{SchemeHClimb, SchemeNaive, SchemeStrategies} {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("opt: unknown scheme %q", name)
+}
+
+// gridValues returns g evenly spaced depth values spanning [0,1].
+func gridValues(g int) []float64 {
+	if g < 2 {
+		g = 2
+	}
+	vs := make([]float64, g)
+	for i := range vs {
+		vs[i] = float64(i) / float64(g-1)
+	}
+	return vs
+}
+
+// Naive exhaustively evaluates the full g^m mesh and returns the minimum.
+// It refuses meshes larger than maxEvals points (Section 7.2 notes the
+// space "explodes for large m"; that explosion is the point of E6).
+func Naive(e *Estimator, omega []int, g, maxEvals int) (Plan, error) {
+	m := e.sample.M()
+	points := 1
+	for i := 0; i < m; i++ {
+		points *= g
+		if points > maxEvals {
+			return Plan{}, fmt.Errorf("opt: Naive mesh %d^%d exceeds the %d-evaluation budget", g, m, maxEvals)
+		}
+	}
+	vs := gridValues(g)
+	h := make([]float64, m)
+	idx := make([]int, m)
+	best := Plan{EstimatedCost: -1}
+	for {
+		for i, j := range idx {
+			h[i] = vs[j]
+		}
+		c, err := e.Estimate(h, omega)
+		if err != nil {
+			return Plan{}, err
+		}
+		if best.EstimatedCost < 0 || c < best.EstimatedCost {
+			best = Plan{H: append([]float64(nil), h...), Omega: omega, EstimatedCost: c}
+		}
+		// Odometer increment.
+		i := 0
+		for ; i < m; i++ {
+			idx[i]++
+			if idx[i] < g {
+				break
+			}
+			idx[i] = 0
+		}
+		if i == m {
+			break
+		}
+	}
+	best.Evals = e.Evals()
+	return best, nil
+}
+
+// Strategies evaluates only configurations suiting the scoring function's
+// shape (Example 11's observation: focused for min, parallel for avg),
+// falling back to the union of both families for unclassified functions.
+func Strategies(e *Estimator, f score.Func, omega []int, g int) (Plan, error) {
+	m := e.sample.M()
+	vs := gridValues(g)
+	var candidates [][]float64
+
+	addFocused := func() {
+		// Deep on one predicate, none on the rest.
+		for i := 0; i < m; i++ {
+			for _, t := range vs {
+				h := make([]float64, m)
+				for j := range h {
+					h[j] = 1
+				}
+				h[i] = t
+				candidates = append(candidates, h)
+			}
+		}
+	}
+	addDiagonal := func(lo float64) {
+		for _, t := range vs {
+			if t < lo {
+				continue
+			}
+			h := make([]float64, m)
+			for j := range h {
+				h[j] = t
+			}
+			candidates = append(candidates, h)
+		}
+	}
+	addWeighted := func(w []float64) {
+		// Depths proportional to weights: heavier predicates deeper.
+		maxW := 0.0
+		for _, x := range w {
+			if x > maxW {
+				maxW = x
+			}
+		}
+		if maxW == 0 {
+			return
+		}
+		for _, t := range vs {
+			h := make([]float64, m)
+			for j := range h {
+				h[j] = 1 - (1-t)*(w[j]/maxW)
+			}
+			candidates = append(candidates, h)
+		}
+	}
+
+	switch f.Shape() {
+	case score.ShapeMinLike:
+		addFocused()
+		addDiagonal(0) // keep the symmetric family as a safety net
+	case score.ShapeMeanLike:
+		addDiagonal(0)
+		if w, ok := f.(score.Weighter); ok {
+			addWeighted(w.Weights())
+		}
+	case score.ShapeMaxLike:
+		addDiagonal(0.5) // shallow parallel depths
+		addFocused()
+	default:
+		addFocused()
+		addDiagonal(0)
+	}
+
+	best := Plan{EstimatedCost: -1}
+	for _, h := range candidates {
+		c, err := e.Estimate(h, omega)
+		if err != nil {
+			return Plan{}, err
+		}
+		if best.EstimatedCost < 0 || c < best.EstimatedCost {
+			best = Plan{H: h, Omega: omega, EstimatedCost: c}
+		}
+	}
+	best.Evals = e.Evals()
+	return best, nil
+}
+
+// HClimb performs steepest-descent hill climbing on the grid lattice from
+// several random starting points, the scheme the paper adopts for its
+// experiments. Neighbors differ by one grid step in one dimension.
+func HClimb(e *Estimator, omega []int, g, restarts int, seed int64) (Plan, error) {
+	m := e.sample.M()
+	vs := gridValues(g)
+	rng := rand.New(rand.NewSource(seed))
+	if restarts < 1 {
+		restarts = 1
+	}
+	best := Plan{EstimatedCost: -1}
+
+	idxToH := func(idx []int) []float64 {
+		h := make([]float64, m)
+		for i, j := range idx {
+			h[i] = vs[j]
+		}
+		return h
+	}
+	for r := 0; r < restarts; r++ {
+		idx := make([]int, m)
+		if r == 0 {
+			// First start at the all-max-depth corner's midpoint, a
+			// deterministic anchor that keeps single-restart runs stable.
+			for i := range idx {
+				idx[i] = (g - 1) / 2
+			}
+		} else {
+			for i := range idx {
+				idx[i] = rng.Intn(g)
+			}
+		}
+		cur, err := e.Estimate(idxToH(idx), omega)
+		if err != nil {
+			return Plan{}, err
+		}
+		for {
+			improved := false
+			bestN, bestNCost := -1, cur
+			var bestDir int
+			for i := 0; i < m; i++ {
+				for _, d := range []int{-1, 1} {
+					j := idx[i] + d
+					if j < 0 || j >= g {
+						continue
+					}
+					idx[i] = j
+					c, err := e.Estimate(idxToH(idx), omega)
+					idx[i] = j - d
+					if err != nil {
+						return Plan{}, err
+					}
+					if c < bestNCost {
+						bestNCost, bestN, bestDir = c, i, d
+					}
+				}
+			}
+			if bestN >= 0 {
+				idx[bestN] += bestDir
+				cur = bestNCost
+				improved = true
+			}
+			if !improved {
+				break
+			}
+		}
+		if best.EstimatedCost < 0 || cur < best.EstimatedCost {
+			best = Plan{H: idxToH(idx), Omega: omega, EstimatedCost: cur}
+		}
+	}
+	best.Evals = e.Evals()
+	return best, nil
+}

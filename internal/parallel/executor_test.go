@@ -1,0 +1,161 @@
+package parallel
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/algo"
+	"repro/internal/data"
+	"repro/internal/score"
+)
+
+func runParallel(t *testing.T, b int, ds *data.Dataset, scn access.Scenario, f score.Func, k int, h []float64) *Result {
+	t.Helper()
+	sess, err := access.NewSession(access.DatasetBackend{DS: ds}, scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob, err := algo.NewProblem(f, k, sess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := &Executor{B: b, Sel: algo.MustNewSRG(h, nil)}
+	res, err := ex.Run(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func assertOracle(t *testing.T, ds *data.Dataset, f score.Func, k int, items []algo.Item) {
+	t.Helper()
+	oracle := ds.TopK(f.Eval, k)
+	if len(items) != len(oracle) {
+		t.Fatalf("returned %d items, oracle %d", len(items), len(oracle))
+	}
+	got := make([]float64, len(items))
+	for i, it := range items {
+		got[i] = f.Eval(ds.Scores(it.Obj))
+		if it.Exact && math.Abs(it.Score-got[i]) > 1e-9 {
+			t.Fatalf("item %d reported %g, truth %g", i, it.Score, got[i])
+		}
+	}
+	want := make([]float64, len(oracle))
+	for i, r := range oracle {
+		want[i] = r.Score
+	}
+	sort.Float64s(got)
+	sort.Float64s(want)
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("score multiset mismatch: %v vs %v", got, want)
+		}
+	}
+}
+
+func TestSequentialEquivalence(t *testing.T) {
+	// B = 1 must behave exactly like the sequential NC run: same answers,
+	// same total cost, elapsed == cost.
+	ds := data.MustGenerate(data.Uniform, 200, 2, 13)
+	scn := access.Uniform(2, 1, 2)
+	h := []float64{0.4, 0.6}
+
+	res := runParallel(t, 1, ds, scn, score.Min(), 5, h)
+	assertOracle(t, ds, score.Min(), 5, res.Items)
+
+	sess, _ := access.NewSession(access.DatasetBackend{DS: ds}, scn)
+	prob, _ := algo.NewProblem(score.Min(), 5, sess)
+	alg, _ := algo.NewNC(h, nil)
+	seq, err := alg.Run(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ledger.TotalCost != seq.Cost() {
+		t.Errorf("B=1 cost %v != sequential cost %v", res.Ledger.TotalCost, seq.Cost())
+	}
+	if math.Abs(res.Elapsed-res.Ledger.TotalCost.Units()) > 1e-6 {
+		t.Errorf("B=1 elapsed %g != total cost %g", res.Elapsed, res.Ledger.TotalCost.Units())
+	}
+	if res.MaxUsed != 1 {
+		t.Errorf("B=1 used %d slots", res.MaxUsed)
+	}
+}
+
+func TestElapsedShrinksWithConcurrency(t *testing.T) {
+	ds := data.MustGenerate(data.Uniform, 500, 3, 29)
+	scn := access.Uniform(3, 1, 5)
+	h := []float64{0.5, 0.5, 0.5}
+	k := 10
+
+	var prev *Result
+	for _, b := range []int{1, 2, 4, 8} {
+		res := runParallel(t, b, ds, scn, score.Avg(), k, h)
+		assertOracle(t, ds, score.Avg(), k, res.Items)
+		if res.Elapsed > res.Ledger.TotalCost.Units()+1e-6 {
+			t.Errorf("B=%d: elapsed %g exceeds total cost %g", b, res.Elapsed, res.Ledger.TotalCost.Units())
+		}
+		if res.MaxUsed > b {
+			t.Errorf("B=%d: used %d slots", b, res.MaxUsed)
+		}
+		if prev != nil {
+			if res.Elapsed > prev.Elapsed*1.05 {
+				t.Errorf("B=%d elapsed %g did not improve on %g", b, res.Elapsed, prev.Elapsed)
+			}
+			// Resource usage must stay near the sequential plan's: the
+			// executor only services necessary tasks.
+			if float64(res.Ledger.TotalCost) > 1.5*float64(prev.Ledger.TotalCost) {
+				t.Errorf("B=%d cost %v blew up vs %v", b, res.Ledger.TotalCost, prev.Ledger.TotalCost)
+			}
+		}
+		prev = res
+	}
+	first := runParallel(t, 1, ds, scn, score.Avg(), k, h)
+	last := runParallel(t, 8, ds, scn, score.Avg(), k, h)
+	if last.Elapsed >= first.Elapsed {
+		t.Errorf("B=8 elapsed %g should beat B=1 elapsed %g", last.Elapsed, first.Elapsed)
+	}
+}
+
+func TestParallelProbeOnlyScenario(t *testing.T) {
+	ds := data.MustGenerate(data.AntiCorrelated, 150, 3, 31)
+	scn := access.MatrixCell(3, access.Impossible, access.Expensive, 10)
+	res := runParallel(t, 4, ds, scn, score.Min(), 5, []float64{0, 1, 1})
+	assertOracle(t, ds, score.Min(), 5, res.Items)
+	if res.MaxUsed < 2 {
+		t.Errorf("probe-only scenario should overlap probes, used %d", res.MaxUsed)
+	}
+}
+
+func TestParallelKLargerThanN(t *testing.T) {
+	ds := data.MustGenerate(data.Uniform, 6, 2, 3)
+	res := runParallel(t, 3, ds, access.Uniform(2, 1, 1), score.Avg(), 50, []float64{0.5, 0.5})
+	assertOracle(t, ds, score.Avg(), 50, res.Items)
+}
+
+func TestParallelValidation(t *testing.T) {
+	ds := data.MustGenerate(data.Uniform, 5, 2, 1)
+	sess, _ := access.NewSession(access.DatasetBackend{DS: ds}, access.Uniform(2, 1, 1))
+	prob, _ := algo.NewProblem(score.Avg(), 2, sess)
+	if _, err := (&Executor{B: 0, Sel: algo.MustNewSRG([]float64{1, 1}, nil)}).Run(prob); err == nil {
+		t.Error("B=0 should fail")
+	}
+	if _, err := (&Executor{B: 2}).Run(prob); err == nil {
+		t.Error("nil selector should fail")
+	}
+}
+
+func TestParallelDeterminism(t *testing.T) {
+	ds := data.MustGenerate(data.Gaussian, 120, 2, 77)
+	a := runParallel(t, 4, ds, access.Uniform(2, 1, 3), score.Min(), 5, []float64{0.3, 0.7})
+	b := runParallel(t, 4, ds, access.Uniform(2, 1, 3), score.Min(), 5, []float64{0.3, 0.7})
+	if a.Elapsed != b.Elapsed || a.Ledger.TotalCost != b.Ledger.TotalCost {
+		t.Error("parallel execution must be deterministic")
+	}
+	for i := range a.Items {
+		if a.Items[i] != b.Items[i] {
+			t.Fatal("items differ across identical runs")
+		}
+	}
+}

@@ -1,0 +1,260 @@
+package parallel
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/access"
+	"repro/internal/algo"
+	"repro/internal/score"
+	"repro/internal/state"
+)
+
+// Live executes a query against a real Backend (typically the HTTP
+// web-source client of internal/websim) with genuinely concurrent
+// requests, bounded by B — the deployment counterpart of the simulated
+// Executor. It applies the same dispatch policy (necessary tasks only,
+// pipelined sorted streams, one access per task at a time) but measures
+// wall-clock time instead of simulating it, and acts as its own
+// middleware runtime: it enforces legality and keeps the cost ledger,
+// since a shared access.Session is deliberately single-threaded.
+type Live struct {
+	B   int
+	Sel algo.Selector
+	Scn access.Scenario
+	// DisableNWG lifts the no-wild-guesses rule.
+	DisableNWG bool
+	// PerPredLimit additionally caps concurrent requests per predicate
+	// (i.e. per source) — the politeness bound that keeps a B-way
+	// middleware from hammering one slow source. Zero means no per-source
+	// cap beyond B.
+	PerPredLimit int
+}
+
+// LiveResult reports a live run: answers, the modeled cost ledger, and the
+// actual wall-clock time spent.
+type LiveResult struct {
+	Items  []algo.Item
+	Ledger access.Ledger
+	Wall   time.Duration
+}
+
+// Cost returns the modeled total access cost.
+func (r *LiveResult) Cost() access.Cost { return r.Ledger.TotalCost }
+
+// liveState is the mutex-guarded middleware bookkeeping. Its
+// algo.AccessContext methods are plain reads: the coordinator holds the
+// lock around every piece of control logic, releasing it only while
+// blocked on network completions.
+type liveState struct {
+	scn    access.Scenario
+	nwg    bool
+	n      int
+	cursor []int
+	probed [][]bool
+	seen   []bool
+	ns, nr []int
+	cost   access.Cost
+}
+
+func (s *liveState) M() int                      { return len(s.scn.Preds) }
+func (s *liveState) Costs(i int) access.PredCost { return s.scn.Preds[i] }
+func (s *liveState) SortedExhausted(i int) bool  { return s.cursor[i] >= s.n }
+func (s *liveState) Probed(i, u int) bool        { return s.probed[i][u] }
+func (s *liveState) Seen(u int) bool             { return s.seen[u] }
+func (s *liveState) NoWildGuesses() bool         { return s.nwg }
+
+var _ algo.AccessContext = (*liveState)(nil)
+
+// completion is one finished backend call.
+type completion struct {
+	kind  access.Kind
+	pred  int
+	obj   int
+	task  int
+	rank  int
+	score float64
+	err   error
+}
+
+// Run executes the query live. The backend must be safe for concurrent
+// use (websim clients and DatasetBackend are).
+func (l *Live) Run(b access.Backend, f score.Func, k int) (*LiveResult, error) {
+	if l.B < 1 {
+		return nil, fmt.Errorf("parallel: live concurrency bound must be >= 1, got %d", l.B)
+	}
+	if l.Sel == nil {
+		return nil, fmt.Errorf("parallel: live executor requires a selector")
+	}
+	if err := l.Scn.Validate(b.M()); err != nil {
+		return nil, err
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("parallel: retrieval size must be >= 1, got %d", k)
+	}
+	start := time.Now()
+	n, m := b.N(), b.M()
+	tab, err := state.NewTable(n, m, f)
+	if err != nil {
+		return nil, err
+	}
+	st := &liveState{
+		scn:    l.Scn,
+		nwg:    !l.DisableNWG,
+		n:      n,
+		cursor: make([]int, m),
+		probed: make([][]bool, m),
+		seen:   make([]bool, n),
+		ns:     make([]int, m),
+		nr:     make([]int, m),
+	}
+	for i := range st.probed {
+		st.probed[i] = make([]bool, n)
+	}
+	q := state.NewQueue(tab, st.nwg)
+	emitted := make([]bool, n)
+	taskBusy := make(map[int]bool, l.B)
+	predInFlight := make([]int, m)
+	applyRank := make([]int, m)
+	sortedBuf := make([]map[int]completion, m)
+	for i := range sortedBuf {
+		sortedBuf[i] = make(map[int]completion)
+	}
+
+	// Buffered so that in-flight goroutines can always deliver and exit
+	// even if Run has already returned (e.g. on error).
+	results := make(chan completion, l.B)
+	var mu sync.Mutex
+	mu.Lock()
+	defer mu.Unlock()
+	inflight := 0
+
+	launch := func(c completion) {
+		go func() {
+			switch c.kind {
+			case access.SortedAccess:
+				obj, sc, err := b.Sorted(c.pred, c.rank)
+				c.obj, c.score, c.err = obj, sc, err
+			case access.RandomAccess:
+				sc, err := b.Random(c.pred, c.obj)
+				c.score, c.err = sc, err
+			}
+			results <- c
+		}()
+	}
+
+	// dispatchOne mirrors the simulated executor's policy; it must be
+	// called with mu held.
+	dispatchOne := func() bool {
+		for _, cand := range q.TopN(k) {
+			if taskBusy[cand.ID] {
+				continue
+			}
+			if cand.ID != state.UnseenID && tab.Complete(cand.ID) {
+				continue
+			}
+			choices := algo.NecessaryChoices(tab, st, cand.ID)
+			if l.PerPredLimit > 0 {
+				filtered := choices[:0]
+				for _, ch := range choices {
+					if predInFlight[ch.Pred] < l.PerPredLimit {
+						filtered = append(filtered, ch)
+					}
+				}
+				choices = filtered
+			}
+			if len(choices) == 0 {
+				continue
+			}
+			ch := l.Sel.Choose(tab, st, cand.ID, choices)
+			c := completion{kind: ch.Kind, pred: ch.Pred, task: cand.ID}
+			switch ch.Kind {
+			case access.SortedAccess:
+				c.rank = st.cursor[ch.Pred]
+				st.cursor[ch.Pred]++
+				st.ns[ch.Pred]++
+				st.cost += st.scn.Preds[ch.Pred].Sorted
+			case access.RandomAccess:
+				c.obj = cand.ID
+				st.probed[ch.Pred][cand.ID] = true
+				st.nr[ch.Pred]++
+				st.cost += st.scn.Preds[ch.Pred].Random
+			}
+			taskBusy[cand.ID] = true
+			predInFlight[ch.Pred]++
+			launch(c)
+			inflight++
+			return true
+		}
+		return false
+	}
+
+	applySorted := func(c completion) {
+		sortedBuf[c.pred][c.rank] = c
+		for {
+			g, ok := sortedBuf[c.pred][applyRank[c.pred]]
+			if !ok {
+				break
+			}
+			delete(sortedBuf[c.pred], applyRank[c.pred])
+			applyRank[c.pred]++
+			tab.ObserveSorted(g.pred, g.obj, g.score)
+			if !st.seen[g.obj] {
+				st.seen[g.obj] = true
+			}
+			if !emitted[g.obj] && !q.Contains(g.obj) {
+				q.Add(g.obj)
+			}
+		}
+	}
+
+	var items []algo.Item
+	for len(items) < k {
+		for len(items) < k {
+			top, ok := q.Peek()
+			if !ok || top.ID == state.UnseenID || !tab.Complete(top.ID) {
+				break
+			}
+			q.Pop()
+			emitted[top.ID] = true
+			exact, _ := tab.Exact(top.ID)
+			items = append(items, algo.Item{Obj: top.ID, Score: exact, Exact: true})
+		}
+		if len(items) >= k {
+			break
+		}
+		if _, ok := q.Peek(); !ok {
+			break
+		}
+		for inflight < l.B && dispatchOne() {
+		}
+		if inflight == 0 {
+			return nil, fmt.Errorf("parallel: live run stuck with %d/%d answers", len(items), k)
+		}
+		// Wait for one completion with the lock released so in-flight
+		// requests can land.
+		mu.Unlock()
+		c := <-results
+		mu.Lock()
+		inflight--
+		delete(taskBusy, c.task)
+		predInFlight[c.pred]--
+		if c.err != nil {
+			return nil, fmt.Errorf("parallel: live %v access on p%d failed: %w", c.kind, c.pred+1, c.err)
+		}
+		switch c.kind {
+		case access.SortedAccess:
+			applySorted(c)
+		case access.RandomAccess:
+			tab.ObserveRandom(c.pred, c.obj, c.score)
+		}
+	}
+
+	ledger := access.Ledger{
+		SortedCounts: append([]int(nil), st.ns...),
+		RandomCounts: append([]int(nil), st.nr...),
+		TotalCost:    st.cost,
+	}
+	return &LiveResult{Items: items, Ledger: ledger, Wall: time.Since(start)}, nil
+}

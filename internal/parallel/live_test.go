@@ -1,0 +1,202 @@
+package parallel
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/access"
+	"repro/internal/algo"
+	"repro/internal/data"
+	"repro/internal/score"
+)
+
+// sleepBackend adds a fixed latency to every access of an in-memory
+// backend, standing in for network time deterministically.
+type sleepBackend struct {
+	access.DatasetBackend
+	delay time.Duration
+}
+
+func (b sleepBackend) Sorted(pred, rank int) (int, float64, error) {
+	time.Sleep(b.delay)
+	return b.DatasetBackend.Sorted(pred, rank)
+}
+
+func (b sleepBackend) Random(pred, obj int) (float64, error) {
+	time.Sleep(b.delay)
+	return b.DatasetBackend.Random(pred, obj)
+}
+
+// failingBackend errors on every random access.
+type failingBackend struct{ access.DatasetBackend }
+
+var errBoom = errors.New("boom")
+
+func (b failingBackend) Random(pred, obj int) (float64, error) { return 0, errBoom }
+
+func TestLiveMatchesOracle(t *testing.T) {
+	ds := data.MustGenerate(data.Uniform, 120, 2, 51)
+	scn := access.Uniform(2, 1, 2)
+	live := &Live{B: 4, Sel: algo.MustNewSRG([]float64{0.5, 0.5}, nil), Scn: scn}
+	res, err := live.Run(access.DatasetBackend{DS: ds}, score.Min(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertOracle(t, ds, score.Min(), 5, res.Items)
+	if res.Cost() <= 0 {
+		t.Error("live run accrued no modeled cost")
+	}
+	l := res.Ledger
+	if l.TotalAccesses() == 0 {
+		t.Error("no accesses recorded")
+	}
+}
+
+func TestLiveWallClockSpeedup(t *testing.T) {
+	ds := data.MustGenerate(data.Uniform, 80, 2, 52)
+	scn := access.Uniform(2, 1, 1)
+	backend := sleepBackend{DatasetBackend: access.DatasetBackend{DS: ds}, delay: 2 * time.Millisecond}
+	run := func(b int) *LiveResult {
+		live := &Live{B: b, Sel: algo.MustNewSRG([]float64{0.5, 0.5}, nil), Scn: scn}
+		res, err := live.Run(backend, score.Avg(), 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertOracle(t, ds, score.Avg(), 5, res.Items)
+		return res
+	}
+	seq := run(1)
+	par := run(8)
+	// With ~2ms per request, an 8-way executor should finish in well under
+	// half the sequential wall time; 60% is a safe flake-proof bound.
+	if par.Wall > seq.Wall*6/10 {
+		t.Errorf("B=8 wall %v did not improve enough on B=1 wall %v", par.Wall, seq.Wall)
+	}
+	// Resource usage (modeled cost) stays close to sequential.
+	if float64(par.Cost()) > 1.4*float64(seq.Cost()) {
+		t.Errorf("B=8 cost %v vs B=1 cost %v", par.Cost(), seq.Cost())
+	}
+}
+
+func TestLiveProbeScenario(t *testing.T) {
+	ds := data.MustGenerate(data.AntiCorrelated, 90, 3, 53)
+	scn := access.MatrixCell(3, access.Impossible, access.Expensive, 10)
+	live := &Live{B: 6, Sel: algo.MustNewSRG([]float64{0, 1, 1}, nil), Scn: scn}
+	res, err := live.Run(access.DatasetBackend{DS: ds}, score.Min(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertOracle(t, ds, score.Min(), 4, res.Items)
+}
+
+func TestLiveValidation(t *testing.T) {
+	ds := data.MustGenerate(data.Uniform, 10, 2, 1)
+	b := access.DatasetBackend{DS: ds}
+	sel := algo.MustNewSRG([]float64{0.5, 0.5}, nil)
+	if _, err := (&Live{B: 0, Sel: sel, Scn: access.Uniform(2, 1, 1)}).Run(b, score.Min(), 2); err == nil {
+		t.Error("B=0 should fail")
+	}
+	if _, err := (&Live{B: 2, Scn: access.Uniform(2, 1, 1)}).Run(b, score.Min(), 2); err == nil {
+		t.Error("nil selector should fail")
+	}
+	if _, err := (&Live{B: 2, Sel: sel, Scn: access.Uniform(3, 1, 1)}).Run(b, score.Min(), 2); err == nil {
+		t.Error("scenario arity mismatch should fail")
+	}
+	if _, err := (&Live{B: 2, Sel: sel, Scn: access.Uniform(2, 1, 1)}).Run(b, score.Min(), 0); err == nil {
+		t.Error("k=0 should fail")
+	}
+}
+
+func TestLiveSurfacesBackendErrors(t *testing.T) {
+	ds := data.MustGenerate(data.Uniform, 30, 2, 2)
+	scn := access.MatrixCell(2, access.Cheap, access.Cheap, 1)
+	// Force probes by forbidding deep sorted access.
+	live := &Live{B: 3, Sel: algo.MustNewSRG([]float64{1, 1}, nil), Scn: scn}
+	_, err := live.Run(failingBackend{access.DatasetBackend{DS: ds}}, score.Avg(), 3)
+	if !errors.Is(err, errBoom) {
+		t.Errorf("backend error not surfaced: %v", err)
+	}
+}
+
+func TestLiveKLargerThanN(t *testing.T) {
+	ds := data.MustGenerate(data.Uniform, 6, 2, 3)
+	live := &Live{B: 3, Sel: algo.MustNewSRG([]float64{0.5, 0.5}, nil), Scn: access.Uniform(2, 1, 1)}
+	res, err := live.Run(access.DatasetBackend{DS: ds}, score.Avg(), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertOracle(t, ds, score.Avg(), 50, res.Items)
+}
+
+// countingBackend records the peak number of concurrent requests per
+// predicate.
+type countingBackend struct {
+	access.DatasetBackend
+	mu       sync.Mutex
+	inflight []int
+	peak     []int
+	delay    time.Duration
+}
+
+func newCountingBackend(ds *data.Dataset, delay time.Duration) *countingBackend {
+	return &countingBackend{
+		DatasetBackend: access.DatasetBackend{DS: ds},
+		inflight:       make([]int, ds.M()),
+		peak:           make([]int, ds.M()),
+		delay:          delay,
+	}
+}
+
+func (b *countingBackend) enter(pred int) {
+	b.mu.Lock()
+	b.inflight[pred]++
+	if b.inflight[pred] > b.peak[pred] {
+		b.peak[pred] = b.inflight[pred]
+	}
+	b.mu.Unlock()
+}
+
+func (b *countingBackend) exit(pred int) {
+	b.mu.Lock()
+	b.inflight[pred]--
+	b.mu.Unlock()
+}
+
+func (b *countingBackend) Sorted(pred, rank int) (int, float64, error) {
+	b.enter(pred)
+	time.Sleep(b.delay)
+	defer b.exit(pred)
+	return b.DatasetBackend.Sorted(pred, rank)
+}
+
+func (b *countingBackend) Random(pred, obj int) (float64, error) {
+	b.enter(pred)
+	time.Sleep(b.delay)
+	defer b.exit(pred)
+	return b.DatasetBackend.Random(pred, obj)
+}
+
+func TestLivePerPredicatePoliteness(t *testing.T) {
+	ds := data.MustGenerate(data.Uniform, 100, 2, 61)
+	backend := newCountingBackend(ds, time.Millisecond)
+	live := &Live{
+		B:            8,
+		Sel:          algo.MustNewSRG([]float64{0.5, 0.5}, nil),
+		Scn:          access.Uniform(2, 1, 1),
+		PerPredLimit: 2,
+	}
+	res, err := live.Run(backend, score.Avg(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertOracle(t, ds, score.Avg(), 5, res.Items)
+	backend.mu.Lock()
+	defer backend.mu.Unlock()
+	for i, p := range backend.peak {
+		if p > 2 {
+			t.Errorf("predicate %d saw %d concurrent requests, limit 2", i, p)
+		}
+	}
+}

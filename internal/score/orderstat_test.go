@@ -1,0 +1,106 @@
+package score
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestOrderStatisticKnownValues(t *testing.T) {
+	xs := []float64{0.2, 0.9, 0.5, 0.7}
+	cases := []struct {
+		j    int
+		want float64
+	}{
+		{1, 0.9}, {2, 0.7}, {3, 0.5}, {4, 0.2},
+		{9, 0.2}, // clamps to m
+	}
+	for _, c := range cases {
+		if got := OrderStatistic(c.j).Eval(xs); got != c.want {
+			t.Errorf("kth-largest(%d) = %g, want %g", c.j, got, c.want)
+		}
+	}
+	// Identities: j=1 is max, j=m is min.
+	if OrderStatistic(1).Eval(xs) != Max().Eval(xs) {
+		t.Error("j=1 should equal max")
+	}
+	if OrderStatistic(4).Eval(xs) != Min().Eval(xs) {
+		t.Error("j=m should equal min")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := Median().Eval([]float64{0.1, 0.5, 0.9}); got != 0.5 {
+		t.Errorf("median of 3 = %g", got)
+	}
+	// Even arity: lower median = ceil(4/2) = 2nd largest.
+	if got := Median().Eval([]float64{0.1, 0.2, 0.8, 0.9}); got != 0.8 {
+		t.Errorf("median of 4 = %g", got)
+	}
+	if got := Median().Eval([]float64{0.4}); got != 0.4 {
+		t.Errorf("median of 1 = %g", got)
+	}
+	if Median().Name() != "median" || Median().Shape() != ShapeMinLike {
+		t.Error("median metadata wrong")
+	}
+	if _, ok := Median().Derivative([]float64{0.5, 0.5}, 0); ok {
+		t.Error("median derivative should be inapplicable")
+	}
+}
+
+func TestOrderStatisticPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("j=0 should panic")
+		}
+	}()
+	OrderStatistic(0)
+}
+
+func TestOrderStatisticMatchesSortProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	prop := func(raw []float64, jRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := clampVec(raw)
+		j := int(jRaw)%len(xs) + 1
+		got := OrderStatistic(j).Eval(xs)
+		sorted := append([]float64(nil), xs...)
+		sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+		return got == sorted[j-1]
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOrderStatisticMonotoneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	prop := func(a, b []float64, jRaw uint8) bool {
+		if len(a) < 3 || len(b) < 3 {
+			return true
+		}
+		x := clampVec(a[:3])
+		bump := clampVec(b[:3])
+		y := make([]float64, 3)
+		for i := range y {
+			y[i] = math.Min(1, x[i]+bump[i])
+		}
+		j := int(jRaw)%3 + 1
+		f := OrderStatistic(j)
+		return f.Eval(x) <= f.Eval(y)+1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestByNameMedian(t *testing.T) {
+	f, err := ByName("median")
+	if err != nil || f.Name() != "median" {
+		t.Errorf("ByName(median) = %v, %v", f, err)
+	}
+}

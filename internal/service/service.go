@@ -1,0 +1,266 @@
+// Package service exposes the top-k middleware as an HTTP service: clients
+// POST queries in the paper's SQL-like syntax and receive ranked answers
+// with the access bill. One service instance fronts one database (a
+// dataset or any access backend composition) under one cost scenario —
+// the deployable form of the middleware that cmd/topkd runs.
+//
+// Endpoints:
+//
+//	GET  /meta     -> {"n":1000,"m":2,"columns":["rating","closeness"],"scenario":"example1"}
+//	GET  /healthz  -> 200 ok
+//	POST /query    <- {"sql":"select name from db order by min(rating, closeness) stop after 5",
+//	                   "algorithm":"opt",          // opt (default) | nc | any baseline name
+//	                   "h":[0.4,1], "omega":[1,0], // with algorithm "nc"
+//	                   "budget":25.0,              // optional anytime cap (cost units)
+//	                   "epsilon":0.1,              // optional approximation slack
+//	                   "parallel":8}               // optional simulated concurrency
+//	               -> {"items":[{"object":3,"label":"restaurant-003","score":0.91,"exact":true}],
+//	                   "cost":14.2,"truncated":false,"plan":{"h":[...],"omega":[...]},
+//	                   "sortedAccesses":[20,50],"randomAccesses":[0,0]}
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+
+	topk "repro"
+	"repro/internal/data"
+	"repro/internal/opt"
+	"repro/internal/sqlq"
+)
+
+// Config describes the database one service instance fronts.
+type Config struct {
+	// Dataset is the in-memory database (the service projects its columns
+	// per query).
+	Dataset *data.Dataset
+	// Columns names the dataset's predicates for SQL binding.
+	Columns []string
+	// Scenario is the access cost configuration.
+	Scenario topk.Scenario
+	// Optimizer tunes the default cost-based pipeline.
+	Optimizer opt.Config
+}
+
+// Handler is the HTTP middleware service.
+type Handler struct {
+	cfg Config
+	mux *http.ServeMux
+
+	// planCache memoizes optimizer plans per canonical query: repeated
+	// queries skip the plan search (costs are static for one service
+	// instance, so plans stay valid until restart).
+	mu        sync.Mutex
+	planCache map[string]cachedPlan
+	hits      int
+}
+
+type cachedPlan struct {
+	h     []float64
+	omega []int
+}
+
+// NewHandler validates the configuration and builds the service.
+func NewHandler(cfg Config) (*Handler, error) {
+	if cfg.Dataset == nil {
+		return nil, fmt.Errorf("service: config requires a dataset")
+	}
+	if len(cfg.Columns) != cfg.Dataset.M() {
+		return nil, fmt.Errorf("service: %d column names for %d predicates", len(cfg.Columns), cfg.Dataset.M())
+	}
+	if err := cfg.Scenario.Validate(cfg.Dataset.M()); err != nil {
+		return nil, err
+	}
+	h := &Handler{cfg: cfg, mux: http.NewServeMux(), planCache: make(map[string]cachedPlan)}
+	h.mux.HandleFunc("/meta", h.handleMeta)
+	h.mux.HandleFunc("/healthz", h.handleHealth)
+	h.mux.HandleFunc("/query", h.handleQuery)
+	return h, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
+
+// QueryRequest is the POST /query payload.
+type QueryRequest struct {
+	SQL       string    `json:"sql"`
+	Algorithm string    `json:"algorithm,omitempty"`
+	H         []float64 `json:"h,omitempty"`
+	Omega     []int     `json:"omega,omitempty"`
+	Budget    float64   `json:"budget,omitempty"`
+	Epsilon   float64   `json:"epsilon,omitempty"`
+	Parallel  int       `json:"parallel,omitempty"`
+}
+
+// QueryItem is one ranked answer in a response.
+type QueryItem struct {
+	Object int     `json:"object"`
+	Label  string  `json:"label"`
+	Score  float64 `json:"score"`
+	Exact  bool    `json:"exact"`
+}
+
+// PlanPayload reports the optimizer's configuration choice.
+type PlanPayload struct {
+	H     []float64 `json:"h"`
+	Omega []int     `json:"omega"`
+}
+
+// QueryResponse is the POST /query result.
+type QueryResponse struct {
+	Query          string       `json:"query"`
+	Items          []QueryItem  `json:"items"`
+	Cost           float64      `json:"cost"`
+	Truncated      bool         `json:"truncated"`
+	Plan           *PlanPayload `json:"plan,omitempty"`
+	SortedAccesses []int        `json:"sortedAccesses"`
+	RandomAccesses []int        `json:"randomAccesses"`
+}
+
+type errPayload struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (h *Handler) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	_, _ = io.WriteString(w, "ok\n")
+}
+
+type metaPayload struct {
+	N        int      `json:"n"`
+	M        int      `json:"m"`
+	Columns  []string `json:"columns"`
+	Scenario string   `json:"scenario"`
+}
+
+func (h *Handler) handleMeta(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, metaPayload{
+		N:        h.cfg.Dataset.N(),
+		M:        h.cfg.Dataset.M(),
+		Columns:  h.cfg.Columns,
+		Scenario: h.cfg.Scenario.Name,
+	})
+}
+
+func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errPayload{Error: "POST required"})
+		return
+	}
+	var req QueryRequest
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errPayload{Error: "bad request: " + err.Error()})
+		return
+	}
+	resp, status, err := h.execute(req)
+	if err != nil {
+		writeJSON(w, status, errPayload{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// execute runs one query request against the configured database.
+func (h *Handler) execute(req QueryRequest) (*QueryResponse, int, error) {
+	pq, err := sqlq.Parse(req.SQL)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	cols, err := sqlq.Bind(pq, h.cfg.Columns)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	ds, err := data.Project(h.cfg.Dataset, cols)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	scn := topk.Scenario{Name: h.cfg.Scenario.Name, Preds: make([]topk.PredCost, len(cols))}
+	for i, c := range cols {
+		scn.Preds[i] = h.cfg.Scenario.Preds[c]
+	}
+	eng, err := topk.NewEngine(topk.DataBackend(ds), scn)
+	if err != nil {
+		return nil, http.StatusInternalServerError, err
+	}
+
+	var opts []topk.RunOption
+	switch alg := req.Algorithm; {
+	case alg == "" || alg == "opt":
+		h.mu.Lock()
+		if cp, ok := h.planCache[pq.String()]; ok {
+			opts = append(opts, topk.WithNC(cp.h, cp.omega))
+			h.hits++
+		} else {
+			opts = append(opts, topk.WithOptimizer(topk.OptimizerConfig(h.cfg.Optimizer)))
+		}
+		h.mu.Unlock()
+	case alg == "nc":
+		if req.H == nil {
+			return nil, http.StatusBadRequest, fmt.Errorf("service: algorithm \"nc\" requires h")
+		}
+		opts = append(opts, topk.WithNC(req.H, req.Omega))
+	default:
+		opts = append(opts, topk.WithAlgorithm(alg))
+	}
+	if req.Budget > 0 {
+		opts = append(opts, topk.WithBudget(req.Budget))
+	}
+	if req.Epsilon > 0 {
+		opts = append(opts, topk.WithApproximation(req.Epsilon))
+	}
+	if req.Parallel > 0 {
+		opts = append(opts, topk.WithParallel(req.Parallel))
+	}
+
+	ans, err := eng.Run(topk.Query{F: pq.Func, K: pq.K}, opts...)
+	if err != nil {
+		status := http.StatusBadRequest
+		if strings.Contains(err.Error(), "unknown algorithm") {
+			status = http.StatusBadRequest
+		}
+		return nil, status, err
+	}
+
+	resp := &QueryResponse{
+		Query:          pq.String(),
+		Cost:           ans.TotalCost().Units(),
+		Truncated:      ans.Truncated,
+		SortedAccesses: ans.Ledger.SortedCounts,
+		RandomAccesses: ans.Ledger.RandomCounts,
+	}
+	for _, it := range ans.Items {
+		resp.Items = append(resp.Items, QueryItem{
+			Object: it.Obj,
+			Label:  ds.Label(it.Obj),
+			Score:  it.Score,
+			Exact:  it.Exact,
+		})
+	}
+	if ans.Plan != nil {
+		resp.Plan = &PlanPayload{H: ans.Plan.H, Omega: ans.Plan.Omega}
+		h.mu.Lock()
+		h.planCache[pq.String()] = cachedPlan{h: ans.Plan.H, omega: ans.Plan.Omega}
+		h.mu.Unlock()
+	}
+	return resp, http.StatusOK, nil
+}
+
+// PlanCacheHits reports how many queries were answered with a cached plan
+// (for tests and operational visibility).
+func (h *Handler) PlanCacheHits() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.hits
+}

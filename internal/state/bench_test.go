@@ -1,0 +1,73 @@
+package state
+
+import (
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/score"
+)
+
+// Benchmarks for the score-state layer: bound computation and queue
+// maintenance are the per-access bookkeeping every algorithm pays, so
+// their constants matter for large-n simulation runs.
+
+func seededTable(b *testing.B, n, m int) (*Table, *data.Dataset) {
+	b.Helper()
+	ds := data.MustGenerate(data.Uniform, n, m, 7)
+	tab := MustNewTable(n, m, score.Avg())
+	// Partially observe: half of each sorted list plus scattered probes.
+	for i := 0; i < m; i++ {
+		for r := 0; r < n/2; r++ {
+			obj, s := ds.SortedAt(i, r)
+			tab.ObserveSorted(i, obj, s)
+		}
+	}
+	for u := 0; u < n; u += 3 {
+		tab.ObserveRandom(0, u, ds.Score(u, 0))
+	}
+	return tab, ds
+}
+
+func BenchmarkTableUpper(b *testing.B) {
+	tab, _ := seededTable(b, 1000, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tab.Upper(i % tab.N())
+	}
+}
+
+func BenchmarkTableObserveSorted(b *testing.B) {
+	ds := data.MustGenerate(data.Uniform, 1000, 2, 9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab := MustNewTable(1000, 2, score.Avg())
+		for r := 0; r < 1000; r++ {
+			obj, s := ds.SortedAt(0, r)
+			tab.ObserveSorted(0, obj, s)
+		}
+	}
+}
+
+func BenchmarkQueuePopAll(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		tab, _ := seededTable(b, 1000, 3)
+		q := NewQueue(tab, false)
+		b.StartTimer()
+		for {
+			if _, ok := q.Pop(); !ok {
+				break
+			}
+		}
+	}
+}
+
+func BenchmarkQueueTopN(b *testing.B) {
+	tab, _ := seededTable(b, 1000, 3)
+	q := NewQueue(tab, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = q.TopN(10)
+	}
+}

@@ -1,0 +1,168 @@
+package state
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Entry is one candidate in the queue: an object id (possibly UnseenID)
+// with its maximal-possible score as of the last validation.
+type Entry struct {
+	ID    int
+	Upper float64
+}
+
+// Before reports whether e ranks strictly ahead of o under the
+// deterministic order: higher upper first, then higher id. UnseenID (-1)
+// therefore loses ties against every real object, which keeps runs
+// deterministic and lets seen objects surface first.
+func (e Entry) Before(o Entry) bool {
+	if e.Upper != o.Upper {
+		return e.Upper > o.Upper
+	}
+	return e.ID > o.ID
+}
+
+type entryHeap []Entry
+
+func (h entryHeap) Len() int            { return len(h) }
+func (h entryHeap) Less(a, b int) bool  { return h[a].Before(h[b]) }
+func (h entryHeap) Swap(a, b int)       { h[a], h[b] = h[b], h[a] }
+func (h *entryHeap) Push(x interface{}) { *h = append(*h, x.(Entry)) }
+func (h *entryHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Queue is a priority queue of candidate objects ordered by
+// maximal-possible score, the "search mechanism for finding unsatisfied
+// tasks" suggested by Section 6.1. Because upper bounds only ever
+// decrease, the queue revalidates lazily: an entry popped with a stale
+// (too-high) cached bound is recomputed and reinserted; an entry whose
+// cached bound matches its current bound is genuinely the maximum.
+//
+// Under the no-wild-guesses rule the queue starts holding only the virtual
+// unseen object (Figure 10); real objects are added as sorted accesses
+// reveal them. Without the rule, all objects start in the queue with the
+// perfect bound F(1,...,1).
+type Queue struct {
+	t        *Table
+	h        entryHeap
+	inQueue  map[int]bool
+	hasUnsn  bool
+	nwgStart bool
+}
+
+// NewQueue builds the candidate queue. If nwg is true, only the virtual
+// unseen object is enqueued initially; otherwise every object is.
+func NewQueue(t *Table, nwg bool) *Queue {
+	q := &Queue{t: t, inQueue: make(map[int]bool, t.N()+1), nwgStart: nwg}
+	if nwg {
+		q.pushRaw(Entry{ID: UnseenID, Upper: t.UnseenUpper()})
+	} else {
+		for u := 0; u < t.N(); u++ {
+			q.pushRaw(Entry{ID: u, Upper: t.Upper(u)})
+		}
+	}
+	return q
+}
+
+func (q *Queue) pushRaw(e Entry) {
+	if q.inQueue[e.ID] {
+		return
+	}
+	q.inQueue[e.ID] = true
+	if e.ID == UnseenID {
+		q.hasUnsn = true
+	}
+	heap.Push(&q.h, e)
+}
+
+// Add enqueues object u (typically when it is first seen). Adding an
+// object already present is a no-op.
+func (q *Queue) Add(u int) {
+	if u == UnseenID {
+		panic("state: Add(UnseenID); the unseen entry is managed internally")
+	}
+	q.pushRaw(Entry{ID: u, Upper: q.t.Upper(u)})
+}
+
+// Len returns the number of candidates currently enqueued.
+func (q *Queue) Len() int { return len(q.h) }
+
+// Contains reports whether id is in the queue.
+func (q *Queue) Contains(id int) bool { return q.inQueue[id] }
+
+// revalidateTop restores the invariant that the heap root carries its
+// current (not stale) upper bound, dropping the unseen entry once all
+// objects have been seen. Returns false when the queue is empty.
+func (q *Queue) revalidateTop() bool {
+	for len(q.h) > 0 {
+		top := q.h[0]
+		if top.ID == UnseenID && q.t.AllSeen() {
+			heap.Pop(&q.h)
+			delete(q.inQueue, UnseenID)
+			q.hasUnsn = false
+			continue
+		}
+		cur := q.t.UpperOf(top.ID)
+		if cur < top.Upper {
+			q.h[0].Upper = cur
+			heap.Fix(&q.h, 0)
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// Peek returns the current best candidate without removing it.
+func (q *Queue) Peek() (Entry, bool) {
+	if !q.revalidateTop() {
+		return Entry{}, false
+	}
+	return q.h[0], true
+}
+
+// Pop removes and returns the current best candidate.
+func (q *Queue) Pop() (Entry, bool) {
+	if !q.revalidateTop() {
+		return Entry{}, false
+	}
+	e := heap.Pop(&q.h).(Entry)
+	delete(q.inQueue, e.ID)
+	if e.ID == UnseenID {
+		q.hasUnsn = false
+	}
+	return e, true
+}
+
+// TopN returns the current best n candidates in order without disturbing
+// the queue (entries are popped with validation and reinserted). It is
+// used by the parallel executor to find several distinct unsatisfied
+// tasks, and by K_P-style inspection in tests.
+func (q *Queue) TopN(n int) []Entry {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]Entry, 0, n)
+	for len(out) < n {
+		e, ok := q.Pop()
+		if !ok {
+			break
+		}
+		out = append(out, e)
+	}
+	for _, e := range out {
+		q.pushRaw(e)
+	}
+	return out
+}
+
+// String summarizes the queue for debugging.
+func (q *Queue) String() string {
+	return fmt.Sprintf("queue(len=%d, unseen=%v)", len(q.h), q.hasUnsn)
+}

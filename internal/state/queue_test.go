@@ -1,0 +1,195 @@
+package state
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/score"
+)
+
+func TestQueueInitialNWG(t *testing.T) {
+	tab := MustNewTable(3, 2, score.Min())
+	q := NewQueue(tab, true)
+	if q.Len() != 1 {
+		t.Fatalf("NWG queue should start with only the unseen entry, len=%d", q.Len())
+	}
+	e, ok := q.Peek()
+	if !ok || e.ID != UnseenID || e.Upper != 1 {
+		t.Fatalf("top = %+v, %v", e, ok)
+	}
+}
+
+func TestQueueInitialOpen(t *testing.T) {
+	tab := MustNewTable(3, 2, score.Min())
+	q := NewQueue(tab, false)
+	if q.Len() != 3 {
+		t.Fatalf("open queue len = %d", q.Len())
+	}
+	// All uppers tie at 1.0; higher OID wins (paper Example 9 picked u3).
+	e, _ := q.Peek()
+	if e.ID != 2 {
+		t.Errorf("tie-break top = %d, want 2", e.ID)
+	}
+}
+
+func TestQueueLazyRevalidation(t *testing.T) {
+	ds := data.MustNew("d", [][]float64{
+		{0.9, 0.2},
+		{0.5, 0.9},
+		{0.3, 0.4},
+	})
+	tab := MustNewTable(3, 2, score.Avg())
+	q := NewQueue(tab, false)
+
+	// Drop object 2's bound via probes: exact avg(.3,.4)=.35.
+	tab.ObserveRandom(0, 2, ds.Score(2, 0))
+	tab.ObserveRandom(1, 2, ds.Score(2, 1))
+	// Probe object 0 partially: p1=.9 -> upper avg(.9, 1) = .95.
+	tab.ObserveRandom(0, 0, ds.Score(0, 0))
+
+	e, _ := q.Pop()
+	if e.ID != 1 || e.Upper != 1 { // untouched object keeps the perfect bound
+		t.Fatalf("first pop = %+v, want object 1 at 1.0", e)
+	}
+	e, _ = q.Pop()
+	if e.ID != 0 || math.Abs(e.Upper-0.95) > 1e-12 {
+		t.Fatalf("second pop = %+v, want object 0 at 0.95", e)
+	}
+	e, _ = q.Pop()
+	if e.ID != 2 || math.Abs(e.Upper-0.35) > 1e-12 {
+		t.Fatalf("third pop = %+v, want object 2 at 0.35", e)
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestQueueUnseenDropsWhenAllSeen(t *testing.T) {
+	tab := MustNewTable(2, 1, score.Min())
+	q := NewQueue(tab, true)
+	tab.ObserveSorted(0, 1, 0.8)
+	q.Add(1)
+	tab.ObserveSorted(0, 0, 0.6)
+	q.Add(0)
+	if !tab.AllSeen() {
+		t.Fatal("all seen expected")
+	}
+	ids := []int{}
+	for {
+		e, ok := q.Pop()
+		if !ok {
+			break
+		}
+		ids = append(ids, e.ID)
+	}
+	if len(ids) != 2 || ids[0] != 1 || ids[1] != 0 {
+		t.Fatalf("pops = %v, want [1 0] with unseen dropped", ids)
+	}
+}
+
+func TestQueueAddIdempotent(t *testing.T) {
+	tab := MustNewTable(3, 1, score.Min())
+	q := NewQueue(tab, true)
+	tab.ObserveSorted(0, 1, 0.9)
+	q.Add(1)
+	q.Add(1)
+	if q.Len() != 2 { // unseen + object 1
+		t.Fatalf("len = %d, want 2", q.Len())
+	}
+	if !q.Contains(1) || q.Contains(0) {
+		t.Error("Contains bookkeeping wrong")
+	}
+}
+
+func TestQueueAddUnseenPanics(t *testing.T) {
+	tab := MustNewTable(1, 1, score.Min())
+	q := NewQueue(tab, true)
+	defer func() {
+		if recover() == nil {
+			t.Error("Add(UnseenID) should panic")
+		}
+	}()
+	q.Add(UnseenID)
+}
+
+func TestTopNPreservesQueue(t *testing.T) {
+	tab := MustNewTable(5, 1, score.Min())
+	q := NewQueue(tab, false)
+	for u := 0; u < 5; u++ {
+		tab.ObserveRandom(0, u, float64(u)/10)
+	}
+	top := q.TopN(3)
+	if len(top) != 3 || top[0].ID != 4 || top[1].ID != 3 || top[2].ID != 2 {
+		t.Fatalf("TopN = %+v", top)
+	}
+	if q.Len() != 5 {
+		t.Fatalf("TopN must not shrink the queue: len=%d", q.Len())
+	}
+	again := q.TopN(3)
+	for i := range top {
+		if again[i] != top[i] {
+			t.Fatal("TopN not repeatable")
+		}
+	}
+	if got := q.TopN(0); got != nil {
+		t.Error("TopN(0) should be nil")
+	}
+	if got := q.TopN(99); len(got) != 5 {
+		t.Errorf("TopN(99) len = %d", len(got))
+	}
+}
+
+// TestQueueMatchesSortedScan cross-checks queue pops against a full sort
+// under random partial information.
+func TestQueueMatchesSortedScan(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		n, m := 25, 3
+		ds := data.MustGenerate(data.Gaussian, n, m, seed)
+		tab := MustNewTable(n, m, score.Avg())
+		rng := rand.New(rand.NewSource(seed))
+		cursor := make([]int, m)
+		for step := 0; step < 30; step++ {
+			i := rng.Intn(m)
+			if cursor[i] < n {
+				obj, s := ds.SortedAt(i, cursor[i])
+				cursor[i]++
+				tab.ObserveSorted(i, obj, s)
+			}
+		}
+		q := NewQueue(tab, false)
+		type us struct {
+			id int
+			up float64
+		}
+		want := make([]us, n)
+		for u := 0; u < n; u++ {
+			want[u] = us{u, tab.Upper(u)}
+		}
+		sort.Slice(want, func(a, b int) bool {
+			if want[a].up != want[b].up {
+				return want[a].up > want[b].up
+			}
+			return want[a].id > want[b].id
+		})
+		for i := 0; i < n; i++ {
+			e, ok := q.Pop()
+			if !ok {
+				t.Fatalf("seed %d: queue drained early at %d", seed, i)
+			}
+			if e.ID != want[i].id || math.Abs(e.Upper-want[i].up) > 1e-12 {
+				t.Fatalf("seed %d: pop %d = %+v, want %+v", seed, i, e, want[i])
+			}
+		}
+	}
+}
+
+func TestQueueString(t *testing.T) {
+	tab := MustNewTable(1, 1, score.Min())
+	q := NewQueue(tab, true)
+	if q.String() == "" {
+		t.Error("String should describe the queue")
+	}
+}

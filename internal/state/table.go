@@ -1,0 +1,218 @@
+// Package state implements the score-state bookkeeping that top-k
+// middleware algorithms share: per-object partial scores gathered from
+// accesses, last-seen bounds from sorted accesses, maximal-possible and
+// minimal-possible overall scores, seen/unseen tracking with the virtual
+// "unseen" object of Section 8 (Figure 10), and a lazily-revalidated
+// priority queue of candidates ordered by maximal-possible score — the
+// mechanism Theorem 1 calls for to find unsatisfied scoring tasks.
+package state
+
+import (
+	"fmt"
+
+	"repro/internal/score"
+)
+
+// UnseenID is the pseudo object id of the virtual "unseen" object that
+// represents all objects not yet returned by any sorted access (Section 8).
+const UnseenID = -1
+
+// Table tracks everything an algorithm knows about object scores at a
+// point in time. It is pure bookkeeping: algorithms perform accesses
+// through an access.Session and feed the results in via ObserveSorted and
+// ObserveRandom. Not safe for concurrent use.
+type Table struct {
+	f    score.Func
+	n, m int
+
+	val      []float64 // val[u*m+i], meaningful iff known
+	known    []bool
+	nknown   []int // per-object count of known predicates
+	lastSeen []float64
+	depth    []int // sorted accesses performed per predicate
+	seen     []bool
+	nseen    int
+
+	buf []float64 // scratch for Eval
+}
+
+// NewTable creates an empty table for n objects, m predicates, and scoring
+// function f. All last-seen bounds start at the perfect 1.0.
+func NewTable(n, m int, f score.Func) (*Table, error) {
+	if n <= 0 || m <= 0 {
+		return nil, fmt.Errorf("state: table requires positive sizes, got n=%d m=%d", n, m)
+	}
+	if err := score.Validate(f, m); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		f:        f,
+		n:        n,
+		m:        m,
+		val:      make([]float64, n*m),
+		known:    make([]bool, n*m),
+		nknown:   make([]int, n),
+		lastSeen: make([]float64, m),
+		depth:    make([]int, m),
+		seen:     make([]bool, n),
+		buf:      make([]float64, m),
+	}
+	for i := range t.lastSeen {
+		t.lastSeen[i] = 1
+	}
+	return t, nil
+}
+
+// MustNewTable is NewTable that panics on error.
+func MustNewTable(n, m int, f score.Func) *Table {
+	t, err := NewTable(n, m, f)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// N returns the object count.
+func (t *Table) N() int { return t.n }
+
+// M returns the predicate count.
+func (t *Table) M() int { return t.m }
+
+// Func returns the scoring function.
+func (t *Table) Func() score.Func { return t.f }
+
+// ObserveSorted records the result of sa_i returning object u with score
+// s: p_i[u] becomes known, u becomes seen, and the last-seen bound ell_i
+// drops to s (its side effect on all objects still unseen in list i).
+func (t *Table) ObserveSorted(i, u int, s float64) {
+	t.setKnown(i, u, s)
+	t.lastSeen[i] = s
+	t.depth[i]++
+	if !t.seen[u] {
+		t.seen[u] = true
+		t.nseen++
+	}
+}
+
+// ObserveRandom records the result of ra_i(u) = s. Random access has no
+// side effects on other objects and does not make u "seen" (under
+// no-wild-guesses it could only have been issued for a seen object anyway;
+// without the rule, probing is score gathering, not list discovery).
+func (t *Table) ObserveRandom(i, u int, s float64) {
+	t.setKnown(i, u, s)
+}
+
+func (t *Table) setKnown(i, u int, s float64) {
+	idx := u*t.m + i
+	if !t.known[idx] {
+		t.known[idx] = true
+		t.nknown[u]++
+	}
+	t.val[idx] = s
+}
+
+// Known reports whether p_i[u] has been determined.
+func (t *Table) Known(u, i int) bool { return t.known[u*t.m+i] }
+
+// Value returns the known score p_i[u]; it panics if unknown (callers must
+// check Known), since silently returning a bound here would corrupt exact
+// score reporting.
+func (t *Table) Value(u, i int) float64 {
+	idx := u*t.m + i
+	if !t.known[idx] {
+		panic(fmt.Sprintf("state: Value(u%d, p%d) is not known", u, i+1))
+	}
+	return t.val[idx]
+}
+
+// Complete reports whether object u has been fully evaluated on all
+// predicates (the completeness notion of Definition 1, case 1).
+func (t *Table) Complete(u int) bool { return t.nknown[u] == t.m }
+
+// KnownCount returns how many of u's predicates are determined.
+func (t *Table) KnownCount(u int) int { return t.nknown[u] }
+
+// UnknownPreds appends the indices of u's undetermined predicates to dst
+// and returns it. Pass a reusable slice to avoid allocation.
+func (t *Table) UnknownPreds(u int, dst []int) []int {
+	base := u * t.m
+	for i := 0; i < t.m; i++ {
+		if !t.known[base+i] {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+// LastSeen returns ell_i, the score bound established by the deepest
+// sorted access on predicate i so far (1.0 before any access).
+func (t *Table) LastSeen(i int) float64 { return t.lastSeen[i] }
+
+// Depth returns the number of sorted accesses recorded on predicate i.
+func (t *Table) Depth(i int) int { return t.depth[i] }
+
+// Seen reports whether u has been returned by any sorted access.
+func (t *Table) Seen(u int) bool { return t.seen[u] }
+
+// SeenCount returns the number of distinct seen objects.
+func (t *Table) SeenCount() int { return t.nseen }
+
+// AllSeen reports whether every object has been seen, i.e. the virtual
+// unseen object no longer exists.
+func (t *Table) AllSeen() bool { return t.nseen == t.n }
+
+// Upper computes the maximal-possible score F-bar(u) of Eq. 3: F applied
+// to the known scores with every undetermined predicate replaced by its
+// last-seen bound ell_i. By monotonicity this upper-bounds F(u), and it is
+// non-increasing over time.
+func (t *Table) Upper(u int) float64 {
+	base := u * t.m
+	for i := 0; i < t.m; i++ {
+		if t.known[base+i] {
+			t.buf[i] = t.val[base+i]
+		} else {
+			t.buf[i] = t.lastSeen[i]
+		}
+	}
+	return t.f.Eval(t.buf)
+}
+
+// Lower computes the minimal-possible score F-floor(u): undetermined
+// predicates replaced by 0. It lower-bounds F(u) and is non-decreasing;
+// NRA-style algorithms halt on it.
+func (t *Table) Lower(u int) float64 {
+	base := u * t.m
+	for i := 0; i < t.m; i++ {
+		if t.known[base+i] {
+			t.buf[i] = t.val[base+i]
+		} else {
+			t.buf[i] = 0
+		}
+	}
+	return t.f.Eval(t.buf)
+}
+
+// Exact returns F(u) if u is complete.
+func (t *Table) Exact(u int) (float64, bool) {
+	if !t.Complete(u) {
+		return 0, false
+	}
+	base := u * t.m
+	copy(t.buf, t.val[base:base+t.m])
+	return t.f.Eval(t.buf), true
+}
+
+// UnseenUpper computes the maximal-possible score of the virtual unseen
+// object: F(ell_1, ..., ell_m). Every unseen object is bounded by it.
+func (t *Table) UnseenUpper() float64 {
+	copy(t.buf, t.lastSeen)
+	return t.f.Eval(t.buf)
+}
+
+// UpperOf returns Upper(u) for real objects and UnseenUpper for UnseenID.
+func (t *Table) UpperOf(id int) float64 {
+	if id == UnseenID {
+		return t.UnseenUpper()
+	}
+	return t.Upper(id)
+}

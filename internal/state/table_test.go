@@ -1,0 +1,190 @@
+package state
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/data"
+	"repro/internal/score"
+)
+
+// fig3 reproduces the paper's Dataset 1 (Figure 3) score state walkthrough
+// of Example 7: after sa1, sa1, sa2, ra1(u1) the state is
+//
+//	u1: p1=.6  p2<=.9   F-bar=.6   (F = min)
+//	u2: p1=.65 p2<=.9   F-bar=.65
+//	u3: p1=.7  p2=.9    (u3 seen at rank 0 of p1)
+//
+// We map u1,u2,u3 to OIDs 0,1,2 as in the access tests.
+func fig3() *data.Dataset {
+	return data.MustNew("fig3", [][]float64{
+		{0.6, 0.8},
+		{0.65, 0.8},
+		{0.7, 0.9},
+	})
+}
+
+func TestTableExample7State(t *testing.T) {
+	ds := fig3()
+	tab := MustNewTable(3, 2, score.Min())
+
+	// P = {sa1, sa1, sa2, ra1(u1)} in the paper's numbering; here the two
+	// sorted accesses on p1 hit u3(.7) then u2(.65), sa2 hits u3(.9), and
+	// we probe p1 of object 0 (paper's u1) to get .6.
+	obj, s := ds.SortedAt(0, 0)
+	tab.ObserveSorted(0, obj, s) // u3, .7
+	obj, s = ds.SortedAt(0, 1)
+	tab.ObserveSorted(0, obj, s) // u2, .65
+	obj, s = ds.SortedAt(1, 0)
+	tab.ObserveSorted(1, obj, s) // u3, .9
+	tab.ObserveRandom(0, 0, ds.Score(0, 0))
+
+	if got := tab.LastSeen(0); got != 0.65 {
+		t.Errorf("ell_1 = %g, want 0.65", got)
+	}
+	if got := tab.LastSeen(1); got != 0.9 {
+		t.Errorf("ell_2 = %g, want 0.9", got)
+	}
+	// u3 (OID 2) complete with exact min(.7,.9) = .7.
+	if !tab.Complete(2) {
+		t.Fatal("u3 should be complete")
+	}
+	if ex, ok := tab.Exact(2); !ok || math.Abs(ex-0.7) > 1e-12 {
+		t.Errorf("F(u3) = %g, want 0.7", ex)
+	}
+	// u2 (OID 1): p1 known .65, p2 bounded by .9 -> F-bar = .65.
+	if got := tab.Upper(1); math.Abs(got-0.65) > 1e-12 {
+		t.Errorf("F-bar(u2) = %g, want 0.65", got)
+	}
+	// u1 (OID 0): p1 probed .6 -> F-bar = min(.6,.9) = .6.
+	if got := tab.Upper(0); math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("F-bar(u1) = %g, want 0.6", got)
+	}
+	// Lower bounds: unknowns -> 0.
+	if got := tab.Lower(1); got != 0 {
+		t.Errorf("F-floor(u2) = %g, want 0 under min", got)
+	}
+	if got := tab.Lower(2); math.Abs(got-0.7) > 1e-12 {
+		t.Errorf("F-floor(u3) = %g, want 0.7 (complete)", got)
+	}
+	// Unseen bound: F(ell) = min(.65,.9) = .65.
+	if got := tab.UnseenUpper(); math.Abs(got-0.65) > 1e-12 {
+		t.Errorf("unseen upper = %g, want 0.65", got)
+	}
+	// Seen bookkeeping: u2,u3 seen via sorted, u1 (0) only probed.
+	if tab.Seen(0) || !tab.Seen(1) || !tab.Seen(2) {
+		t.Error("seen flags wrong")
+	}
+	if tab.SeenCount() != 2 || tab.AllSeen() {
+		t.Errorf("seen count = %d", tab.SeenCount())
+	}
+	if tab.Depth(0) != 2 || tab.Depth(1) != 1 {
+		t.Errorf("depths = %d,%d", tab.Depth(0), tab.Depth(1))
+	}
+	// Unknown predicates of u1 (OID 0): p2 only.
+	if got := tab.UnknownPreds(0, nil); len(got) != 1 || got[0] != 1 {
+		t.Errorf("unknown preds of u1 = %v", got)
+	}
+	if got := tab.UnknownPreds(2, nil); len(got) != 0 {
+		t.Errorf("unknown preds of u3 = %v", got)
+	}
+}
+
+func TestTableValidation(t *testing.T) {
+	if _, err := NewTable(0, 2, score.Min()); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := NewTable(2, 0, score.Min()); err == nil {
+		t.Error("m=0 should fail")
+	}
+	if _, err := NewTable(2, 3, score.Weighted(1, 2)); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+}
+
+func TestValuePanicsWhenUnknown(t *testing.T) {
+	tab := MustNewTable(2, 2, score.Avg())
+	defer func() {
+		if recover() == nil {
+			t.Error("Value of unknown score should panic")
+		}
+	}()
+	tab.Value(0, 0)
+}
+
+func TestExactRequiresComplete(t *testing.T) {
+	tab := MustNewTable(1, 2, score.Avg())
+	if _, ok := tab.Exact(0); ok {
+		t.Error("incomplete object must not report exact score")
+	}
+	tab.ObserveRandom(0, 0, 0.5)
+	tab.ObserveRandom(1, 0, 0.7)
+	if ex, ok := tab.Exact(0); !ok || math.Abs(ex-0.6) > 1e-12 {
+		t.Errorf("exact = %g,%v", ex, ok)
+	}
+}
+
+// TestBoundInvariantsProperty drives a table with a random legal access
+// sequence over a random dataset and checks, after every access, that
+// F-floor(u) <= F(u) <= F-bar(u), that uppers never increase, and that
+// lowers never decrease.
+func TestBoundInvariantsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	funcs := []score.Func{score.Min(), score.Avg(), score.Max(), score.Product()}
+	prop := func(seed int64, fIdx uint8) bool {
+		n, m := 12, 3
+		ds := data.MustGenerate(data.Uniform, n, m, seed)
+		f := funcs[int(fIdx)%len(funcs)]
+		tab := MustNewTable(n, m, f)
+		local := rand.New(rand.NewSource(seed ^ 0x5eed))
+
+		prevUp := make([]float64, n)
+		prevLo := make([]float64, n)
+		for u := 0; u < n; u++ {
+			prevUp[u] = tab.Upper(u)
+			prevLo[u] = tab.Lower(u)
+		}
+		cursor := make([]int, m)
+		for step := 0; step < 40; step++ {
+			if local.Intn(2) == 0 {
+				i := local.Intn(m)
+				if cursor[i] < n {
+					obj, s := ds.SortedAt(i, cursor[i])
+					cursor[i]++
+					tab.ObserveSorted(i, obj, s)
+				}
+			} else {
+				u, i := local.Intn(n), local.Intn(m)
+				tab.ObserveRandom(i, u, ds.Score(u, i))
+			}
+			for u := 0; u < n; u++ {
+				up, lo := tab.Upper(u), tab.Lower(u)
+				truth := f.Eval(ds.Scores(u))
+				if lo > truth+1e-12 || truth > up+1e-12 {
+					return false
+				}
+				if up > prevUp[u]+1e-12 || lo < prevLo[u]-1e-12 {
+					return false
+				}
+				prevUp[u], prevLo[u] = up, lo
+			}
+			// Every truly unseen object is bounded by the unseen upper.
+			uu := tab.UnseenUpper()
+			for u := 0; u < n; u++ {
+				if !tab.Seen(u) {
+					// Its p_i from sorted lists are unknown, so Upper(u)
+					// uses ell everywhere except probed predicates.
+					if tab.KnownCount(u) == 0 && math.Abs(tab.Upper(u)-uu) > 1e-12 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}

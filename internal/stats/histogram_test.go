@@ -1,0 +1,188 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/data"
+)
+
+func TestHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(0); err == nil {
+		t.Error("0 buckets should fail")
+	}
+	if MustNewHistogram(4).Buckets() != 4 {
+		t.Error("bucket count mismatch")
+	}
+}
+
+func TestEmptyHistogramIsUniform(t *testing.T) {
+	h := MustNewHistogram(10)
+	if h.CDF(0.3) != 0.3 || h.Quantile(0.7) != 0.7 || h.Mean() != 0.5 {
+		t.Errorf("empty histogram: CDF(0.3)=%g Q(0.7)=%g mean=%g", h.CDF(0.3), h.Quantile(0.7), h.Mean())
+	}
+}
+
+func TestCDFAndQuantileKnownData(t *testing.T) {
+	h := MustNewHistogram(4)
+	// 4 observations, one per bucket midpoint.
+	for _, x := range []float64{0.1, 0.35, 0.6, 0.85} {
+		h.Add(x)
+	}
+	if h.Total() != 4 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	if got := h.CDF(0.25); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("CDF(0.25) = %g, want 0.25", got)
+	}
+	if got := h.CDF(0.5); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("CDF(0.5) = %g, want 0.5", got)
+	}
+	if got := h.Survival(0.5); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Survival(0.5) = %g", got)
+	}
+	if got := h.Mean(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Mean = %g", got)
+	}
+	// Boundary behaviour.
+	if h.CDF(0) != 0 || h.CDF(1) != 1 || h.CDF(-1) != 0 || h.CDF(2) != 1 {
+		t.Error("CDF boundaries wrong")
+	}
+	if h.Quantile(0) != 0 || h.Quantile(1) != 1 {
+		t.Error("Quantile boundaries wrong")
+	}
+}
+
+func TestAddClamps(t *testing.T) {
+	h := MustNewHistogram(2)
+	h.Add(-5)
+	h.Add(5)
+	if h.Total() != 2 {
+		t.Fatal("clamped observations lost")
+	}
+	if h.CDF(0.5) != 0.5 {
+		t.Errorf("CDF(0.5) = %g, want 0.5 (one obs per half)", h.CDF(0.5))
+	}
+}
+
+// TestQuantileInvertsCDFProperty: Quantile(CDF(x)) ~ x wherever density is
+// positive around x.
+func TestQuantileInvertsCDFProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	h := MustNewHistogram(32)
+	for i := 0; i < 5000; i++ {
+		h.Add(rng.Float64())
+	}
+	prop := func(raw float64) bool {
+		x := math.Abs(raw)
+		x -= math.Floor(x)
+		q := h.Quantile(h.CDF(x))
+		return math.Abs(q-x) < 0.05
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDFMonotoneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	h := MustNewHistogram(16)
+	for i := 0; i < 500; i++ {
+		h.Add(rng.NormFloat64()*0.2 + 0.5)
+	}
+	prop := func(a, b float64) bool {
+		x := math.Mod(math.Abs(a), 1)
+		y := math.Mod(math.Abs(b), 1)
+		if x > y {
+			x, y = y, x
+		}
+		return h.CDF(x) <= h.CDF(y)+1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCollectMatchesEmpirical(t *testing.T) {
+	ds := data.MustGenerate(data.Skewed, 3000, 2, 9)
+	hists, err := Collect(ds, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hists) != 2 {
+		t.Fatalf("got %d histograms", len(hists))
+	}
+	// Empirical CDF vs histogram CDF at a few cut points.
+	for _, cut := range []float64{0.1, 0.3, 0.7} {
+		emp := 0
+		for u := 0; u < ds.N(); u++ {
+			if ds.Score(u, 0) <= cut {
+				emp++
+			}
+		}
+		want := float64(emp) / float64(ds.N())
+		if got := hists[0].CDF(cut); math.Abs(got-want) > 0.03 {
+			t.Errorf("CDF(%g) = %g, empirical %g", cut, got, want)
+		}
+	}
+	if _, err := Collect(ds, 0); err == nil {
+		t.Error("0 buckets should fail")
+	}
+}
+
+func TestSynthesizeSamplePreservesMarginals(t *testing.T) {
+	ds := data.MustGenerate(data.Skewed, 4000, 2, 11)
+	hists, err := Collect(ds, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample, err := SynthesizeSample(hists, 2000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sample.N() != 2000 || sample.M() != 2 {
+		t.Fatalf("sample size %dx%d", sample.N(), sample.M())
+	}
+	// Means of the synthesized sample should match the source marginals.
+	for i := 0; i < 2; i++ {
+		var src, syn float64
+		for u := 0; u < ds.N(); u++ {
+			src += ds.Score(u, i)
+		}
+		src /= float64(ds.N())
+		for u := 0; u < sample.N(); u++ {
+			syn += sample.Score(u, i)
+		}
+		syn /= float64(sample.N())
+		if math.Abs(src-syn) > 0.03 {
+			t.Errorf("pred %d: source mean %.3f vs synthesized %.3f", i, src, syn)
+		}
+	}
+	// Determinism.
+	again, _ := SynthesizeSample(hists, 2000, 3)
+	if again.Score(7, 1) != sample.Score(7, 1) {
+		t.Error("SynthesizeSample not deterministic")
+	}
+	if _, err := SynthesizeSample(nil, 10, 1); err == nil {
+		t.Error("no histograms should fail")
+	}
+	if s, err := SynthesizeSample(hists, 0, 1); err != nil || s.N() != 1 {
+		t.Error("s<1 should clamp to 1")
+	}
+}
+
+func TestHistogramDrawRange(t *testing.T) {
+	h := MustNewHistogram(8)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		h.Add(rng.Float64() * 0.5) // mass only in [0, 0.5]
+	}
+	for i := 0; i < 200; i++ {
+		x := h.Draw(rng)
+		if x < 0 || x > 0.55 {
+			t.Fatalf("draw %g escapes the observed support", x)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package websim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+)
+
+// Route maps one middleware query predicate to a source: the server's base
+// URL and the predicate's local index at that server.
+type Route struct {
+	BaseURL string
+	Pred    int
+}
+
+// Client is an access.Backend that gathers scores from HTTP sources. It
+// performs one HTTP request per access, matching the paper's cost model
+// where each source access incurs network communication and server time.
+// Transient failures (HTTP 5xx and transport errors) are retried with
+// exponential backoff up to the configured limit, since real Web sources
+// drop requests under load.
+type Client struct {
+	routes  []Route
+	n       int
+	httpc   *http.Client
+	retries int
+	backoff time.Duration
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithRetries sets how many times a failed request is retried (default 2)
+// and the initial backoff between attempts (default 10ms, doubling).
+func WithRetries(n int, backoff time.Duration) ClientOption {
+	return func(c *Client) { c.retries, c.backoff = n, backoff }
+}
+
+// NewClient dials every routed source, validates that all sources serve
+// the same object universe (identical n), and that each route's predicate
+// exists at its source.
+func NewClient(httpc *http.Client, routes []Route, opts ...ClientOption) (*Client, error) {
+	if len(routes) == 0 {
+		return nil, fmt.Errorf("websim: client requires at least one route")
+	}
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	c := &Client{routes: append([]Route(nil), routes...), httpc: httpc, retries: 2, backoff: 10 * time.Millisecond}
+	for _, o := range opts {
+		o(c)
+	}
+	for i, rt := range routes {
+		var meta metaPayload
+		if err := c.get(rt.BaseURL+"/meta", &meta); err != nil {
+			return nil, fmt.Errorf("websim: route %d meta: %w", i, err)
+		}
+		if i == 0 {
+			c.n = meta.N
+		} else if meta.N != c.n {
+			return nil, fmt.Errorf("websim: route %d serves %d objects, route 0 serves %d", i, meta.N, c.n)
+		}
+		if rt.Pred < 0 || rt.Pred >= meta.M {
+			return nil, fmt.Errorf("websim: route %d predicate %d out of source range [0,%d)", i, rt.Pred, meta.M)
+		}
+	}
+	return c, nil
+}
+
+func (c *Client) get(rawURL string, into interface{}) error {
+	backoff := c.backoff
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		err, retryable := c.getOnce(rawURL, into)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !retryable || attempt >= c.retries {
+			return lastErr
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+	}
+}
+
+// getOnce performs one request; the second result reports whether the
+// failure is transient (transport error or 5xx) and worth retrying.
+func (c *Client) getOnce(rawURL string, into interface{}) (err error, retryable bool) {
+	resp, err := c.httpc.Get(rawURL)
+	if err != nil {
+		return err, true
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if err != nil {
+		return err, true
+	}
+	if resp.StatusCode != http.StatusOK {
+		var ep errorPayload
+		if json.Unmarshal(body, &ep) == nil && ep.Error != "" {
+			err = fmt.Errorf("websim: source error (%d): %s", resp.StatusCode, ep.Error)
+		} else {
+			err = fmt.Errorf("websim: source returned status %d", resp.StatusCode)
+		}
+		return err, resp.StatusCode >= 500
+	}
+	return json.Unmarshal(body, into), false
+}
+
+// N returns the object count shared by all sources.
+func (c *Client) N() int { return c.n }
+
+// M returns the number of routed predicates.
+func (c *Client) M() int { return len(c.routes) }
+
+// Sorted fetches the rank-th entry of the predicate's descending list.
+func (c *Client) Sorted(pred, rank int) (int, float64, error) {
+	if pred < 0 || pred >= len(c.routes) {
+		return 0, 0, fmt.Errorf("websim: predicate %d out of range", pred)
+	}
+	rt := c.routes[pred]
+	u := fmt.Sprintf("%s/sorted?pred=%s&rank=%s", rt.BaseURL,
+		url.QueryEscape(fmt.Sprint(rt.Pred)), url.QueryEscape(fmt.Sprint(rank)))
+	var p sortedPayload
+	if err := c.get(u, &p); err != nil {
+		return 0, 0, err
+	}
+	if p.Obj < 0 || p.Obj >= c.n {
+		return 0, 0, fmt.Errorf("websim: source returned out-of-universe object %d", p.Obj)
+	}
+	return p.Obj, p.Score, nil
+}
+
+// Random fetches the exact score of one object on one predicate.
+func (c *Client) Random(pred, obj int) (float64, error) {
+	if pred < 0 || pred >= len(c.routes) {
+		return 0, fmt.Errorf("websim: predicate %d out of range", pred)
+	}
+	rt := c.routes[pred]
+	u := fmt.Sprintf("%s/random?pred=%s&obj=%s", rt.BaseURL,
+		url.QueryEscape(fmt.Sprint(rt.Pred)), url.QueryEscape(fmt.Sprint(obj)))
+	var p randomPayload
+	if err := c.get(u, &p); err != nil {
+		return 0, err
+	}
+	return p.Score, nil
+}

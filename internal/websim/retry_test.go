@@ -1,0 +1,92 @@
+package websim
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/access"
+	"repro/internal/algo"
+	"repro/internal/data"
+	"repro/internal/score"
+)
+
+func TestClientRetriesTransientFailures(t *testing.T) {
+	ds := data.MustGenerate(data.Uniform, 30, 2, 9)
+	// Every 3rd request fails with 503; retries must absorb it.
+	ts := startSource(t, ds, WithFailEvery(3))
+	c, err := NewClient(ts.Client(), []Route{{ts.URL, 0}, {ts.URL, 1}},
+		WithRetries(3, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 30; r++ {
+		if _, _, err := c.Sorted(0, r); err != nil {
+			t.Fatalf("rank %d failed despite retries: %v", r, err)
+		}
+	}
+}
+
+func TestClientGivesUpWithoutRetries(t *testing.T) {
+	ds := data.MustGenerate(data.Uniform, 10, 1, 9)
+	ts := startSource(t, ds, WithFailEvery(1)) // always failing
+	// NewClient itself retries the /meta probe; with zero retries it must
+	// surface the failure.
+	if _, err := NewClient(ts.Client(), []Route{{ts.URL, 0}}, WithRetries(0, time.Millisecond)); err == nil {
+		t.Fatal("always-failing source should not dial")
+	}
+}
+
+func TestClientDoesNotRetryClientErrors(t *testing.T) {
+	ds := data.MustGenerate(data.Uniform, 10, 1, 9)
+	ts := startSource(t, ds)
+	c, err := NewClient(ts.Client(), []Route{{ts.URL, 0}}, WithRetries(5, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, _, err = c.Sorted(0, 99) // 404: permanent
+	if err == nil || !strings.Contains(err.Error(), "beyond list end") {
+		t.Fatalf("err = %v", err)
+	}
+	// 5 retries with backoff would take >= 310ms; a permanent error must
+	// return immediately.
+	if time.Since(start) > 100*time.Millisecond {
+		t.Error("client retried a permanent (4xx) error")
+	}
+}
+
+// TestQueryOverFlakySources runs a whole query against sources that drop
+// every 5th request: the middleware must still produce the oracle answer,
+// paying only latency for the retries.
+func TestQueryOverFlakySources(t *testing.T) {
+	q, _ := data.Restaurants(60, 6)
+	ds := q.Dataset
+	ts := startSource(t, ds, WithFailEvery(5))
+	client, err := NewClient(ts.Client(), []Route{{ts.URL, 0}, {ts.URL, 1}},
+		WithRetries(4, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := access.NewSession(client, access.Uniform(2, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob, err := algo.NewProblem(score.Min(), 4, sess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg, _ := algo.NewNC([]float64{0.5, 0.5}, nil)
+	res, err := alg.Run(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := ds.TopK(score.Min().Eval, 4)
+	for i := range oracle {
+		got := score.Min().Eval(ds.Scores(res.Items[i].Obj))
+		if math.Abs(got-oracle[i].Score) > 1e-9 {
+			t.Fatalf("rank %d wrong under flaky sources", i)
+		}
+	}
+}

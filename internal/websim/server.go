@@ -1,0 +1,194 @@
+// Package websim simulates Web sources over real HTTP: servers expose
+// sorted and random access endpoints for the predicates they score (as
+// superpages.com, dineme.com, and hotels.com do in the paper's travel
+// scenario), and a client-side Backend lets the middleware run any
+// algorithm in this repository against them unchanged. Network and server
+// time can be simulated with a configurable per-request latency.
+//
+// Protocol (JSON over GET):
+//
+//	/meta                  -> {"n": 120, "m": 2}
+//	/sorted?pred=0&rank=3  -> {"obj": 17, "score": 0.83}
+//	/random?pred=0&obj=17  -> {"score": 0.83}
+//
+// Predicates in URLs are zero-based and local to the server; a middleware
+// Route maps each query predicate to (server, local predicate).
+package websim
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/data"
+)
+
+// Server is an http.Handler serving one Web source: a dataset restricted
+// to the predicates the source can score.
+type Server struct {
+	ds       *data.Dataset
+	preds    []int // local predicate -> dataset predicate
+	latency  time.Duration
+	failery  int    // fail every n-th request with 503 (0 = never)
+	requests uint64 // request counter for deterministic failure injection
+	mu       sync.Mutex
+	mux      *http.ServeMux
+}
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithLatency makes every request sleep for d before answering,
+// simulating network plus server time.
+func WithLatency(d time.Duration) ServerOption {
+	return func(s *Server) { s.latency = d }
+}
+
+// WithPredicates restricts the source to the given dataset predicates (in
+// the order the source exposes them). Default: all predicates.
+func WithPredicates(preds ...int) ServerOption {
+	return func(s *Server) { s.preds = append([]int(nil), preds...) }
+}
+
+// WithFailEvery makes every n-th request fail with 503 Service
+// Unavailable (deterministically), simulating the intermittent
+// availability of real Web sources. n <= 0 disables failures.
+func WithFailEvery(n int) ServerOption {
+	return func(s *Server) { s.failery = n }
+}
+
+// NewServer builds a source server over the dataset.
+func NewServer(ds *data.Dataset, opts ...ServerOption) (*Server, error) {
+	s := &Server{ds: ds}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.preds == nil {
+		s.preds = make([]int, ds.M())
+		for i := range s.preds {
+			s.preds[i] = i
+		}
+	}
+	for _, p := range s.preds {
+		if p < 0 || p >= ds.M() {
+			return nil, fmt.Errorf("websim: predicate %d out of dataset range [0,%d)", p, ds.M())
+		}
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/meta", s.handleMeta)
+	s.mux.HandleFunc("/sorted", s.handleSorted)
+	s.mux.HandleFunc("/random", s.handleRandom)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.latency > 0 {
+		time.Sleep(s.latency)
+	}
+	if s.failery > 0 {
+		s.mu.Lock()
+		s.requests++
+		fail := s.requests%uint64(s.failery) == 0
+		s.mu.Unlock()
+		if fail {
+			writeJSON(w, http.StatusServiceUnavailable, errorPayload{Error: "source temporarily overloaded"})
+			return
+		}
+	}
+	s.mux.ServeHTTP(w, r)
+}
+
+type metaPayload struct {
+	N int `json:"n"`
+	M int `json:"m"`
+}
+
+type sortedPayload struct {
+	Obj   int     `json:"obj"`
+	Score float64 `json:"score"`
+}
+
+type randomPayload struct {
+	Score float64 `json:"score"`
+}
+
+type errorPayload struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding small fixed structs cannot fail in practice; an encoder
+	// error here would mean the connection died, which the client will
+	// surface on its side anyway.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) intParam(r *http.Request, name string) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, fmt.Errorf("missing parameter %q", name)
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %q: %v", name, err)
+	}
+	return v, nil
+}
+
+func (s *Server) resolvePred(r *http.Request) (int, error) {
+	local, err := s.intParam(r, "pred")
+	if err != nil {
+		return 0, err
+	}
+	if local < 0 || local >= len(s.preds) {
+		return 0, fmt.Errorf("predicate %d out of range [0,%d)", local, len(s.preds))
+	}
+	return s.preds[local], nil
+}
+
+func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, metaPayload{N: s.ds.N(), M: len(s.preds)})
+}
+
+func (s *Server) handleSorted(w http.ResponseWriter, r *http.Request) {
+	pred, err := s.resolvePred(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorPayload{Error: err.Error()})
+		return
+	}
+	rank, err := s.intParam(r, "rank")
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorPayload{Error: err.Error()})
+		return
+	}
+	if rank < 0 || rank >= s.ds.N() {
+		writeJSON(w, http.StatusNotFound, errorPayload{Error: fmt.Sprintf("rank %d beyond list end", rank)})
+		return
+	}
+	obj, sc := s.ds.SortedAt(pred, rank)
+	writeJSON(w, http.StatusOK, sortedPayload{Obj: obj, Score: sc})
+}
+
+func (s *Server) handleRandom(w http.ResponseWriter, r *http.Request) {
+	pred, err := s.resolvePred(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorPayload{Error: err.Error()})
+		return
+	}
+	obj, err := s.intParam(r, "obj")
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorPayload{Error: err.Error()})
+		return
+	}
+	if obj < 0 || obj >= s.ds.N() {
+		writeJSON(w, http.StatusNotFound, errorPayload{Error: fmt.Sprintf("object %d unknown", obj)})
+		return
+	}
+	writeJSON(w, http.StatusOK, randomPayload{Score: s.ds.Score(obj, pred)})
+}

@@ -1,0 +1,205 @@
+package websim
+
+import (
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/access"
+	"repro/internal/algo"
+	"repro/internal/data"
+	"repro/internal/score"
+)
+
+func startSource(t *testing.T, ds *data.Dataset, opts ...ServerOption) *httptest.Server {
+	t.Helper()
+	srv, err := NewServer(ds, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestServerEndpoints(t *testing.T) {
+	ds := data.MustNew("d", [][]float64{
+		{0.6, 0.8},
+		{0.65, 0.8},
+		{0.7, 0.9},
+	})
+	ts := startSource(t, ds)
+	c, err := NewClient(ts.Client(), []Route{{ts.URL, 0}, {ts.URL, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N() != 3 || c.M() != 2 {
+		t.Fatalf("meta = %d, %d", c.N(), c.M())
+	}
+	obj, sc, err := c.Sorted(0, 0)
+	if err != nil || obj != 2 || sc != 0.7 {
+		t.Fatalf("sorted(0,0) = %d, %g, %v", obj, sc, err)
+	}
+	sc, err = c.Random(1, 2)
+	if err != nil || sc != 0.9 {
+		t.Fatalf("random(1,2) = %g, %v", sc, err)
+	}
+	// Error paths surface the server message.
+	if _, _, err := c.Sorted(0, 99); err == nil || !strings.Contains(err.Error(), "beyond list end") {
+		t.Errorf("deep rank error = %v", err)
+	}
+	if _, err := c.Random(0, 99); err == nil {
+		t.Error("unknown object should fail")
+	}
+	if _, _, err := c.Sorted(5, 0); err == nil {
+		t.Error("unrouted predicate should fail")
+	}
+}
+
+func TestServerValidation(t *testing.T) {
+	ds := data.MustGenerate(data.Uniform, 5, 2, 1)
+	if _, err := NewServer(ds, WithPredicates(0, 7)); err == nil {
+		t.Error("out-of-range predicate should fail")
+	}
+}
+
+func TestClientValidation(t *testing.T) {
+	a := startSource(t, data.MustGenerate(data.Uniform, 5, 2, 1))
+	b := startSource(t, data.MustGenerate(data.Uniform, 9, 2, 2))
+	if _, err := NewClient(nil, nil); err == nil {
+		t.Error("empty routes should fail")
+	}
+	if _, err := NewClient(a.Client(), []Route{{a.URL, 0}, {b.URL, 0}}); err == nil {
+		t.Error("mismatched object universes should fail")
+	}
+	if _, err := NewClient(a.Client(), []Route{{a.URL, 9}}); err == nil {
+		t.Error("predicate beyond source arity should fail")
+	}
+	if _, err := NewClient(a.Client(), []Route{{"http://127.0.0.1:1", 0}}); err == nil {
+		t.Error("unreachable source should fail")
+	}
+}
+
+// TestMultiSourceMiddleware runs the full stack of the paper's Example 1:
+// two separate HTTP sources each scoring one predicate (the dineme.com /
+// superpages.com split), a session enforcing costs and legality on top of
+// the HTTP backend, and Framework NC answering the query — verified
+// against the brute-force oracle.
+func TestMultiSourceMiddleware(t *testing.T) {
+	q, _ := data.Restaurants(80, 4)
+	ds := q.Dataset
+	// Source 1 (dineme analogue) scores rating only; source 2 (superpages
+	// analogue) scores closeness only.
+	dineme := startSource(t, ds, WithPredicates(0))
+	superpages := startSource(t, ds, WithPredicates(1))
+	client, err := NewClient(dineme.Client(), []Route{{dineme.URL, 0}, {superpages.URL, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scn := access.Scenario{Name: "example1", Preds: []access.PredCost{
+		{Sorted: access.CostFromUnits(0.2), SortedOK: true, Random: access.CostFromUnits(1.0), RandomOK: true},
+		{Sorted: access.CostFromUnits(0.1), SortedOK: true, Random: access.CostFromUnits(0.5), RandomOK: true},
+	}}
+	sess, err := access.NewSession(client, scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob, err := algo.NewProblem(score.Min(), 5, sess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg, err := algo.NewNC([]float64{0.5, 0.5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := alg.Run(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := ds.TopK(score.Min().Eval, 5)
+	for i, want := range oracle {
+		got := score.Min().Eval(ds.Scores(res.Items[i].Obj))
+		if math.Abs(got-want.Score) > 1e-9 {
+			t.Fatalf("rank %d: got %g want %g", i, got, want.Score)
+		}
+	}
+	// Accesses actually crossed the network and cost real money.
+	if res.Cost() <= 0 {
+		t.Error("HTTP run accrued no cost")
+	}
+}
+
+func TestLatencyOption(t *testing.T) {
+	ds := data.MustGenerate(data.Uniform, 5, 1, 1)
+	ts := startSource(t, ds, WithLatency(30*time.Millisecond))
+	c, err := NewClient(ts.Client(), []Route{{ts.URL, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, _, err := c.Sorted(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < 25*time.Millisecond {
+		t.Errorf("latency option not applied: %v", el)
+	}
+}
+
+func TestServerRejectsBadParams(t *testing.T) {
+	ds := data.MustGenerate(data.Uniform, 5, 2, 1)
+	ts := startSource(t, ds)
+	for _, path := range []string{
+		"/sorted",               // missing params
+		"/sorted?pred=a&rank=0", // non-numeric
+		"/sorted?pred=0",        // missing rank
+		"/random?pred=0",        // missing obj
+		"/random?pred=9&obj=0",  // pred out of range
+	} {
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			t.Errorf("%s should have been rejected", path)
+		}
+	}
+}
+
+// TestServerConcurrentClients hammers one source from many goroutines to
+// certify the handler (including failure injection's shared counter) is
+// race-free under -race.
+func TestServerConcurrentClients(t *testing.T) {
+	ds := data.MustGenerate(data.Uniform, 50, 2, 31)
+	ts := startSource(t, ds, WithFailEvery(7))
+	c, err := NewClient(ts.Client(), []Route{{ts.URL, 0}, {ts.URL, 1}},
+		WithRetries(5, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				if _, _, err := c.Sorted(g%2, (g*8+i)%50); err != nil {
+					errs <- err
+				}
+				if _, err := c.Random(g%2, (g+i)%50); err != nil {
+					errs <- err
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("concurrent access failed: %v", err)
+	}
+}

@@ -1,0 +1,520 @@
+// Package topk is a cost-based top-k query middleware for Web-style
+// sources, reproducing Hwang & Chang's "Optimizing Access Cost for Top-k
+// Queries over Web Sources: A Unified Cost-based Approach" (ICDE 2005).
+//
+// A top-k query (F, k) ranks objects by a monotone scoring function F of
+// per-predicate scores that must be gathered from sources through sorted
+// and random accesses, each with its own cost. This package's Engine
+// optimizes and executes such queries with Framework NC — a dynamic,
+// cost-based search over middleware algorithms that unifies and
+// generalizes FA, TA, CA, NRA, MPro, Upper, and the Combine family, all of
+// which are also available as named baselines.
+//
+// Quickstart:
+//
+//	ds := topk.MustGenerateDataset("uniform", 1000, 2, 42)
+//	eng, _ := topk.NewEngine(topk.DataBackend(ds), topk.UniformScenario(2, 1, 10))
+//	ans, _ := eng.Run(topk.Query{F: topk.Min(), K: 5})
+//	for _, it := range ans.Items {
+//	    fmt.Println(it.Obj, it.Score)
+//	}
+//	fmt.Println("total access cost:", ans.TotalCost())
+//
+// See examples/ for end-to-end scenarios (including querying live HTTP
+// sources via internal/websim) and cmd/topkbench for the experiment
+// harness regenerating the paper's evaluation.
+package topk
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/access"
+	"repro/internal/algo"
+	"repro/internal/data"
+	"repro/internal/opt"
+	"repro/internal/parallel"
+	"repro/internal/score"
+)
+
+// Re-exported core types. The facade aliases the internal packages' types
+// so callers never import repro/internal/... directly.
+type (
+	// ScoreFunc is a monotone scoring function over predicate scores.
+	ScoreFunc = score.Func
+	// Dataset is an immutable in-memory database of predicate scores.
+	Dataset = data.Dataset
+	// Scenario describes per-predicate access capabilities and unit costs.
+	Scenario = access.Scenario
+	// PredCost is one predicate's capability/cost entry of a Scenario.
+	PredCost = access.PredCost
+	// CostShift is a dynamic mid-query cost change.
+	CostShift = access.CostShift
+	// Cost is a fixed-point access cost.
+	Cost = access.Cost
+	// Ledger summarizes accesses performed and cost accrued.
+	Ledger = access.Ledger
+	// Item is one ranked answer.
+	Item = algo.Item
+	// Backend supplies raw access results (in-memory or HTTP).
+	Backend = access.Backend
+	// Plan is an optimizer-chosen SR/G configuration.
+	Plan = opt.Plan
+	// OptimizerConfig tunes the cost-based optimizer.
+	OptimizerConfig = opt.Config
+)
+
+// Scoring-function constructors.
+var (
+	// Min returns the minimum scoring function (Query Q1's "min").
+	Min = score.Min
+	// Max returns the maximum scoring function.
+	Max = score.Max
+	// Avg returns the arithmetic mean (Query Q2's "avg").
+	Avg = score.Avg
+	// Product returns the product function.
+	Product = score.Product
+	// Geometric returns the geometric mean.
+	Geometric = score.Geometric
+	// Weighted returns a weighted sum with the given weights.
+	Weighted = score.Weighted
+	// Median returns the lower-median order statistic.
+	Median = score.Median
+	// OrderStatistic returns the j-th-largest scoring function.
+	OrderStatistic = score.OrderStatistic
+	// ScoreByName resolves "min", "max", "avg", "product", "geomean",
+	// "median".
+	ScoreByName = score.ByName
+)
+
+// UniformScenario builds a scenario with identical sorted cost cs and
+// random cost cr on all m predicates.
+func UniformScenario(m int, cs, cr float64) Scenario { return access.Uniform(m, cs, cr) }
+
+// CostFromUnits converts float units (e.g. seconds) to a Cost.
+func CostFromUnits(u float64) Cost { return access.CostFromUnits(u) }
+
+// GenerateDataset synthesizes a dataset from a named distribution:
+// "uniform", "gaussian", "skewed", "correlated", or "anticorrelated".
+func GenerateDataset(dist string, n, m int, seed int64) (*Dataset, error) {
+	d, err := data.DistributionByName(dist)
+	if err != nil {
+		return nil, err
+	}
+	return data.Generate(d, n, m, seed)
+}
+
+// MustGenerateDataset is GenerateDataset that panics on error.
+func MustGenerateDataset(dist string, n, m int, seed int64) *Dataset {
+	ds, err := GenerateDataset(dist, n, m, seed)
+	if err != nil {
+		panic(err)
+	}
+	return ds
+}
+
+// DataBackend wraps an in-memory dataset as a Backend.
+func DataBackend(ds *Dataset) Backend { return access.DatasetBackend{DS: ds} }
+
+// Query is one top-k request.
+type Query struct {
+	F ScoreFunc
+	K int
+}
+
+// Answer is a completed execution.
+type Answer struct {
+	// Items are the top-k, best first. Exact is false when the algorithm
+	// (e.g. NRA) proves the set without learning exact scores.
+	Items []Item
+	// Ledger records the accesses performed and the total cost (Eq. 1).
+	Ledger Ledger
+	// Plan is the optimizer's chosen configuration, when one was used.
+	Plan *Plan
+	// Elapsed is the simulated elapsed time in cost units for parallel
+	// runs (zero for sequential runs, where elapsed equals the cost).
+	Elapsed float64
+	// Wall is the measured wall-clock time of live (WithLive) runs.
+	Wall time.Duration
+	// Truncated reports that a WithBudget run exhausted its budget before
+	// proving the answer; Items then holds best-effort candidates.
+	Truncated bool
+}
+
+// TotalCost returns the run's total access cost.
+func (a *Answer) TotalCost() Cost { return a.Ledger.TotalCost }
+
+// Engine executes top-k queries against a backend under a cost scenario.
+// An Engine is reusable: every Run opens a fresh access session.
+type Engine struct {
+	backend Backend
+	scn     Scenario
+	nwg     bool
+	shifts  []CostShift
+}
+
+// EngineOption configures an Engine.
+type EngineOption func(*Engine)
+
+// WithoutNoWildGuesses lifts the rule that random access requires the
+// object to have been seen by a sorted access first.
+func WithoutNoWildGuesses() EngineOption { return func(e *Engine) { e.nwg = false } }
+
+// WithCostShifts installs dynamic mid-query cost changes (for adaptivity
+// studies; each Run replays them afresh).
+func WithCostShifts(shifts ...CostShift) EngineOption {
+	return func(e *Engine) { e.shifts = append(e.shifts, shifts...) }
+}
+
+// NewEngine validates the scenario against the backend and builds an
+// engine.
+func NewEngine(b Backend, scn Scenario, opts ...EngineOption) (*Engine, error) {
+	if b == nil {
+		return nil, fmt.Errorf("topk: engine requires a backend")
+	}
+	if err := scn.Validate(b.M()); err != nil {
+		return nil, err
+	}
+	e := &Engine{backend: b, scn: scn, nwg: true}
+	for _, o := range opts {
+		o(e)
+	}
+	return e, nil
+}
+
+// runSpec captures the execution strategy chosen through RunOptions.
+type runSpec struct {
+	algorithm algo.Algorithm // nil = optimize
+	h         []float64      // fixed NC configuration
+	omega     []int
+	optCfg    OptimizerConfig
+	adaptive  bool
+	period    int
+	parallelB int
+	liveB     int
+	epsilon   float64
+	budget    float64
+	hasBudget bool
+}
+
+// RunOption selects how a query is executed.
+type RunOption func(*runSpec)
+
+// WithAlgorithm runs a named baseline: "FA", "TA", "CA", "NRA", "MPro",
+// "Upper", "Quick-Combine", or "Stream-Combine".
+func WithAlgorithm(name string) RunOption {
+	return func(r *runSpec) {
+		alg, err := algo.ByName(name)
+		if err != nil {
+			r.algorithm = errAlgorithm{err}
+			return
+		}
+		r.algorithm = alg
+	}
+}
+
+// WithNC runs Framework NC with a fixed SR/G configuration: depths h (one
+// per predicate, in score space) and probe schedule omega (nil = index
+// order), bypassing the optimizer.
+func WithNC(h []float64, omega []int) RunOption {
+	return func(r *runSpec) { r.h, r.omega = h, omega }
+}
+
+// WithOptimizer customizes the cost-based optimizer used by the default
+// execution mode.
+func WithOptimizer(cfg OptimizerConfig) RunOption {
+	return func(r *runSpec) { r.optCfg = cfg }
+}
+
+// WithAdaptive re-optimizes every period accesses against the costs
+// currently in force (use together with engine-level cost shifts).
+func WithAdaptive(period int) RunOption {
+	return func(r *runSpec) { r.adaptive, r.period = true, period }
+}
+
+// WithParallel executes under a bounded-concurrency simulated executor
+// with at most b concurrent accesses. Combines with WithNC or the
+// optimizer (the chosen plan's selector drives dispatch); not compatible
+// with named baselines.
+func WithParallel(b int) RunOption {
+	return func(r *runSpec) { r.parallelB = b }
+}
+
+// WithLive executes with real concurrent backend requests (goroutines)
+// bounded by b — for engines whose backend is a live source such as the
+// HTTP web-source client. The answer's Wall field reports measured time.
+// Not compatible with named baselines, WithAdaptive, or cost shifts.
+func WithLive(b int) RunOption {
+	return func(r *runSpec) { r.liveB = b }
+}
+
+// WithBudget caps the run's total access cost (in cost units). NC-based
+// execution turns anytime: when the budget runs out the answer holds the
+// best current candidates and Truncated is set. Named baselines are not
+// anytime and fail once the budget is hit.
+func WithBudget(units float64) RunOption {
+	return func(r *runSpec) { r.budget, r.hasBudget = units, true }
+}
+
+// WithApproximation relaxes the query to (1+epsilon)-approximation: every
+// returned object u is guaranteed (1+epsilon)*F(u) >= F(v) for every
+// object v left out, usually at a fraction of the exact cost.
+// Approximately-emitted items carry Exact=false and their final lower
+// bound as Score. Applies to NC-based execution (default, WithNC).
+func WithApproximation(epsilon float64) RunOption {
+	return func(r *runSpec) { r.epsilon = epsilon }
+}
+
+type errAlgorithm struct{ err error }
+
+func (e errAlgorithm) Name() string                            { return "error" }
+func (e errAlgorithm) Run(*algo.Problem) (*algo.Result, error) { return nil, e.err }
+
+// Run executes a query. By default it runs the full cost-based pipeline:
+// optimize an SR/G configuration for this engine's scenario (HClimb over a
+// dummy sample unless configured otherwise), then execute Framework NC
+// with it.
+func (e *Engine) Run(q Query, opts ...RunOption) (*Answer, error) {
+	var spec runSpec
+	for _, o := range opts {
+		o(&spec)
+	}
+	if spec.epsilon < 0 {
+		return nil, fmt.Errorf("topk: approximation epsilon must be >= 0, got %g", spec.epsilon)
+	}
+	if spec.epsilon > 0 && (spec.algorithm != nil || spec.adaptive || spec.parallelB > 0 || spec.liveB > 0) {
+		return nil, fmt.Errorf("topk: WithApproximation applies only to sequential NC execution")
+	}
+	if spec.liveB > 0 {
+		return e.runLive(q, spec)
+	}
+	var sessOpts []access.Option
+	if !e.nwg {
+		sessOpts = append(sessOpts, access.WithoutNoWildGuesses())
+	}
+	if len(e.shifts) > 0 {
+		sessOpts = append(sessOpts, access.WithShifts(e.shifts...))
+	}
+	if spec.hasBudget {
+		if spec.budget <= 0 {
+			return nil, fmt.Errorf("topk: budget must be positive, got %g", spec.budget)
+		}
+		sessOpts = append(sessOpts, access.WithBudget(CostFromUnits(spec.budget)))
+	}
+	sess, err := access.NewSession(e.backend, e.scn, sessOpts...)
+	if err != nil {
+		return nil, err
+	}
+	prob, err := algo.NewProblem(q.F, q.K, sess)
+	if err != nil {
+		return nil, err
+	}
+
+	ans := &Answer{}
+
+	// Resolve the SR/G configuration when one is needed (fixed, optimized,
+	// or none for named baselines).
+	needPlan := spec.algorithm == nil && spec.h == nil
+	if spec.parallelB > 0 && spec.algorithm != nil {
+		return nil, fmt.Errorf("topk: WithParallel cannot run named baseline algorithms")
+	}
+	var h []float64
+	var omega []int
+	if spec.h != nil {
+		h, omega = spec.h, spec.omega
+	} else if needPlan && !spec.adaptive {
+		cfg := spec.optCfg
+		cfg.DisableNWG = !e.nwg
+		plan, err := opt.Optimize(cfg, sess.CurrentScenario(), q.F, q.K, sess.N())
+		if err != nil {
+			return nil, err
+		}
+		ans.Plan = &plan
+		h, omega = plan.H, plan.Omega
+	}
+
+	if spec.parallelB > 0 {
+		if spec.adaptive {
+			return nil, fmt.Errorf("topk: WithParallel cannot be combined with WithAdaptive")
+		}
+		sel, err := algo.NewSRG(h, omega)
+		if err != nil {
+			return nil, err
+		}
+		res, err := (&parallel.Executor{B: spec.parallelB, Sel: sel}).Run(prob)
+		if err != nil {
+			return nil, err
+		}
+		ans.Items, ans.Ledger, ans.Elapsed = res.Items, res.Ledger, res.Elapsed
+		return ans, nil
+	}
+
+	var alg algo.Algorithm
+	switch {
+	case spec.algorithm != nil:
+		alg = spec.algorithm
+	case spec.adaptive:
+		cfg := spec.optCfg
+		cfg.DisableNWG = !e.nwg
+		alg = &opt.Adaptive{Cfg: cfg, Period: spec.period}
+	case spec.epsilon > 0:
+		sel, serr := algo.NewSRG(h, omega)
+		if serr != nil {
+			return nil, serr
+		}
+		alg = &algo.NC{Sel: sel, Epsilon: spec.epsilon}
+	default:
+		alg, err = algo.NewNC(h, omega)
+		if err != nil {
+			return nil, err
+		}
+	}
+	res, err := alg.Run(prob)
+	if err != nil {
+		return nil, err
+	}
+	ans.Items, ans.Ledger, ans.Truncated = res.Items, res.Ledger, res.Truncated
+	return ans, nil
+}
+
+// Cursor is an incremental result stream: answers arrive best first, the
+// caller decides when to stop, and score state carries across batches so
+// "five more" never re-pays for what is already known.
+type Cursor struct {
+	s *algo.Stream
+}
+
+// Next returns the next-best object; io.EOF when the database is drained.
+func (c *Cursor) Next() (Item, error) { return c.s.Next() }
+
+// Drain pulls up to k more items.
+func (c *Cursor) Drain(k int) ([]Item, error) { return c.s.Drain(k) }
+
+// Cost reports the access cost accrued so far.
+func (c *Cursor) Cost() Cost { return c.s.Cost() }
+
+// Ledger snapshots the accesses performed so far.
+func (c *Cursor) Ledger() Ledger { return c.s.Ledger() }
+
+// Open starts incremental ("best first") evaluation of a query. The
+// query's K only sizes the optimizer's plan (how deep the configuration
+// expects to go); the cursor itself can be drained past it. Supported
+// options: WithNC, WithOptimizer, WithApproximation, WithBudget; named
+// baselines and the concurrent executors are batch-only.
+func (e *Engine) Open(q Query, opts ...RunOption) (*Cursor, error) {
+	var spec runSpec
+	for _, o := range opts {
+		o(&spec)
+	}
+	if spec.algorithm != nil || spec.adaptive || spec.parallelB > 0 || spec.liveB > 0 {
+		return nil, fmt.Errorf("topk: Open supports only NC-based sequential execution")
+	}
+	if spec.epsilon < 0 {
+		return nil, fmt.Errorf("topk: approximation epsilon must be >= 0, got %g", spec.epsilon)
+	}
+	var sessOpts []access.Option
+	if !e.nwg {
+		sessOpts = append(sessOpts, access.WithoutNoWildGuesses())
+	}
+	if len(e.shifts) > 0 {
+		sessOpts = append(sessOpts, access.WithShifts(e.shifts...))
+	}
+	if spec.hasBudget {
+		if spec.budget <= 0 {
+			return nil, fmt.Errorf("topk: budget must be positive, got %g", spec.budget)
+		}
+		sessOpts = append(sessOpts, access.WithBudget(CostFromUnits(spec.budget)))
+	}
+	sess, err := access.NewSession(e.backend, e.scn, sessOpts...)
+	if err != nil {
+		return nil, err
+	}
+	prob, err := algo.NewProblem(q.F, q.K, sess)
+	if err != nil {
+		return nil, err
+	}
+	h, omega := spec.h, spec.omega
+	if h == nil {
+		cfg := spec.optCfg
+		cfg.DisableNWG = !e.nwg
+		plan, err := opt.Optimize(cfg, e.scn, q.F, q.K, sess.N())
+		if err != nil {
+			return nil, err
+		}
+		h, omega = plan.H, plan.Omega
+	}
+	sel, err := algo.NewSRG(h, omega)
+	if err != nil {
+		return nil, err
+	}
+	s, err := algo.NewStream(prob, sel, spec.epsilon)
+	if err != nil {
+		return nil, err
+	}
+	return &Cursor{s: s}, nil
+}
+
+// Explain runs the cost-based optimizer for a query without executing it:
+// the query-planning API. It returns the chosen SR/G configuration and its
+// estimated total access cost under the engine's scenario. No source
+// access is performed (the estimator works on samples).
+func (e *Engine) Explain(q Query, cfg OptimizerConfig) (Plan, error) {
+	if err := score.Validate(q.F, e.scn.M()); err != nil {
+		return Plan{}, err
+	}
+	if q.K <= 0 {
+		return Plan{}, fmt.Errorf("topk: retrieval size must be positive, got %d", q.K)
+	}
+	cfg.DisableNWG = !e.nwg
+	return opt.Optimize(cfg, e.scn, q.F, q.K, e.backend.N())
+}
+
+// runLive executes the query with real concurrent backend requests.
+func (e *Engine) runLive(q Query, spec runSpec) (*Answer, error) {
+	if spec.algorithm != nil {
+		return nil, fmt.Errorf("topk: WithLive cannot run named baseline algorithms")
+	}
+	if spec.adaptive {
+		return nil, fmt.Errorf("topk: WithLive cannot be combined with WithAdaptive")
+	}
+	if spec.parallelB > 0 {
+		return nil, fmt.Errorf("topk: WithLive and WithParallel are mutually exclusive")
+	}
+	if len(e.shifts) > 0 {
+		return nil, fmt.Errorf("topk: live execution does not support simulated cost shifts")
+	}
+	ans := &Answer{}
+	h, omega := spec.h, spec.omega
+	if h == nil {
+		cfg := spec.optCfg
+		cfg.DisableNWG = !e.nwg
+		plan, err := opt.Optimize(cfg, e.scn, q.F, q.K, e.backend.N())
+		if err != nil {
+			return nil, err
+		}
+		ans.Plan = &plan
+		h, omega = plan.H, plan.Omega
+	}
+	sel, err := algo.NewSRG(h, omega)
+	if err != nil {
+		return nil, err
+	}
+	live := &parallel.Live{B: spec.liveB, Sel: sel, Scn: e.scn, DisableNWG: !e.nwg}
+	res, err := live.Run(e.backend, q.F, q.K)
+	if err != nil {
+		return nil, err
+	}
+	ans.Items, ans.Ledger, ans.Wall = res.Items, res.Ledger, res.Wall
+	return ans, nil
+}
+
+// TopKOracle computes the exact answer by brute force over a dataset —
+// free of access costs, for verification and testing.
+func TopKOracle(ds *Dataset, f ScoreFunc, k int) []Item {
+	ranked := ds.TopK(f.Eval, k)
+	items := make([]Item, len(ranked))
+	for i, r := range ranked {
+		items[i] = Item{Obj: r.Obj, Score: r.Score, Exact: true}
+	}
+	return items
+}

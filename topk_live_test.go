@@ -1,0 +1,177 @@
+package topk
+
+import (
+	"testing"
+)
+
+func TestEngineLiveRun(t *testing.T) {
+	ds := exampleDataset(t)
+	eng, err := NewEngine(DataBackend(ds), UniformScenario(2, 1, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := eng.Run(Query{F: Min(), K: 5}, WithLive(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scoresMatchOracle(t, ds, Min(), 5, ans.Items)
+	if ans.Wall <= 0 {
+		t.Error("live run should report wall time")
+	}
+	if ans.Plan == nil {
+		t.Error("live default pipeline should record the plan")
+	}
+	// With a fixed configuration, no plan is recorded.
+	ans2, err := eng.Run(Query{F: Min(), K: 5}, WithLive(4), WithNC([]float64{0.5, 0.5}, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scoresMatchOracle(t, ds, Min(), 5, ans2.Items)
+	if ans2.Plan != nil {
+		t.Error("fixed-config live run should not optimize")
+	}
+}
+
+func TestEngineLiveRejectsIncompatibleOptions(t *testing.T) {
+	ds := exampleDataset(t)
+	eng, _ := NewEngine(DataBackend(ds), UniformScenario(2, 1, 1))
+	if _, err := eng.Run(Query{F: Min(), K: 2}, WithLive(2), WithAlgorithm("TA")); err == nil {
+		t.Error("live + baseline should fail")
+	}
+	if _, err := eng.Run(Query{F: Min(), K: 2}, WithLive(2), WithAdaptive(5)); err == nil {
+		t.Error("live + adaptive should fail")
+	}
+	if _, err := eng.Run(Query{F: Min(), K: 2}, WithLive(2), WithParallel(2)); err == nil {
+		t.Error("live + parallel should fail")
+	}
+	shifted, _ := NewEngine(DataBackend(ds), UniformScenario(2, 1, 1),
+		WithCostShifts(CostShift{AfterAccesses: 5, Pred: 0, RandomFactor: 2}))
+	if _, err := shifted.Run(Query{F: Min(), K: 2}, WithLive(2)); err == nil {
+		t.Error("live + cost shifts should fail")
+	}
+}
+
+func TestEngineApproximation(t *testing.T) {
+	ds := exampleDataset(t)
+	eng, err := NewEngine(DataBackend(ds), UniformScenario(2, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := eng.Run(Query{F: Avg(), K: 10}, WithNC([]float64{0, 0}, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := eng.Run(Query{F: Avg(), K: 10}, WithNC([]float64{0, 0}, nil), WithApproximation(0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if approx.TotalCost() > exact.TotalCost() {
+		t.Errorf("approximate cost %v exceeds exact %v", approx.TotalCost(), exact.TotalCost())
+	}
+	// Guarantee: (1+eps)*F(returned) >= F(anything else).
+	returned := make(map[int]bool)
+	worst := 2.0
+	for _, it := range approx.Items {
+		returned[it.Obj] = true
+		if truth := Avg().Eval(ds.Scores(it.Obj)); truth < worst {
+			worst = truth
+		}
+	}
+	for u := 0; u < ds.N(); u++ {
+		if returned[u] {
+			continue
+		}
+		if truth := Avg().Eval(ds.Scores(u)); 1.3*worst < truth-1e-9 {
+			t.Fatalf("approximation guarantee violated: %g vs %g", worst, truth)
+		}
+	}
+	// Validation.
+	if _, err := eng.Run(Query{F: Avg(), K: 2}, WithApproximation(-1)); err == nil {
+		t.Error("negative epsilon should fail")
+	}
+	if _, err := eng.Run(Query{F: Avg(), K: 2}, WithApproximation(0.1), WithAlgorithm("TA")); err == nil {
+		t.Error("approximation + baseline should fail")
+	}
+	if _, err := eng.Run(Query{F: Avg(), K: 2}, WithApproximation(0.1), WithParallel(2)); err == nil {
+		t.Error("approximation + parallel should fail")
+	}
+}
+
+func TestEngineExplain(t *testing.T) {
+	ds := exampleDataset(t)
+	eng, err := NewEngine(DataBackend(ds), UniformScenario(2, 1, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := eng.Explain(Query{F: Min(), K: 5}, OptimizerConfig{Grid: 6, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.H) != 2 || plan.EstimatedCost <= 0 || plan.Evals == 0 {
+		t.Fatalf("plan = %+v", plan)
+	}
+	// Explain must not touch the sources: executing the explained plan
+	// afterwards costs exactly what a fresh run does.
+	a, err := eng.Run(Query{F: Min(), K: 5}, WithNC(plan.H, plan.Omega))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := eng.Run(Query{F: Min(), K: 5}, WithNC(plan.H, plan.Omega))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalCost() != b.TotalCost() {
+		t.Error("Explain leaked state into the engine")
+	}
+	if _, err := eng.Explain(Query{F: Min(), K: 0}, OptimizerConfig{}); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := eng.Explain(Query{F: Weighted(1, 2, 3), K: 2}, OptimizerConfig{}); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+}
+
+func TestEngineOpenCursor(t *testing.T) {
+	ds := exampleDataset(t)
+	eng, err := NewEngine(DataBackend(ds), UniformScenario(2, 1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := eng.Open(Query{F: Min(), K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := cur.Drain(4)
+	if err != nil || len(first) != 4 {
+		t.Fatalf("first batch: %v %v", first, err)
+	}
+	more, err := cur.Drain(4)
+	if err != nil || len(more) != 4 {
+		t.Fatalf("second batch: %v %v", more, err)
+	}
+	scoresMatchOracle(t, ds, Min(), 8, append(first, more...))
+	if cur.Cost() <= 0 || cur.Ledger().TotalAccesses() == 0 {
+		t.Error("cursor accounting empty")
+	}
+	// Batch-only options are refused.
+	if _, err := eng.Open(Query{F: Min(), K: 2}, WithAlgorithm("TA")); err == nil {
+		t.Error("cursor + baseline should fail")
+	}
+	if _, err := eng.Open(Query{F: Min(), K: 2}, WithParallel(2)); err == nil {
+		t.Error("cursor + parallel should fail")
+	}
+	if _, err := eng.Open(Query{F: Min(), K: 2}, WithAdaptive(5)); err == nil {
+		t.Error("cursor + adaptive should fail")
+	}
+	if _, err := eng.Open(Query{F: Min(), K: 2}, WithBudget(-1)); err == nil {
+		t.Error("cursor + bad budget should fail")
+	}
+	// Cursor with a fixed configuration and approximation.
+	cur2, err := eng.Open(Query{F: Avg(), K: 5}, WithNC([]float64{0.5, 0.5}, nil), WithApproximation(0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cur2.Drain(5); err != nil {
+		t.Fatal(err)
+	}
+}
