@@ -17,6 +17,7 @@ import (
 	"repro/internal/algo"
 	"repro/internal/bench"
 	"repro/internal/data"
+	"repro/internal/data/datatest"
 	"repro/internal/score"
 )
 
@@ -53,7 +54,7 @@ func BenchmarkExpE12(b *testing.B) { benchExperiment(b, "E12") }
 
 // benchAlgorithm measures one full query execution (n=1000, m=2, k=10).
 func benchAlgorithm(b *testing.B, mk func() algo.Algorithm, scn access.Scenario, f score.Func) {
-	ds := data.MustGenerate(data.Uniform, 1000, 2, 9)
+	ds := datatest.MustGenerate(data.Uniform, 1000, 2, 9)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -104,7 +105,7 @@ func BenchmarkAlgoMPro(b *testing.B) {
 // 11-point grid, 5 restarts) — the optimization overhead a middleware pays
 // per query.
 func BenchmarkOptimizerHClimb(b *testing.B) {
-	ds := data.MustGenerate(data.Uniform, 1000, 2, 9)
+	ds := datatest.MustGenerate(data.Uniform, 1000, 2, 9)
 	eng, err := NewEngine(DataBackend(ds), UniformScenario(2, 1, 10))
 	if err != nil {
 		b.Fatal(err)
@@ -120,7 +121,7 @@ func BenchmarkOptimizerHClimb(b *testing.B) {
 
 // BenchmarkParallelExecutor measures a B=8 simulated-concurrency run.
 func BenchmarkParallelExecutor(b *testing.B) {
-	ds := data.MustGenerate(data.Uniform, 1000, 2, 9)
+	ds := datatest.MustGenerate(data.Uniform, 1000, 2, 9)
 	eng, err := NewEngine(DataBackend(ds), UniformScenario(2, 1, 5))
 	if err != nil {
 		b.Fatal(err)

@@ -67,10 +67,16 @@ func run() error {
 		}
 		columns = genericColumns(ds.M())
 	case *benchQ == "q1":
-		q, _ := data.Restaurants(*n, *seed)
+		q, _, err := data.Restaurants(*n, *seed)
+		if err != nil {
+			return err
+		}
 		ds, columns = q.Dataset, q.PredicateNames
 	case *benchQ == "q2":
-		q, _ := data.Hotels(*n, *seed)
+		q, _, err := data.Hotels(*n, *seed)
+		if err != nil {
+			return err
+		}
 		ds, columns = q.Dataset, q.PredicateNames
 	case *dist != "":
 		d, derr := data.DistributionByName(*dist)

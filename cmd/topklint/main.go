@@ -1,0 +1,71 @@
+// Command topklint runs the repository's analyzer suite (internal/lint)
+// over the given packages and exits non-zero if any invariant is
+// violated. It is a tier-1 CI gate:
+//
+//	go run ./cmd/topklint ./...
+//
+// Each diagnostic is positional (file:line:col) and names the analyzer,
+// so a violation can be suppressed — deliberately and with a reason —
+// via `//topklint:allow <analyzer> <reason>` on or above the line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/loader"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("topklint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: topklint [packages]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Fprintf(stdout, "%-18s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := loader.Load(".", patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, "topklint:", err)
+		return 2
+	}
+	analyzers := lint.All()
+	var all []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		diags, err := analysis.RunPackage(pkg.Fset, pkg.Syntax, pkg.Types, pkg.TypesInfo, analyzers)
+		if err != nil {
+			fmt.Fprintln(stderr, "topklint:", err)
+			return 2
+		}
+		all = append(all, diags...)
+	}
+	for _, d := range all {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(all) > 0 {
+		fmt.Fprintf(stderr, "topklint: %d violation(s)\n", len(all))
+		return 1
+	}
+	return 0
+}

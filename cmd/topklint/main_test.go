@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// chdirRepoRoot moves to the module root (two levels up from cmd/topklint)
+// so the loader resolves ./... the same way CI does.
+func chdirRepoRoot(t *testing.T) {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(filepath.Join(wd, "..", "..")); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = os.Chdir(wd) })
+}
+
+func TestListAnalyzers(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("run(-list) = %d, stderr: %s", code, errOut.String())
+	}
+	for _, name := range []string{"nopanic", "detrand", "registrycomplete", "ctxfirst", "lockdiscipline"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, out.String())
+		}
+	}
+}
+
+// TestTreeIsClean is the gate the ISSUE demands: the merged tree must lint
+// clean. It runs the real driver over the serving-path packages.
+func TestTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	chdirRepoRoot(t)
+	var out, errOut strings.Builder
+	code := run([]string{"./internal/...", "."}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("topklint found violations (exit %d):\n%s%s", code, out.String(), errOut.String())
+	}
+}
+
+func TestBadPatternFails(t *testing.T) {
+	chdirRepoRoot(t)
+	var out, errOut strings.Builder
+	if code := run([]string{"./no/such/package"}, &out, &errOut); code != 2 {
+		t.Fatalf("run(bad pattern) = %d, want 2 (stderr: %s)", code, errOut.String())
+	}
+}

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -98,11 +99,17 @@ func run() error {
 				return err
 			}
 		case "q1":
-			q, _ := data.Restaurants(*n, *seed)
+			q, _, err := data.Restaurants(*n, *seed)
+			if err != nil {
+				return err
+			}
 			ds, labels = q.Dataset, true
 			f = score.Min()
 		case "q2":
-			q, _ := data.Hotels(*n, *seed)
+			q, _, err := data.Hotels(*n, *seed)
+			if err != nil {
+				return err
+			}
 			ds, labels = q.Dataset, true
 			f = score.Avg()
 		default:
@@ -137,7 +144,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		res, err := (&parallel.Executor{B: *par, Sel: sel}).Run(prob)
+		res, err := (&parallel.Executor{B: *par, Sel: sel}).Run(context.Background(), prob)
 		if err != nil {
 			return err
 		}

@@ -13,10 +13,16 @@ import (
 func resolveTable(name string, n, m int, seed int64) (*data.Dataset, bool, error) {
 	switch name {
 	case "q1", "restaurants":
-		q, _ := data.Restaurants(n, seed)
+		q, _, err := data.Restaurants(n, seed)
+		if err != nil {
+			return nil, false, err
+		}
 		return q.Dataset, true, nil
 	case "q2", "hotels":
-		q, _ := data.Hotels(n, seed)
+		q, _, err := data.Hotels(n, seed)
+		if err != nil {
+			return nil, false, err
+		}
 		return q.Dataset, true, nil
 	default:
 		d, err := data.DistributionByName(name)

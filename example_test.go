@@ -10,7 +10,10 @@ import (
 // the query and cost scenario, then execute Framework NC — and compares
 // the bill with the Threshold Algorithm's.
 func Example() {
-	ds := topk.MustGenerateDataset("uniform", 1000, 2, 42)
+	ds, err := topk.GenerateDataset("uniform", 1000, 2, 42)
+	if err != nil {
+		panic(err)
+	}
 	eng, err := topk.NewEngine(topk.DataBackend(ds), topk.UniformScenario(2, 1, 10))
 	if err != nil {
 		panic(err)
@@ -37,7 +40,10 @@ func Example() {
 // ExampleEngine_Run_budget shows anytime execution: cap the spend and take
 // the best current answer when the budget runs dry.
 func ExampleEngine_Run_budget() {
-	ds := topk.MustGenerateDataset("uniform", 500, 2, 7)
+	ds, err := topk.GenerateDataset("uniform", 500, 2, 7)
+	if err != nil {
+		panic(err)
+	}
 	eng, err := topk.NewEngine(topk.DataBackend(ds), topk.UniformScenario(2, 1, 1))
 	if err != nil {
 		panic(err)
@@ -57,11 +63,14 @@ func ExampleEngine_Run_budget() {
 // ExampleEngine_Run_approximate trades a (1+epsilon) guarantee for cost in
 // a sorted-only scenario.
 func ExampleEngine_Run_approximate() {
-	ds := topk.MustGenerateDataset("uniform", 500, 3, 9)
+	ds, err := topk.GenerateDataset("uniform", 500, 3, 9)
+	if err != nil {
+		panic(err)
+	}
 	scn := topk.Scenario{Name: "streams", Preds: []topk.PredCost{
-		{Sorted: topk.CostFromUnits(1), SortedOK: true},
-		{Sorted: topk.CostFromUnits(1), SortedOK: true},
-		{Sorted: topk.CostFromUnits(1), SortedOK: true},
+		{Sorted: topk.CostOf(1), SortedOK: true},
+		{Sorted: topk.CostOf(1), SortedOK: true},
+		{Sorted: topk.CostOf(1), SortedOK: true},
 	}}
 	eng, err := topk.NewEngine(topk.DataBackend(ds), scn)
 	if err != nil {

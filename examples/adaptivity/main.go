@@ -18,7 +18,10 @@ import (
 )
 
 func main() {
-	ds := topk.MustGenerateDataset("uniform", 1000, 2, 1)
+	ds, err := topk.GenerateDataset("uniform", 1000, 2, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
 	query := topk.Query{F: topk.Avg(), K: 10}
 
 	// The load spike: after 60 accesses, random accesses cost 50x.

@@ -16,7 +16,10 @@ import (
 )
 
 func main() {
-	ds := topk.MustGenerateDataset("uniform", 1000, 2, 11)
+	ds, err := topk.GenerateDataset("uniform", 1000, 2, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
 	query := topk.Query{F: topk.Avg(), K: 10}
 
 	type cell struct {

@@ -63,9 +63,9 @@ func main() {
 	}
 
 	scn := topk.Scenario{Name: "multimedia", Preds: []topk.PredCost{
-		{Sorted: topk.CostFromUnits(1), SortedOK: true, Random: topk.CostFromUnits(2), RandomOK: true}, // color index
-		{Random: topk.CostFromUnits(5), RandomOK: true},                                                // texture: compute on demand
-		{Sorted: topk.CostFromUnits(1), SortedOK: true},                                                // keyword stream
+		{Sorted: topk.CostOf(1), SortedOK: true, Random: topk.CostOf(2), RandomOK: true}, // color index
+		{Random: topk.CostOf(5), RandomOK: true},                                         // texture: compute on demand
+		{Sorted: topk.CostOf(1), SortedOK: true},                                         // keyword stream
 	}}
 	eng, err := topk.NewEngine(topk.DataBackend(ds), scn)
 	if err != nil {

@@ -16,7 +16,10 @@ func main() {
 	// deployment the scores live at remote sources; here they are
 	// synthesized, but every access still goes through the metered
 	// middleware session.
-	ds := topk.MustGenerateDataset("uniform", 1000, 2, 42)
+	ds, err := topk.GenerateDataset("uniform", 1000, 2, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Cost scenario: sorted access costs 1 unit, random access 10 units
 	// (the classic "probes are expensive" Web setting).

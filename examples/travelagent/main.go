@@ -36,11 +36,14 @@ func main() {
 }
 
 func q1() {
-	bench, restaurants := data.Restaurants(1000, 7)
+	bench, restaurants, err := data.Restaurants(1000, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
 	ds := bench.Dataset
 	scn := topk.Scenario{Name: "example1", Preds: []topk.PredCost{
-		{Sorted: topk.CostFromUnits(0.2), SortedOK: true, Random: topk.CostFromUnits(1.0), RandomOK: true}, // dineme.com: rating
-		{Sorted: topk.CostFromUnits(0.1), SortedOK: true, Random: topk.CostFromUnits(0.5), RandomOK: true}, // superpages.com: closeness
+		{Sorted: topk.CostOf(0.2), SortedOK: true, Random: topk.CostOf(1.0), RandomOK: true}, // dineme.com: rating
+		{Sorted: topk.CostOf(0.1), SortedOK: true, Random: topk.CostOf(0.5), RandomOK: true}, // superpages.com: closeness
 	}}
 	eng, err := topk.NewEngine(topk.DataBackend(ds), scn)
 	if err != nil {
@@ -72,9 +75,12 @@ func q1() {
 }
 
 func q2() {
-	bench, hotels := data.Hotels(1000, 8)
+	bench, hotels, err := data.Hotels(1000, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
 	ds := bench.Dataset
-	free := topk.PredCost{Sorted: topk.CostFromUnits(0.3), SortedOK: true, Random: 0, RandomOK: true}
+	free := topk.PredCost{Sorted: topk.CostOf(0.3), SortedOK: true, Random: 0, RandomOK: true}
 	scn := topk.Scenario{Name: "example2", Preds: []topk.PredCost{free, free, free}}
 	eng, err := topk.NewEngine(topk.DataBackend(ds), scn)
 	if err != nil {
@@ -84,8 +90,12 @@ func q2() {
 	fmt.Printf("Q2: top-5 hotels by avg(closeness, rating, cheap), budget $%.0f\n", bench.Budget)
 	// A deployed travel middleware keeps statistics: give the optimizer a
 	// real sample so the chosen depths respect the actual distributions.
+	sample, err := data.Sample(ds, 100, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
 	ans, err := eng.Run(topk.Query{F: topk.Avg(), K: 5},
-		topk.WithOptimizer(topk.OptimizerConfig{Sample: data.Sample(ds, 100, 1)}))
+		topk.WithOptimizer(topk.OptimizerConfig{Sample: sample}))
 	if err != nil {
 		log.Fatal(err)
 	}

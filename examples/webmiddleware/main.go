@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net/http"
@@ -25,7 +26,10 @@ import (
 func main() {
 	// The "Web": two sources scoring different predicates of the same
 	// restaurant universe, each with its own response latency.
-	bench, restaurants := data.Restaurants(400, 21)
+	bench, restaurants, err := data.Restaurants(400, 21)
+	if err != nil {
+		log.Fatal(err)
+	}
 	ds := bench.Dataset
 
 	dineme := startSource(ds, 0, 2*time.Millisecond) // rating, slower
@@ -38,7 +42,7 @@ func main() {
 	// predicate, costs unknown until calibration.
 	cat := catalog.New()
 	register := func(source, pred, url string) {
-		client, err := websim.NewClient(http.DefaultClient, []websim.Route{{BaseURL: url, Pred: 0}})
+		client, err := websim.NewClient(context.Background(), http.DefaultClient, []websim.Route{{BaseURL: url, Pred: 0}})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -53,7 +57,7 @@ func main() {
 	register("dineme.com", "rating", dineme.URL)
 	register("superpages.com", "closeness", superpages.URL)
 
-	scn, err := cat.Calibrate("calibrated-http", 5)
+	scn, err := cat.Calibrate(context.Background(), "calibrated-http", 5)
 	if err != nil {
 		log.Fatal(err)
 	}

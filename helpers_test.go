@@ -1,0 +1,12 @@
+package topk
+
+import "testing"
+
+func mustGenerateDataset(t *testing.T, dist string, n, m int, seed int64) *Dataset {
+	t.Helper()
+	ds, err := GenerateDataset(dist, n, m, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}

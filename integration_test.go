@@ -6,6 +6,7 @@ package topk
 // execution — everything a deployed instance of the system would touch.
 
 import (
+	"context"
 	"math"
 	"net/http"
 	"net/http/httptest"
@@ -27,7 +28,10 @@ func TestFullStackOverHTTP(t *testing.T) {
 	}
 
 	// Two HTTP sources with different latencies over one universe.
-	bench, _ := data.Restaurants(150, 77)
+	bench, _, err := data.Restaurants(150, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ds := bench.Dataset
 	start := func(pred int, latency time.Duration) *httptest.Server {
 		srv, err := websim.NewServer(ds, websim.WithPredicates(pred), websim.WithLatency(latency))
@@ -44,7 +48,7 @@ func TestFullStackOverHTTP(t *testing.T) {
 	// Catalog: register, bind the query's predicates, calibrate costs.
 	cat := catalog.New()
 	register := func(source, pred, url string) {
-		client, err := websim.NewClient(http.DefaultClient, []websim.Route{{BaseURL: url, Pred: 0}})
+		client, err := websim.NewClient(context.Background(), http.DefaultClient, []websim.Route{{BaseURL: url, Pred: 0}})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -67,7 +71,7 @@ func TestFullStackOverHTTP(t *testing.T) {
 		t.Fatalf("binding = %v", cols)
 	}
 
-	scn, err := cat.Calibrate("http", 3)
+	scn, err := cat.Calibrate(context.Background(), "http", 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +132,7 @@ func TestFullStackOverHTTP(t *testing.T) {
 func TestFullStackDynamicCostsAdaptive(t *testing.T) {
 	// End-to-end adaptivity through the facade: an engine whose sources
 	// degrade mid-query, answered adaptively, statically, and by TA.
-	ds := MustGenerateDataset("uniform", 500, 2, 13)
+	ds := mustGenerateDataset(t, "uniform", 500, 2, 13)
 	shifts := []CostShift{
 		{AfterAccesses: 40, Pred: 0, RandomFactor: 30},
 		{AfterAccesses: 40, Pred: 1, RandomFactor: 30},
@@ -161,7 +165,10 @@ func TestSQLQueryThroughFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bench, _ := data.Hotels(300, 3)
+	bench, _, err := data.Hotels(300, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	cols, err := sqlq.Bind(pq, bench.PredicateNames)
 	if err != nil {
 		t.Fatal(err)

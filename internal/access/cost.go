@@ -25,11 +25,26 @@ type Cost int64
 const UnitCost Cost = 1_000_000
 
 // CostFromUnits converts a float unit value (e.g. milliseconds) to a Cost.
-func CostFromUnits(u float64) Cost {
+// NaN and negative values are rejected: costs are magnitudes in the
+// paper's model (Eq. 1) and a negative ledger entry would let an optimizer
+// "earn" budget by accessing.
+func CostFromUnits(u float64) (Cost, error) {
 	if math.IsNaN(u) || u < 0 {
-		panic(fmt.Sprintf("access: invalid cost %v", u))
+		return 0, fmt.Errorf("access: invalid cost %v (must be a non-negative number)", u)
 	}
-	return Cost(math.Round(u * float64(UnitCost)))
+	return Cost(math.Round(u * float64(UnitCost))), nil
+}
+
+// CostOf is CostFromUnits for scenario literals and builders, where a
+// two-value conversion would bury the PredCost table in error plumbing:
+// invalid unit values map to a negative sentinel Cost, which every
+// consumer rejects through the mandatory Scenario.Validate.
+func CostOf(u float64) Cost {
+	c, err := CostFromUnits(u)
+	if err != nil {
+		return -1
+	}
+	return c
 }
 
 // Units converts back to float units.
@@ -96,11 +111,11 @@ func (s Scenario) Validate(m int) error {
 		if pc.SortedOK {
 			anySorted = true
 			if pc.Sorted < 0 {
-				return fmt.Errorf("access: scenario %q predicate %d has negative sorted cost", s.Name, i)
+				return fmt.Errorf("access: scenario %q predicate %d has negative (or invalid) sorted cost", s.Name, i)
 			}
 		}
 		if pc.RandomOK && pc.Random < 0 {
-			return fmt.Errorf("access: scenario %q predicate %d has negative random cost", s.Name, i)
+			return fmt.Errorf("access: scenario %q predicate %d has negative (or invalid) random cost", s.Name, i)
 		}
 	}
 	if !anySorted {
@@ -111,10 +126,12 @@ func (s Scenario) Validate(m int) error {
 
 // Uniform builds a scenario with identical sorted cost cs and random cost
 // cr on all m predicates (the diagonal of Figure 2 when cs == cr).
+// Invalid unit values surface from Scenario.Validate, which every session
+// constructor runs.
 func Uniform(m int, cs, cr float64) Scenario {
 	preds := make([]PredCost, m)
 	for i := range preds {
-		preds[i] = PredCost{Sorted: CostFromUnits(cs), SortedOK: true, Random: CostFromUnits(cr), RandomOK: true}
+		preds[i] = PredCost{Sorted: CostOf(cs), SortedOK: true, Random: CostOf(cr), RandomOK: true}
 	}
 	return Scenario{Name: fmt.Sprintf("uniform(cs=%g,cr=%g)", cs, cr), Preds: preds}
 }
@@ -157,9 +174,9 @@ func MatrixCell(m int, sorted, random Capability, expensiveFactor float64) Scena
 	cost := func(c Capability) (Cost, bool) {
 		switch c {
 		case Cheap:
-			return CostFromUnits(1), true
+			return UnitCost, true
 		case Expensive:
-			return CostFromUnits(expensiveFactor), true
+			return CostOf(expensiveFactor), true
 		default:
 			return 0, false
 		}
@@ -173,7 +190,7 @@ func MatrixCell(m int, sorted, random Capability, expensiveFactor float64) Scena
 	}
 	if sorted == Impossible {
 		// Retrieval predicate: cheap sorted access on p_0 only.
-		preds[0].Sorted, preds[0].SortedOK = CostFromUnits(1), true
+		preds[0].Sorted, preds[0].SortedOK = UnitCost, true
 	}
 	return Scenario{
 		Name:  fmt.Sprintf("matrix(sa=%v,ra=%v,h=%g)", sorted, random, expensiveFactor),

@@ -55,16 +55,18 @@ func ReadScenarioJSON(r io.Reader) (Scenario, error) {
 	for i, pj := range payload.Predicates {
 		var pc PredCost
 		if pj.Sorted != nil {
-			if *pj.Sorted < 0 {
-				return Scenario{}, fmt.Errorf("access: scenario %q predicate %d: negative sorted cost", payload.Name, i)
+			c, err := CostFromUnits(*pj.Sorted)
+			if err != nil {
+				return Scenario{}, fmt.Errorf("access: scenario %q predicate %d: sorted cost: %w", payload.Name, i, err)
 			}
-			pc.Sorted, pc.SortedOK = CostFromUnits(*pj.Sorted), true
+			pc.Sorted, pc.SortedOK = c, true
 		}
 		if pj.Random != nil {
-			if *pj.Random < 0 {
-				return Scenario{}, fmt.Errorf("access: scenario %q predicate %d: negative random cost", payload.Name, i)
+			c, err := CostFromUnits(*pj.Random)
+			if err != nil {
+				return Scenario{}, fmt.Errorf("access: scenario %q predicate %d: random cost: %w", payload.Name, i, err)
 			}
-			pc.Random, pc.RandomOK = CostFromUnits(*pj.Random), true
+			pc.Random, pc.RandomOK = c, true
 		}
 		s.Preds[i] = pc
 	}

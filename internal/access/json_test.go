@@ -7,9 +7,9 @@ import (
 
 func TestScenarioJSONRoundTrip(t *testing.T) {
 	orig := Scenario{Name: "travel", Preds: []PredCost{
-		{Sorted: CostFromUnits(0.2), SortedOK: true, Random: CostFromUnits(1.0), RandomOK: true},
-		{Sorted: CostFromUnits(0.1), SortedOK: true}, // sorted only
-		{Random: CostFromUnits(0.5), RandomOK: true}, // probe only
+		{Sorted: CostOf(0.2), SortedOK: true, Random: CostOf(1.0), RandomOK: true},
+		{Sorted: CostOf(0.1), SortedOK: true}, // sorted only
+		{Random: CostOf(0.5), RandomOK: true}, // probe only
 	}}
 	var sb strings.Builder
 	if err := orig.WriteJSON(&sb); err != nil {

@@ -1,6 +1,7 @@
 package access
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -10,15 +11,17 @@ import (
 // Backend supplies raw access results. The in-process implementation wraps
 // a data.Dataset; internal/websim provides an HTTP-backed implementation.
 // Backends are oblivious to costs and legality — that is the Session's job.
+// Accesses take a context first so callers can cancel or bound in-flight
+// source requests; in-memory backends only need to honor ctx.Err().
 type Backend interface {
 	// N and M return the object and predicate counts.
 	N() int
 	M() int
 	// Sorted returns the object at the given zero-based rank of predicate
 	// pred's descending list and its score. rank is always in [0, N).
-	Sorted(pred, rank int) (obj int, score float64, err error)
+	Sorted(ctx context.Context, pred, rank int) (obj int, score float64, err error)
 	// Random returns p_pred[obj].
-	Random(pred, obj int) (float64, error)
+	Random(ctx context.Context, pred, obj int) (float64, error)
 }
 
 // DatasetBackend adapts a data.Dataset to the Backend interface.
@@ -31,13 +34,19 @@ func (b DatasetBackend) N() int { return b.DS.N() }
 func (b DatasetBackend) M() int { return b.DS.M() }
 
 // Sorted returns the rank-th entry of pred's descending list.
-func (b DatasetBackend) Sorted(pred, rank int) (int, float64, error) {
+func (b DatasetBackend) Sorted(ctx context.Context, pred, rank int) (int, float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, 0, err
+	}
 	obj, s := b.DS.SortedAt(pred, rank)
 	return obj, s, nil
 }
 
 // Random returns the exact score.
-func (b DatasetBackend) Random(pred, obj int) (float64, error) {
+func (b DatasetBackend) Random(ctx context.Context, pred, obj int) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	return b.DS.Score(obj, pred), nil
 }
 
@@ -128,6 +137,17 @@ func WithBudget(budget Cost) Option {
 	return func(s *Session) { s.budget = budget; s.hasBudget = true }
 }
 
+// WithContext attaches a context to every backend access the session
+// performs: cancelling it aborts in-flight source requests and fails
+// subsequent accesses. The default is context.Background().
+func WithContext(ctx context.Context) Option {
+	return func(s *Session) {
+		if ctx != nil {
+			s.ctx = ctx
+		}
+	}
+}
+
 // Session mediates all accesses of one query execution: it enforces
 // legality, walks sorted lists in order, accrues costs, and records
 // traces. A Session is single-use and not safe for concurrent use; the
@@ -136,6 +156,7 @@ type Session struct {
 	backend Backend
 	scn     Scenario
 	nwg     bool
+	ctx     context.Context
 
 	cursor  []int    // next rank per predicate
 	probed  [][]bool // probed[pred][obj]
@@ -164,6 +185,7 @@ func NewSession(b Backend, scn Scenario, opts ...Option) (*Session, error) {
 		backend: b,
 		scn:     scn,
 		nwg:     true,
+		ctx:     context.Background(),
 		cursor:  make([]int, m),
 		probed:  make([][]bool, m),
 		seen:    make([]bool, n),
@@ -256,7 +278,7 @@ func (s *Session) SortedNext(i int) (obj int, score float64, err error) {
 		return 0, 0, fmt.Errorf("%w: sa%d would cost %v with %v left", ErrBudgetExhausted, i+1, s.current[i].Sorted, s.budget-s.cost)
 	}
 	rank := s.cursor[i]
-	obj, score, err = s.backend.Sorted(i, rank)
+	obj, score, err = s.backend.Sorted(s.ctx, i, rank)
 	if err != nil {
 		return 0, 0, fmt.Errorf("access: backend sorted(p%d, rank %d): %w", i+1, rank, err)
 	}
@@ -296,7 +318,7 @@ func (s *Session) Random(i, u int) (float64, error) {
 	if s.hasBudget && s.cost+s.current[i].Random > s.budget {
 		return 0, fmt.Errorf("%w: ra%d would cost %v with %v left", ErrBudgetExhausted, i+1, s.current[i].Random, s.budget-s.cost)
 	}
-	score, err := s.backend.Random(i, u)
+	score, err := s.backend.Random(s.ctx, i, u)
 	if err != nil {
 		return 0, fmt.Errorf("access: backend random(p%d, u%d): %w", i+1, u, err)
 	}

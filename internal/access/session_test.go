@@ -1,15 +1,17 @@
 package access
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
 
 	"repro/internal/data"
+	"repro/internal/data/datatest"
 )
 
 func fig3Dataset() *data.Dataset {
-	return data.MustNew("fig3", [][]float64{
+	return datatest.MustNew("fig3", [][]float64{
 		{0.6, 0.8},
 		{0.65, 0.8},
 		{0.7, 0.9},
@@ -26,7 +28,10 @@ func newTestSession(t *testing.T, opts ...Option) *Session {
 }
 
 func TestCostConversion(t *testing.T) {
-	c := CostFromUnits(1.5)
+	c, err := CostFromUnits(1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if c != 1_500_000 {
 		t.Errorf("CostFromUnits(1.5) = %d", c)
 	}
@@ -36,12 +41,22 @@ func TestCostConversion(t *testing.T) {
 	if c.String() != "1.500" {
 		t.Errorf("String = %q", c.String())
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("negative cost should panic")
-		}
-	}()
-	CostFromUnits(-1)
+	if _, err := CostFromUnits(-1); err == nil {
+		t.Error("negative cost should be rejected")
+	}
+	if _, err := CostFromUnits(math.NaN()); err == nil {
+		t.Error("NaN cost should be rejected")
+	}
+	if CostOf(2) != 2*UnitCost {
+		t.Errorf("CostOf(2) = %d", CostOf(2))
+	}
+	if CostOf(-1) >= 0 {
+		t.Error("CostOf of an invalid value must be a negative sentinel")
+	}
+	scn := Uniform(2, -1, 1)
+	if err := scn.Validate(2); err == nil {
+		t.Error("scenario built from invalid units must fail validation")
+	}
 }
 
 func TestScenarioValidate(t *testing.T) {
@@ -192,8 +207,8 @@ func TestSeenTracking(t *testing.T) {
 
 func TestCostAccrualMixedScenario(t *testing.T) {
 	scn := Scenario{Name: "ex1", Preds: []PredCost{
-		{Sorted: CostFromUnits(0.2), SortedOK: true, Random: CostFromUnits(1.0), RandomOK: true},
-		{Sorted: CostFromUnits(0.1), SortedOK: true, Random: CostFromUnits(0.5), RandomOK: true},
+		{Sorted: CostOf(0.2), SortedOK: true, Random: CostOf(1.0), RandomOK: true},
+		{Sorted: CostOf(0.1), SortedOK: true, Random: CostOf(0.5), RandomOK: true},
 	}}
 	s, err := NewSession(DatasetBackend{DS: fig3Dataset()}, scn)
 	if err != nil {
@@ -202,7 +217,7 @@ func TestCostAccrualMixedScenario(t *testing.T) {
 	s.SortedNext(0)
 	s.SortedNext(1)
 	s.Random(1, 2)
-	want := CostFromUnits(0.2) + CostFromUnits(0.1) + CostFromUnits(0.5)
+	want := CostOf(0.2) + CostOf(0.1) + CostOf(0.5)
 	if got := s.Ledger().TotalCost; got != want {
 		t.Errorf("total cost = %v, want %v", got, want)
 	}
@@ -279,5 +294,24 @@ func TestTraceCostsSumToLedger(t *testing.T) {
 	}
 	if sum != s.Ledger().TotalCost {
 		t.Errorf("trace sum %v != ledger %v", sum, s.Ledger().TotalCost)
+	}
+}
+
+func TestWithContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	s := newTestSession(t, WithContext(ctx))
+	if _, _, err := s.SortedNext(0); err != nil {
+		t.Fatalf("live context: %v", err)
+	}
+	cancel()
+	if _, _, err := s.SortedNext(0); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled sorted access: err = %v, want context.Canceled", err)
+	}
+	if _, err := s.Random(0, 2); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled random access: err = %v, want context.Canceled", err)
+	}
+	// Nothing is charged for a refused access.
+	if got := s.Ledger().TotalCost; got != UnitCost {
+		t.Errorf("ledger after cancellation = %v, want %v", got, UnitCost)
 	}
 }

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/access"
 	"repro/internal/data"
+	"repro/internal/data/datatest"
 	"repro/internal/score"
 )
 
@@ -15,7 +16,7 @@ import (
 // u3(.7), u2(.65), u1(.6); under F = min the top-1 is u3 with score .7.
 // Paper objects u1,u2,u3 are OIDs 0,1,2.
 func fig3() *data.Dataset {
-	return data.MustNew("fig3", [][]float64{
+	return datatest.MustNew("fig3", [][]float64{
 		{0.6, 0.8},
 		{0.65, 0.8},
 		{0.7, 0.9},
@@ -137,7 +138,7 @@ func TestNCParallelConfigExample(t *testing.T) {
 // claim at scale: for F = min, a focused depth configuration costs less
 // than an equal-depth (parallel) one, while both return the correct top-k.
 func TestNCFocusedBeatsParallelUnderMin(t *testing.T) {
-	ds := data.MustGenerate(data.Uniform, 400, 2, 99)
+	ds := datatest.MustGenerate(data.Uniform, 400, 2, 99)
 	scn := access.Uniform(2, 1, 1)
 	run := func(h []float64) access.Cost {
 		alg, err := NewNC(h, nil)
@@ -156,7 +157,7 @@ func TestNCFocusedBeatsParallelUnderMin(t *testing.T) {
 }
 
 func TestNCAllBaselineScenarios(t *testing.T) {
-	ds := data.MustGenerate(data.Uniform, 60, 3, 17)
+	ds := datatest.MustGenerate(data.Uniform, 60, 3, 17)
 	scns := []access.Scenario{
 		access.Uniform(3, 1, 1),
 		access.MatrixCell(3, Cheap, Expensive, 10),
@@ -202,7 +203,7 @@ func TestBaselinesMatchOracle(t *testing.T) {
 	for _, c := range cases {
 		for _, dist := range dists {
 			for _, m := range []int{2, 3} {
-				ds := data.MustGenerate(dist, 50, m, 23)
+				ds := datatest.MustGenerate(dist, 50, m, 23)
 				for _, f := range c.fs {
 					for _, k := range []int{1, 5, 12} {
 						res, _ := mustRun(t, c.alg, ds, c.scn(m), f, k)
@@ -215,7 +216,7 @@ func TestBaselinesMatchOracle(t *testing.T) {
 }
 
 func TestKLargerThanN(t *testing.T) {
-	ds := data.MustGenerate(data.Uniform, 7, 2, 3)
+	ds := datatest.MustGenerate(data.Uniform, 7, 2, 3)
 	algs := []Algorithm{FA{}, TA{}, CA{}, NRA{}, MustNCForTest(2), QuickCombine{}}
 	for _, alg := range algs {
 		res, _ := mustRun(t, alg, ds, access.Uniform(2, 1, 1), score.Avg(), 20)
@@ -237,7 +238,7 @@ func MustNCForTest(m int) Algorithm {
 }
 
 func TestCapabilityErrors(t *testing.T) {
-	ds := data.MustGenerate(data.Uniform, 10, 2, 1)
+	ds := datatest.MustGenerate(data.Uniform, 10, 2, 1)
 	noRandom := access.MatrixCell(2, Cheap, Impossible, 10)
 	for _, alg := range []Algorithm{FA{}, TA{}, CA{}, QuickCombine{}} {
 		sess := mustSession(t, ds, noRandom)
@@ -257,7 +258,7 @@ func TestCapabilityErrors(t *testing.T) {
 }
 
 func TestQuickCombineRefusesMin(t *testing.T) {
-	ds := data.MustGenerate(data.Uniform, 10, 2, 1)
+	ds := datatest.MustGenerate(data.Uniform, 10, 2, 1)
 	sess := mustSession(t, ds, access.Uniform(2, 1, 1))
 	prob, _ := NewProblem(score.Min(), 3, sess)
 	if _, err := (QuickCombine{}).Run(prob); !errors.Is(err, ErrInapplicable) {
@@ -271,7 +272,7 @@ func TestQuickCombineRefusesMin(t *testing.T) {
 }
 
 func TestNewProblemValidation(t *testing.T) {
-	ds := data.MustGenerate(data.Uniform, 5, 2, 1)
+	ds := datatest.MustGenerate(data.Uniform, 5, 2, 1)
 	sess := mustSession(t, ds, access.Uniform(2, 1, 1))
 	if _, err := NewProblem(score.Avg(), 0, sess); err == nil {
 		t.Error("k=0 should fail")
@@ -303,7 +304,7 @@ func TestOmegaOrderControlsProbes(t *testing.T) {
 	// In a probe-heavy scenario, Omega decides which predicate is probed
 	// first. With H = (0,1,1) and Omega = (0,2,1), probes on each object
 	// must hit p3 before p2.
-	ds := data.MustGenerate(data.Uniform, 30, 3, 5)
+	ds := datatest.MustGenerate(data.Uniform, 30, 3, 5)
 	scn := access.MatrixCell(3, Impossible, Cheap, 10)
 	alg, err := NewNC([]float64{0, 1, 1}, []int{0, 2, 1})
 	if err != nil {

@@ -1,0 +1,18 @@
+// Package algotest provides panic-on-error constructors for tests that
+// wire algorithm components with known-good literal parameters. The
+// production constructors in internal/algo return errors (the serving
+// path must never panic — see topklint's nopanic analyzer).
+package algotest
+
+import (
+	"repro/internal/algo"
+)
+
+// MustSRG is algo.NewSRG that panics on error.
+func MustSRG(h []float64, omega []int) *algo.SRG {
+	s, err := algo.NewSRG(h, omega)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

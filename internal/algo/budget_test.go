@@ -7,11 +7,12 @@ import (
 
 	"repro/internal/access"
 	"repro/internal/data"
+	"repro/internal/data/datatest"
 	"repro/internal/score"
 )
 
 func TestBudgetedNCIsAnytime(t *testing.T) {
-	ds := data.MustGenerate(data.Uniform, 300, 2, 66)
+	ds := datatest.MustGenerate(data.Uniform, 300, 2, 66)
 	scn := access.Uniform(2, 1, 1)
 	k := 8
 	f := score.Avg()
@@ -75,7 +76,7 @@ func TestBudgetedNCIsAnytime(t *testing.T) {
 }
 
 func TestBudgetedBaselineErrors(t *testing.T) {
-	ds := data.MustGenerate(data.Uniform, 100, 2, 3)
+	ds := datatest.MustGenerate(data.Uniform, 100, 2, 3)
 	sess := mustSession(t, ds, access.Uniform(2, 1, 1), access.WithBudget(5*access.UnitCost))
 	prob, _ := NewProblem(score.Avg(), 10, sess)
 	_, err := (TA{}).Run(prob)
@@ -85,7 +86,7 @@ func TestBudgetedBaselineErrors(t *testing.T) {
 }
 
 func TestBudgetNotChargedOnRefusal(t *testing.T) {
-	ds := data.MustGenerate(data.Uniform, 10, 2, 3)
+	ds := datatest.MustGenerate(data.Uniform, 10, 2, 3)
 	sess := mustSession(t, ds, access.Uniform(2, 1, 10), access.WithBudget(15*access.UnitCost))
 	if _, _, err := sess.SortedNext(0); err != nil {
 		t.Fatal(err)
@@ -120,7 +121,7 @@ func sessFirstSeen(t *testing.T, sess *access.Session, ds *data.Dataset) int {
 }
 
 func TestProblemIsSingleUse(t *testing.T) {
-	ds := data.MustGenerate(data.Uniform, 20, 2, 1)
+	ds := datatest.MustGenerate(data.Uniform, 20, 2, 1)
 	sess := mustSession(t, ds, access.Uniform(2, 1, 1))
 	prob, _ := NewProblem(score.Avg(), 3, sess)
 	if _, err := (TA{}).Run(prob); err != nil {

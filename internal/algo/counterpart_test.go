@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/access"
 	"repro/internal/data"
+	"repro/internal/data/datatest"
 	"repro/internal/score"
 )
 
@@ -29,7 +30,7 @@ func TestSRInclusionProperty(t *testing.T) {
 		mustNC(t, []float64{0.2, 0.9}, []int{1, 0}),
 	}
 	for seed := int64(0); seed < 8; seed++ {
-		ds := data.MustGenerate(data.Uniform, 60, 2, seed)
+		ds := datatest.MustGenerate(data.Uniform, 60, 2, seed)
 		for _, alg := range algs {
 			for _, f := range []score.Func{score.Min(), score.Avg()} {
 				k := int(seed%5) + 1
@@ -153,7 +154,7 @@ func TestSufficientDetectsInsufficiency(t *testing.T) {
 // (1+eps)*F(u) >= F(v) for every non-returned v, and the run must not
 // cost more than the exact one.
 func TestApproximateNC(t *testing.T) {
-	ds := data.MustGenerate(data.Uniform, 400, 2, 33)
+	ds := datatest.MustGenerate(data.Uniform, 400, 2, 33)
 	scn := access.Uniform(2, 1, 10)
 	f := score.Avg()
 	k := 10
@@ -199,7 +200,7 @@ func TestApproximateCostDecreasesWithEpsilon(t *testing.T) {
 	// Sorted-only access is where approximation bites: bound intervals
 	// tighten gradually from both sides, so a theta slack lets the run
 	// halt well before objects are fully resolved.
-	ds := data.MustGenerate(data.Uniform, 600, 3, 44)
+	ds := datatest.MustGenerate(data.Uniform, 600, 3, 44)
 	scn := access.MatrixCell(3, access.Cheap, access.Impossible, 10)
 	cost := func(eps float64) access.Cost {
 		approx := &NC{Sel: MustNewSRG([]float64{0, 0, 0}, nil), Epsilon: eps}

@@ -53,11 +53,11 @@ func TestExample4CostModelScenarioSpecific(t *testing.T) {
 
 	// Example 1's shape: random accesses more expensive in both sources.
 	ex1 := access.Scenario{Name: "ex1", Preds: []access.PredCost{
-		{Sorted: access.CostFromUnits(0.2), SortedOK: true, Random: access.CostFromUnits(1.0), RandomOK: true},
-		{Sorted: access.CostFromUnits(0.1), SortedOK: true, Random: access.CostFromUnits(0.5), RandomOK: true},
+		{Sorted: access.CostOf(0.2), SortedOK: true, Random: access.CostOf(1.0), RandomOK: true},
+		{Sorted: access.CostOf(0.1), SortedOK: true, Random: access.CostOf(0.5), RandomOK: true},
 	}}
 	// Example 2's shape: sorted accesses carry all attributes, random free.
-	free := access.PredCost{Sorted: access.CostFromUnits(0.3), SortedOK: true, Random: 0, RandomOK: true}
+	free := access.PredCost{Sorted: access.CostOf(0.3), SortedOK: true, Random: 0, RandomOK: true}
 	ex2 := access.Scenario{Name: "ex2", Preds: []access.PredCost{free, free}}
 
 	if c1, c2 := runTrace(ex1, a1), runTrace(ex1, a2); c1 <= c2 {

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/access"
 	"repro/internal/data"
+	"repro/internal/data/datatest"
 	"repro/internal/score"
 )
 
@@ -83,7 +84,7 @@ func TestSoakLargeDatabase(t *testing.T) {
 	if testing.Short() {
 		t.Skip("soak test")
 	}
-	ds := data.MustGenerate(data.Gaussian, 10000, 3, 123)
+	ds := datatest.MustGenerate(data.Gaussian, 10000, 3, 123)
 	f := score.Avg()
 	k := 25
 	algs := []struct {

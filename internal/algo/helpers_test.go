@@ -1,0 +1,11 @@
+package algo
+
+// MustNewSRG is a test-only NewSRG that panics on error; production code
+// handles the error.
+func MustNewSRG(h []float64, omega []int) *SRG {
+	s, err := NewSRG(h, omega)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

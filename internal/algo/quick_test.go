@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/access"
 	"repro/internal/data"
+	"repro/internal/data/datatest"
 	"repro/internal/score"
 	"repro/internal/state"
 )
@@ -29,7 +30,7 @@ func TestRandomizedAgreementProperty(t *testing.T) {
 		n := 40
 		k := int(kRaw%12) + 1
 		f := funcs[int(fIdx)%len(funcs)]
-		ds := data.MustGenerate(dists[int(dIdx)%len(dists)], n, m, seed)
+		ds := datatest.MustGenerate(dists[int(dIdx)%len(dists)], n, m, seed)
 
 		type setup struct {
 			scn  access.Scenario
@@ -110,7 +111,7 @@ func TestRandomizedAgreementProperty(t *testing.T) {
 // pay for.
 func TestNCTraceSatisfiesTheorem1(t *testing.T) {
 	for seed := int64(0); seed < 12; seed++ {
-		ds := data.MustGenerate(data.Uniform, 50, 2, seed)
+		ds := datatest.MustGenerate(data.Uniform, 50, 2, seed)
 		for _, f := range []score.Func{score.Min(), score.Avg()} {
 			for _, h := range [][]float64{{0, 1}, {0.5, 0.5}, {1, 1}} {
 				k := int(seed%6) + 1
@@ -138,7 +139,7 @@ func TestNCTraceSatisfiesTheorem1(t *testing.T) {
 // approximated here as "was seen before being probed" plus session
 // legality, which the session enforces by erroring out.
 func TestNCNeverRepeatsOrWastesAccesses(t *testing.T) {
-	ds := data.MustGenerate(data.Gaussian, 80, 3, 5)
+	ds := datatest.MustGenerate(data.Gaussian, 80, 3, 5)
 	alg, err := NewNC([]float64{0.4, 0.6, 0.8}, []int{2, 0, 1})
 	if err != nil {
 		t.Fatal(err)
@@ -177,7 +178,10 @@ func TestNecessaryChoicesDefinition2(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tab := state.MustNewTable(3, 2, score.Min())
+	tab, err := state.NewTable(3, 2, score.Min())
+	if err != nil {
+		t.Fatal(err)
+	}
 	feed := func(kind access.Kind, pred, obj int) {
 		if kind == access.SortedAccess {
 			gotObj, s, err := sess.SortedNext(pred)

@@ -1,0 +1,40 @@
+package algo
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestRegistryRoundTrip asserts the full ByName contract: every documented
+// name resolves, each name yields a distinct concrete type, and unknown
+// names fail with a message that echoes the offending input.
+func TestRegistryRoundTrip(t *testing.T) {
+	types := make(map[string]string, len(Names()))
+	for _, name := range Names() {
+		alg, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if alg == nil {
+			t.Fatalf("ByName(%q) returned a nil algorithm", name)
+		}
+		if alg.Name() != name {
+			t.Errorf("ByName(%q).Name() = %q; the registry must round-trip", name, alg.Name())
+		}
+		typ := fmt.Sprintf("%T", alg)
+		if prev, dup := types[typ]; dup {
+			t.Errorf("names %q and %q map to the same type %s", prev, name, typ)
+		}
+		types[typ] = name
+	}
+	for _, bogus := range []string{"", "nc", "ta", "NC-Opt", "threshold"} {
+		alg, err := ByName(bogus)
+		if err == nil {
+			t.Fatalf("ByName(%q) = %v, want error", bogus, alg)
+		}
+		if !strings.Contains(err.Error(), fmt.Sprintf("%q", bogus)) {
+			t.Errorf("ByName(%q) error %q does not name the unknown input", bogus, err)
+		}
+	}
+}

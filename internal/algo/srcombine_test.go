@@ -6,12 +6,13 @@ import (
 
 	"repro/internal/access"
 	"repro/internal/data"
+	"repro/internal/data/datatest"
 	"repro/internal/score"
 )
 
 func TestSRCombineMatchesOracle(t *testing.T) {
 	for _, dist := range []data.Distribution{data.Uniform, data.AntiCorrelated} {
-		ds := data.MustGenerate(dist, 60, 3, 41)
+		ds := datatest.MustGenerate(dist, 60, 3, 41)
 		for _, scn := range []access.Scenario{
 			access.Uniform(3, 1, 1),
 			access.MatrixCell(3, access.Cheap, access.Expensive, 10),
@@ -25,7 +26,7 @@ func TestSRCombineMatchesOracle(t *testing.T) {
 }
 
 func TestSRCombineRefusesMin(t *testing.T) {
-	ds := data.MustGenerate(data.Uniform, 20, 2, 1)
+	ds := datatest.MustGenerate(data.Uniform, 20, 2, 1)
 	sess := mustSession(t, ds, access.Uniform(2, 1, 1))
 	prob, _ := NewProblem(score.Min(), 3, sess)
 	if _, err := (SRCombine{}).Run(prob); !errors.Is(err, ErrInapplicable) {
@@ -34,7 +35,7 @@ func TestSRCombineRefusesMin(t *testing.T) {
 }
 
 func TestSRCombineRequiresBothAccessTypes(t *testing.T) {
-	ds := data.MustGenerate(data.Uniform, 20, 2, 1)
+	ds := datatest.MustGenerate(data.Uniform, 20, 2, 1)
 	sess := mustSession(t, ds, access.MatrixCell(2, access.Cheap, access.Impossible, 10))
 	prob, _ := NewProblem(score.Avg(), 3, sess)
 	if _, err := (SRCombine{}).Run(prob); err == nil {
@@ -45,7 +46,7 @@ func TestSRCombineRequiresBothAccessTypes(t *testing.T) {
 func TestSRCombineAdaptsToExpensiveProbes(t *testing.T) {
 	// Under expensive probes, SR-Combine should do far fewer random
 	// accesses than Quick-Combine's exhaustive probing.
-	ds := data.MustGenerate(data.Uniform, 300, 2, 42)
+	ds := datatest.MustGenerate(data.Uniform, 300, 2, 42)
 	scn := access.MatrixCell(2, access.Cheap, access.Expensive, 25)
 	sr, srSess := mustRun(t, SRCombine{}, ds, scn, score.Avg(), 10)
 	qc, qcSess := mustRun(t, QuickCombine{}, ds, scn, score.Avg(), 10)
@@ -62,7 +63,7 @@ func TestSRCombineAdaptsToExpensiveProbes(t *testing.T) {
 }
 
 func TestSRCombineKLargerThanN(t *testing.T) {
-	ds := data.MustGenerate(data.Uniform, 8, 2, 3)
+	ds := datatest.MustGenerate(data.Uniform, 8, 2, 3)
 	res, _ := mustRun(t, SRCombine{}, ds, access.Uniform(2, 1, 1), score.Avg(), 30)
 	assertTopK(t, "SR-Combine/k>n", ds, score.Avg(), 30, res)
 }

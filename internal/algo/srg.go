@@ -67,15 +67,6 @@ func NewSRG(h []float64, omega []int) (*SRG, error) {
 	return s, nil
 }
 
-// MustNewSRG is NewSRG that panics on error.
-func MustNewSRG(h []float64, omega []int) *SRG {
-	s, err := NewSRG(h, omega)
-	if err != nil {
-		panic(err)
-	}
-	return s
-}
-
 // Name describes the configuration.
 func (s *SRG) Name() string { return fmt.Sprintf("SR/G(H=%v,Omega=%v)", s.H, s.Omega) }
 

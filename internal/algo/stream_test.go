@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/access"
 	"repro/internal/data"
+	"repro/internal/data/datatest"
 	"repro/internal/score"
 )
 
@@ -34,7 +35,7 @@ func midDepths(m int) []float64 {
 }
 
 func TestStreamMatchesFullRanking(t *testing.T) {
-	ds := data.MustGenerate(data.Uniform, 60, 2, 71)
+	ds := datatest.MustGenerate(data.Uniform, 60, 2, 71)
 	f := score.Avg()
 	s := newStream(t, ds, access.Uniform(2, 1, 1), f, 0)
 	oracle := ds.TopK(f.Eval, ds.N())
@@ -60,7 +61,7 @@ func TestStreamMatchesFullRanking(t *testing.T) {
 }
 
 func TestStreamIncrementalCostsNoMoreThanOneShot(t *testing.T) {
-	ds := data.MustGenerate(data.Gaussian, 300, 2, 72)
+	ds := datatest.MustGenerate(data.Gaussian, 300, 2, 72)
 	f := score.Min()
 	scn := access.Uniform(2, 1, 3)
 
@@ -100,7 +101,7 @@ func TestStreamIncrementalCostsNoMoreThanOneShot(t *testing.T) {
 }
 
 func TestStreamApproximate(t *testing.T) {
-	ds := data.MustGenerate(data.Uniform, 300, 3, 73)
+	ds := datatest.MustGenerate(data.Uniform, 300, 3, 73)
 	scn := access.MatrixCell(3, access.Cheap, access.Impossible, 10)
 	exact := newStream(t, ds, scn, score.Avg(), 0)
 	if _, err := exact.Drain(10); err != nil {
@@ -123,7 +124,7 @@ func TestStreamApproximate(t *testing.T) {
 }
 
 func TestStreamBudgetSurfaces(t *testing.T) {
-	ds := data.MustGenerate(data.Uniform, 200, 2, 74)
+	ds := datatest.MustGenerate(data.Uniform, 200, 2, 74)
 	s := newStream(t, ds, access.Uniform(2, 1, 1), score.Avg(), 0, access.WithBudget(10*access.UnitCost))
 	_, err := s.Drain(50)
 	if !errors.Is(err, access.ErrBudgetExhausted) {
@@ -135,7 +136,7 @@ func TestStreamBudgetSurfaces(t *testing.T) {
 }
 
 func TestStreamValidation(t *testing.T) {
-	ds := data.MustGenerate(data.Uniform, 10, 2, 1)
+	ds := datatest.MustGenerate(data.Uniform, 10, 2, 1)
 	sess := mustSession(t, ds, access.Uniform(2, 1, 1))
 	prob, _ := NewProblem(score.Avg(), 1, sess)
 	if _, err := NewStream(prob, nil, 0); err == nil {

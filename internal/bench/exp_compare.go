@@ -132,10 +132,13 @@ func RunE5(cfg Config) (*Table, error) {
 	// Q1 — Example 1: dineme.com (rating: cs=0.2, cr=1.0), superpages.com
 	// (closeness: cs=0.1, cr=0.5); random access costlier in both sources,
 	// with different scales and ratios.
-	q1, _ := data.Restaurants(cfg.N, cfg.Seed)
+	q1, _, err := data.Restaurants(cfg.N, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
 	q1scn := access.Scenario{Name: "example1", Preds: []access.PredCost{
-		{Sorted: access.CostFromUnits(0.2), SortedOK: true, Random: access.CostFromUnits(1.0), RandomOK: true},
-		{Sorted: access.CostFromUnits(0.1), SortedOK: true, Random: access.CostFromUnits(0.5), RandomOK: true},
+		{Sorted: access.CostOf(0.2), SortedOK: true, Random: access.CostOf(1.0), RandomOK: true},
+		{Sorted: access.CostOf(0.1), SortedOK: true, Random: access.CostOf(0.5), RandomOK: true},
 	}}
 	if err := addBenchmarkRows(t, "Q1 (min)", q1.Dataset, q1scn, score.Min(), k, grid, cfg.Seed); err != nil {
 		return nil, err
@@ -144,8 +147,11 @@ func RunE5(cfg Config) (*Table, error) {
 	// Q2 — Example 2: hotels.com serves all three predicates by sorted
 	// access (cs=0.3 each); the attributes come along, so subsequent
 	// random accesses are free (cr=0).
-	q2, _ := data.Hotels(cfg.N, cfg.Seed+1)
-	free := access.PredCost{Sorted: access.CostFromUnits(0.3), SortedOK: true, Random: 0, RandomOK: true}
+	q2, _, err := data.Hotels(cfg.N, cfg.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	free := access.PredCost{Sorted: access.CostOf(0.3), SortedOK: true, Random: 0, RandomOK: true}
 	q2scn := access.Scenario{Name: "example2", Preds: []access.PredCost{free, free, free}}
 	if err := addBenchmarkRows(t, "Q2 (avg)", q2.Dataset, q2scn, score.Avg(), k, grid, cfg.Seed); err != nil {
 		return nil, err
@@ -188,7 +194,10 @@ func addBenchmarkRows(t *Table, label string, ds *data.Dataset, scn access.Scena
 	if err != nil {
 		return err
 	}
-	sample := data.Sample(ds, 100, seed)
+	sample, err := data.Sample(ds, 100, seed)
+	if err != nil {
+		return err
+	}
 	ncSampled, planSampled, err := runOptimized(opt.Config{Grid: grid, Seed: seed, Sample: sample}, ds, scn, f, k)
 	if err != nil {
 		return err

@@ -112,13 +112,17 @@ func RunE12(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		realSample, err := data.Sample(ds, sampleSize, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
 		variants := []struct {
 			name string
 			cfg  opt.Config
 		}{
 			{"dummy uniform", opt.Config{Grid: grid, Seed: cfg.Seed, SampleSize: sampleSize}},
 			{"histogram-synthesized", opt.Config{Grid: grid, Seed: cfg.Seed, Sample: histSample}},
-			{"real sample", opt.Config{Grid: grid, Seed: cfg.Seed, Sample: data.Sample(ds, sampleSize, cfg.Seed)}},
+			{"real sample", opt.Config{Grid: grid, Seed: cfg.Seed, Sample: realSample}},
 		}
 		costs := make([]access.Cost, len(variants))
 		best := access.Cost(-1)

@@ -130,11 +130,15 @@ func RunE8(cfg Config) (*Table, error) {
 		return nil, err
 	}
 	probeScn := access.Scenario{Name: "probe-het", Preds: []access.PredCost{
-		{Sorted: access.CostFromUnits(0.1), SortedOK: true, Random: access.CostFromUnits(8), RandomOK: true},
-		{Sorted: 0, SortedOK: false, Random: access.CostFromUnits(1), RandomOK: true},
-		{Sorted: 0, SortedOK: false, Random: access.CostFromUnits(2), RandomOK: true},
+		{Sorted: access.CostOf(0.1), SortedOK: true, Random: access.CostOf(8), RandomOK: true},
+		{Sorted: 0, SortedOK: false, Random: access.CostOf(1), RandomOK: true},
+		{Sorted: 0, SortedOK: false, Random: access.CostOf(2), RandomOK: true},
 	}}
-	goodOmega := opt.OptimizeOmega(data.Sample(hets, 50, cfg.Seed), probeScn)
+	hetSample, err := data.Sample(hets, 50, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	goodOmega := opt.OptimizeOmega(hetSample, probeScn)
 	badOmega := reversed(goodOmega)
 	indexOmega := []int{0, 1, 2}
 	h := []float64{0, 1, 1} // MPro-style: drain the retrieval list as needed
@@ -192,7 +196,10 @@ func RunE8(cfg Config) (*Table, error) {
 	}
 	cNames = append(cNames, "histogram sample, s=50")
 	cCosts = append(cCosts, c)
-	realSample := data.Sample(ds, 50, cfg.Seed)
+	realSample, err := data.Sample(ds, 50, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
 	c, _, err = runOptimized(opt.Config{Grid: grid, Seed: cfg.Seed, Sample: realSample}, ds, scn, score.Min(), cfg.K)
 	if err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/access"
@@ -30,10 +31,13 @@ func RunE7(cfg Config) (*Table, error) {
 	}
 	// Q1-style scenario: expensive probes dominate, so overlapping them
 	// pays off the most.
-	q1, _ := data.Restaurants(cfg.N, cfg.Seed)
+	q1, _, err := data.Restaurants(cfg.N, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
 	scn := access.Scenario{Name: "example1", Preds: []access.PredCost{
-		{Sorted: access.CostFromUnits(0.2), SortedOK: true, Random: access.CostFromUnits(1.0), RandomOK: true},
-		{Sorted: access.CostFromUnits(0.1), SortedOK: true, Random: access.CostFromUnits(0.5), RandomOK: true},
+		{Sorted: access.CostOf(0.2), SortedOK: true, Random: access.CostOf(1.0), RandomOK: true},
+		{Sorted: access.CostOf(0.1), SortedOK: true, Random: access.CostOf(0.5), RandomOK: true},
 	}}
 	k := cfg.K
 	plan, err := opt.Optimize(opt.Config{Grid: grid, Seed: cfg.Seed}, scn, score.Min(), k, q1.Dataset.N())
@@ -58,7 +62,7 @@ func RunE7(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := (&parallel.Executor{B: b, Sel: sel}).Run(prob)
+		res, err := (&parallel.Executor{B: b, Sel: sel}).Run(context.Background(), prob)
 		if err != nil {
 			return nil, err
 		}

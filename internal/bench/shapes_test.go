@@ -6,6 +6,7 @@ import (
 	"repro/internal/access"
 	"repro/internal/algo"
 	"repro/internal/data"
+	"repro/internal/data/datatest"
 	"repro/internal/opt"
 	"repro/internal/score"
 )
@@ -20,7 +21,7 @@ func TestPaperShapesHold(t *testing.T) {
 		t.Skip("shape regression needs full-size runs")
 	}
 	n, k, seed := 600, 10, int64(1)
-	ds := data.MustGenerate(data.Uniform, n, 2, seed)
+	ds := datatest.MustGenerate(data.Uniform, n, 2, seed)
 	grid := 7
 
 	nc := func(scn access.Scenario, f score.Func) access.Cost {

@@ -8,6 +8,7 @@
 package catalog
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -94,20 +95,20 @@ type routed struct {
 func (b routed) N() int { return b.n }
 func (b routed) M() int { return len(b.regs) }
 
-func (b routed) Sorted(pred, rank int) (int, float64, error) {
+func (b routed) Sorted(ctx context.Context, pred, rank int) (int, float64, error) {
 	if pred < 0 || pred >= len(b.regs) {
 		return 0, 0, fmt.Errorf("catalog: predicate %d out of range", pred)
 	}
 	r := b.regs[pred]
-	return r.Backend.Sorted(r.LocalPred, rank)
+	return r.Backend.Sorted(ctx, r.LocalPred, rank)
 }
 
-func (b routed) Random(pred, obj int) (float64, error) {
+func (b routed) Random(ctx context.Context, pred, obj int) (float64, error) {
 	if pred < 0 || pred >= len(b.regs) {
 		return 0, fmt.Errorf("catalog: predicate %d out of range", pred)
 	}
 	r := b.regs[pred]
-	return r.Backend.Random(r.LocalPred, obj)
+	return r.Backend.Random(ctx, r.LocalPred, obj)
 }
 
 // Backend returns the composed multi-source backend. It requires at least
@@ -129,13 +130,21 @@ func (c *Catalog) DeclaredScenario(name string) (access.Scenario, error) {
 			if r.SortedCost == 0 {
 				return access.Scenario{}, fmt.Errorf("catalog: predicate %q has no declared sorted cost; use Calibrate", r.PredName)
 			}
-			pc.Sorted, pc.SortedOK = access.CostFromUnits(r.SortedCost), true
+			c, err := access.CostFromUnits(r.SortedCost)
+			if err != nil {
+				return access.Scenario{}, fmt.Errorf("catalog: predicate %q sorted cost: %w", r.PredName, err)
+			}
+			pc.Sorted, pc.SortedOK = c, true
 		}
 		if r.Random {
 			if r.RandomCost == 0 {
 				return access.Scenario{}, fmt.Errorf("catalog: predicate %q has no declared random cost; use Calibrate", r.PredName)
 			}
-			pc.Random, pc.RandomOK = access.CostFromUnits(r.RandomCost), true
+			c, err := access.CostFromUnits(r.RandomCost)
+			if err != nil {
+				return access.Scenario{}, fmt.Errorf("catalog: predicate %q random cost: %w", r.PredName, err)
+			}
+			pc.Random, pc.RandomOK = c, true
 		}
 		preds[i] = pc
 	}
@@ -147,8 +156,9 @@ func (c *Catalog) DeclaredScenario(name string) (access.Scenario, error) {
 // round-robin) and returns a scenario whose unit costs are the median
 // latency in milliseconds. Declared non-zero costs are kept as-is;
 // calibration only fills the unknowns. Calibration traffic does not count
-// toward any query's ledger — it is the middleware's startup cost.
-func (c *Catalog) Calibrate(name string, probes int) (access.Scenario, error) {
+// toward any query's ledger — it is the middleware's startup cost. The
+// context bounds the calibration probes (they hit real sources).
+func (c *Catalog) Calibrate(ctx context.Context, name string, probes int) (access.Scenario, error) {
 	if len(c.regs) == 0 {
 		return access.Scenario{}, fmt.Errorf("catalog: no predicates registered")
 	}
@@ -160,33 +170,41 @@ func (c *Catalog) Calibrate(name string, probes int) (access.Scenario, error) {
 		var pc access.PredCost
 		if r.Sorted {
 			pc.SortedOK = true
-			if r.SortedCost > 0 {
-				pc.Sorted = access.CostFromUnits(r.SortedCost)
-			} else {
-				ms, err := c.timeAccesses(probes, func(j int) error {
-					_, _, err := r.Backend.Sorted(r.LocalPred, j%c.n)
+			ms := r.SortedCost
+			if ms <= 0 {
+				var err error
+				ms, err = c.timeAccesses(probes, func(j int) error {
+					_, _, err := r.Backend.Sorted(ctx, r.LocalPred, j%c.n)
 					return err
 				})
 				if err != nil {
 					return access.Scenario{}, fmt.Errorf("catalog: calibrating sorted %q: %w", r.PredName, err)
 				}
-				pc.Sorted = access.CostFromUnits(ms)
 			}
+			cost, err := access.CostFromUnits(ms)
+			if err != nil {
+				return access.Scenario{}, fmt.Errorf("catalog: predicate %q sorted cost: %w", r.PredName, err)
+			}
+			pc.Sorted = cost
 		}
 		if r.Random {
 			pc.RandomOK = true
-			if r.RandomCost > 0 {
-				pc.Random = access.CostFromUnits(r.RandomCost)
-			} else {
-				ms, err := c.timeAccesses(probes, func(j int) error {
-					_, err := r.Backend.Random(r.LocalPred, j%c.n)
+			ms := r.RandomCost
+			if ms <= 0 {
+				var err error
+				ms, err = c.timeAccesses(probes, func(j int) error {
+					_, err := r.Backend.Random(ctx, r.LocalPred, j%c.n)
 					return err
 				})
 				if err != nil {
 					return access.Scenario{}, fmt.Errorf("catalog: calibrating random %q: %w", r.PredName, err)
 				}
-				pc.Random = access.CostFromUnits(ms)
 			}
+			cost, err := access.CostFromUnits(ms)
+			if err != nil {
+				return access.Scenario{}, fmt.Errorf("catalog: predicate %q random cost: %w", r.PredName, err)
+			}
+			pc.Random = cost
 		}
 		preds[i] = pc
 	}

@@ -1,6 +1,7 @@
 package catalog
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -8,6 +9,7 @@ import (
 	"repro/internal/access"
 	"repro/internal/algo"
 	"repro/internal/data"
+	"repro/internal/data/datatest"
 	"repro/internal/score"
 )
 
@@ -16,14 +18,14 @@ type slowBackend struct {
 	sorted, random time.Duration
 }
 
-func (b slowBackend) Sorted(pred, rank int) (int, float64, error) {
+func (b slowBackend) Sorted(ctx context.Context, pred, rank int) (int, float64, error) {
 	time.Sleep(b.sorted)
-	return b.DatasetBackend.Sorted(pred, rank)
+	return b.DatasetBackend.Sorted(ctx, pred, rank)
 }
 
-func (b slowBackend) Random(pred, obj int) (float64, error) {
+func (b slowBackend) Random(ctx context.Context, pred, obj int) (float64, error) {
 	time.Sleep(b.random)
-	return b.DatasetBackend.Random(pred, obj)
+	return b.DatasetBackend.Random(ctx, pred, obj)
 }
 
 func twoSourceCatalog(t *testing.T, ds *data.Dataset) *Catalog {
@@ -47,8 +49,8 @@ func twoSourceCatalog(t *testing.T, ds *data.Dataset) *Catalog {
 }
 
 func TestRegisterValidation(t *testing.T) {
-	ds := data.MustGenerate(data.Uniform, 20, 2, 1)
-	other := data.MustGenerate(data.Uniform, 30, 2, 1)
+	ds := datatest.MustGenerate(data.Uniform, 20, 2, 1)
+	other := datatest.MustGenerate(data.Uniform, 30, 2, 1)
 	c := New()
 	be := access.DatasetBackend{DS: ds}
 	if err := c.Register(Registration{Source: "s", PredName: "p", LocalPred: 0, Sorted: true}); err == nil {
@@ -75,7 +77,7 @@ func TestRegisterValidation(t *testing.T) {
 }
 
 func TestRoutedBackendAndDeclaredScenario(t *testing.T) {
-	ds := data.MustGenerate(data.Uniform, 50, 2, 5)
+	ds := datatest.MustGenerate(data.Uniform, 50, 2, 5)
 	c := twoSourceCatalog(t, ds)
 	if c.M() != 2 {
 		t.Fatalf("M = %d", c.M())
@@ -91,17 +93,17 @@ func TestRoutedBackendAndDeclaredScenario(t *testing.T) {
 	if be.N() != 50 || be.M() != 2 {
 		t.Fatalf("backend %dx%d", be.N(), be.M())
 	}
-	obj, s, err := be.Sorted(1, 0)
+	obj, s, err := be.Sorted(context.Background(), 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if wantObj, wantS := ds.SortedAt(1, 0); obj != wantObj || s != wantS {
 		t.Errorf("routing wrong: got u%d(%g)", obj, s)
 	}
-	if _, _, err := be.Sorted(9, 0); err == nil {
+	if _, _, err := be.Sorted(context.Background(), 9, 0); err == nil {
 		t.Error("out-of-range predicate should fail")
 	}
-	if _, err := be.Random(-1, 0); err == nil {
+	if _, err := be.Random(context.Background(), -1, 0); err == nil {
 		t.Error("out-of-range predicate should fail")
 	}
 
@@ -109,7 +111,7 @@ func TestRoutedBackendAndDeclaredScenario(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if scn.Preds[0].Sorted != access.CostFromUnits(0.2) || scn.Preds[1].Random != access.CostFromUnits(0.5) {
+	if scn.Preds[0].Sorted != access.CostOf(0.2) || scn.Preds[1].Random != access.CostOf(0.5) {
 		t.Errorf("scenario = %+v", scn.Preds)
 	}
 	// End to end: the catalog's backend + scenario answer queries.
@@ -136,7 +138,7 @@ func TestRoutedBackendAndDeclaredScenario(t *testing.T) {
 }
 
 func TestDeclaredScenarioRequiresCosts(t *testing.T) {
-	ds := data.MustGenerate(data.Uniform, 10, 1, 1)
+	ds := datatest.MustGenerate(data.Uniform, 10, 1, 1)
 	c := New()
 	if err := c.Register(Registration{Source: "s", PredName: "p", Backend: access.DatasetBackend{DS: ds}, LocalPred: 0, Sorted: true}); err != nil {
 		t.Fatal(err)
@@ -147,7 +149,7 @@ func TestDeclaredScenarioRequiresCosts(t *testing.T) {
 }
 
 func TestCalibrateOrdersLatencies(t *testing.T) {
-	ds := data.MustGenerate(data.Uniform, 40, 2, 7)
+	ds := datatest.MustGenerate(data.Uniform, 40, 2, 7)
 	fast := slowBackend{DatasetBackend: access.DatasetBackend{DS: ds}, sorted: time.Millisecond, random: time.Millisecond}
 	slow := slowBackend{DatasetBackend: access.DatasetBackend{DS: ds}, sorted: 6 * time.Millisecond, random: 12 * time.Millisecond}
 	c := New()
@@ -157,7 +159,7 @@ func TestCalibrateOrdersLatencies(t *testing.T) {
 	if err := c.Register(Registration{Source: "fast", PredName: "b", Backend: fast, LocalPred: 1, Sorted: true, Random: true}); err != nil {
 		t.Fatal(err)
 	}
-	scn, err := c.Calibrate("measured", 3)
+	scn, err := c.Calibrate(context.Background(), "measured", 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +177,7 @@ func TestCalibrateOrdersLatencies(t *testing.T) {
 }
 
 func TestCalibrateKeepsDeclaredCosts(t *testing.T) {
-	ds := data.MustGenerate(data.Uniform, 10, 1, 1)
+	ds := datatest.MustGenerate(data.Uniform, 10, 1, 1)
 	c := New()
 	if err := c.Register(Registration{
 		Source: "s", PredName: "p", Backend: access.DatasetBackend{DS: ds}, LocalPred: 0,
@@ -183,11 +185,11 @@ func TestCalibrateKeepsDeclaredCosts(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	scn, err := c.Calibrate("mixed", 2)
+	scn, err := c.Calibrate(context.Background(), "mixed", 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if scn.Preds[0].Sorted != access.CostFromUnits(7.5) {
+	if scn.Preds[0].Sorted != access.CostOf(7.5) {
 		t.Errorf("declared sorted cost overwritten: %v", scn.Preds[0].Sorted)
 	}
 	if !scn.Preds[0].RandomOK || scn.Preds[0].Random <= 0 {
@@ -200,7 +202,7 @@ func TestEmptyCatalog(t *testing.T) {
 	if _, err := c.Backend(); err == nil {
 		t.Error("empty backend should fail")
 	}
-	if _, err := c.Calibrate("x", 1); err == nil {
+	if _, err := c.Calibrate(context.Background(), "x", 1); err == nil {
 		t.Error("empty calibrate should fail")
 	}
 }

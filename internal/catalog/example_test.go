@@ -6,12 +6,13 @@ import (
 	"repro/internal/access"
 	"repro/internal/catalog"
 	"repro/internal/data"
+	"repro/internal/data/datatest"
 )
 
 // Example registers two sources over one object universe, builds the
 // routed backend, and derives the cost scenario from declared unit costs.
 func Example() {
-	ds := data.MustGenerate(data.Uniform, 100, 2, 1)
+	ds := datatest.MustGenerate(data.Uniform, 100, 2, 1)
 	cat := catalog.New()
 	must := func(err error) {
 		if err != nil {

@@ -57,15 +57,6 @@ func New(name string, scores [][]float64) (*Dataset, error) {
 	return d, nil
 }
 
-// MustNew is New that panics on error, for tests and literal fixtures.
-func MustNew(name string, scores [][]float64) *Dataset {
-	d, err := New(name, scores)
-	if err != nil {
-		panic(err)
-	}
-	return d
-}
-
 func (d *Dataset) buildSorted() {
 	m := d.M()
 	d.sorted = make([][]int, m)

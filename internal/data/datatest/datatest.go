@@ -1,0 +1,47 @@
+// Package datatest provides panic-on-error dataset constructors for tests
+// and benchmarks. The production constructors in internal/data return
+// errors (the serving path must never panic — see topklint's nopanic
+// analyzer); fixtures with known-good literal parameters keep the
+// one-line convenience here instead, outside every serving package.
+package datatest
+
+import (
+	"repro/internal/data"
+)
+
+// MustGenerate is data.Generate that panics on error, for fixtures with
+// known-good parameters.
+func MustGenerate(dist data.Distribution, n, m int, seed int64) *data.Dataset {
+	d, err := data.Generate(dist, n, m, seed)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// MustNew is data.New that panics on error, for literal score tables.
+func MustNew(name string, scores [][]float64) *data.Dataset {
+	d, err := data.New(name, scores)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// MustSample is data.Sample that panics on error.
+func MustSample(ds *data.Dataset, s int, seed int64) *data.Dataset {
+	out, err := data.Sample(ds, s, seed)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// MustDummySample is data.DummySample that panics on error.
+func MustDummySample(s, m int, seed int64) *data.Dataset {
+	d, err := data.DummySample(s, m, seed)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}

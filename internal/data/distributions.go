@@ -118,21 +118,11 @@ func Generate(dist Distribution, n, m int, seed int64) (*Dataset, error) {
 	return New(fmt.Sprintf("%s(n=%d,m=%d,seed=%d)", dist, n, m, seed), scores)
 }
 
-// MustGenerate is Generate that panics on error, for tests and benchmarks
-// with known-good parameters.
-func MustGenerate(dist Distribution, n, m int, seed int64) *Dataset {
-	d, err := Generate(dist, n, m, seed)
-	if err != nil {
-		panic(err)
-	}
-	return d
-}
-
 // Sample draws a without-replacement random sample of s objects from ds,
 // deterministically for a given seed, and returns it as a new dataset.
 // It is used by the optimizer's cost estimator (Section 7.3) when real
 // samples are available. s is clamped to ds.N().
-func Sample(ds *Dataset, s int, seed int64) *Dataset {
+func Sample(ds *Dataset, s int, seed int64) (*Dataset, error) {
 	n := ds.N()
 	if s > n {
 		s = n
@@ -146,12 +136,7 @@ func Sample(ds *Dataset, s int, seed int64) *Dataset {
 	for j, u := range perm {
 		scores[j] = ds.Scores(u)
 	}
-	out, err := New(fmt.Sprintf("%s/sample(%d,seed=%d)", ds.Name(), s, seed), scores)
-	if err != nil {
-		// Unreachable: rows come from a validated dataset.
-		panic(err)
-	}
-	return out
+	return New(fmt.Sprintf("%s/sample(%d,seed=%d)", ds.Name(), s, seed), scores)
 }
 
 // DummySample synthesizes a sample of s objects and m predicates from an
@@ -160,10 +145,6 @@ func Sample(ds *Dataset, s int, seed int64) *Dataset {
 // reflect the real score distribution but still let the optimizer adapt to
 // the scoring function, k, and the cost scenario — the paper's worst-case
 // validation setting, and our default.
-func DummySample(s, m int, seed int64) *Dataset {
-	d, err := Generate(Uniform, s, m, seed)
-	if err != nil {
-		panic(err) // unreachable for s, m >= 1
-	}
-	return d
+func DummySample(s, m int, seed int64) (*Dataset, error) {
+	return Generate(Uniform, s, m, seed)
 }

@@ -122,9 +122,18 @@ func TestDistributionNames(t *testing.T) {
 	}
 }
 
+func mustSample(t *testing.T, d *Dataset, s int, seed int64) *Dataset {
+	t.Helper()
+	out, err := Sample(d, s, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
 func TestSample(t *testing.T) {
 	d := MustGenerate(Uniform, 100, 2, 1)
-	s := Sample(d, 10, 2)
+	s := mustSample(t, d, 10, 2)
 	if s.N() != 10 || s.M() != 2 {
 		t.Fatalf("sample size %dx%d", s.N(), s.M())
 	}
@@ -139,20 +148,23 @@ func TestSample(t *testing.T) {
 		}
 	}
 	// Determinism and clamping.
-	s2 := Sample(d, 10, 2)
+	s2 := mustSample(t, d, 10, 2)
 	if s2.Score(0, 0) != s.Score(0, 0) {
 		t.Error("sample not deterministic")
 	}
-	if Sample(d, 1000, 3).N() != 100 {
+	if mustSample(t, d, 1000, 3).N() != 100 {
 		t.Error("oversized sample should clamp to N")
 	}
-	if Sample(d, 0, 3).N() != 1 {
+	if mustSample(t, d, 0, 3).N() != 1 {
 		t.Error("non-positive sample size should clamp to 1")
 	}
 }
 
 func TestDummySample(t *testing.T) {
-	s := DummySample(25, 3, 11)
+	s, err := DummySample(25, 3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if s.N() != 25 || s.M() != 3 {
 		t.Fatalf("dummy sample size %dx%d", s.N(), s.M())
 	}

@@ -1,0 +1,35 @@
+package data
+
+// Test-only panic-on-error constructors; production code returns errors.
+
+func MustGenerate(dist Distribution, n, m int, seed int64) *Dataset {
+	d, err := Generate(dist, n, m, seed)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func MustNew(name string, scores [][]float64) *Dataset {
+	d, err := New(name, scores)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func mustRestaurants(n int, seed int64) (*TravelQuery, []Restaurant) {
+	q, rs, err := Restaurants(n, seed)
+	if err != nil {
+		panic(err)
+	}
+	return q, rs
+}
+
+func mustHotels(n int, seed int64) (*TravelQuery, []Hotel) {
+	q, hs, err := Hotels(n, seed)
+	if err != nil {
+		panic(err)
+	}
+	return q, hs
+}

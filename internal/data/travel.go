@@ -59,7 +59,7 @@ func closeness(x1, y1, x2, y2 float64) float64 {
 //
 //	select name from restaurants
 //	order by min(rating(r), closeness(r, myaddr)) stop after k
-func Restaurants(n int, seed int64) (*TravelQuery, []Restaurant) {
+func Restaurants(n int, seed int64) (*TravelQuery, []Restaurant, error) {
 	rng := rand.New(rand.NewSource(seed))
 	userX, userY := 3.0, 4.0 // "myaddr": fixed so runs are comparable
 	rs := make([]Restaurant, n)
@@ -81,14 +81,17 @@ func Restaurants(n int, seed int64) (*TravelQuery, []Restaurant) {
 		}
 		labels[u] = r.Name
 	}
-	ds := MustNew(fmt.Sprintf("restaurants(n=%d,seed=%d)", n, seed), scores)
+	ds, err := New(fmt.Sprintf("restaurants(n=%d,seed=%d)", n, seed), scores)
+	if err != nil {
+		return nil, nil, err
+	}
 	ds.SetLabels(labels)
 	return &TravelQuery{
 		Dataset:        ds,
 		PredicateNames: []string{"rating", "closeness"},
 		UserX:          userX,
 		UserY:          userY,
-	}, rs
+	}, rs, nil
 }
 
 // Hotels synthesizes n hotels and returns Q2's three-predicate dataset:
@@ -101,7 +104,7 @@ func Restaurants(n int, seed int64) (*TravelQuery, []Restaurant) {
 // cheap(h) scores 1 at or below half the budget, 0 at or above twice the
 // budget, linearly in between (on a log-price scale so the score is not
 // dominated by luxury outliers).
-func Hotels(n int, seed int64) (*TravelQuery, []Hotel) {
+func Hotels(n int, seed int64) (*TravelQuery, []Hotel, error) {
 	rng := rand.New(rand.NewSource(seed))
 	userX, userY := 3.0, 4.0
 	budget := 150.0
@@ -133,7 +136,10 @@ func Hotels(n int, seed int64) (*TravelQuery, []Hotel) {
 		}
 		labels[u] = h.Name
 	}
-	ds := MustNew(fmt.Sprintf("hotels(n=%d,seed=%d)", n, seed), scores)
+	ds, err := New(fmt.Sprintf("hotels(n=%d,seed=%d)", n, seed), scores)
+	if err != nil {
+		return nil, nil, err
+	}
 	ds.SetLabels(labels)
 	return &TravelQuery{
 		Dataset:        ds,
@@ -141,7 +147,7 @@ func Hotels(n int, seed int64) (*TravelQuery, []Hotel) {
 		UserX:          userX,
 		UserY:          userY,
 		Budget:         budget,
-	}, hs
+	}, hs, nil
 }
 
 func cheapScore(price, budget float64) float64 {

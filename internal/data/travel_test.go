@@ -6,7 +6,7 @@ import (
 )
 
 func TestRestaurantsBenchmark(t *testing.T) {
-	q, rs := Restaurants(120, 1)
+	q, rs := mustRestaurants(120, 1)
 	if q.Dataset.N() != 120 || q.Dataset.M() != 2 {
 		t.Fatalf("size %dx%d", q.Dataset.N(), q.Dataset.M())
 	}
@@ -39,7 +39,7 @@ func TestRestaurantsBenchmark(t *testing.T) {
 }
 
 func TestHotelsBenchmark(t *testing.T) {
-	q, hs := Hotels(150, 2)
+	q, hs := mustHotels(150, 2)
 	if q.Dataset.N() != 150 || q.Dataset.M() != 3 {
 		t.Fatalf("size %dx%d", q.Dataset.N(), q.Dataset.M())
 	}
@@ -80,8 +80,8 @@ func TestCheapScoreShape(t *testing.T) {
 }
 
 func TestTravelDeterminism(t *testing.T) {
-	a, _ := Restaurants(50, 9)
-	b, _ := Restaurants(50, 9)
+	a, _ := mustRestaurants(50, 9)
+	b, _ := mustRestaurants(50, 9)
 	for u := 0; u < 50; u++ {
 		for i := 0; i < 2; i++ {
 			if a.Dataset.Score(u, i) != b.Dataset.Score(u, i) {
@@ -89,8 +89,8 @@ func TestTravelDeterminism(t *testing.T) {
 			}
 		}
 	}
-	h1, _ := Hotels(50, 9)
-	h2, _ := Hotels(50, 9)
+	h1, _ := mustHotels(50, 9)
+	h2, _ := mustHotels(50, 9)
 	if h1.Dataset.Score(3, 2) != h2.Dataset.Score(3, 2) {
 		t.Fatal("Hotels not deterministic")
 	}

@@ -1,0 +1,166 @@
+// Package analysis is a minimal, self-contained counterpart of
+// golang.org/x/tools/go/analysis, sized for the topklint suite. It defines
+// the Analyzer/Pass/Diagnostic vocabulary, runs analyzers over packages
+// loaded by internal/lint/loader, and implements the
+// `//topklint:allow <analyzer> <reason>` suppression directive that the
+// analyzers honor for deliberate, documented exceptions.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and allow directives.
+	Name string
+	// Doc is a one-paragraph description of the enforced invariant.
+	Doc string
+	// Packages, when non-empty, restricts the analyzer to packages with
+	// exactly these import paths. Empty means every package.
+	Packages []string
+	// Run reports the package's violations through pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// applies reports whether the analyzer covers the given import path.
+func (a *Analyzer) applies(path string) bool {
+	if len(a.Packages) == 0 {
+		return true
+	}
+	for _, p := range a.Packages {
+		if p == path {
+			return true
+		}
+	}
+	return false
+}
+
+// Diagnostic is one reported violation.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String formats the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Pass carries one analyzer run over one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	allow map[allowKey]bool
+	diags *[]Diagnostic
+}
+
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// AllowDirective is the comment prefix of a suppression.
+const AllowDirective = "//topklint:allow"
+
+// Reportf records a diagnostic at pos unless an allow directive covers it.
+// A directive suppresses diagnostics of its analyzer on its own line and
+// on the line directly below it, so both trailing and preceding comments
+// work:
+//
+//	risky() //topklint:allow nopanic guarded by caller contract
+//
+//	//topklint:allow nopanic guarded by caller contract
+//	risky()
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	position := p.Fset.Position(pos)
+	if p.allow[allowKey{position.Filename, position.Line, p.Analyzer.Name}] {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// buildAllowTable scans all comments for allow directives. A malformed
+// directive (unknown analyzer set is not checked here, but a missing
+// reason is) is itself reported so suppressions stay auditable.
+func buildAllowTable(fset *token.FileSet, files []*ast.File, diags *[]Diagnostic) map[allowKey]bool {
+	allow := map[allowKey]bool{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, AllowDirective) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, AllowDirective))
+				fields := strings.Fields(rest)
+				pos := fset.Position(c.Pos())
+				if len(fields) < 2 {
+					*diags = append(*diags, Diagnostic{
+						Analyzer: "topklint",
+						Pos:      pos,
+						Message:  "malformed allow directive: want //topklint:allow <analyzer> <reason>",
+					})
+					continue
+				}
+				name := fields[0]
+				allow[allowKey{pos.Filename, pos.Line, name}] = true
+				allow[allowKey{pos.Filename, pos.Line + 1, name}] = true
+			}
+		}
+	}
+	return allow
+}
+
+// RunPackage applies the analyzers to one type-checked package and
+// returns the diagnostics sorted by position.
+func RunPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	allow := buildAllowTable(fset, files, &diags)
+	for _, a := range analyzers {
+		if !a.applies(pkg.Path()) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			allow:     allow,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %v", pkg.Path(), a.Name, err)
+		}
+	}
+	sort.Slice(diags, func(a, b int) bool {
+		pa, pb := diags[a].Pos, diags[b].Pos
+		if pa.Filename != pb.Filename {
+			return pa.Filename < pb.Filename
+		}
+		if pa.Line != pb.Line {
+			return pa.Line < pb.Line
+		}
+		if pa.Column != pb.Column {
+			return pa.Column < pb.Column
+		}
+		return diags[a].Analyzer < diags[b].Analyzer
+	})
+	return diags, nil
+}

@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// runOnSource type-checks one dependency-free file and applies the
+// analyzer to it.
+func runOnSource(t *testing.T, src string, a *Analyzer) []Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{Uses: map[*ast.Ident]types.Object{}, Defs: map[*ast.Ident]types.Object{}}
+	pkg, err := (&types.Config{}).Check("repro/internal/fixture", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := RunPackage(fset, []*ast.File{f}, pkg, info, []*Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags
+}
+
+// flagCalls reports every function call, so directive behavior can be
+// probed line by line.
+var flagCalls = &Analyzer{
+	Name: "flagcalls",
+	Doc:  "test analyzer: reports every call expression",
+	Run: func(pass *Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					pass.Reportf(call.Pos(), "call site")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func TestAllowDirectiveSuppresses(t *testing.T) {
+	src := `package fixture
+
+func f() { g() } //topklint:allow flagcalls trailing directive
+
+//topklint:allow flagcalls preceding directive
+func h() { g() }
+
+func g() {}
+
+func unsuppressed() { g() }
+
+func wrongAnalyzer() { g() } //topklint:allow otherlint reason
+`
+	diags := runOnSource(t, src, flagCalls)
+	if len(diags) != 2 {
+		t.Fatalf("want 2 diagnostics (unsuppressed and wrongAnalyzer), got %d: %v", len(diags), diags)
+	}
+	if diags[0].Pos.Line != 10 || diags[1].Pos.Line != 12 {
+		t.Errorf("diagnostics at lines %d,%d; want 10,12", diags[0].Pos.Line, diags[1].Pos.Line)
+	}
+}
+
+func TestMalformedDirectiveIsReported(t *testing.T) {
+	src := `package fixture
+
+//topklint:allow flagcalls
+func f() { g() }
+
+func g() {}
+`
+	diags := runOnSource(t, src, flagCalls)
+	// The reason-less directive is reported AND does not suppress, so the
+	// call in f is still flagged alongside g()'s in-body absence.
+	var malformed, calls int
+	for _, d := range diags {
+		if strings.Contains(d.Message, "malformed allow directive") {
+			malformed++
+		} else {
+			calls++
+		}
+	}
+	if malformed != 1 || calls != 1 {
+		t.Fatalf("want 1 malformed-directive report and 1 surviving call report, got %v", diags)
+	}
+}
+
+func TestPackageScoping(t *testing.T) {
+	scoped := &Analyzer{
+		Name:     "scoped",
+		Doc:      "test analyzer restricted to one package",
+		Packages: []string{"repro/internal/elsewhere"},
+		Run: func(pass *Pass) error {
+			pass.Reportf(pass.Files[0].Pos(), "ran")
+			return nil
+		},
+	}
+	diags := runOnSource(t, "package fixture\n", scoped)
+	if len(diags) != 0 {
+		t.Fatalf("scoped analyzer must not run on repro/internal/fixture: %v", diags)
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{
+		Analyzer: "nopanic",
+		Pos:      token.Position{Filename: "a.go", Line: 3, Column: 7},
+		Message:  "panic in serving path",
+	}
+	if got, want := d.String(), "a.go:3:7: nopanic: panic in serving path"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

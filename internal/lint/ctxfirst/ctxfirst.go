@@ -1,0 +1,111 @@
+// Package ctxfirst requires exported blocking APIs in the packages that
+// talk to real Web sources or spawn goroutines — internal/websim,
+// internal/parallel, internal/service — to accept a context.Context as
+// their first parameter. The paper's middleware issues network accesses
+// that can stall on a slow source; under production traffic every such
+// call must be cancellable, and Go's convention is an explicit leading
+// ctx. The analyzer also flags any function (blocking or not) that takes
+// a context in a non-first position.
+package ctxfirst
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/lintutil"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxfirst",
+	Doc:  "exported blocking APIs must take context.Context as their first parameter",
+	Packages: []string{
+		"repro/internal/websim",
+		"repro/internal/parallel",
+		"repro/internal/service",
+	},
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	blocking := lintutil.BlockingFuncs(pass.Pkg, pass.TypesInfo, pass.Files)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			sig := fn.Type().(*types.Signature)
+			if pos := ctxParamIndex(sig); pos > 0 {
+				pass.Reportf(fd.Name.Pos(),
+					"%s takes context.Context as parameter %d; context must be the first parameter", fd.Name.Name, pos+1)
+				continue
+			}
+			if !exportedAPI(fn, fd) || !blocking[fn] || isServeHTTP(sig, fd) {
+				continue
+			}
+			if ctxParamIndex(sig) != 0 {
+				pass.Reportf(fd.Name.Pos(),
+					"exported %s may block (channel operation or network/synchronization call) but has no leading context.Context parameter", fd.Name.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// ctxParamIndex returns the position of the context.Context parameter, or
+// -1 when the signature has none.
+func ctxParamIndex(sig *types.Signature) int {
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if lintutil.IsContextType(params.At(i).Type()) {
+			return i
+		}
+	}
+	return -1
+}
+
+// exportedAPI reports whether the function is part of the package's
+// surface: an exported function, or an exported method on an exported
+// type.
+func exportedAPI(fn *types.Func, fd *ast.FuncDecl) bool {
+	if !fn.Exported() {
+		return false
+	}
+	if fd.Recv == nil {
+		return true
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Exported()
+}
+
+// isServeHTTP exempts http.Handler's ServeHTTP — its signature is fixed
+// by the interface and the context travels inside *http.Request.
+func isServeHTTP(sig *types.Signature, fd *ast.FuncDecl) bool {
+	if fd.Name.Name != "ServeHTTP" || fd.Recv == nil || sig.Params().Len() != 2 {
+		return false
+	}
+	p0, ok := sig.Params().At(0).Type().(*types.Named)
+	if !ok || p0.Obj().Pkg() == nil || p0.Obj().Pkg().Path() != "net/http" || p0.Obj().Name() != "ResponseWriter" {
+		return false
+	}
+	p1, ok := sig.Params().At(1).Type().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := p1.Elem().(*types.Named)
+	return ok && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "net/http" && named.Obj().Name() == "Request"
+}

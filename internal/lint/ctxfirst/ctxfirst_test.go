@@ -1,0 +1,18 @@
+package ctxfirst_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/ctxfirst"
+	"repro/internal/lint/linttest"
+)
+
+func TestWebsim(t *testing.T) {
+	linttest.Run(t, ctxfirst.Analyzer, "testdata/websim", "repro/internal/websim")
+}
+
+func TestOutOfScopePackage(t *testing.T) {
+	if diags := linttest.Diagnostics(t, ctxfirst.Analyzer, "testdata/websim", "repro/internal/algo"); len(diags) != 0 {
+		t.Errorf("ctxfirst must only cover websim/parallel/service, got %v", diags)
+	}
+}

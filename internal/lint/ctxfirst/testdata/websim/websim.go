@@ -1,0 +1,59 @@
+// Fixture for the ctxfirst analyzer, loaded as repro/internal/websim (a
+// scoped package).
+package websim
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// Blocking sleeps — a blocking primitive — with no context.
+func Blocking() { time.Sleep(time.Millisecond) } // want "exported Blocking may block"
+
+// Good takes a leading context.
+func Good(ctx context.Context) { time.Sleep(time.Millisecond) }
+
+// WrongOrder has a context, just not first: flagged on any function.
+func WrongOrder(n int, ctx context.Context) {} // want "WrongOrder takes context.Context as parameter 2"
+
+func unexportedBlocking() { time.Sleep(time.Millisecond) }
+
+// Pure is exported but cannot block.
+func Pure(a, b int) int { return a + b }
+
+// Client models the real websim client.
+type Client struct{ httpc *http.Client }
+
+// Fetch blocks on the network through a method value.
+func (c *Client) Fetch(url string) error { // want "exported Fetch may block"
+	_, err := c.httpc.Get(url)
+	return err
+}
+
+// Transitive blocks only through a same-package helper.
+func Transitive(url string) error { // want "exported Transitive may block"
+	return helper(url)
+}
+
+func helper(url string) error {
+	_, err := http.Get(url)
+	return err
+}
+
+// Waits blocks on a channel receive.
+func Waits(ch chan int) int { return <-ch } // want "exported Waits may block"
+
+// Spawner only launches a goroutine; the send happens off this call's
+// stack, so Spawner itself is non-blocking.
+func Spawner(ch chan int) {
+	go func() { ch <- 1 }()
+}
+
+// Server carries the exempt ServeHTTP signature.
+type Server struct{}
+
+// ServeHTTP is fixed by http.Handler; the context rides in the request.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	time.Sleep(time.Millisecond)
+}

@@ -1,0 +1,70 @@
+// Package detrand forbids the global math/rand generator in non-test
+// code. EXPERIMENTS.md regenerates the paper's result shapes from fixed
+// seeds; a single rand.Float64() against the process-global source makes
+// datasets, samples, and optimizer search paths irreproducible. All
+// randomness must flow from an injected, explicitly seeded *rand.Rand
+// (constructors like rand.New and rand.NewSource remain legal — they are
+// how seeded generators are built).
+package detrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrand",
+	Doc:  "forbid the unseeded global math/rand source; inject a seeded *rand.Rand",
+	Run:  run,
+}
+
+// randPackages are the package paths whose global generator is forbidden.
+var randPackages = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+// allowed are package-level names that do not touch the global source:
+// generator constructors and the handful of seed-carrying helpers.
+var allowed = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			base, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.TypesInfo.Uses[base].(*types.PkgName)
+			if !ok || !randPackages[pkgName.Imported().Path()] {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			switch obj.(type) {
+			case *types.TypeName, *types.Const:
+				return true // rand.Rand, rand.Source etc. are fine
+			}
+			if allowed[sel.Sel.Name] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"use of global %s.%s; draw from an injected seeded *rand.Rand so experiments stay reproducible",
+				pkgName.Imported().Path(), sel.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}

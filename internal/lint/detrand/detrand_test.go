@@ -1,0 +1,12 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/detrand"
+	"repro/internal/lint/linttest"
+)
+
+func TestDetrand(t *testing.T) {
+	linttest.Run(t, detrand.Analyzer, "testdata/sim", "repro/internal/sim")
+}

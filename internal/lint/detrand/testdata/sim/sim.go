@@ -1,0 +1,39 @@
+// Fixture for the detrand analyzer: global math/rand draws are flagged,
+// seeded generators and type references are not.
+package sim
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+)
+
+func globalDraws() (int, float64) {
+	n := rand.Intn(10)                 // want "use of global math/rand\.Intn"
+	f := rand.Float64()                // want "use of global math/rand\.Float64"
+	rand.Shuffle(3, func(i, j int) {}) // want "use of global math/rand\.Shuffle"
+	return n, f
+}
+
+func globalV2() int {
+	return randv2.IntN(10) // want "use of global math/rand/v2\.IntN"
+}
+
+func seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, 1.1, 1.0, 100)
+	return rng.Float64() + float64(z.Uint64())
+}
+
+func seededV2(a, b uint64) uint64 {
+	rng := randv2.New(randv2.NewPCG(a, b))
+	return rng.Uint64()
+}
+
+func typeRefsOnly(r *rand.Rand, src rand.Source) {
+	_ = r
+	_ = src
+}
+
+func allowedDraw() int {
+	return rand.Int() //topklint:allow detrand jitter for retry backoff, reproducibility irrelevant
+}

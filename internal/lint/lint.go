@@ -1,0 +1,25 @@
+// Package lint assembles the topklint analyzer suite — the static
+// checks that enforce runtime invariants the paper's guarantees and the
+// production roadmap rely on but the compiler cannot see. See DESIGN.md
+// ("Static guarantees") for the invariant each analyzer encodes.
+package lint
+
+import (
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/ctxfirst"
+	"repro/internal/lint/detrand"
+	"repro/internal/lint/lockdiscipline"
+	"repro/internal/lint/nopanic"
+	"repro/internal/lint/registrycomplete"
+)
+
+// All returns the complete analyzer suite in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		nopanic.Analyzer,
+		detrand.Analyzer,
+		registrycomplete.Analyzer,
+		ctxfirst.Analyzer,
+		lockdiscipline.Analyzer,
+	}
+}

@@ -1,0 +1,107 @@
+// Package linttest runs topklint analyzers over fixture packages, in the
+// spirit of golang.org/x/tools/go/analysis/analysistest: fixture files
+// mark expected diagnostics with trailing `// want "regexp"` comments,
+// and the harness reports both missed and unexpected diagnostics with
+// positions.
+package linttest
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/loader"
+)
+
+// wantRe matches a `// want "..." ["..." ...]` expectation; each quoted
+// string is a regular expression applied to a diagnostic message, and a
+// comment with several of them expects that many diagnostics on the line.
+var wantRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// Run loads dir as a package named importPath, applies the analyzer, and
+// checks its diagnostics against the fixture's want comments.
+func Run(t *testing.T, a *analysis.Analyzer, dir, importPath string) {
+	t.Helper()
+	pkg, err := loader.LoadFiles(dir, importPath)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	diags, err := analysis.RunPackage(pkg.Fset, pkg.Syntax, pkg.Types, pkg.TypesInfo, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	expects, err := parseExpectations(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		matched := false
+		for _, e := range expects {
+			if !e.hit && e.file == d.Pos.Filename && e.line == d.Pos.Line && e.re.MatchString(d.Message) {
+				e.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, e := range expects {
+		if !e.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.re)
+		}
+	}
+}
+
+func parseExpectations(pkg *loader.Package) ([]*expectation, error) {
+	var out []*expectation
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				ms := wantRe.FindAllStringSubmatch(c.Text[idx:], -1)
+				if ms == nil {
+					return nil, fmt.Errorf("%s: malformed want comment: %s", pos, c.Text)
+				}
+				for _, m := range ms {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want regexp: %v", pos, err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Diagnostics runs the analyzer over the fixture and returns the raw
+// diagnostics, for tests asserting on counts or exact content.
+func Diagnostics(t *testing.T, a *analysis.Analyzer, dir, importPath string) []analysis.Diagnostic {
+	t.Helper()
+	pkg, err := loader.LoadFiles(dir, importPath)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	diags, err := analysis.RunPackage(pkg.Fset, pkg.Syntax, pkg.Types, pkg.TypesInfo, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+	return diags
+}

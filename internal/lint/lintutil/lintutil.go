@@ -1,0 +1,220 @@
+// Package lintutil holds the type- and control-flow helpers the topklint
+// analyzers share: resolving callees, classifying calls and statements
+// that may block, and computing the same-package transitive closure of
+// blocking functions.
+package lintutil
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+)
+
+// CalleeFunc resolves a call expression to the *types.Func it invokes
+// (package function or method), or nil for builtins, function values, and
+// type conversions.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// blockingCallees lists well-known external functions and methods that
+// block the calling goroutine: timers, sync waits, and net/http client
+// round trips (the repository's Web-source accesses).
+var blockingCallees = map[string]bool{
+	"time.Sleep":                    true,
+	"(*sync.WaitGroup).Wait":        true,
+	"(*sync.Cond).Wait":             true,
+	"(*net/http.Client).Do":         true,
+	"(*net/http.Client).Get":        true,
+	"(*net/http.Client).Head":       true,
+	"(*net/http.Client).Post":       true,
+	"(*net/http.Client).PostForm":   true,
+	"net/http.Get":                  true,
+	"net/http.Head":                 true,
+	"net/http.Post":                 true,
+	"net/http.PostForm":             true,
+	"(net.Conn).Read":               true,
+	"(net.Conn).Write":              true,
+	"(*os/exec.Cmd).Run":            true,
+	"(*os/exec.Cmd).Wait":           true,
+	"(*os/exec.Cmd).CombinedOutput": true,
+	"(*os/exec.Cmd).Output":         true,
+}
+
+// IsBlockingCall reports whether the call is to a known-blocking external
+// function or method.
+func IsBlockingCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := CalleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	return blockingCallees[fn.FullName()]
+}
+
+// IsChanRecv reports whether the expression is a channel receive.
+func IsChanRecv(e ast.Expr) bool {
+	u, ok := ast.Unparen(e).(*ast.UnaryExpr)
+	return ok && u.Op == token.ARROW
+}
+
+// IsChanRange reports whether the range statement iterates over a channel.
+func IsChanRange(info *types.Info, rs *ast.RangeStmt) bool {
+	if rs.X == nil {
+		return false
+	}
+	t := info.TypeOf(rs.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// IsBlockingSelect reports whether the select statement can block, i.e.
+// has no default clause.
+func IsBlockingSelect(sel *ast.SelectStmt) bool {
+	for _, cl := range sel.Body.List {
+		if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// FuncBodies pairs every function-like body in the package — declarations
+// and function literals — with the object it defines (nil for literals).
+func FuncBodies(info *types.Info, files []*ast.File) map[*ast.BlockStmt]*types.Func {
+	out := map[*ast.BlockStmt]*types.Func{}
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch d := n.(type) {
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					fn, _ := info.Defs[d.Name].(*types.Func)
+					out[d.Body] = fn
+				}
+			case *ast.FuncLit:
+				out[d.Body] = nil
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// bodyBlocksPrimitively reports whether the body directly contains a
+// blocking construct: a channel operation, a blocking select, or a call
+// to a known-blocking external function. Goroutine launches (`go ...`)
+// are skipped — spawning never blocks the caller — and nested function
+// literals are included, since inline closures run on the caller's
+// goroutine in this codebase's style.
+func bodyBlocksPrimitively(info *types.Info, body *ast.BlockStmt) bool {
+	blocking := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if blocking {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.SendStmt:
+			blocking = true
+		case *ast.UnaryExpr:
+			if s.Op == token.ARROW {
+				blocking = true
+			}
+		case *ast.SelectStmt:
+			if IsBlockingSelect(s) {
+				blocking = true
+				return false
+			}
+		case *ast.RangeStmt:
+			if IsChanRange(info, s) {
+				blocking = true
+			}
+		case *ast.CallExpr:
+			if IsBlockingCall(info, s) {
+				blocking = true
+			}
+		}
+		return !blocking
+	})
+	return blocking
+}
+
+// BlockingFuncs computes the set of package-level functions and methods
+// that may block: those whose bodies block primitively, plus — to a fixed
+// point — those that call a same-package function already in the set.
+func BlockingFuncs(pkg *types.Package, info *types.Info, files []*ast.File) map[*types.Func]bool {
+	bodies := map[*types.Func]*ast.BlockStmt{}
+	for body, fn := range FuncBodies(info, files) {
+		if fn != nil {
+			bodies[fn] = body
+		}
+	}
+	blocking := map[*types.Func]bool{}
+	for fn, body := range bodies {
+		if bodyBlocksPrimitively(info, body) {
+			blocking[fn] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, body := range bodies {
+			if blocking[fn] {
+				continue
+			}
+			ast.Inspect(body, func(n ast.Node) bool {
+				if blocking[fn] {
+					return false
+				}
+				if _, ok := n.(*ast.GoStmt); ok {
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := CalleeFunc(info, call)
+				if callee != nil && callee.Pkg() == pkg && blocking[callee] {
+					blocking[fn] = true
+					changed = true
+				}
+				return true
+			})
+		}
+	}
+	return blocking
+}
+
+// IsContextType reports whether t is context.Context.
+func IsContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// FormatNode renders a small expression (e.g. a mutex receiver) for use
+// in diagnostics and as a lock identity key.
+func FormatNode(fset *token.FileSet, n ast.Node) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, n); err != nil {
+		return "?"
+	}
+	return buf.String()
+}

@@ -1,0 +1,309 @@
+// Package loader loads and type-checks Go packages for the topklint
+// analyzers without depending on golang.org/x/tools. It shells out to
+// `go list` for build-system metadata (package dirs, file lists, import
+// resolution — including the standard library's vendored import remapping)
+// and type-checks the dependency graph bottom-up with go/types.
+//
+// The loader forces CGO_ENABLED=0 so every package, including net and
+// os/user, resolves to its pure-Go file set; cgo-generated declarations
+// are invisible to go/parser and would otherwise leave dependencies
+// half-typed. The repository itself contains no cgo, so analysis results
+// are identical.
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string // absolute paths
+	Standard   bool     // part of the standard library
+
+	Fset      *token.FileSet
+	Syntax    []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listPackage mirrors the subset of `go list -json` output we consume.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// graph is the package universe of one Load call: metadata from go list
+// plus memoized type-checking.
+type graph struct {
+	dir     string
+	fset    *token.FileSet
+	meta    map[string]*listPackage
+	checked map[string]*types.Package
+	parsed  map[string][]*ast.File
+	infos   map[string]*types.Info
+	stack   []string // cycle detection (defensive; go list rejects cycles)
+}
+
+// Load lists the packages matching patterns (resolved relative to dir),
+// type-checks them and their full dependency graphs, and returns the
+// matched packages only, sorted by import path.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	g, err := newGraph(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var roots []*listPackage
+	for _, lp := range g.meta {
+		if !lp.DepOnly {
+			roots = append(roots, lp)
+		}
+	}
+	sort.Slice(roots, func(a, b int) bool { return roots[a].ImportPath < roots[b].ImportPath })
+	out := make([]*Package, 0, len(roots))
+	for _, lp := range roots {
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := g.check(lp.ImportPath)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, &Package{
+			ImportPath: lp.ImportPath,
+			Name:       lp.Name,
+			Dir:        lp.Dir,
+			GoFiles:    absFiles(lp),
+			Standard:   lp.Standard,
+			Fset:       g.fset,
+			Syntax:     g.parsed[lp.ImportPath],
+			Types:      pkg,
+			TypesInfo:  g.infos[lp.ImportPath],
+		})
+	}
+	return out, nil
+}
+
+// LoadFiles type-checks a directory of Go files as a single package with
+// the given import path, resolving its (transitive) imports through the
+// regular build system. It is the entry point for analyzer test fixtures,
+// which live under testdata/ where go list does not look: the fixture
+// files parse as importPath's package, so path-scoped analyzers see the
+// package identity the test wants to emulate.
+func LoadFiles(dir, importPath string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	ents, err := os.ReadDir(abs)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var names []string
+	imports := map[string]bool{}
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		name := filepath.Join(abs, e.Name())
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		names = append(names, name)
+		for _, imp := range f.Imports {
+			imports[strings.Trim(imp.Path.Value, `"`)] = true
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("loader: no Go files in %s", dir)
+	}
+	delete(imports, "unsafe")
+	patterns := make([]string, 0, len(imports))
+	for p := range imports {
+		patterns = append(patterns, p)
+	}
+	sort.Strings(patterns)
+	g := &graph{
+		dir:     abs,
+		fset:    fset,
+		meta:    map[string]*listPackage{},
+		checked: map[string]*types.Package{},
+		parsed:  map[string][]*ast.File{},
+		infos:   map[string]*types.Info{},
+	}
+	if len(patterns) > 0 {
+		// Resolve the fixture's imports from the enclosing module.
+		if err := g.list(patterns); err != nil {
+			return nil, err
+		}
+	}
+	info := newInfo()
+	conf := types.Config{Importer: &graphImporter{g: g, importMap: nil}}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("loader: type-checking %s: %w", dir, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Name:       tpkg.Name(),
+		Dir:        abs,
+		GoFiles:    names,
+		Fset:       fset,
+		Syntax:     files,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}, nil
+}
+
+func newGraph(dir string, patterns []string) (*graph, error) {
+	g := &graph{
+		dir:     dir,
+		fset:    token.NewFileSet(),
+		meta:    map[string]*listPackage{},
+		checked: map[string]*types.Package{},
+		parsed:  map[string][]*ast.File{},
+		infos:   map[string]*types.Info{},
+	}
+	if err := g.list(patterns); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// list runs `go list -deps -json` for the patterns and merges the result
+// into the graph's metadata table.
+func (g *graph) list(patterns []string) error {
+	args := append([]string{"list", "-e", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = g.dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("loader: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(&stdout)
+	for dec.More() {
+		var lp listPackage
+		if err := dec.Decode(&lp); err != nil {
+			return fmt.Errorf("loader: decoding go list output: %v", err)
+		}
+		if lp.Error != nil {
+			return fmt.Errorf("loader: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		cp := lp
+		if prev, ok := g.meta[lp.ImportPath]; ok {
+			// Keep the root marking if any listing saw it as a root.
+			cp.DepOnly = cp.DepOnly && prev.DepOnly
+		}
+		g.meta[lp.ImportPath] = &cp
+	}
+	return nil
+}
+
+func absFiles(lp *listPackage) []string {
+	out := make([]string, len(lp.GoFiles))
+	for i, f := range lp.GoFiles {
+		out[i] = filepath.Join(lp.Dir, f)
+	}
+	return out
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}
+
+// check type-checks the package (memoized), checking dependencies first.
+func (g *graph) check(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := g.checked[path]; ok {
+		return pkg, nil
+	}
+	for _, p := range g.stack {
+		if p == path {
+			return nil, fmt.Errorf("loader: import cycle through %s", path)
+		}
+	}
+	lp, ok := g.meta[path]
+	if !ok {
+		// A package surfaced outside the listed graph (e.g. a fixture
+		// import): list it on demand.
+		if err := g.list([]string{path}); err != nil {
+			return nil, err
+		}
+		if lp, ok = g.meta[path]; !ok {
+			return nil, fmt.Errorf("loader: unknown package %q", path)
+		}
+	}
+	g.stack = append(g.stack, path)
+	defer func() { g.stack = g.stack[:len(g.stack)-1] }()
+
+	files := make([]*ast.File, 0, len(lp.GoFiles))
+	for _, name := range absFiles(lp) {
+		f, err := parser.ParseFile(g.fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: &graphImporter{g: g, importMap: lp.ImportMap}}
+	pkg, err := conf.Check(path, g.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("loader: type-checking %s: %w", path, err)
+	}
+	g.checked[path] = pkg
+	g.parsed[path] = files
+	g.infos[path] = info
+	return pkg, nil
+}
+
+// graphImporter resolves one package's imports against the graph,
+// honoring its go list ImportMap (standard-library vendoring).
+type graphImporter struct {
+	g         *graph
+	importMap map[string]string
+}
+
+func (i *graphImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := i.importMap[path]; ok {
+		path = mapped
+	}
+	return i.g.check(path)
+}

@@ -1,0 +1,228 @@
+// Package lockdiscipline flags sync.Mutex/RWMutex locks held across
+// operations that can block indefinitely: channel sends and receives,
+// blocking selects, ranges over channels, and calls that reach the
+// network or synchronization waits. In the live execution pipeline
+// (internal/parallel/live.go) and the service plan cache
+// (internal/service), a lock held across a channel operation deadlocks
+// the coordinator the moment a completion cannot be delivered — the
+// correct shape is the existing unlock-wait-relock pattern, which this
+// analyzer accepts.
+//
+// The analysis is a pragmatic linear scan per function body: it tracks
+// which mutexes are locked through straight-line code, descends into
+// branch and loop bodies with a copy of the lock state, treats
+// `defer mu.Unlock()` as scope-exit (so it does not clear the inline
+// state), analyzes each function literal as its own root (their execution
+// context is unknown), and skips goroutine bodies (a spawned goroutine
+// does not hold the spawner's lock).
+package lockdiscipline
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/lintutil"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockdiscipline",
+	Doc:  "no mutex may be held across channel operations or calls that may block",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	blocking := lintutil.BlockingFuncs(pass.Pkg, pass.TypesInfo, pass.Files)
+	for body := range lintutil.FuncBodies(pass.TypesInfo, pass.Files) {
+		s := &scanner{pass: pass, blocking: blocking}
+		s.block(body, map[string]token.Pos{})
+	}
+	return nil
+}
+
+type scanner struct {
+	pass     *analysis.Pass
+	blocking map[*types.Func]bool
+}
+
+// mutexMethod returns the lock identity key and method name when the call
+// is X.Lock/RLock/Unlock/RUnlock on a sync.Mutex or sync.RWMutex.
+func (s *scanner) mutexMethod(call *ast.CallExpr) (key, method string, ok bool) {
+	sel, selOK := call.Fun.(*ast.SelectorExpr)
+	if !selOK {
+		return "", "", false
+	}
+	fn, fnOK := s.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !fnOK || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	switch fn.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+		recv := fn.Type().(*types.Signature).Recv()
+		if recv == nil {
+			return "", "", false
+		}
+		return lintutil.FormatNode(s.pass.Fset, sel.X), fn.Name(), true
+	}
+	return "", "", false
+}
+
+// block scans a statement list, threading the locked set through
+// straight-line statements.
+func (s *scanner) block(b *ast.BlockStmt, locked map[string]token.Pos) {
+	for _, st := range b.List {
+		s.stmt(st, locked)
+	}
+}
+
+func copyLocked(locked map[string]token.Pos) map[string]token.Pos {
+	cp := make(map[string]token.Pos, len(locked))
+	for k, v := range locked {
+		cp[k] = v
+	}
+	return cp
+}
+
+func (s *scanner) stmt(st ast.Stmt, locked map[string]token.Pos) {
+	switch x := st.(type) {
+	case *ast.ExprStmt:
+		if call, ok := x.X.(*ast.CallExpr); ok {
+			if key, method, ok := s.mutexMethod(call); ok {
+				switch method {
+				case "Lock", "RLock":
+					locked[key] = call.Pos()
+				case "Unlock", "RUnlock":
+					delete(locked, key)
+				}
+				return
+			}
+		}
+		s.checkExpr(x.X, locked)
+	case *ast.SendStmt:
+		s.flag(x.Pos(), "channel send", locked)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() releases at scope exit; it does not change the
+		// inline lock state. Other deferred work runs after the function's
+		// blocking operations anyway.
+	case *ast.GoStmt:
+		// A spawned goroutine does not hold the spawner's lock, and
+		// launching is non-blocking. The goroutine body is analyzed as its
+		// own root by run().
+	case *ast.SelectStmt:
+		if len(locked) > 0 && lintutil.IsBlockingSelect(x) {
+			s.flag(x.Pos(), "blocking select", locked)
+		}
+		for _, cl := range x.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok {
+				inner := copyLocked(locked)
+				for _, st := range cc.Body {
+					s.stmt(st, inner)
+				}
+			}
+		}
+	case *ast.BlockStmt:
+		s.block(x, locked)
+	case *ast.IfStmt:
+		if x.Init != nil {
+			s.stmt(x.Init, locked)
+		}
+		s.checkExpr(x.Cond, locked)
+		s.block(x.Body, copyLocked(locked))
+		if x.Else != nil {
+			s.stmt(x.Else, copyLocked(locked))
+		}
+	case *ast.ForStmt:
+		if x.Init != nil {
+			s.stmt(x.Init, locked)
+		}
+		if x.Cond != nil {
+			s.checkExpr(x.Cond, locked)
+		}
+		s.block(x.Body, copyLocked(locked))
+	case *ast.RangeStmt:
+		if lintutil.IsChanRange(s.pass.TypesInfo, x) {
+			s.flag(x.Pos(), "range over channel", locked)
+		}
+		s.block(x.Body, copyLocked(locked))
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			s.stmt(x.Init, locked)
+		}
+		if x.Tag != nil {
+			s.checkExpr(x.Tag, locked)
+		}
+		for _, cl := range x.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				inner := copyLocked(locked)
+				for _, st := range cc.Body {
+					s.stmt(st, inner)
+				}
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, cl := range x.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				inner := copyLocked(locked)
+				for _, st := range cc.Body {
+					s.stmt(st, inner)
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		s.stmt(x.Stmt, locked)
+	case *ast.AssignStmt:
+		for _, e := range x.Rhs {
+			s.checkExpr(e, locked)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range x.Results {
+			s.checkExpr(e, locked)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						s.checkExpr(e, locked)
+					}
+				}
+			}
+		}
+	}
+}
+
+// checkExpr flags blocking operations inside an expression evaluated
+// while locks are held: channel receives and calls to blocking functions.
+// Nested function literals are skipped — they are separate roots.
+func (s *scanner) checkExpr(e ast.Expr, locked map[string]token.Pos) {
+	if len(locked) == 0 {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				s.flag(x.Pos(), "channel receive", locked)
+			}
+		case *ast.CallExpr:
+			if lintutil.IsBlockingCall(s.pass.TypesInfo, x) {
+				s.flag(x.Pos(), "call to blocking function", locked)
+			} else if fn := lintutil.CalleeFunc(s.pass.TypesInfo, x); fn != nil && fn.Pkg() == s.pass.Pkg && s.blocking[fn] {
+				s.flag(x.Pos(), "call to "+fn.Name()+" (may block)", locked)
+			}
+		}
+		return true
+	})
+}
+
+func (s *scanner) flag(pos token.Pos, what string, locked map[string]token.Pos) {
+	for key, at := range locked {
+		s.pass.Reportf(pos,
+			"%s while holding %s (locked at line %d); release the lock around blocking operations",
+			what, key, s.pass.Fset.Position(at).Line)
+	}
+}

@@ -1,0 +1,12 @@
+package lockdiscipline_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/lockdiscipline"
+)
+
+func TestLockDiscipline(t *testing.T) {
+	linttest.Run(t, lockdiscipline.Analyzer, "testdata/svc", "repro/internal/svc")
+}

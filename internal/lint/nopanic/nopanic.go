@@ -1,0 +1,56 @@
+// Package nopanic forbids panic in the serving path. The ROADMAP's
+// production goal (a middleware serving heavy traffic) means a malformed
+// query, score, or scenario must surface as an error to the caller, never
+// as a crashed goroutine; the paper's cost guarantees are moot if the
+// process dies mid-query. Invariant-assertion panics that are unreachable
+// under documented caller contracts may be annotated
+// `//topklint:allow nopanic <reason>`.
+package nopanic
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// ServingPackages are the packages on the query-serving path, where a
+// panic would take down live traffic.
+var ServingPackages = []string{
+	"repro/internal/algo",
+	"repro/internal/access",
+	"repro/internal/state",
+	"repro/internal/service",
+	"repro/internal/websim",
+}
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name:     "nopanic",
+	Doc:      "forbid panic() in non-test code of the query-serving path; return errors instead",
+	Packages: ServingPackages,
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if _, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"panic in serving path package %s; return an error instead (or annotate //topklint:allow nopanic <reason> if provably unreachable)",
+				pass.Pkg.Path())
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,18 @@
+package nopanic_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/nopanic"
+)
+
+func TestServingPath(t *testing.T) {
+	linttest.Run(t, nopanic.Analyzer, "testdata/serving", "repro/internal/algo")
+}
+
+func TestOffServingPath(t *testing.T) {
+	if diags := linttest.Diagnostics(t, nopanic.Analyzer, "testdata/other", "repro/internal/score"); len(diags) != 0 {
+		t.Errorf("panic outside the serving path must not be flagged, got %v", diags)
+	}
+}

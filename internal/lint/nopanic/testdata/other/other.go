@@ -1,0 +1,9 @@
+// Fixture loaded as repro/internal/score, which is off the serving path:
+// the same panics must produce no diagnostics.
+package score
+
+func assertRange(i, n int) {
+	if i < 0 || i >= n {
+		panic("index out of range")
+	}
+}

@@ -1,0 +1,29 @@
+// Fixture for the nopanic analyzer, loaded as repro/internal/algo (a
+// serving-path package).
+package algo
+
+import "fmt"
+
+func propagate(err error) {
+	if err != nil {
+		panic(err) // want "panic in serving path package repro/internal/algo"
+	}
+}
+
+func message() {
+	panic(fmt.Sprintf("k=%d out of range", -1)) // want "panic in serving path package"
+}
+
+func allowedTrailing() {
+	panic("unreachable") //topklint:allow nopanic guarded by constructor validation
+}
+
+func allowedPreceding() {
+	//topklint:allow nopanic caller contract: index pre-validated by Len
+	panic("unreachable")
+}
+
+func shadowed() {
+	panic := func(v interface{}) { _ = v }
+	panic("not the builtin")
+}

@@ -1,0 +1,109 @@
+// Package registrycomplete cross-checks the algorithm registry against
+// the package's type set: every concrete type implementing the package's
+// Algorithm interface must be reachable from the registry constructors
+// ByName and NewNC. The golden tests (internal/algo/golden_test.go) and
+// the optimizer's enumeration both walk the registry — an algorithm that
+// is implemented but not registered silently escapes both, which is
+// exactly how a paper-reproduction drifts from the paper. Deliberately
+// unregistered implementations (internal adapters) may be annotated
+// `//topklint:allow registrycomplete <reason>`.
+package registrycomplete
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/lintutil"
+)
+
+// Analyzer implements the check. It activates on any package that
+// declares both an `Algorithm` interface and a `ByName` constructor (in
+// this repository, repro/internal/algo), so fixtures can model the real
+// registry shape.
+var Analyzer = &analysis.Analyzer{
+	Name: "registrycomplete",
+	Doc:  "every concrete Algorithm implementation must be reachable from ByName/NewNC",
+	Run:  run,
+}
+
+// registryRoots are the constructors that define "registered".
+var registryRoots = []string{"ByName", "NewNC"}
+
+func run(pass *analysis.Pass) error {
+	scope := pass.Pkg.Scope()
+	ifaceObj, _ := scope.Lookup("Algorithm").(*types.TypeName)
+	if ifaceObj == nil {
+		return nil
+	}
+	iface, _ := ifaceObj.Type().Underlying().(*types.Interface)
+	if iface == nil || scope.Lookup("ByName") == nil {
+		return nil
+	}
+
+	// Collect the bodies of all package functions, then walk the call
+	// graph from the registry roots so helpers the constructors delegate
+	// to still count as registration sites.
+	bodies := map[*types.Func]*ast.BlockStmt{}
+	for body, fn := range lintutil.FuncBodies(pass.TypesInfo, pass.Files) {
+		if fn != nil {
+			bodies[fn] = body
+		}
+	}
+	var work []*types.Func
+	reachable := map[*types.Func]bool{}
+	for _, name := range registryRoots {
+		if fn, ok := scope.Lookup(name).(*types.Func); ok {
+			reachable[fn] = true
+			work = append(work, fn)
+		}
+	}
+	referenced := map[*types.TypeName]bool{}
+	for len(work) > 0 {
+		fn := work[0]
+		work = work[1:]
+		body, ok := bodies[fn]
+		if !ok {
+			continue
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.Ident:
+				if tn, ok := pass.TypesInfo.Uses[x].(*types.TypeName); ok && tn.Pkg() == pass.Pkg {
+					referenced[tn] = true
+				}
+			case *ast.CallExpr:
+				if callee := lintutil.CalleeFunc(pass.TypesInfo, x); callee != nil &&
+					callee.Pkg() == pass.Pkg && !reachable[callee] {
+					reachable[callee] = true
+					work = append(work, callee)
+				}
+			}
+			return true
+		})
+	}
+
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok || named.TypeParams() != nil {
+			continue
+		}
+		if _, isIface := named.Underlying().(*types.Interface); isIface {
+			continue
+		}
+		if !types.Implements(named, iface) && !types.Implements(types.NewPointer(named), iface) {
+			continue
+		}
+		if referenced[tn] {
+			continue
+		}
+		pass.Reportf(tn.Pos(),
+			"type %s implements Algorithm but is not reachable from %v; register it (or annotate //topklint:allow registrycomplete <reason>)",
+			name, registryRoots)
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package registrycomplete_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/registrycomplete"
+)
+
+func TestRegistry(t *testing.T) {
+	linttest.Run(t, registrycomplete.Analyzer, "testdata/algo", "repro/internal/algo")
+}

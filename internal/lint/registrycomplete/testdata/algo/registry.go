@@ -1,0 +1,60 @@
+// Fixture for the registrycomplete analyzer: a miniature of the real
+// registry in repro/internal/algo. TA is registered directly in ByName,
+// NC is reachable through NewNC's helper, Rogue is implemented but never
+// registered, and shim is deliberately unregistered with an allow
+// directive.
+package algo
+
+import "fmt"
+
+// Algorithm mirrors the real interface shape.
+type Algorithm interface {
+	Name() string
+	Run(k int) error
+}
+
+// TA is registered directly in ByName.
+type TA struct{}
+
+func (TA) Name() string    { return "ta" }
+func (TA) Run(k int) error { return nil }
+
+// NC is reachable transitively: ByName -> NewNC -> newNC.
+type NC struct{}
+
+func (*NC) Name() string    { return "nc" }
+func (*NC) Run(k int) error { return nil }
+
+// Rogue implements Algorithm but no registry constructor mentions it.
+type Rogue struct{} // want "type Rogue implements Algorithm but is not reachable"
+
+func (Rogue) Name() string    { return "rogue" }
+func (Rogue) Run(k int) error { return nil }
+
+// shim is a deliberate internal adapter, exempted with a reason.
+type shim struct{} //topklint:allow registrycomplete test double wired manually by the harness
+
+func (shim) Name() string    { return "shim" }
+func (shim) Run(k int) error { return nil }
+
+// helper does not implement Algorithm (wrong Run signature) and must not
+// be flagged even though it is unregistered.
+type helper struct{}
+
+func (helper) Name() string { return "helper" }
+
+// ByName is the registry root.
+func ByName(name string) (Algorithm, error) {
+	switch name {
+	case "ta":
+		return TA{}, nil
+	case "nc":
+		return NewNC(), nil
+	}
+	return nil, fmt.Errorf("algo: unknown algorithm %q", name)
+}
+
+// NewNC delegates to a helper; reachability must follow the call.
+func NewNC() Algorithm { return newNC() }
+
+func newNC() *NC { return &NC{} }

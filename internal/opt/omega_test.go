@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/access"
 	"repro/internal/data"
+	"repro/internal/data/datatest"
 	"repro/internal/score"
 )
 
@@ -12,9 +13,9 @@ import (
 // costs so schedules genuinely differ.
 func probeScenario() access.Scenario {
 	return access.Scenario{Name: "probe3", Preds: []access.PredCost{
-		{Sorted: access.CostFromUnits(0.1), SortedOK: true, Random: access.CostFromUnits(4), RandomOK: true},
-		{Sorted: 0, SortedOK: false, Random: access.CostFromUnits(1), RandomOK: true},
-		{Sorted: 0, SortedOK: false, Random: access.CostFromUnits(2), RandomOK: true},
+		{Sorted: access.CostOf(0.1), SortedOK: true, Random: access.CostOf(4), RandomOK: true},
+		{Sorted: 0, SortedOK: false, Random: access.CostOf(1), RandomOK: true},
+		{Sorted: 0, SortedOK: false, Random: access.CostOf(2), RandomOK: true},
 	}}
 }
 
@@ -23,7 +24,7 @@ func TestGreedyOmegaNearExhaustive(t *testing.T) {
 	// the exhaustive optimum on heterogeneous probe scenarios — the
 	// empirical basis for adopting global greedy scheduling.
 	for seed := int64(1); seed <= 4; seed++ {
-		sample := data.MustGenerate(data.Skewed, 60, 3, seed)
+		sample := datatest.MustGenerate(data.Skewed, 60, 3, seed)
 		scn := probeScenario()
 		e, err := NewEstimator(sample, scn, score.Min(), 5, 600, true)
 		if err != nil {
@@ -49,7 +50,7 @@ func TestGreedyOmegaNearExhaustive(t *testing.T) {
 }
 
 func TestOptimizeOmegaExhaustiveRefusesLargeM(t *testing.T) {
-	sample := data.MustGenerate(data.Uniform, 10, 7, 1)
+	sample := datatest.MustGenerate(data.Uniform, 10, 7, 1)
 	e, err := NewEstimator(sample, access.Uniform(7, 1, 1), score.Min(), 2, 100, true)
 	if err != nil {
 		t.Fatal(err)
@@ -61,7 +62,7 @@ func TestOptimizeOmegaExhaustiveRefusesLargeM(t *testing.T) {
 }
 
 func TestOptimizeOmegaExhaustiveCoversAllPermutations(t *testing.T) {
-	sample := data.MustGenerate(data.Uniform, 20, 3, 2)
+	sample := datatest.MustGenerate(data.Uniform, 20, 3, 2)
 	scn := probeScenario()
 	e, err := NewEstimator(sample, scn, score.Min(), 2, 100, true)
 	if err != nil {

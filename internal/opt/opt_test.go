@@ -7,12 +7,13 @@ import (
 	"repro/internal/access"
 	"repro/internal/algo"
 	"repro/internal/data"
+	"repro/internal/data/datatest"
 	"repro/internal/score"
 )
 
 func testEstimator(t *testing.T, f score.Func, scn access.Scenario, k, n int) *Estimator {
 	t.Helper()
-	sample := data.DummySample(40, scn.M(), 7)
+	sample := datatest.MustDummySample(40, scn.M(), 7)
 	e, err := NewEstimator(sample, scn, f, k, n, true)
 	if err != nil {
 		t.Fatal(err)
@@ -47,7 +48,7 @@ func TestEstimatorBasics(t *testing.T) {
 }
 
 func TestEstimatorValidation(t *testing.T) {
-	sample := data.DummySample(10, 2, 1)
+	sample := datatest.MustDummySample(10, 2, 1)
 	if _, err := NewEstimator(sample, access.Uniform(3, 1, 1), score.Avg(), 5, 100, true); err == nil {
 		t.Error("scenario arity mismatch should fail")
 	}
@@ -60,7 +61,7 @@ func TestEstimatorValidation(t *testing.T) {
 }
 
 func TestKPrimeClamps(t *testing.T) {
-	sample := data.DummySample(10, 2, 1)
+	sample := datatest.MustDummySample(10, 2, 1)
 	e, err := NewEstimator(sample, access.Uniform(2, 1, 1), score.Avg(), 500, 100, true)
 	if err != nil {
 		t.Fatal(err)
@@ -73,7 +74,7 @@ func TestKPrimeClamps(t *testing.T) {
 func TestOptimizeOmegaOrdersByGainPerCost(t *testing.T) {
 	// Predicate 0: high mean (low gain), cheap. Predicate 1: low mean
 	// (high gain), same cost -> 1 first.
-	sample := data.MustNew("s", [][]float64{
+	sample := datatest.MustNew("s", [][]float64{
 		{0.9, 0.1},
 		{0.95, 0.2},
 		{0.85, 0.15},
@@ -205,7 +206,7 @@ func TestStrategiesMatchesShape(t *testing.T) {
 }
 
 func TestOptimizeEndToEnd(t *testing.T) {
-	ds := data.MustGenerate(data.Uniform, 300, 2, 11)
+	ds := datatest.MustGenerate(data.Uniform, 300, 2, 11)
 	for _, scheme := range []Scheme{SchemeHClimb, SchemeNaive, SchemeStrategies} {
 		cfg := Config{Scheme: scheme, Grid: 6, Seed: 1}
 		plan, err := Optimize(cfg, access.Uniform(2, 1, 5), score.Min(), 5, ds.N())
@@ -238,7 +239,7 @@ func TestOptimizeEndToEnd(t *testing.T) {
 }
 
 func TestOptimizedAlgorithm(t *testing.T) {
-	ds := data.MustGenerate(data.Gaussian, 200, 2, 5)
+	ds := datatest.MustGenerate(data.Gaussian, 200, 2, 5)
 	scn := access.MatrixCell(2, access.Cheap, access.Expensive, 10)
 	sess, err := access.NewSession(access.DatasetBackend{DS: ds}, scn)
 	if err != nil {
@@ -266,7 +267,7 @@ func TestOptimizedAlgorithm(t *testing.T) {
 }
 
 func TestAdaptiveReplansOnCostShift(t *testing.T) {
-	ds := data.MustGenerate(data.Uniform, 400, 2, 8)
+	ds := datatest.MustGenerate(data.Uniform, 400, 2, 8)
 	// Random access on p1 becomes 50x more expensive after 30 accesses.
 	shift := access.CostShift{AfterAccesses: 30, Pred: 0, RandomFactor: 50}
 	scn := access.Uniform(2, 1, 2)
@@ -296,7 +297,7 @@ func TestAdaptiveReplansOnCostShift(t *testing.T) {
 }
 
 func TestAdaptiveSkipsReplanWhenStable(t *testing.T) {
-	ds := data.MustGenerate(data.Uniform, 200, 2, 8)
+	ds := datatest.MustGenerate(data.Uniform, 200, 2, 8)
 	sess, err := access.NewSession(access.DatasetBackend{DS: ds}, access.Uniform(2, 1, 1))
 	if err != nil {
 		t.Fatal(err)
@@ -347,7 +348,7 @@ func TestEstimatorDeterminism(t *testing.T) {
 }
 
 func BenchmarkEstimate(b *testing.B) {
-	sample := data.DummySample(50, 2, 7)
+	sample := datatest.MustDummySample(50, 2, 7)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		e, err := NewEstimator(sample, access.Uniform(2, 1, 10), score.Min(), 10, 1000, true)

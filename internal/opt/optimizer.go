@@ -58,7 +58,11 @@ func Optimize(cfg Config, scn access.Scenario, f score.Func, k, n int) (Plan, er
 	cfg = cfg.withDefaults()
 	sample := cfg.Sample
 	if sample == nil {
-		sample = data.DummySample(cfg.SampleSize, scn.M(), cfg.Seed)
+		var err error
+		sample, err = data.DummySample(cfg.SampleSize, scn.M(), cfg.Seed)
+		if err != nil {
+			return Plan{}, fmt.Errorf("opt: synthesizing dummy sample: %w", err)
+		}
 	}
 	omega := OptimizeOmega(sample, scn)
 	est, err := NewEstimator(sample, scn, f, k, n, !cfg.DisableNWG)

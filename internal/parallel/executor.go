@@ -25,6 +25,7 @@ package parallel
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 
 	"repro/internal/access"
@@ -82,8 +83,12 @@ func (h *flightHeap) Pop() interface{} {
 	return f
 }
 
-// Run executes the problem under the concurrency bound.
-func (ex *Executor) Run(p *algo.Problem) (*Result, error) {
+// Run executes the problem under the concurrency bound. The context
+// cancels the simulated run between dispatch rounds.
+func (ex *Executor) Run(ctx context.Context, p *algo.Problem) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if ex.B < 1 {
 		return nil, fmt.Errorf("parallel: concurrency bound must be >= 1, got %d", ex.B)
 	}
@@ -180,6 +185,9 @@ func (ex *Executor) Run(p *algo.Problem) (*Result, error) {
 	}
 
 	for len(items) < p.K {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("parallel: run cancelled: %w", err)
+		}
 		// Emit every complete candidate that has surfaced to the top; the
 		// paper's incremental form of Theorem 1's halting condition.
 		for len(items) < p.K {

@@ -1,13 +1,16 @@
 package parallel
 
 import (
+	"context"
 	"math"
 	"sort"
 	"testing"
 
 	"repro/internal/access"
 	"repro/internal/algo"
+	"repro/internal/algo/algotest"
 	"repro/internal/data"
+	"repro/internal/data/datatest"
 	"repro/internal/score"
 )
 
@@ -21,8 +24,8 @@ func runParallel(t *testing.T, b int, ds *data.Dataset, scn access.Scenario, f s
 	if err != nil {
 		t.Fatal(err)
 	}
-	ex := &Executor{B: b, Sel: algo.MustNewSRG(h, nil)}
-	res, err := ex.Run(prob)
+	ex := &Executor{B: b, Sel: algotest.MustSRG(h, nil)}
+	res, err := ex.Run(context.Background(), prob)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +61,7 @@ func assertOracle(t *testing.T, ds *data.Dataset, f score.Func, k int, items []a
 func TestSequentialEquivalence(t *testing.T) {
 	// B = 1 must behave exactly like the sequential NC run: same answers,
 	// same total cost, elapsed == cost.
-	ds := data.MustGenerate(data.Uniform, 200, 2, 13)
+	ds := datatest.MustGenerate(data.Uniform, 200, 2, 13)
 	scn := access.Uniform(2, 1, 2)
 	h := []float64{0.4, 0.6}
 
@@ -84,7 +87,7 @@ func TestSequentialEquivalence(t *testing.T) {
 }
 
 func TestElapsedShrinksWithConcurrency(t *testing.T) {
-	ds := data.MustGenerate(data.Uniform, 500, 3, 29)
+	ds := datatest.MustGenerate(data.Uniform, 500, 3, 29)
 	scn := access.Uniform(3, 1, 5)
 	h := []float64{0.5, 0.5, 0.5}
 	k := 10
@@ -119,7 +122,7 @@ func TestElapsedShrinksWithConcurrency(t *testing.T) {
 }
 
 func TestParallelProbeOnlyScenario(t *testing.T) {
-	ds := data.MustGenerate(data.AntiCorrelated, 150, 3, 31)
+	ds := datatest.MustGenerate(data.AntiCorrelated, 150, 3, 31)
 	scn := access.MatrixCell(3, access.Impossible, access.Expensive, 10)
 	res := runParallel(t, 4, ds, scn, score.Min(), 5, []float64{0, 1, 1})
 	assertOracle(t, ds, score.Min(), 5, res.Items)
@@ -129,25 +132,25 @@ func TestParallelProbeOnlyScenario(t *testing.T) {
 }
 
 func TestParallelKLargerThanN(t *testing.T) {
-	ds := data.MustGenerate(data.Uniform, 6, 2, 3)
+	ds := datatest.MustGenerate(data.Uniform, 6, 2, 3)
 	res := runParallel(t, 3, ds, access.Uniform(2, 1, 1), score.Avg(), 50, []float64{0.5, 0.5})
 	assertOracle(t, ds, score.Avg(), 50, res.Items)
 }
 
 func TestParallelValidation(t *testing.T) {
-	ds := data.MustGenerate(data.Uniform, 5, 2, 1)
+	ds := datatest.MustGenerate(data.Uniform, 5, 2, 1)
 	sess, _ := access.NewSession(access.DatasetBackend{DS: ds}, access.Uniform(2, 1, 1))
 	prob, _ := algo.NewProblem(score.Avg(), 2, sess)
-	if _, err := (&Executor{B: 0, Sel: algo.MustNewSRG([]float64{1, 1}, nil)}).Run(prob); err == nil {
+	if _, err := (&Executor{B: 0, Sel: algotest.MustSRG([]float64{1, 1}, nil)}).Run(context.Background(), prob); err == nil {
 		t.Error("B=0 should fail")
 	}
-	if _, err := (&Executor{B: 2}).Run(prob); err == nil {
+	if _, err := (&Executor{B: 2}).Run(context.Background(), prob); err == nil {
 		t.Error("nil selector should fail")
 	}
 }
 
 func TestParallelDeterminism(t *testing.T) {
-	ds := data.MustGenerate(data.Gaussian, 120, 2, 77)
+	ds := datatest.MustGenerate(data.Gaussian, 120, 2, 77)
 	a := runParallel(t, 4, ds, access.Uniform(2, 1, 3), score.Min(), 5, []float64{0.3, 0.7})
 	b := runParallel(t, 4, ds, access.Uniform(2, 1, 3), score.Min(), 5, []float64{0.3, 0.7})
 	if a.Elapsed != b.Elapsed || a.Ledger.TotalCost != b.Ledger.TotalCost {

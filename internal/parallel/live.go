@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -79,8 +80,12 @@ type completion struct {
 }
 
 // Run executes the query live. The backend must be safe for concurrent
-// use (websim clients and DatasetBackend are).
-func (l *Live) Run(b access.Backend, f score.Func, k int) (*LiveResult, error) {
+// use (websim clients and DatasetBackend are). Cancelling the context
+// aborts the run, including every in-flight backend request.
+func (l *Live) Run(ctx context.Context, b access.Backend, f score.Func, k int) (*LiveResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if l.B < 1 {
 		return nil, fmt.Errorf("parallel: live concurrency bound must be >= 1, got %d", l.B)
 	}
@@ -134,10 +139,10 @@ func (l *Live) Run(b access.Backend, f score.Func, k int) (*LiveResult, error) {
 		go func() {
 			switch c.kind {
 			case access.SortedAccess:
-				obj, sc, err := b.Sorted(c.pred, c.rank)
+				obj, sc, err := b.Sorted(ctx, c.pred, c.rank)
 				c.obj, c.score, c.err = obj, sc, err
 			case access.RandomAccess:
-				sc, err := b.Random(c.pred, c.obj)
+				sc, err := b.Random(ctx, c.pred, c.obj)
 				c.score, c.err = sc, err
 			}
 			results <- c
@@ -233,9 +238,17 @@ func (l *Live) Run(b access.Backend, f score.Func, k int) (*LiveResult, error) {
 			return nil, fmt.Errorf("parallel: live run stuck with %d/%d answers", len(items), k)
 		}
 		// Wait for one completion with the lock released so in-flight
-		// requests can land.
+		// requests can land. Cancellation wins the race: the in-flight
+		// goroutines deliver into the buffered channel and exit on their
+		// own once their requests fail or finish.
 		mu.Unlock()
-		c := <-results
+		var c completion
+		select {
+		case c = <-results:
+		case <-ctx.Done():
+			mu.Lock()
+			return nil, fmt.Errorf("parallel: live run cancelled: %w", ctx.Err())
+		}
 		mu.Lock()
 		inflight--
 		delete(taskBusy, c.task)

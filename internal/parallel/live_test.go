@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -8,7 +9,9 @@ import (
 
 	"repro/internal/access"
 	"repro/internal/algo"
+	"repro/internal/algo/algotest"
 	"repro/internal/data"
+	"repro/internal/data/datatest"
 	"repro/internal/score"
 )
 
@@ -19,14 +22,14 @@ type sleepBackend struct {
 	delay time.Duration
 }
 
-func (b sleepBackend) Sorted(pred, rank int) (int, float64, error) {
+func (b sleepBackend) Sorted(ctx context.Context, pred, rank int) (int, float64, error) {
 	time.Sleep(b.delay)
-	return b.DatasetBackend.Sorted(pred, rank)
+	return b.DatasetBackend.Sorted(ctx, pred, rank)
 }
 
-func (b sleepBackend) Random(pred, obj int) (float64, error) {
+func (b sleepBackend) Random(ctx context.Context, pred, obj int) (float64, error) {
 	time.Sleep(b.delay)
-	return b.DatasetBackend.Random(pred, obj)
+	return b.DatasetBackend.Random(ctx, pred, obj)
 }
 
 // failingBackend errors on every random access.
@@ -34,13 +37,15 @@ type failingBackend struct{ access.DatasetBackend }
 
 var errBoom = errors.New("boom")
 
-func (b failingBackend) Random(pred, obj int) (float64, error) { return 0, errBoom }
+func (b failingBackend) Random(ctx context.Context, pred, obj int) (float64, error) {
+	return 0, errBoom
+}
 
 func TestLiveMatchesOracle(t *testing.T) {
-	ds := data.MustGenerate(data.Uniform, 120, 2, 51)
+	ds := datatest.MustGenerate(data.Uniform, 120, 2, 51)
 	scn := access.Uniform(2, 1, 2)
-	live := &Live{B: 4, Sel: algo.MustNewSRG([]float64{0.5, 0.5}, nil), Scn: scn}
-	res, err := live.Run(access.DatasetBackend{DS: ds}, score.Min(), 5)
+	live := &Live{B: 4, Sel: algotest.MustSRG([]float64{0.5, 0.5}, nil), Scn: scn}
+	res, err := live.Run(context.Background(), access.DatasetBackend{DS: ds}, score.Min(), 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,12 +60,12 @@ func TestLiveMatchesOracle(t *testing.T) {
 }
 
 func TestLiveWallClockSpeedup(t *testing.T) {
-	ds := data.MustGenerate(data.Uniform, 80, 2, 52)
+	ds := datatest.MustGenerate(data.Uniform, 80, 2, 52)
 	scn := access.Uniform(2, 1, 1)
 	backend := sleepBackend{DatasetBackend: access.DatasetBackend{DS: ds}, delay: 2 * time.Millisecond}
 	run := func(b int) *LiveResult {
-		live := &Live{B: b, Sel: algo.MustNewSRG([]float64{0.5, 0.5}, nil), Scn: scn}
-		res, err := live.Run(backend, score.Avg(), 5)
+		live := &Live{B: b, Sel: algotest.MustSRG([]float64{0.5, 0.5}, nil), Scn: scn}
+		res, err := live.Run(context.Background(), backend, score.Avg(), 5)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -81,10 +86,10 @@ func TestLiveWallClockSpeedup(t *testing.T) {
 }
 
 func TestLiveProbeScenario(t *testing.T) {
-	ds := data.MustGenerate(data.AntiCorrelated, 90, 3, 53)
+	ds := datatest.MustGenerate(data.AntiCorrelated, 90, 3, 53)
 	scn := access.MatrixCell(3, access.Impossible, access.Expensive, 10)
-	live := &Live{B: 6, Sel: algo.MustNewSRG([]float64{0, 1, 1}, nil), Scn: scn}
-	res, err := live.Run(access.DatasetBackend{DS: ds}, score.Min(), 4)
+	live := &Live{B: 6, Sel: algotest.MustSRG([]float64{0, 1, 1}, nil), Scn: scn}
+	res, err := live.Run(context.Background(), access.DatasetBackend{DS: ds}, score.Min(), 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,38 +97,38 @@ func TestLiveProbeScenario(t *testing.T) {
 }
 
 func TestLiveValidation(t *testing.T) {
-	ds := data.MustGenerate(data.Uniform, 10, 2, 1)
+	ds := datatest.MustGenerate(data.Uniform, 10, 2, 1)
 	b := access.DatasetBackend{DS: ds}
-	sel := algo.MustNewSRG([]float64{0.5, 0.5}, nil)
-	if _, err := (&Live{B: 0, Sel: sel, Scn: access.Uniform(2, 1, 1)}).Run(b, score.Min(), 2); err == nil {
+	sel := algotest.MustSRG([]float64{0.5, 0.5}, nil)
+	if _, err := (&Live{B: 0, Sel: sel, Scn: access.Uniform(2, 1, 1)}).Run(context.Background(), b, score.Min(), 2); err == nil {
 		t.Error("B=0 should fail")
 	}
-	if _, err := (&Live{B: 2, Scn: access.Uniform(2, 1, 1)}).Run(b, score.Min(), 2); err == nil {
+	if _, err := (&Live{B: 2, Scn: access.Uniform(2, 1, 1)}).Run(context.Background(), b, score.Min(), 2); err == nil {
 		t.Error("nil selector should fail")
 	}
-	if _, err := (&Live{B: 2, Sel: sel, Scn: access.Uniform(3, 1, 1)}).Run(b, score.Min(), 2); err == nil {
+	if _, err := (&Live{B: 2, Sel: sel, Scn: access.Uniform(3, 1, 1)}).Run(context.Background(), b, score.Min(), 2); err == nil {
 		t.Error("scenario arity mismatch should fail")
 	}
-	if _, err := (&Live{B: 2, Sel: sel, Scn: access.Uniform(2, 1, 1)}).Run(b, score.Min(), 0); err == nil {
+	if _, err := (&Live{B: 2, Sel: sel, Scn: access.Uniform(2, 1, 1)}).Run(context.Background(), b, score.Min(), 0); err == nil {
 		t.Error("k=0 should fail")
 	}
 }
 
 func TestLiveSurfacesBackendErrors(t *testing.T) {
-	ds := data.MustGenerate(data.Uniform, 30, 2, 2)
+	ds := datatest.MustGenerate(data.Uniform, 30, 2, 2)
 	scn := access.MatrixCell(2, access.Cheap, access.Cheap, 1)
 	// Force probes by forbidding deep sorted access.
-	live := &Live{B: 3, Sel: algo.MustNewSRG([]float64{1, 1}, nil), Scn: scn}
-	_, err := live.Run(failingBackend{access.DatasetBackend{DS: ds}}, score.Avg(), 3)
+	live := &Live{B: 3, Sel: algotest.MustSRG([]float64{1, 1}, nil), Scn: scn}
+	_, err := live.Run(context.Background(), failingBackend{access.DatasetBackend{DS: ds}}, score.Avg(), 3)
 	if !errors.Is(err, errBoom) {
 		t.Errorf("backend error not surfaced: %v", err)
 	}
 }
 
 func TestLiveKLargerThanN(t *testing.T) {
-	ds := data.MustGenerate(data.Uniform, 6, 2, 3)
-	live := &Live{B: 3, Sel: algo.MustNewSRG([]float64{0.5, 0.5}, nil), Scn: access.Uniform(2, 1, 1)}
-	res, err := live.Run(access.DatasetBackend{DS: ds}, score.Avg(), 50)
+	ds := datatest.MustGenerate(data.Uniform, 6, 2, 3)
+	live := &Live{B: 3, Sel: algotest.MustSRG([]float64{0.5, 0.5}, nil), Scn: access.Uniform(2, 1, 1)}
+	res, err := live.Run(context.Background(), access.DatasetBackend{DS: ds}, score.Avg(), 50)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,30 +169,30 @@ func (b *countingBackend) exit(pred int) {
 	b.mu.Unlock()
 }
 
-func (b *countingBackend) Sorted(pred, rank int) (int, float64, error) {
+func (b *countingBackend) Sorted(ctx context.Context, pred, rank int) (int, float64, error) {
 	b.enter(pred)
 	time.Sleep(b.delay)
 	defer b.exit(pred)
-	return b.DatasetBackend.Sorted(pred, rank)
+	return b.DatasetBackend.Sorted(ctx, pred, rank)
 }
 
-func (b *countingBackend) Random(pred, obj int) (float64, error) {
+func (b *countingBackend) Random(ctx context.Context, pred, obj int) (float64, error) {
 	b.enter(pred)
 	time.Sleep(b.delay)
 	defer b.exit(pred)
-	return b.DatasetBackend.Random(pred, obj)
+	return b.DatasetBackend.Random(ctx, pred, obj)
 }
 
 func TestLivePerPredicatePoliteness(t *testing.T) {
-	ds := data.MustGenerate(data.Uniform, 100, 2, 61)
+	ds := datatest.MustGenerate(data.Uniform, 100, 2, 61)
 	backend := newCountingBackend(ds, time.Millisecond)
 	live := &Live{
 		B:            8,
-		Sel:          algo.MustNewSRG([]float64{0.5, 0.5}, nil),
+		Sel:          algotest.MustSRG([]float64{0.5, 0.5}, nil),
 		Scn:          access.Uniform(2, 1, 1),
 		PerPredLimit: 2,
 	}
-	res, err := live.Run(backend, score.Avg(), 5)
+	res, err := live.Run(context.Background(), backend, score.Avg(), 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,5 +203,40 @@ func TestLivePerPredicatePoliteness(t *testing.T) {
 		if p > 2 {
 			t.Errorf("predicate %d saw %d concurrent requests, limit 2", i, p)
 		}
+	}
+}
+
+func TestLiveCancellation(t *testing.T) {
+	ds := datatest.MustGenerate(data.Uniform, 200, 2, 9)
+	backend := sleepBackend{DatasetBackend: access.DatasetBackend{DS: ds}, delay: 2 * time.Millisecond}
+	live := &Live{B: 3, Sel: algotest.MustSRG([]float64{0.5, 0.5}, nil), Scn: access.Uniform(2, 1, 2)}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := live.Run(ctx, backend, score.Min(), 5); !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-cancelled run: err = %v, want context.Canceled", err)
+	}
+	// A short deadline mid-run aborts instead of hanging.
+	ctx, cancel = context.WithTimeout(context.Background(), 3*time.Millisecond)
+	defer cancel()
+	if _, err := live.Run(ctx, backend, score.Min(), 50); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("deadline run: err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestExecutorCancellation(t *testing.T) {
+	ds := datatest.MustGenerate(data.Uniform, 100, 2, 12)
+	sess, err := access.NewSession(access.DatasetBackend{DS: ds}, access.Uniform(2, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob, err := algo.NewProblem(score.Min(), 5, sess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ex := &Executor{B: 2, Sel: algotest.MustSRG([]float64{0.5, 0.5}, nil)}
+	if _, err := ex.Run(ctx, prob); !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-cancelled executor run: err = %v, want context.Canceled", err)
 	}
 }

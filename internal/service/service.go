@@ -20,6 +20,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -164,7 +165,7 @@ func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errPayload{Error: "bad request: " + err.Error()})
 		return
 	}
-	resp, status, err := h.execute(req)
+	resp, status, err := h.execute(r.Context(), req)
 	if err != nil {
 		writeJSON(w, status, errPayload{Error: err.Error()})
 		return
@@ -172,8 +173,9 @@ func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// execute runs one query request against the configured database.
-func (h *Handler) execute(req QueryRequest) (*QueryResponse, int, error) {
+// execute runs one query request against the configured database. The
+// context (the HTTP request's) cancels the run when the client goes away.
+func (h *Handler) execute(ctx context.Context, req QueryRequest) (*QueryResponse, int, error) {
 	pq, err := sqlq.Parse(req.SQL)
 	if err != nil {
 		return nil, http.StatusBadRequest, err
@@ -195,7 +197,7 @@ func (h *Handler) execute(req QueryRequest) (*QueryResponse, int, error) {
 		return nil, http.StatusInternalServerError, err
 	}
 
-	var opts []topk.RunOption
+	opts := []topk.RunOption{topk.WithContext(ctx)}
 	switch alg := req.Algorithm; {
 	case alg == "" || alg == "opt":
 		h.mu.Lock()

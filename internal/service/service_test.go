@@ -21,7 +21,10 @@ var currentHandler *Handler
 
 func startService(t *testing.T) (*httptest.Server, *data.Dataset) {
 	t.Helper()
-	bench, _ := data.Restaurants(200, 5)
+	bench, _, err := data.Restaurants(200, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	h, err := NewHandler(Config{
 		Dataset:  bench.Dataset,
 		Columns:  bench.PredicateNames,
@@ -194,7 +197,10 @@ func TestServiceErrors(t *testing.T) {
 }
 
 func TestNewHandlerValidation(t *testing.T) {
-	bench, _ := data.Restaurants(10, 1)
+	bench, _, err := data.Restaurants(10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := NewHandler(Config{Columns: []string{"a"}}); err == nil {
 		t.Error("nil dataset should fail")
 	}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/data"
+	"repro/internal/data/datatest"
 	"repro/internal/score"
 )
 
@@ -13,7 +14,7 @@ import (
 
 func seededTable(b *testing.B, n, m int) (*Table, *data.Dataset) {
 	b.Helper()
-	ds := data.MustGenerate(data.Uniform, n, m, 7)
+	ds := datatest.MustGenerate(data.Uniform, n, m, 7)
 	tab := MustNewTable(n, m, score.Avg())
 	// Partially observe: half of each sorted list plus scattered probes.
 	for i := 0; i < m; i++ {
@@ -37,7 +38,7 @@ func BenchmarkTableUpper(b *testing.B) {
 }
 
 func BenchmarkTableObserveSorted(b *testing.B) {
-	ds := data.MustGenerate(data.Uniform, 1000, 2, 9)
+	ds := datatest.MustGenerate(data.Uniform, 1000, 2, 9)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tab := MustNewTable(1000, 2, score.Avg())

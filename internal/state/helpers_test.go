@@ -1,0 +1,13 @@
+package state
+
+import "repro/internal/score"
+
+// MustNewTable is a test-only NewTable that panics on error; production
+// code handles the error.
+func MustNewTable(n, m int, f score.Func) *Table {
+	t, err := NewTable(n, m, f)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

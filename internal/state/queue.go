@@ -85,6 +85,7 @@ func (q *Queue) pushRaw(e Entry) {
 // object already present is a no-op.
 func (q *Queue) Add(u int) {
 	if u == UnseenID {
+		//topklint:allow nopanic caller contract: UnseenID is a package-internal sentinel no algorithm receives from an access
 		panic("state: Add(UnseenID); the unseen entry is managed internally")
 	}
 	q.pushRaw(Entry{ID: u, Upper: q.t.Upper(u)})

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/data"
+	"repro/internal/data/datatest"
 	"repro/internal/score"
 )
 
@@ -36,7 +37,7 @@ func TestQueueInitialOpen(t *testing.T) {
 }
 
 func TestQueueLazyRevalidation(t *testing.T) {
-	ds := data.MustNew("d", [][]float64{
+	ds := datatest.MustNew("d", [][]float64{
 		{0.9, 0.2},
 		{0.5, 0.9},
 		{0.3, 0.4},
@@ -147,7 +148,7 @@ func TestTopNPreservesQueue(t *testing.T) {
 func TestQueueMatchesSortedScan(t *testing.T) {
 	for seed := int64(0); seed < 15; seed++ {
 		n, m := 25, 3
-		ds := data.MustGenerate(data.Gaussian, n, m, seed)
+		ds := datatest.MustGenerate(data.Gaussian, n, m, seed)
 		tab := MustNewTable(n, m, score.Avg())
 		rng := rand.New(rand.NewSource(seed))
 		cursor := make([]int, m)

@@ -63,15 +63,6 @@ func NewTable(n, m int, f score.Func) (*Table, error) {
 	return t, nil
 }
 
-// MustNewTable is NewTable that panics on error.
-func MustNewTable(n, m int, f score.Func) *Table {
-	t, err := NewTable(n, m, f)
-	if err != nil {
-		panic(err)
-	}
-	return t
-}
-
 // N returns the object count.
 func (t *Table) N() int { return t.n }
 
@@ -120,6 +111,7 @@ func (t *Table) Known(u, i int) bool { return t.known[u*t.m+i] }
 func (t *Table) Value(u, i int) float64 {
 	idx := u*t.m + i
 	if !t.known[idx] {
+		//topklint:allow nopanic caller contract: Known(u,i) must be checked first; a silent bound here would corrupt exact score reporting
 		panic(fmt.Sprintf("state: Value(u%d, p%d) is not known", u, i+1))
 	}
 	return t.val[idx]

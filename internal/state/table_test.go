@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/data"
+	"repro/internal/data/datatest"
 	"repro/internal/score"
 )
 
@@ -19,7 +20,7 @@ import (
 //
 // We map u1,u2,u3 to OIDs 0,1,2 as in the access tests.
 func fig3() *data.Dataset {
-	return data.MustNew("fig3", [][]float64{
+	return datatest.MustNew("fig3", [][]float64{
 		{0.6, 0.8},
 		{0.65, 0.8},
 		{0.7, 0.9},
@@ -135,7 +136,7 @@ func TestBoundInvariantsProperty(t *testing.T) {
 	funcs := []score.Func{score.Min(), score.Avg(), score.Max(), score.Product()}
 	prop := func(seed int64, fIdx uint8) bool {
 		n, m := 12, 3
-		ds := data.MustGenerate(data.Uniform, n, m, seed)
+		ds := datatest.MustGenerate(data.Uniform, n, m, seed)
 		f := funcs[int(fIdx)%len(funcs)]
 		tab := MustNewTable(n, m, f)
 		local := rand.New(rand.NewSource(seed ^ 0x5eed))

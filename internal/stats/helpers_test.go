@@ -1,0 +1,11 @@
+package stats
+
+// MustNewHistogram is a test-only NewHistogram that panics on error;
+// production code handles the error.
+func MustNewHistogram(buckets int) *Histogram {
+	h, err := NewHistogram(buckets)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}

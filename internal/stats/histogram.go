@@ -33,15 +33,6 @@ func NewHistogram(buckets int) (*Histogram, error) {
 	return &Histogram{counts: make([]int, buckets)}, nil
 }
 
-// MustNewHistogram is NewHistogram that panics on error.
-func MustNewHistogram(buckets int) *Histogram {
-	h, err := NewHistogram(buckets)
-	if err != nil {
-		panic(err)
-	}
-	return h
-}
-
 // Buckets returns the bucket count.
 func (h *Histogram) Buckets() int { return len(h.counts) }
 

@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/data"
+	"repro/internal/data/datatest"
 )
 
 func TestHistogramValidation(t *testing.T) {
@@ -106,7 +107,7 @@ func TestCDFMonotoneProperty(t *testing.T) {
 }
 
 func TestCollectMatchesEmpirical(t *testing.T) {
-	ds := data.MustGenerate(data.Skewed, 3000, 2, 9)
+	ds := datatest.MustGenerate(data.Skewed, 3000, 2, 9)
 	hists, err := Collect(ds, 20)
 	if err != nil {
 		t.Fatal(err)
@@ -133,7 +134,7 @@ func TestCollectMatchesEmpirical(t *testing.T) {
 }
 
 func TestSynthesizeSamplePreservesMarginals(t *testing.T) {
-	ds := data.MustGenerate(data.Skewed, 4000, 2, 11)
+	ds := datatest.MustGenerate(data.Skewed, 4000, 2, 11)
 	hists, err := Collect(ds, 24)
 	if err != nil {
 		t.Fatal(err)

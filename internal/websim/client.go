@@ -1,6 +1,7 @@
 package websim
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -41,8 +42,9 @@ func WithRetries(n int, backoff time.Duration) ClientOption {
 
 // NewClient dials every routed source, validates that all sources serve
 // the same object universe (identical n), and that each route's predicate
-// exists at its source.
-func NewClient(httpc *http.Client, routes []Route, opts ...ClientOption) (*Client, error) {
+// exists at its source. The context bounds the validation dials; later
+// accesses carry their own.
+func NewClient(ctx context.Context, httpc *http.Client, routes []Route, opts ...ClientOption) (*Client, error) {
 	if len(routes) == 0 {
 		return nil, fmt.Errorf("websim: client requires at least one route")
 	}
@@ -55,7 +57,7 @@ func NewClient(httpc *http.Client, routes []Route, opts ...ClientOption) (*Clien
 	}
 	for i, rt := range routes {
 		var meta metaPayload
-		if err := c.get(rt.BaseURL+"/meta", &meta); err != nil {
+		if err := c.get(ctx, rt.BaseURL+"/meta", &meta); err != nil {
 			return nil, fmt.Errorf("websim: route %d meta: %w", i, err)
 		}
 		if i == 0 {
@@ -70,11 +72,11 @@ func NewClient(httpc *http.Client, routes []Route, opts ...ClientOption) (*Clien
 	return c, nil
 }
 
-func (c *Client) get(rawURL string, into interface{}) error {
+func (c *Client) get(ctx context.Context, rawURL string, into interface{}) error {
 	backoff := c.backoff
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		err, retryable := c.getOnce(rawURL, into)
+		err, retryable := c.getOnce(ctx, rawURL, into)
 		if err == nil {
 			return nil
 		}
@@ -82,17 +84,27 @@ func (c *Client) get(rawURL string, into interface{}) error {
 		if !retryable || attempt >= c.retries {
 			return lastErr
 		}
-		time.Sleep(backoff)
+		t := time.NewTimer(backoff)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return fmt.Errorf("websim: %w (last attempt: %v)", ctx.Err(), lastErr)
+		case <-t.C:
+		}
 		backoff *= 2
 	}
 }
 
 // getOnce performs one request; the second result reports whether the
 // failure is transient (transport error or 5xx) and worth retrying.
-func (c *Client) getOnce(rawURL string, into interface{}) (err error, retryable bool) {
-	resp, err := c.httpc.Get(rawURL)
+func (c *Client) getOnce(ctx context.Context, rawURL string, into interface{}) (err error, retryable bool) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rawURL, nil)
 	if err != nil {
-		return err, true
+		return err, false
+	}
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return err, ctx.Err() == nil
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
@@ -118,7 +130,7 @@ func (c *Client) N() int { return c.n }
 func (c *Client) M() int { return len(c.routes) }
 
 // Sorted fetches the rank-th entry of the predicate's descending list.
-func (c *Client) Sorted(pred, rank int) (int, float64, error) {
+func (c *Client) Sorted(ctx context.Context, pred, rank int) (int, float64, error) {
 	if pred < 0 || pred >= len(c.routes) {
 		return 0, 0, fmt.Errorf("websim: predicate %d out of range", pred)
 	}
@@ -126,7 +138,7 @@ func (c *Client) Sorted(pred, rank int) (int, float64, error) {
 	u := fmt.Sprintf("%s/sorted?pred=%s&rank=%s", rt.BaseURL,
 		url.QueryEscape(fmt.Sprint(rt.Pred)), url.QueryEscape(fmt.Sprint(rank)))
 	var p sortedPayload
-	if err := c.get(u, &p); err != nil {
+	if err := c.get(ctx, u, &p); err != nil {
 		return 0, 0, err
 	}
 	if p.Obj < 0 || p.Obj >= c.n {
@@ -136,7 +148,7 @@ func (c *Client) Sorted(pred, rank int) (int, float64, error) {
 }
 
 // Random fetches the exact score of one object on one predicate.
-func (c *Client) Random(pred, obj int) (float64, error) {
+func (c *Client) Random(ctx context.Context, pred, obj int) (float64, error) {
 	if pred < 0 || pred >= len(c.routes) {
 		return 0, fmt.Errorf("websim: predicate %d out of range", pred)
 	}
@@ -144,7 +156,7 @@ func (c *Client) Random(pred, obj int) (float64, error) {
 	u := fmt.Sprintf("%s/random?pred=%s&obj=%s", rt.BaseURL,
 		url.QueryEscape(fmt.Sprint(rt.Pred)), url.QueryEscape(fmt.Sprint(obj)))
 	var p randomPayload
-	if err := c.get(u, &p); err != nil {
+	if err := c.get(ctx, u, &p); err != nil {
 		return 0, err
 	}
 	return p.Score, nil

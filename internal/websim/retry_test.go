@@ -1,6 +1,7 @@
 package websim
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -9,44 +10,45 @@ import (
 	"repro/internal/access"
 	"repro/internal/algo"
 	"repro/internal/data"
+	"repro/internal/data/datatest"
 	"repro/internal/score"
 )
 
 func TestClientRetriesTransientFailures(t *testing.T) {
-	ds := data.MustGenerate(data.Uniform, 30, 2, 9)
+	ds := datatest.MustGenerate(data.Uniform, 30, 2, 9)
 	// Every 3rd request fails with 503; retries must absorb it.
 	ts := startSource(t, ds, WithFailEvery(3))
-	c, err := NewClient(ts.Client(), []Route{{ts.URL, 0}, {ts.URL, 1}},
+	c, err := NewClient(context.Background(), ts.Client(), []Route{{ts.URL, 0}, {ts.URL, 1}},
 		WithRetries(3, time.Millisecond))
 	if err != nil {
 		t.Fatal(err)
 	}
 	for r := 0; r < 30; r++ {
-		if _, _, err := c.Sorted(0, r); err != nil {
+		if _, _, err := c.Sorted(context.Background(), 0, r); err != nil {
 			t.Fatalf("rank %d failed despite retries: %v", r, err)
 		}
 	}
 }
 
 func TestClientGivesUpWithoutRetries(t *testing.T) {
-	ds := data.MustGenerate(data.Uniform, 10, 1, 9)
+	ds := datatest.MustGenerate(data.Uniform, 10, 1, 9)
 	ts := startSource(t, ds, WithFailEvery(1)) // always failing
 	// NewClient itself retries the /meta probe; with zero retries it must
 	// surface the failure.
-	if _, err := NewClient(ts.Client(), []Route{{ts.URL, 0}}, WithRetries(0, time.Millisecond)); err == nil {
+	if _, err := NewClient(context.Background(), ts.Client(), []Route{{ts.URL, 0}}, WithRetries(0, time.Millisecond)); err == nil {
 		t.Fatal("always-failing source should not dial")
 	}
 }
 
 func TestClientDoesNotRetryClientErrors(t *testing.T) {
-	ds := data.MustGenerate(data.Uniform, 10, 1, 9)
+	ds := datatest.MustGenerate(data.Uniform, 10, 1, 9)
 	ts := startSource(t, ds)
-	c, err := NewClient(ts.Client(), []Route{{ts.URL, 0}}, WithRetries(5, time.Millisecond))
+	c, err := NewClient(context.Background(), ts.Client(), []Route{{ts.URL, 0}}, WithRetries(5, time.Millisecond))
 	if err != nil {
 		t.Fatal(err)
 	}
 	start := time.Now()
-	_, _, err = c.Sorted(0, 99) // 404: permanent
+	_, _, err = c.Sorted(context.Background(), 0, 99) // 404: permanent
 	if err == nil || !strings.Contains(err.Error(), "beyond list end") {
 		t.Fatalf("err = %v", err)
 	}
@@ -61,10 +63,13 @@ func TestClientDoesNotRetryClientErrors(t *testing.T) {
 // every 5th request: the middleware must still produce the oracle answer,
 // paying only latency for the retries.
 func TestQueryOverFlakySources(t *testing.T) {
-	q, _ := data.Restaurants(60, 6)
+	q, _, err := data.Restaurants(60, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ds := q.Dataset
 	ts := startSource(t, ds, WithFailEvery(5))
-	client, err := NewClient(ts.Client(), []Route{{ts.URL, 0}, {ts.URL, 1}},
+	client, err := NewClient(context.Background(), ts.Client(), []Route{{ts.URL, 0}, {ts.URL, 1}},
 		WithRetries(4, time.Millisecond))
 	if err != nil {
 		t.Fatal(err)

@@ -1,6 +1,7 @@
 package websim
 
 import (
+	"context"
 	"math"
 	"net/http"
 	"net/http/httptest"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/access"
 	"repro/internal/algo"
 	"repro/internal/data"
+	"repro/internal/data/datatest"
 	"repro/internal/score"
 )
 
@@ -27,59 +29,59 @@ func startSource(t *testing.T, ds *data.Dataset, opts ...ServerOption) *httptest
 }
 
 func TestServerEndpoints(t *testing.T) {
-	ds := data.MustNew("d", [][]float64{
+	ds := datatest.MustNew("d", [][]float64{
 		{0.6, 0.8},
 		{0.65, 0.8},
 		{0.7, 0.9},
 	})
 	ts := startSource(t, ds)
-	c, err := NewClient(ts.Client(), []Route{{ts.URL, 0}, {ts.URL, 1}})
+	c, err := NewClient(context.Background(), ts.Client(), []Route{{ts.URL, 0}, {ts.URL, 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if c.N() != 3 || c.M() != 2 {
 		t.Fatalf("meta = %d, %d", c.N(), c.M())
 	}
-	obj, sc, err := c.Sorted(0, 0)
+	obj, sc, err := c.Sorted(context.Background(), 0, 0)
 	if err != nil || obj != 2 || sc != 0.7 {
 		t.Fatalf("sorted(0,0) = %d, %g, %v", obj, sc, err)
 	}
-	sc, err = c.Random(1, 2)
+	sc, err = c.Random(context.Background(), 1, 2)
 	if err != nil || sc != 0.9 {
 		t.Fatalf("random(1,2) = %g, %v", sc, err)
 	}
 	// Error paths surface the server message.
-	if _, _, err := c.Sorted(0, 99); err == nil || !strings.Contains(err.Error(), "beyond list end") {
+	if _, _, err := c.Sorted(context.Background(), 0, 99); err == nil || !strings.Contains(err.Error(), "beyond list end") {
 		t.Errorf("deep rank error = %v", err)
 	}
-	if _, err := c.Random(0, 99); err == nil {
+	if _, err := c.Random(context.Background(), 0, 99); err == nil {
 		t.Error("unknown object should fail")
 	}
-	if _, _, err := c.Sorted(5, 0); err == nil {
+	if _, _, err := c.Sorted(context.Background(), 5, 0); err == nil {
 		t.Error("unrouted predicate should fail")
 	}
 }
 
 func TestServerValidation(t *testing.T) {
-	ds := data.MustGenerate(data.Uniform, 5, 2, 1)
+	ds := datatest.MustGenerate(data.Uniform, 5, 2, 1)
 	if _, err := NewServer(ds, WithPredicates(0, 7)); err == nil {
 		t.Error("out-of-range predicate should fail")
 	}
 }
 
 func TestClientValidation(t *testing.T) {
-	a := startSource(t, data.MustGenerate(data.Uniform, 5, 2, 1))
-	b := startSource(t, data.MustGenerate(data.Uniform, 9, 2, 2))
-	if _, err := NewClient(nil, nil); err == nil {
+	a := startSource(t, datatest.MustGenerate(data.Uniform, 5, 2, 1))
+	b := startSource(t, datatest.MustGenerate(data.Uniform, 9, 2, 2))
+	if _, err := NewClient(context.Background(), nil, nil); err == nil {
 		t.Error("empty routes should fail")
 	}
-	if _, err := NewClient(a.Client(), []Route{{a.URL, 0}, {b.URL, 0}}); err == nil {
+	if _, err := NewClient(context.Background(), a.Client(), []Route{{a.URL, 0}, {b.URL, 0}}); err == nil {
 		t.Error("mismatched object universes should fail")
 	}
-	if _, err := NewClient(a.Client(), []Route{{a.URL, 9}}); err == nil {
+	if _, err := NewClient(context.Background(), a.Client(), []Route{{a.URL, 9}}); err == nil {
 		t.Error("predicate beyond source arity should fail")
 	}
-	if _, err := NewClient(a.Client(), []Route{{"http://127.0.0.1:1", 0}}); err == nil {
+	if _, err := NewClient(context.Background(), a.Client(), []Route{{"http://127.0.0.1:1", 0}}); err == nil {
 		t.Error("unreachable source should fail")
 	}
 }
@@ -90,19 +92,22 @@ func TestClientValidation(t *testing.T) {
 // the HTTP backend, and Framework NC answering the query — verified
 // against the brute-force oracle.
 func TestMultiSourceMiddleware(t *testing.T) {
-	q, _ := data.Restaurants(80, 4)
+	q, _, err := data.Restaurants(80, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ds := q.Dataset
 	// Source 1 (dineme analogue) scores rating only; source 2 (superpages
 	// analogue) scores closeness only.
 	dineme := startSource(t, ds, WithPredicates(0))
 	superpages := startSource(t, ds, WithPredicates(1))
-	client, err := NewClient(dineme.Client(), []Route{{dineme.URL, 0}, {superpages.URL, 0}})
+	client, err := NewClient(context.Background(), dineme.Client(), []Route{{dineme.URL, 0}, {superpages.URL, 0}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	scn := access.Scenario{Name: "example1", Preds: []access.PredCost{
-		{Sorted: access.CostFromUnits(0.2), SortedOK: true, Random: access.CostFromUnits(1.0), RandomOK: true},
-		{Sorted: access.CostFromUnits(0.1), SortedOK: true, Random: access.CostFromUnits(0.5), RandomOK: true},
+		{Sorted: access.CostOf(0.2), SortedOK: true, Random: access.CostOf(1.0), RandomOK: true},
+		{Sorted: access.CostOf(0.1), SortedOK: true, Random: access.CostOf(0.5), RandomOK: true},
 	}}
 	sess, err := access.NewSession(client, scn)
 	if err != nil {
@@ -134,14 +139,14 @@ func TestMultiSourceMiddleware(t *testing.T) {
 }
 
 func TestLatencyOption(t *testing.T) {
-	ds := data.MustGenerate(data.Uniform, 5, 1, 1)
+	ds := datatest.MustGenerate(data.Uniform, 5, 1, 1)
 	ts := startSource(t, ds, WithLatency(30*time.Millisecond))
-	c, err := NewClient(ts.Client(), []Route{{ts.URL, 0}})
+	c, err := NewClient(context.Background(), ts.Client(), []Route{{ts.URL, 0}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	start := time.Now()
-	if _, _, err := c.Sorted(0, 0); err != nil {
+	if _, _, err := c.Sorted(context.Background(), 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	if el := time.Since(start); el < 25*time.Millisecond {
@@ -150,7 +155,7 @@ func TestLatencyOption(t *testing.T) {
 }
 
 func TestServerRejectsBadParams(t *testing.T) {
-	ds := data.MustGenerate(data.Uniform, 5, 2, 1)
+	ds := datatest.MustGenerate(data.Uniform, 5, 2, 1)
 	ts := startSource(t, ds)
 	for _, path := range []string{
 		"/sorted",               // missing params
@@ -174,9 +179,9 @@ func TestServerRejectsBadParams(t *testing.T) {
 // certify the handler (including failure injection's shared counter) is
 // race-free under -race.
 func TestServerConcurrentClients(t *testing.T) {
-	ds := data.MustGenerate(data.Uniform, 50, 2, 31)
+	ds := datatest.MustGenerate(data.Uniform, 50, 2, 31)
 	ts := startSource(t, ds, WithFailEvery(7))
-	c, err := NewClient(ts.Client(), []Route{{ts.URL, 0}, {ts.URL, 1}},
+	c, err := NewClient(context.Background(), ts.Client(), []Route{{ts.URL, 0}, {ts.URL, 1}},
 		WithRetries(5, time.Millisecond))
 	if err != nil {
 		t.Fatal(err)
@@ -188,10 +193,10 @@ func TestServerConcurrentClients(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for i := 0; i < 8; i++ {
-				if _, _, err := c.Sorted(g%2, (g*8+i)%50); err != nil {
+				if _, _, err := c.Sorted(context.Background(), g%2, (g*8+i)%50); err != nil {
 					errs <- err
 				}
-				if _, err := c.Random(g%2, (g+i)%50); err != nil {
+				if _, err := c.Random(context.Background(), g%2, (g+i)%50); err != nil {
 					errs <- err
 				}
 			}

@@ -12,7 +12,7 @@
 //
 // Quickstart:
 //
-//	ds := topk.MustGenerateDataset("uniform", 1000, 2, 42)
+//	ds, _ := topk.GenerateDataset("uniform", 1000, 2, 42)
 //	eng, _ := topk.NewEngine(topk.DataBackend(ds), topk.UniformScenario(2, 1, 10))
 //	ans, _ := eng.Run(topk.Query{F: topk.Min(), K: 5})
 //	for _, it := range ans.Items {
@@ -26,6 +26,7 @@
 package topk
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -91,8 +92,14 @@ var (
 // random cost cr on all m predicates.
 func UniformScenario(m int, cs, cr float64) Scenario { return access.Uniform(m, cs, cr) }
 
-// CostFromUnits converts float units (e.g. seconds) to a Cost.
-func CostFromUnits(u float64) Cost { return access.CostFromUnits(u) }
+// CostFromUnits converts float units (e.g. seconds) to a Cost. It
+// rejects negative and non-finite values.
+func CostFromUnits(u float64) (Cost, error) { return access.CostFromUnits(u) }
+
+// CostOf converts float units to a Cost for scenario literals. Invalid
+// values yield a negative sentinel that Scenario.Validate rejects, so
+// mistakes surface at engine construction rather than silently.
+func CostOf(u float64) Cost { return access.CostOf(u) }
 
 // GenerateDataset synthesizes a dataset from a named distribution:
 // "uniform", "gaussian", "skewed", "correlated", or "anticorrelated".
@@ -102,15 +109,6 @@ func GenerateDataset(dist string, n, m int, seed int64) (*Dataset, error) {
 		return nil, err
 	}
 	return data.Generate(d, n, m, seed)
-}
-
-// MustGenerateDataset is GenerateDataset that panics on error.
-func MustGenerateDataset(dist string, n, m int, seed int64) *Dataset {
-	ds, err := GenerateDataset(dist, n, m, seed)
-	if err != nil {
-		panic(err)
-	}
-	return ds
 }
 
 // DataBackend wraps an in-memory dataset as a Backend.
@@ -195,6 +193,14 @@ type runSpec struct {
 	epsilon   float64
 	budget    float64
 	hasBudget bool
+	ctx       context.Context
+}
+
+func (r *runSpec) context() context.Context {
+	if r.ctx != nil {
+		return r.ctx
+	}
+	return context.Background()
 }
 
 // RunOption selects how a query is executed.
@@ -256,6 +262,13 @@ func WithBudget(units float64) RunOption {
 	return func(r *runSpec) { r.budget, r.hasBudget = units, true }
 }
 
+// WithContext bounds the run with a context: cancelling it aborts the
+// execution and any in-flight backend requests. The default is
+// context.Background().
+func WithContext(ctx context.Context) RunOption {
+	return func(r *runSpec) { r.ctx = ctx }
+}
+
 // WithApproximation relaxes the query to (1+epsilon)-approximation: every
 // returned object u is guaranteed (1+epsilon)*F(u) >= F(v) for every
 // object v left out, usually at a fraction of the exact cost.
@@ -299,7 +312,14 @@ func (e *Engine) Run(q Query, opts ...RunOption) (*Answer, error) {
 		if spec.budget <= 0 {
 			return nil, fmt.Errorf("topk: budget must be positive, got %g", spec.budget)
 		}
-		sessOpts = append(sessOpts, access.WithBudget(CostFromUnits(spec.budget)))
+		budget, berr := access.CostFromUnits(spec.budget)
+		if berr != nil {
+			return nil, fmt.Errorf("topk: budget: %w", berr)
+		}
+		sessOpts = append(sessOpts, access.WithBudget(budget))
+	}
+	if spec.ctx != nil {
+		sessOpts = append(sessOpts, access.WithContext(spec.ctx))
 	}
 	sess, err := access.NewSession(e.backend, e.scn, sessOpts...)
 	if err != nil {
@@ -341,7 +361,7 @@ func (e *Engine) Run(q Query, opts ...RunOption) (*Answer, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := (&parallel.Executor{B: spec.parallelB, Sel: sel}).Run(prob)
+		res, err := (&parallel.Executor{B: spec.parallelB, Sel: sel}).Run(spec.context(), prob)
 		if err != nil {
 			return nil, err
 		}
@@ -423,7 +443,14 @@ func (e *Engine) Open(q Query, opts ...RunOption) (*Cursor, error) {
 		if spec.budget <= 0 {
 			return nil, fmt.Errorf("topk: budget must be positive, got %g", spec.budget)
 		}
-		sessOpts = append(sessOpts, access.WithBudget(CostFromUnits(spec.budget)))
+		budget, berr := access.CostFromUnits(spec.budget)
+		if berr != nil {
+			return nil, fmt.Errorf("topk: budget: %w", berr)
+		}
+		sessOpts = append(sessOpts, access.WithBudget(budget))
+	}
+	if spec.ctx != nil {
+		sessOpts = append(sessOpts, access.WithContext(spec.ctx))
 	}
 	sess, err := access.NewSession(e.backend, e.scn, sessOpts...)
 	if err != nil {
@@ -500,7 +527,7 @@ func (e *Engine) runLive(q Query, spec runSpec) (*Answer, error) {
 		return nil, err
 	}
 	live := &parallel.Live{B: spec.liveB, Sel: sel, Scn: e.scn, DisableNWG: !e.nwg}
-	res, err := live.Run(e.backend, q.F, q.K)
+	res, err := live.Run(spec.context(), e.backend, q.F, q.K)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,8 @@
 package topk
 
 import (
+	"context"
+	"errors"
 	"math"
 	"sort"
 	"testing"
@@ -10,7 +12,7 @@ import (
 
 func exampleDataset(t *testing.T) *Dataset {
 	t.Helper()
-	return MustGenerateDataset("uniform", 300, 2, 42)
+	return mustGenerateDataset(t, "uniform", 300, 2, 42)
 }
 
 func scoresMatchOracle(t *testing.T, ds *Dataset, f ScoreFunc, k int, items []Item) {
@@ -183,11 +185,17 @@ func TestScoreByNameReexport(t *testing.T) {
 }
 
 func TestCostHelpers(t *testing.T) {
-	if CostFromUnits(2) != 2*access.UnitCost {
-		t.Error("CostFromUnits mismatch")
+	if CostOf(2) != 2*access.UnitCost {
+		t.Error("CostOf mismatch")
 	}
-	if MustGenerateDataset("uniform", 10, 2, 1).N() != 10 {
-		t.Error("MustGenerateDataset mismatch")
+	if c, err := CostFromUnits(1.5); err != nil || c != CostOf(1.5) {
+		t.Errorf("CostFromUnits(1.5) = %v, %v", c, err)
+	}
+	if _, err := CostFromUnits(-1); err == nil {
+		t.Error("negative units should be rejected")
+	}
+	if ds := mustGenerateDataset(t, "uniform", 10, 2, 1); ds.N() != 10 {
+		t.Error("GenerateDataset mismatch")
 	}
 	if _, err := GenerateDataset("bogus", 10, 2, 1); err == nil {
 		t.Error("bogus distribution should fail")
@@ -207,8 +215,8 @@ func TestOracleOrder(t *testing.T) {
 func TestEngineProbeOnlyBaselines(t *testing.T) {
 	ds := exampleDataset(t)
 	scn := Scenario{Name: "probe", Preds: []PredCost{
-		{Sorted: CostFromUnits(1), SortedOK: true, Random: CostFromUnits(5), RandomOK: true},
-		{Random: CostFromUnits(5), RandomOK: true},
+		{Sorted: CostOf(1), SortedOK: true, Random: CostOf(5), RandomOK: true},
+		{Random: CostOf(5), RandomOK: true},
 	}}
 	eng, err := NewEngine(DataBackend(ds), scn)
 	if err != nil {
@@ -255,7 +263,7 @@ func TestEngineBudgetThroughFacade(t *testing.T) {
 }
 
 func TestEngineMedianScoring(t *testing.T) {
-	ds := MustGenerateDataset("gaussian", 200, 3, 8)
+	ds := mustGenerateDataset(t, "gaussian", 200, 3, 8)
 	eng, err := NewEngine(DataBackend(ds), UniformScenario(3, 1, 1))
 	if err != nil {
 		t.Fatal(err)
@@ -270,4 +278,29 @@ func TestEngineMedianScoring(t *testing.T) {
 		t.Fatal(err)
 	}
 	scoresMatchOracle(t, ds, OrderStatistic(2), 6, ans2.Items)
+}
+
+func TestRunWithContextCancellation(t *testing.T) {
+	ds := exampleDataset(t)
+	eng, err := NewEngine(DataBackend(ds), UniformScenario(2, 1, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.Run(Query{F: Min(), K: 5}, WithContext(ctx)); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled sequential run: err = %v, want context.Canceled", err)
+	}
+	if _, err := eng.Run(Query{F: Min(), K: 5}, WithContext(ctx), WithParallel(4)); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled parallel run: err = %v, want context.Canceled", err)
+	}
+	if _, err := eng.Run(Query{F: Min(), K: 5}, WithContext(ctx), WithLive(4)); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled live run: err = %v, want context.Canceled", err)
+	}
+	// The same options with a live context still answer.
+	ans, err := eng.Run(Query{F: Min(), K: 5}, WithContext(context.Background()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scoresMatchOracle(t, ds, Min(), 5, ans.Items)
 }
