@@ -18,6 +18,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/data"
 	"repro/internal/data/datatest"
+	"repro/internal/obs"
 	"repro/internal/score"
 )
 
@@ -116,6 +117,44 @@ func BenchmarkOptimizerHClimb(b *testing.B) {
 		if _, err := eng.Run(Query{F: Min(), K: 10}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkObserverOverhead prices the observability layer on the E1
+// workload (uniform data, avg scoring, cs=cr=1, fixed NC configuration):
+// the same query uninstrumented, through the no-op observer, through a
+// registry-backed metrics observer, and with a per-query trace. The first
+// two must be indistinguishable (the nil-guarded default path costs
+// nothing); the gap to the latter two is the per-event price an operator
+// pays. BENCH_obs.json records the committed baseline.
+func BenchmarkObserverOverhead(b *testing.B) {
+	ds := datatest.MustGenerate(data.Uniform, 1000, 2, 42)
+	eng, err := NewEngine(DataBackend(ds), UniformScenario(2, 1, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := Query{F: Avg(), K: 10}
+	fixed := WithNC([]float64{0.5, 0.5}, nil)
+	reg := NewMetricsRegistry()
+	metrics := NewMetricsObserver(reg)
+	cases := []struct {
+		name string
+		opts []RunOption
+	}{
+		{"uninstrumented", []RunOption{fixed}},
+		{"nop", []RunOption{fixed, WithObserver(obs.Nop{})}},
+		{"metrics", []RunOption{fixed, WithObserver(metrics)}},
+		{"trace", []RunOption{fixed, WithTrace()}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Run(q, c.opts...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -21,7 +21,9 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"time"
 
+	topk "repro"
 	"repro/internal/access"
 	"repro/internal/data"
 	"repro/internal/service"
@@ -46,6 +48,8 @@ func run() error {
 		scnFile  = flag.String("scenario", "", "load the cost scenario from this JSON file")
 		cs       = flag.Float64("cs", 1, "sorted access unit cost (without -scenario)")
 		cr       = flag.Float64("cr", 1, "random access unit cost (without -scenario)")
+		slowQ    = flag.Duration("slow-query", 500*time.Millisecond, "log queries slower than this (0 disables)")
+		pprofOn  = flag.Bool("pprof", true, "serve runtime profiles under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -108,15 +112,18 @@ func run() error {
 	}
 
 	h, err := service.NewHandler(service.Config{
-		Dataset:  ds,
-		Columns:  columns,
-		Scenario: scn,
+		Dataset:            ds,
+		Columns:            columns,
+		Scenario:           scn,
+		SlowQueryThreshold: *slowQ,
+		EnablePprof:        *pprofOn,
+		HealthBackend:      topk.DataBackend(ds),
 	})
 	if err != nil {
 		return err
 	}
-	log.Printf("topkd: serving %s (%d objects, predicates %v) under scenario %q on %s",
-		ds.Name(), ds.N(), columns, scn.Name, *addr)
+	log.Printf("topkd: serving %s (%d objects, predicates %v) under scenario %q on %s (metrics on /metrics, pprof=%v)",
+		ds.Name(), ds.N(), columns, scn.Name, *addr, *pprofOn)
 	return http.ListenAndServe(*addr, h)
 }
 

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"repro/internal/data"
+	"repro/internal/obs"
 )
 
 // Backend supplies raw access results. The in-process implementation wraps
@@ -148,6 +149,18 @@ func WithContext(ctx context.Context) Option {
 	}
 }
 
+// WithObserver streams the session's access events (performed and
+// refused accesses with their costs) into an observer. The default is a
+// nil observer with zero overhead; obs.QueryTrace and obs.Metrics are
+// the standard sinks.
+func WithObserver(o obs.Observer) Option {
+	return func(s *Session) {
+		if o != nil {
+			s.obs = o
+		}
+	}
+}
+
 // Session mediates all accesses of one query execution: it enforces
 // legality, walks sorted lists in order, accrues costs, and records
 // traces. A Session is single-use and not safe for concurrent use; the
@@ -173,6 +186,32 @@ type Session struct {
 
 	traceOn bool
 	trace   []Record
+
+	obs obs.Observer // nil unless WithObserver
+}
+
+// observeDenied reports a refused or failed access to the observer.
+func (s *Session) observeDenied(kind Kind, pred int, reason obs.DenyReason) {
+	if s.obs != nil {
+		s.obs.AccessDenied(obsKind(kind), pred, reason)
+	}
+}
+
+// obsKind maps the access kind onto the observability layer's mirror type.
+func obsKind(k Kind) obs.AccessKind {
+	if k == SortedAccess {
+		return obs.Sorted
+	}
+	return obs.Random
+}
+
+// denyReason classifies a backend failure: context cancellation is an
+// operational signal distinct from a source-side error.
+func denyReason(err error) obs.DenyReason {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return obs.DenyCancelled
+	}
+	return obs.DenyBackend
 }
 
 // NewSession creates a session over the backend with the given scenario.
@@ -268,18 +307,22 @@ func (s *Session) SortedNext(i int) (obj int, score float64, err error) {
 		return 0, 0, fmt.Errorf("access: predicate %d out of range", i)
 	}
 	if !s.current[i].SortedOK {
+		s.observeDenied(SortedAccess, i, obs.DenyUnsupported)
 		return 0, 0, fmt.Errorf("%w: p%d", ErrSortedUnsupported, i+1)
 	}
 	if s.SortedExhausted(i) {
+		s.observeDenied(SortedAccess, i, obs.DenyExhausted)
 		return 0, 0, fmt.Errorf("%w: p%d", ErrExhausted, i+1)
 	}
 	s.applyShifts()
 	if s.hasBudget && s.cost+s.current[i].Sorted > s.budget {
+		s.observeDenied(SortedAccess, i, obs.DenyBudget)
 		return 0, 0, fmt.Errorf("%w: sa%d would cost %v with %v left", ErrBudgetExhausted, i+1, s.current[i].Sorted, s.budget-s.cost)
 	}
 	rank := s.cursor[i]
 	obj, score, err = s.backend.Sorted(s.ctx, i, rank)
 	if err != nil {
+		s.observeDenied(SortedAccess, i, denyReason(err))
 		return 0, 0, fmt.Errorf("access: backend sorted(p%d, rank %d): %w", i+1, rank, err)
 	}
 	s.cursor[i]++
@@ -292,6 +335,9 @@ func (s *Session) SortedNext(i int) (obj int, score float64, err error) {
 	}
 	if s.traceOn {
 		s.trace = append(s.trace, Record{Kind: SortedAccess, Pred: i, Obj: obj, Score: score, Cost: s.current[i].Sorted})
+	}
+	if s.obs != nil {
+		s.obs.AccessDone(obs.Sorted, i, s.current[i].Sorted.Units())
 	}
 	return obj, score, nil
 }
@@ -306,20 +352,25 @@ func (s *Session) Random(i, u int) (float64, error) {
 		return 0, fmt.Errorf("access: object %d out of range", u)
 	}
 	if !s.current[i].RandomOK {
+		s.observeDenied(RandomAccess, i, obs.DenyUnsupported)
 		return 0, fmt.Errorf("%w: p%d", ErrRandomUnsupported, i+1)
 	}
 	if s.nwg && !s.seen[u] {
+		s.observeDenied(RandomAccess, i, obs.DenyWildGuess)
 		return 0, fmt.Errorf("%w: ra%d(u%d)", ErrWildGuess, i+1, u)
 	}
 	if s.probed[i][u] {
+		s.observeDenied(RandomAccess, i, obs.DenyRepeatedProbe)
 		return 0, fmt.Errorf("%w: ra%d(u%d)", ErrRepeatedProbe, i+1, u)
 	}
 	s.applyShifts()
 	if s.hasBudget && s.cost+s.current[i].Random > s.budget {
+		s.observeDenied(RandomAccess, i, obs.DenyBudget)
 		return 0, fmt.Errorf("%w: ra%d would cost %v with %v left", ErrBudgetExhausted, i+1, s.current[i].Random, s.budget-s.cost)
 	}
 	score, err := s.backend.Random(s.ctx, i, u)
 	if err != nil {
+		s.observeDenied(RandomAccess, i, denyReason(err))
 		return 0, fmt.Errorf("access: backend random(p%d, u%d): %w", i+1, u, err)
 	}
 	s.probed[i][u] = true
@@ -328,6 +379,9 @@ func (s *Session) Random(i, u int) (float64, error) {
 	s.cost += s.current[i].Random
 	if s.traceOn {
 		s.trace = append(s.trace, Record{Kind: RandomAccess, Pred: i, Obj: u, Score: score, Cost: s.current[i].Random})
+	}
+	if s.obs != nil {
+		s.obs.AccessDone(obs.Random, i, s.current[i].Random.Units())
 	}
 	return score, nil
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/access"
+	"repro/internal/obs"
 	"repro/internal/state"
 )
 
@@ -72,6 +73,11 @@ type NC struct {
 	// Hooks for instrumentation (may be nil): OnAccess fires after each
 	// performed access with the updated table.
 	OnAccess func(t *state.Table, rec Choice)
+	// Obs, when non-nil, receives one LoopIteration event per scheduling
+	// iteration with the candidate queue's size — the K_P working set the
+	// observability layer reports as a high-water mark. Access-level
+	// events flow from the session's own observer.
+	Obs obs.Observer
 }
 
 // Name identifies the framework with its selector.
@@ -92,6 +98,9 @@ func (nc *NC) Run(p *Problem) (*Result, error) {
 
 	var items []Item
 	for len(items) < p.K {
+		if nc.Obs != nil {
+			nc.Obs.LoopIteration(q.Len())
+		}
 		top, ok := q.Peek()
 		if !ok {
 			break // fewer than k objects exist; return all

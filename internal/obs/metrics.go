@@ -1,0 +1,131 @@
+package obs
+
+import "time"
+
+// Metrics is an Observer that folds engine events into a Registry under
+// the middleware's standard metric names (all prefixed topk_). Every
+// series is registered up front, so event delivery is a handful of atomic
+// operations with no registry lookups — safe and cheap on the access hot
+// path.
+type Metrics struct {
+	accesses   [2]*Counter // by AccessKind
+	accessCost *Histogram  // per-access cost units
+	denied     [numDenyReasons]*Counter
+	phases     map[Phase]*Histogram
+	otherPhase *Histogram
+
+	estimatorRuns *Counter
+	estimatorMemo *Counter
+
+	iterations *Counter
+	candidates *Gauge
+
+	inflight *Gauge
+	stalls   *Counter
+
+	retries  *Counter
+	failures *Counter
+	backoff  *Histogram
+
+	planHits   *Counter
+	planMisses *Counter
+}
+
+// NewMetrics registers the engine metric set on the registry and returns
+// the observer feeding it. Multiple observers may share one registry;
+// series are get-or-create.
+func NewMetrics(reg *Registry) *Metrics {
+	m := &Metrics{
+		accessCost: reg.Histogram("topk_access_cost_units", "Per-access billed cost in cost units.",
+			[]float64{0.5, 1, 2, 5, 10, 20, 50, 100}),
+		estimatorRuns: reg.Counter("topk_estimator_evals_total", "Optimizer cost estimates by result.", L("result", "run")),
+		estimatorMemo: reg.Counter("topk_estimator_evals_total", "Optimizer cost estimates by result.", L("result", "memo")),
+		iterations:    reg.Counter("topk_nc_iterations_total", "Framework NC scheduling iterations."),
+		candidates:    reg.Gauge("topk_nc_candidates", "Candidate queue size (K_P working set) at the last iteration."),
+		inflight:      reg.Gauge("topk_executor_inflight", "Concurrent accesses currently in flight."),
+		stalls:        reg.Counter("topk_executor_dispatch_stalls_total", "Executor rounds with free slots but no dispatchable access."),
+		retries:       reg.Counter("topk_source_retries_total", "Web-source request retries."),
+		failures:      reg.Counter("topk_source_failures_total", "Web-source requests that failed for good."),
+		backoff: reg.Histogram("topk_source_backoff_seconds", "Retry backoff sleeps.",
+			[]float64{.001, .01, .05, .1, .5, 1, 5}),
+		planHits:   reg.Counter("topk_plan_cache_requests_total", "Plan-cache lookups by result.", L("result", "hit")),
+		planMisses: reg.Counter("topk_plan_cache_requests_total", "Plan-cache lookups by result.", L("result", "miss")),
+	}
+	for _, k := range []AccessKind{Sorted, Random} {
+		m.accesses[k] = reg.Counter("topk_accesses_total", "Billed source accesses by kind.", L("kind", k.String()))
+	}
+	for _, d := range DenyReasons() {
+		m.denied[d] = reg.Counter("topk_access_denied_total", "Refused or failed accesses by reason.", L("reason", d.String()))
+	}
+	m.phases = make(map[Phase]*Histogram, 4)
+	for _, p := range []Phase{PhaseParse, PhasePlan, PhaseOptimize, PhaseExecute} {
+		m.phases[p] = reg.Histogram("topk_phase_seconds", "Query execution phase latency.", nil, L("phase", string(p)))
+	}
+	m.otherPhase = reg.Histogram("topk_phase_seconds", "Query execution phase latency.", nil, L("phase", "other"))
+	return m
+}
+
+var _ Observer = (*Metrics)(nil)
+
+// AccessDone implements Observer.
+func (m *Metrics) AccessDone(kind AccessKind, pred int, costUnits float64) {
+	if int(kind) < len(m.accesses) {
+		m.accesses[kind].Inc()
+	}
+	m.accessCost.Observe(costUnits)
+}
+
+// AccessDenied implements Observer.
+func (m *Metrics) AccessDenied(kind AccessKind, pred int, reason DenyReason) {
+	if int(reason) < numDenyReasons {
+		m.denied[reason].Inc()
+	}
+}
+
+// PhaseDone implements Observer.
+func (m *Metrics) PhaseDone(phase Phase, d time.Duration) {
+	h, ok := m.phases[phase]
+	if !ok {
+		h = m.otherPhase
+	}
+	h.Observe(d.Seconds())
+}
+
+// EstimatorEval implements Observer.
+func (m *Metrics) EstimatorEval(memoHit bool) {
+	if memoHit {
+		m.estimatorMemo.Inc()
+	} else {
+		m.estimatorRuns.Inc()
+	}
+}
+
+// LoopIteration implements Observer.
+func (m *Metrics) LoopIteration(candidates int) {
+	m.iterations.Inc()
+	m.candidates.Set(int64(candidates))
+}
+
+// InflightChange implements Observer.
+func (m *Metrics) InflightChange(delta int) { m.inflight.Add(int64(delta)) }
+
+// DispatchStall implements Observer.
+func (m *Metrics) DispatchStall() { m.stalls.Inc() }
+
+// SourceRetry implements Observer.
+func (m *Metrics) SourceRetry(backoff time.Duration) {
+	m.retries.Inc()
+	m.backoff.Observe(backoff.Seconds())
+}
+
+// SourceFailure implements Observer.
+func (m *Metrics) SourceFailure() { m.failures.Inc() }
+
+// PlanCache implements Observer.
+func (m *Metrics) PlanCache(hit bool) {
+	if hit {
+		m.planHits.Inc()
+	} else {
+		m.planMisses.Inc()
+	}
+}

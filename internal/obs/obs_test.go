@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDenyReasonStrings(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, r := range DenyReasons() {
+		s := r.String()
+		if s == "" || seen[s] {
+			t.Errorf("reason %d has empty or duplicate name %q", r, s)
+		}
+		seen[s] = true
+	}
+	if len(seen) != numDenyReasons {
+		t.Errorf("DenyReasons lists %d reasons, want %d", len(seen), numDenyReasons)
+	}
+}
+
+// TestNopZeroAlloc pins the zero-overhead contract of the default path:
+// delivering events to the no-op observer allocates nothing.
+func TestNopZeroAlloc(t *testing.T) {
+	var o Observer = Nop{}
+	if avg := testing.AllocsPerRun(100, func() {
+		o.AccessDone(Sorted, 0, 1)
+		o.AccessDenied(Random, 1, DenyBudget)
+		o.PhaseDone(PhaseExecute, time.Millisecond)
+		o.EstimatorEval(true)
+		o.LoopIteration(3)
+		o.InflightChange(1)
+		o.DispatchStall()
+		o.SourceRetry(time.Millisecond)
+		o.SourceFailure()
+		o.PlanCache(false)
+	}); avg != 0 {
+		t.Errorf("Nop allocates %.1f per event batch, want 0", avg)
+	}
+}
+
+func TestMulti(t *testing.T) {
+	if _, ok := Multi().(Nop); !ok {
+		t.Error("Multi() must collapse to Nop")
+	}
+	a, b := NewQueryTrace(), NewQueryTrace()
+	if Multi(nil, a, nil) != Observer(a) {
+		t.Error("Multi with one non-nil observer must return it directly")
+	}
+	m := Multi(a, b)
+	m.AccessDone(Sorted, 0, 2)
+	m.LoopIteration(4)
+	for i, tr := range []*QueryTrace{a, b} {
+		s := tr.Snapshot()
+		if s.CostUnits != 2 || s.Iterations != 1 || s.CandidatesHighWater != 4 {
+			t.Errorf("observer %d missed fanned-out events: %+v", i, s)
+		}
+	}
+}
+
+func TestQueryTraceSnapshot(t *testing.T) {
+	tr := NewQueryTrace()
+	tr.PhaseDone(PhaseParse, 2*time.Millisecond)
+	tr.AccessDone(Sorted, 0, 1)
+	tr.AccessDone(Sorted, 2, 1) // pred 2 forces slice growth past pred 1
+	tr.AccessDone(Random, 1, 10)
+	tr.AccessDenied(Random, 0, DenyBudget)
+	tr.AccessDenied(Sorted, 0, DenyExhausted)
+	tr.EstimatorEval(false)
+	tr.EstimatorEval(true)
+	tr.InflightChange(+3)
+	tr.InflightChange(-1)
+	tr.InflightChange(+1)
+	tr.DispatchStall()
+	tr.SourceRetry(50 * time.Millisecond)
+	tr.SourceFailure()
+	tr.PlanCache(false)
+
+	s := tr.Snapshot()
+	if len(s.Phases) != 1 || s.Phases[0].Phase != PhaseParse {
+		t.Errorf("phases = %+v", s.Phases)
+	}
+	at := func(s []int, i int) int {
+		if i < len(s) {
+			return s[i]
+		}
+		return 0 // per-predicate slices grow lazily; missing tail means zero
+	}
+	wantSorted, wantRandom := []int{1, 0, 1}, []int{0, 1, 0}
+	for i := range wantSorted {
+		if at(s.SortedAccesses, i) != wantSorted[i] || at(s.RandomAccesses, i) != wantRandom[i] {
+			t.Fatalf("access counts = %v/%v, want %v/%v",
+				s.SortedAccesses, s.RandomAccesses, wantSorted, wantRandom)
+		}
+	}
+	if s.CostUnits != 12 {
+		t.Errorf("cost = %g, want 12", s.CostUnits)
+	}
+	if s.Denied["budget"] != 1 || s.Denied["exhausted"] != 1 {
+		t.Errorf("denied = %v", s.Denied)
+	}
+	if !s.BudgetExhausted {
+		t.Error("budget denial must set BudgetExhausted")
+	}
+	if s.EstimatorEvals != 1 || s.EstimatorMemoHits != 1 {
+		t.Errorf("estimator counts = %d/%d", s.EstimatorEvals, s.EstimatorMemoHits)
+	}
+	if s.InflightHighWater != 3 || s.DispatchStalls != 1 {
+		t.Errorf("inflight HW = %d, stalls = %d", s.InflightHighWater, s.DispatchStalls)
+	}
+	if s.SourceRetries != 1 || s.SourceFailures != 1 || s.BackoffSeconds != 0.05 {
+		t.Errorf("source stats = %+v", s)
+	}
+	if s.PlanCacheHit == nil || *s.PlanCacheHit {
+		t.Errorf("plan cache = %v, want miss recorded", s.PlanCacheHit)
+	}
+
+	// Snapshots are copies: later events must not mutate an earlier one.
+	tr.AccessDone(Sorted, 0, 1)
+	if s.SortedAccesses[0] != 1 {
+		t.Error("snapshot aliases live trace state")
+	}
+	if tr.Snapshot().PlanCacheHit == s.PlanCacheHit {
+		t.Error("snapshots share the PlanCacheHit pointer")
+	}
+}

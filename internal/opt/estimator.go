@@ -28,6 +28,7 @@ import (
 	"repro/internal/access"
 	"repro/internal/algo"
 	"repro/internal/data"
+	"repro/internal/obs"
 	"repro/internal/score"
 )
 
@@ -45,7 +46,12 @@ type Estimator struct {
 
 	cache map[string]access.Cost
 	evals int
+	obs   obs.Observer // nil unless SetObserver
 }
+
+// SetObserver streams estimator events (one EstimatorEval per Estimate
+// call, distinguishing memoized from simulated) into the observer.
+func (e *Estimator) SetObserver(o obs.Observer) { e.obs = o }
 
 // NewEstimator builds an estimator for a query of size k over n objects
 // under the given scenario, using the provided sample dataset. The sample
@@ -104,7 +110,13 @@ func cfgKey(h []float64, omega []int) string {
 func (e *Estimator) Estimate(h []float64, omega []int) (access.Cost, error) {
 	key := cfgKey(h, omega)
 	if c, ok := e.cache[key]; ok {
+		if e.obs != nil {
+			e.obs.EstimatorEval(true)
+		}
 		return c, nil
+	}
+	if e.obs != nil {
+		e.obs.EstimatorEval(false)
 	}
 	var opts []access.Option
 	if !e.nwg {

@@ -6,6 +6,7 @@ import (
 	"repro/internal/access"
 	"repro/internal/algo"
 	"repro/internal/data"
+	"repro/internal/obs"
 	"repro/internal/score"
 	"repro/internal/state"
 )
@@ -31,6 +32,9 @@ type Config struct {
 	// kept. Only honored for m <= 4 (beyond that the greedy schedule
 	// stands, as the paper prescribes).
 	RefineOmega bool
+	// Observer, when non-nil, receives optimizer events: one
+	// EstimatorEval per priced configuration (memoized or simulated).
+	Observer obs.Observer
 }
 
 func (c Config) withDefaults() Config {
@@ -69,6 +73,7 @@ func Optimize(cfg Config, scn access.Scenario, f score.Func, k, n int) (Plan, er
 	if err != nil {
 		return Plan{}, err
 	}
+	est.SetObserver(cfg.Observer)
 	var plan Plan
 	switch cfg.Scheme {
 	case SchemeNaive:
@@ -118,11 +123,11 @@ func (o *Optimized) Run(p *algo.Problem) (*algo.Result, error) {
 		return nil, err
 	}
 	o.LastPlan = plan
-	alg, err := algo.NewNC(plan.H, plan.Omega)
+	sel, err := algo.NewSRG(plan.H, plan.Omega)
 	if err != nil {
 		return nil, err
 	}
-	return alg.Run(p)
+	return (&algo.NC{Sel: sel, Obs: o.Cfg.Observer}).Run(p)
 }
 
 // Adaptive is an algo.Algorithm that re-plans mid-query: every Period
@@ -156,7 +161,7 @@ func (a *Adaptive) Run(p *algo.Problem) (*algo.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	nc := &algo.NC{Sel: sel}
+	nc := &algo.NC{Sel: sel, Obs: a.Cfg.Observer}
 	accesses := 0
 	lastScn := p.Session.CurrentScenario()
 	nc.OnAccess = func(_ *state.Table, _ algo.Choice) {

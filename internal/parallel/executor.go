@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/access"
 	"repro/internal/algo"
+	"repro/internal/obs"
 	"repro/internal/state"
 )
 
@@ -50,6 +51,11 @@ func (r *Result) Cost() access.Cost { return r.Ledger.TotalCost }
 type Executor struct {
 	B   int
 	Sel algo.Selector
+	// Obs, when non-nil, receives executor events: InflightChange on every
+	// dispatch and completion (even though time is simulated, the gauge
+	// tracks slot occupancy) and DispatchStall when a fill round leaves
+	// slots empty. Access-level events flow from the session's observer.
+	Obs obs.Observer
 }
 
 // flight is one in-flight access in the simulated timeline.
@@ -215,6 +221,9 @@ func (ex *Executor) Run(ctx context.Context, p *algo.Problem) (*Result, error) {
 			if !ok {
 				break
 			}
+			if ex.Obs != nil {
+				ex.Obs.InflightChange(+1)
+			}
 		}
 		if len(inflight) > maxUsed {
 			maxUsed = len(inflight)
@@ -222,10 +231,16 @@ func (ex *Executor) Run(ctx context.Context, p *algo.Problem) (*Result, error) {
 		if len(inflight) == 0 {
 			return nil, fmt.Errorf("parallel: stuck with no dispatchable access and %d/%d answers", len(items), p.K)
 		}
+		if ex.Obs != nil && len(inflight) < ex.B {
+			ex.Obs.DispatchStall()
+		}
 		// Advance simulated time to the earliest completion and apply it.
 		f := heap.Pop(&inflight).(flight)
 		clock = f.done
 		delete(taskBusy, f.task)
+		if ex.Obs != nil {
+			ex.Obs.InflightChange(-1)
+		}
 		switch f.kind {
 		case access.SortedAccess:
 			applySorted(f)

@@ -2,15 +2,33 @@ package parallel
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
 	"repro/internal/access"
 	"repro/internal/algo"
+	"repro/internal/obs"
 	"repro/internal/score"
 	"repro/internal/state"
 )
+
+// liveObsKind maps an access kind onto the observability mirror type.
+func liveObsKind(k access.Kind) obs.AccessKind {
+	if k == access.SortedAccess {
+		return obs.Sorted
+	}
+	return obs.Random
+}
+
+// liveDenyReason classifies a failed live access for the observer.
+func liveDenyReason(ctx context.Context, err error) obs.DenyReason {
+	if ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return obs.DenyCancelled
+	}
+	return obs.DenyBackend
+}
 
 // Live executes a query against a real Backend (typically the HTTP
 // web-source client of internal/websim) with genuinely concurrent
@@ -31,6 +49,12 @@ type Live struct {
 	// middleware from hammering one slow source. Zero means no per-source
 	// cap beyond B.
 	PerPredLimit int
+	// Obs, when non-nil, receives the run's events: AccessDone when an
+	// access is billed (at dispatch — Live is its own cost ledger),
+	// AccessDenied on backend failures, InflightChange around every
+	// request, and DispatchStall when slots idle. It must be safe for
+	// concurrent use; all emissions here happen under the coordinator.
+	Obs obs.Observer
 }
 
 // LiveResult reports a live run: answers, the modeled cost ledger, and the
@@ -180,16 +204,25 @@ func (l *Live) Run(ctx context.Context, b access.Backend, f score.Func, k int) (
 				st.cursor[ch.Pred]++
 				st.ns[ch.Pred]++
 				st.cost += st.scn.Preds[ch.Pred].Sorted
+				if l.Obs != nil {
+					l.Obs.AccessDone(obs.Sorted, ch.Pred, st.scn.Preds[ch.Pred].Sorted.Units())
+				}
 			case access.RandomAccess:
 				c.obj = cand.ID
 				st.probed[ch.Pred][cand.ID] = true
 				st.nr[ch.Pred]++
 				st.cost += st.scn.Preds[ch.Pred].Random
+				if l.Obs != nil {
+					l.Obs.AccessDone(obs.Random, ch.Pred, st.scn.Preds[ch.Pred].Random.Units())
+				}
 			}
 			taskBusy[cand.ID] = true
 			predInFlight[ch.Pred]++
 			launch(c)
 			inflight++
+			if l.Obs != nil {
+				l.Obs.InflightChange(+1)
+			}
 			return true
 		}
 		return false
@@ -237,6 +270,9 @@ func (l *Live) Run(ctx context.Context, b access.Backend, f score.Func, k int) (
 		if inflight == 0 {
 			return nil, fmt.Errorf("parallel: live run stuck with %d/%d answers", len(items), k)
 		}
+		if l.Obs != nil && inflight < l.B {
+			l.Obs.DispatchStall()
+		}
 		// Wait for one completion with the lock released so in-flight
 		// requests can land. Cancellation wins the race: the in-flight
 		// goroutines deliver into the buffered channel and exit on their
@@ -253,7 +289,13 @@ func (l *Live) Run(ctx context.Context, b access.Backend, f score.Func, k int) (
 		inflight--
 		delete(taskBusy, c.task)
 		predInFlight[c.pred]--
+		if l.Obs != nil {
+			l.Obs.InflightChange(-1)
+		}
 		if c.err != nil {
+			if l.Obs != nil {
+				l.Obs.AccessDenied(liveObsKind(c.kind), c.pred, liveDenyReason(ctx, c.err))
+			}
 			return nil, fmt.Errorf("parallel: live %v access on p%d failed: %w", c.kind, c.pred+1, c.err)
 		}
 		switch c.kind {

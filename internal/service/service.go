@@ -7,7 +7,11 @@
 // Endpoints:
 //
 //	GET  /meta     -> {"n":1000,"m":2,"columns":["rating","closeness"],"scenario":"example1"}
-//	GET  /healthz  -> 200 ok
+//	GET  /healthz  -> 200 ok (503 when the readiness probe fails; see
+//	                  Config.HealthBackend)
+//	GET  /metrics  -> Prometheus text exposition of the engine and service
+//	                  metric set (topk_* series)
+//	GET  /debug/pprof/*  -> runtime profiles, when Config.EnablePprof is set
 //	POST /query    <- {"sql":"select name from db order by min(rating, closeness) stop after 5",
 //	                   "algorithm":"opt",          // opt (default) | nc | any baseline name
 //	                   "h":[0.4,1], "omega":[1,0], // with algorithm "nc"
@@ -17,6 +21,11 @@
 //	               -> {"items":[{"object":3,"label":"restaurant-003","score":0.91,"exact":true}],
 //	                   "cost":14.2,"truncated":false,"plan":{"h":[...],"omega":[...]},
 //	                   "sortedAccesses":[20,50],"randomAccesses":[0,0]}
+//
+// Appending ?trace=1 to /query returns a per-query execution trace in the
+// response's "trace" field: phase timings, per-predicate access counts
+// (matching the ledger exactly), refused accesses, and optimizer
+// statistics.
 package service
 
 import (
@@ -24,12 +33,16 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 	"sync"
+	"time"
 
 	topk "repro"
 	"repro/internal/data"
+	"repro/internal/obs"
 	"repro/internal/opt"
 	"repro/internal/sqlq"
 )
@@ -45,12 +58,43 @@ type Config struct {
 	Scenario topk.Scenario
 	// Optimizer tunes the default cost-based pipeline.
 	Optimizer opt.Config
+
+	// Metrics is the registry behind GET /metrics. When nil the handler
+	// creates a private one, so the endpoint always serves; pass a shared
+	// registry to aggregate several handlers into one scrape.
+	Metrics *obs.Registry
+	// SlowQueryThreshold logs queries slower than this through Logger and
+	// counts them in topk_slow_queries_total. Zero disables the log.
+	SlowQueryThreshold time.Duration
+	// Logger receives slow-query lines (default log.Default()).
+	Logger *log.Logger
+	// EnablePprof mounts the runtime profiling handlers under
+	// /debug/pprof/. Off by default: profiles expose internals, so the
+	// operator opts in (cmd/topkd does, behind -pprof).
+	EnablePprof bool
+	// HealthBackend, when non-nil, turns GET /healthz into a readiness
+	// probe: one sorted access at rank 0 under HealthTimeout; a failure
+	// answers 503. Nil keeps /healthz as a trivial liveness check — the
+	// in-memory dataset cannot be "down".
+	HealthBackend topk.Backend
+	// HealthTimeout bounds the readiness probe (default 1s).
+	HealthTimeout time.Duration
 }
 
 // Handler is the HTTP middleware service.
 type Handler struct {
 	cfg Config
 	mux *http.ServeMux
+
+	// Observability: reg backs /metrics; metrics folds engine events into
+	// it and is threaded through every query's engine run.
+	reg       *obs.Registry
+	metrics   *obs.Metrics
+	logger    *log.Logger
+	queryOK   *obs.Counter
+	queryKO   *obs.Counter
+	querySec  *obs.Histogram
+	slowTotal *obs.Counter
 
 	// planCache memoizes optimizer plans per canonical query: repeated
 	// queries skip the plan search (costs are static for one service
@@ -76,12 +120,49 @@ func NewHandler(cfg Config) (*Handler, error) {
 	if err := cfg.Scenario.Validate(cfg.Dataset.M()); err != nil {
 		return nil, err
 	}
-	h := &Handler{cfg: cfg, mux: http.NewServeMux(), planCache: make(map[string]cachedPlan)}
+	if cfg.HealthTimeout <= 0 {
+		cfg.HealthTimeout = time.Second
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = log.Default()
+	}
+	h := &Handler{
+		cfg:       cfg,
+		mux:       http.NewServeMux(),
+		reg:       reg,
+		metrics:   obs.NewMetrics(reg),
+		logger:    logger,
+		queryOK:   reg.Counter("topk_queries_total", "Queries served by status.", obs.L("status", "ok")),
+		queryKO:   reg.Counter("topk_queries_total", "Queries served by status.", obs.L("status", "error")),
+		querySec:  reg.Histogram("topk_query_seconds", "End-to-end /query latency.", nil),
+		slowTotal: reg.Counter("topk_slow_queries_total", "Queries slower than the configured threshold."),
+		planCache: make(map[string]cachedPlan),
+	}
 	h.mux.HandleFunc("/meta", h.handleMeta)
 	h.mux.HandleFunc("/healthz", h.handleHealth)
 	h.mux.HandleFunc("/query", h.handleQuery)
+	h.mux.Handle("/metrics", reg)
+	if cfg.EnablePprof {
+		// Explicit wiring: importing net/http/pprof for its side effect
+		// would publish profiles on http.DefaultServeMux for every binary
+		// linking this package, opted in or not.
+		h.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		h.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		h.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		h.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		h.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return h, nil
 }
+
+// Metrics returns the registry behind /metrics (the configured one, or the
+// private registry the handler created).
+func (h *Handler) Metrics() *obs.Registry { return h.reg }
 
 // ServeHTTP implements http.Handler.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
@@ -120,6 +201,9 @@ type QueryResponse struct {
 	Plan           *PlanPayload `json:"plan,omitempty"`
 	SortedAccesses []int        `json:"sortedAccesses"`
 	RandomAccesses []int        `json:"randomAccesses"`
+	// Trace is the per-query execution trace, present when the request
+	// asked for it with ?trace=1.
+	Trace *obs.TraceSnapshot `json:"trace,omitempty"`
 }
 
 type errPayload struct {
@@ -132,7 +216,19 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// handleHealth answers liveness, and — when a health backend is
+// configured — readiness: the sources this instance fronts must answer one
+// sorted access within the deadline, otherwise load balancers should stop
+// routing queries here.
 func (h *Handler) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if b := h.cfg.HealthBackend; b != nil {
+		ctx, cancel := context.WithTimeout(r.Context(), h.cfg.HealthTimeout)
+		defer cancel()
+		if _, _, err := b.Sorted(ctx, 0, 0); err != nil {
+			writeJSON(w, http.StatusServiceUnavailable, errPayload{Error: "backend unavailable: " + err.Error()})
+			return
+		}
+	}
 	w.WriteHeader(http.StatusOK)
 	_, _ = io.WriteString(w, "ok\n")
 }
@@ -162,28 +258,49 @@ func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		h.queryKO.Inc()
 		writeJSON(w, http.StatusBadRequest, errPayload{Error: "bad request: " + err.Error()})
 		return
 	}
-	resp, status, err := h.execute(r.Context(), req)
+	start := time.Now()
+	resp, status, err := h.execute(r.Context(), req, r.URL.Query().Get("trace") == "1")
+	elapsed := time.Since(start)
+	h.querySec.Observe(elapsed.Seconds())
+	if t := h.cfg.SlowQueryThreshold; t > 0 && elapsed >= t {
+		h.slowTotal.Inc()
+		h.logger.Printf("service: slow query (%v >= %v): %.120q", elapsed, t, req.SQL)
+	}
 	if err != nil {
+		h.queryKO.Inc()
 		writeJSON(w, status, errPayload{Error: err.Error()})
 		return
 	}
+	h.queryOK.Inc()
 	writeJSON(w, http.StatusOK, resp)
 }
 
 // execute runs one query request against the configured database. The
 // context (the HTTP request's) cancels the run when the client goes away.
-func (h *Handler) execute(ctx context.Context, req QueryRequest) (*QueryResponse, int, error) {
+// The engine run always feeds the service metrics; when traced, a
+// per-query trace rides along and lands in the response.
+func (h *Handler) execute(ctx context.Context, req QueryRequest, traced bool) (*QueryResponse, int, error) {
+	var o obs.Observer = h.metrics
+	var tr *obs.QueryTrace
+	if traced {
+		tr = obs.NewQueryTrace()
+		o = obs.Multi(h.metrics, tr)
+	}
+	parseStart := time.Now()
 	pq, err := sqlq.Parse(req.SQL)
 	if err != nil {
 		return nil, http.StatusBadRequest, err
 	}
 	cols, err := sqlq.Bind(pq, h.cfg.Columns)
+	o.PhaseDone(obs.PhaseParse, time.Since(parseStart))
 	if err != nil {
 		return nil, http.StatusBadRequest, err
 	}
+	planStart := time.Now()
 	ds, err := data.Project(h.cfg.Dataset, cols)
 	if err != nil {
 		return nil, http.StatusBadRequest, err
@@ -197,17 +314,21 @@ func (h *Handler) execute(ctx context.Context, req QueryRequest) (*QueryResponse
 		return nil, http.StatusInternalServerError, err
 	}
 
-	opts := []topk.RunOption{topk.WithContext(ctx)}
+	opts := []topk.RunOption{topk.WithContext(ctx), topk.WithObserver(o)}
 	switch alg := req.Algorithm; {
 	case alg == "" || alg == "opt":
 		h.mu.Lock()
-		if cp, ok := h.planCache[pq.String()]; ok {
-			opts = append(opts, topk.WithNC(cp.h, cp.omega))
+		cp, cached := h.planCache[pq.String()]
+		if cached {
 			h.hits++
+		}
+		h.mu.Unlock()
+		o.PlanCache(cached)
+		if cached {
+			opts = append(opts, topk.WithNC(cp.h, cp.omega))
 		} else {
 			opts = append(opts, topk.WithOptimizer(topk.OptimizerConfig(h.cfg.Optimizer)))
 		}
-		h.mu.Unlock()
 	case alg == "nc":
 		if req.H == nil {
 			return nil, http.StatusBadRequest, fmt.Errorf("service: algorithm \"nc\" requires h")
@@ -225,6 +346,7 @@ func (h *Handler) execute(ctx context.Context, req QueryRequest) (*QueryResponse
 	if req.Parallel > 0 {
 		opts = append(opts, topk.WithParallel(req.Parallel))
 	}
+	o.PhaseDone(obs.PhasePlan, time.Since(planStart))
 
 	ans, err := eng.Run(topk.Query{F: pq.Func, K: pq.K}, opts...)
 	if err != nil {
@@ -255,6 +377,10 @@ func (h *Handler) execute(ctx context.Context, req QueryRequest) (*QueryResponse
 		h.mu.Lock()
 		h.planCache[pq.String()] = cachedPlan{h: ans.Plan.H, omega: ans.Plan.Omega}
 		h.mu.Unlock()
+	}
+	if tr != nil {
+		snap := tr.Snapshot()
+		resp.Trace = &snap
 	}
 	return resp, http.StatusOK, nil
 }

@@ -8,6 +8,8 @@ import (
 	"net/http"
 	"net/url"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Route maps one middleware query predicate to a source: the server's base
@@ -29,6 +31,7 @@ type Client struct {
 	httpc   *http.Client
 	retries int
 	backoff time.Duration
+	obs     obs.Observer // nil unless WithObserver
 }
 
 // ClientOption configures a Client.
@@ -38,6 +41,14 @@ type ClientOption func(*Client)
 // and the initial backoff between attempts (default 10ms, doubling).
 func WithRetries(n int, backoff time.Duration) ClientOption {
 	return func(c *Client) { c.retries, c.backoff = n, backoff }
+}
+
+// WithObserver streams the client's retry storms and terminal request
+// failures into an observer (SourceRetry per backoff sleep,
+// SourceFailure per request given up on). The observer must be safe for
+// concurrent use — live executors issue requests from many goroutines.
+func WithObserver(o obs.Observer) ClientOption {
+	return func(c *Client) { c.obs = o }
 }
 
 // NewClient dials every routed source, validates that all sources serve
@@ -82,12 +93,21 @@ func (c *Client) get(ctx context.Context, rawURL string, into interface{}) error
 		}
 		lastErr = err
 		if !retryable || attempt >= c.retries {
+			if c.obs != nil {
+				c.obs.SourceFailure()
+			}
 			return lastErr
+		}
+		if c.obs != nil {
+			c.obs.SourceRetry(backoff)
 		}
 		t := time.NewTimer(backoff)
 		select {
 		case <-ctx.Done():
 			t.Stop()
+			if c.obs != nil {
+				c.obs.SourceFailure()
+			}
 			return fmt.Errorf("websim: %w (last attempt: %v)", ctx.Err(), lastErr)
 		case <-t.C:
 		}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/algo"
 	"repro/internal/data"
 	"repro/internal/data/datatest"
+	"repro/internal/obs"
 	"repro/internal/score"
 )
 
@@ -56,6 +57,46 @@ func TestClientDoesNotRetryClientErrors(t *testing.T) {
 	// return immediately.
 	if time.Since(start) > 100*time.Millisecond {
 		t.Error("client retried a permanent (4xx) error")
+	}
+}
+
+// TestClientObserverSeesRetries checks the client's observer wiring: every
+// backoff sleep emits a SourceRetry and every abandoned request a
+// SourceFailure.
+func TestClientObserverSeesRetries(t *testing.T) {
+	ds := datatest.MustGenerate(data.Uniform, 30, 2, 9)
+	tr := obs.NewQueryTrace()
+	ts := startSource(t, ds, WithFailEvery(3))
+	c, err := NewClient(context.Background(), ts.Client(), []Route{{ts.URL, 0}, {ts.URL, 1}},
+		WithRetries(3, time.Millisecond), WithObserver(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 12; r++ {
+		if _, _, err := c.Sorted(context.Background(), 0, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := tr.Snapshot()
+	if s.SourceRetries == 0 {
+		t.Error("a fail-every-3 source must have triggered retries")
+	}
+	if s.BackoffSeconds <= 0 {
+		t.Error("retries must accumulate backoff time")
+	}
+	if s.SourceFailures != 0 {
+		t.Errorf("no request was abandoned, yet %d failures observed", s.SourceFailures)
+	}
+
+	// Exhausted retries surface as a terminal failure.
+	always := startSource(t, ds, WithFailEvery(1))
+	tr2 := obs.NewQueryTrace()
+	if _, err := NewClient(context.Background(), always.Client(), []Route{{always.URL, 0}},
+		WithRetries(1, time.Millisecond), WithObserver(tr2)); err == nil {
+		t.Fatal("always-failing source should not dial")
+	}
+	if s2 := tr2.Snapshot(); s2.SourceFailures == 0 || s2.SourceRetries == 0 {
+		t.Errorf("terminal failure not observed: %+v", s2)
 	}
 }
 

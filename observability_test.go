@@ -1,0 +1,213 @@
+package topk
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/algo"
+	"repro/internal/obs"
+)
+
+// traceAt reads a lazily-grown per-predicate trace slice, treating the
+// missing tail as zero.
+func traceAt(s []int, i int) int {
+	if i < len(s) {
+		return s[i]
+	}
+	return 0
+}
+
+// checkConservation asserts the tentpole invariant of the trace: the
+// observer-side per-predicate access counts and billed cost must equal the
+// session ledger exactly — the trace is the ledger, seen from the outside.
+func checkConservation(t *testing.T, label string, ans *Answer) {
+	t.Helper()
+	if ans.Trace == nil {
+		t.Fatalf("%s: no trace attached", label)
+	}
+	for i := range ans.Ledger.SortedCounts {
+		if got, want := traceAt(ans.Trace.SortedAccesses, i), ans.Ledger.SortedCounts[i]; got != want {
+			t.Errorf("%s: trace sorted[%d] = %d, ledger says %d", label, i, got, want)
+		}
+		if got, want := traceAt(ans.Trace.RandomAccesses, i), ans.Ledger.RandomCounts[i]; got != want {
+			t.Errorf("%s: trace random[%d] = %d, ledger says %d", label, i, got, want)
+		}
+	}
+	if diff := math.Abs(ans.Trace.CostUnits - ans.TotalCost().Units()); diff > 1e-6 {
+		t.Errorf("%s: trace cost %g vs ledger %g", label, ans.Trace.CostUnits, ans.TotalCost().Units())
+	}
+}
+
+// TestTraceConservesLedger runs every registry algorithm (plus fixed and
+// optimized NC) across the Figure 2 scenario matrix and checks that the
+// per-query trace conserves the ledger in every cell the algorithm
+// supports. Cells an algorithm cannot run in (capability mismatch) error
+// out before completing and are skipped — conservation is a property of
+// completed runs.
+func TestTraceConservesLedger(t *testing.T) {
+	ds := mustGenerateDataset(t, "uniform", 120, 2, 7)
+	caps := []access.Capability{access.Cheap, access.Expensive, access.Impossible}
+
+	type run struct {
+		name string
+		opts []RunOption
+	}
+	runs := []run{
+		{"NC-fixed", []RunOption{WithNC([]float64{0.5, 0.5}, nil)}},
+		{"NC-opt", nil},
+	}
+	for _, name := range algo.Names() {
+		runs = append(runs, run{name, []RunOption{WithAlgorithm(name)}})
+	}
+
+	completed := 0
+	for _, sc := range caps {
+		for _, rc := range caps {
+			scn := access.MatrixCell(2, sc, rc, 10)
+			eng, err := NewEngine(DataBackend(ds), scn)
+			if err != nil {
+				continue // a cell with no legal access at all (sa=ra=impossible)
+			}
+			for _, r := range runs {
+				opts := append(append([]RunOption{}, r.opts...), WithTrace())
+				ans, err := eng.Run(Query{F: Min(), K: 5}, opts...)
+				if err != nil {
+					continue // the cell denies an access this algorithm requires
+				}
+				completed++
+				checkConservation(t, r.name+" @ "+scn.Name, ans)
+			}
+		}
+	}
+	if completed < 20 {
+		t.Fatalf("only %d algorithm/cell combinations completed; the matrix sweep is not exercising the property", completed)
+	}
+}
+
+// TestRunObserverAndTraceCompose drives the full optimized pipeline with a
+// metrics registry and a trace at once and cross-checks all three views:
+// ledger, trace, and Prometheus exposition.
+func TestRunObserverAndTraceCompose(t *testing.T) {
+	ds := mustGenerateDataset(t, "uniform", 200, 2, 11)
+	eng, err := NewEngine(DataBackend(ds), UniformScenario(2, 1, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewMetricsRegistry()
+	ans, err := eng.Run(Query{F: Avg(), K: 5}, WithObserver(NewMetricsObserver(reg)), WithTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkConservation(t, "optimized", ans)
+	if ans.Trace.EstimatorEvals == 0 {
+		t.Error("optimized run recorded no estimator evaluations")
+	}
+	if ans.Trace.Iterations == 0 || ans.Trace.CandidatesHighWater == 0 {
+		t.Errorf("framework progress missing from trace: %+v", ans.Trace)
+	}
+	phases := make(map[string]bool)
+	for _, p := range ans.Trace.Phases {
+		phases[string(p.Phase)] = true
+	}
+	if !phases["optimize"] || !phases["execute"] {
+		t.Errorf("phases = %v, want optimize and execute", ans.Trace.Phases)
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	totalAccesses := 0
+	for i := range ans.Ledger.SortedCounts {
+		totalAccesses += ans.Ledger.SortedCounts[i] + ans.Ledger.RandomCounts[i]
+	}
+	if !strings.Contains(out, "topk_accesses_total") || totalAccesses == 0 {
+		t.Fatalf("no accesses exposed; ledger = %+v", ans.Ledger)
+	}
+	// The cost histogram saw exactly one observation per billed access.
+	costCount := reg.Histogram("topk_access_cost_units", "", nil).Count()
+	if costCount != int64(totalAccesses) {
+		t.Errorf("cost histogram count = %d, ledger billed %d", costCount, totalAccesses)
+	}
+}
+
+// TestTraceBudgetExhaustion checks the anytime path: a starved budget must
+// surface in the trace as budget denials with the exhaustion flag set.
+func TestTraceBudgetExhaustion(t *testing.T) {
+	ds := mustGenerateDataset(t, "uniform", 200, 2, 3)
+	eng, err := NewEngine(DataBackend(ds), UniformScenario(2, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := eng.Run(Query{F: Min(), K: 10},
+		WithNC([]float64{0.5, 0.5}, nil), WithBudget(4), WithTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ans.Truncated {
+		t.Fatal("budget of 4 units should truncate a k=10 run")
+	}
+	if !ans.Trace.BudgetExhausted || ans.Trace.Denied["budget"] == 0 {
+		t.Errorf("trace missed the budget cutoff: %+v", ans.Trace)
+	}
+	checkConservation(t, "budgeted", ans)
+}
+
+// TestParallelTrace checks the simulated concurrent executor's trace: slot
+// occupancy reached the bound at least once on a busy run, and the counts
+// still conserve the ledger.
+func TestParallelTrace(t *testing.T) {
+	ds := mustGenerateDataset(t, "uniform", 300, 2, 13)
+	eng, err := NewEngine(DataBackend(ds), UniformScenario(2, 1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := eng.Run(Query{F: Min(), K: 10},
+		WithNC([]float64{0.5, 0.5}, nil), WithParallel(4), WithTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkConservation(t, "parallel", ans)
+	if ans.Trace.InflightHighWater < 1 {
+		t.Errorf("inflight high water = %d, want >= 1", ans.Trace.InflightHighWater)
+	}
+	if ans.Trace.InflightHighWater > 4 {
+		t.Errorf("inflight high water %d exceeds the bound B=4", ans.Trace.InflightHighWater)
+	}
+}
+
+// TestObserverThroughCursor checks that Open threads an observer into the
+// incremental session, and that traces are refused (a cursor has no single
+// end at which to snapshot one).
+func TestObserverThroughCursor(t *testing.T) {
+	ds := mustGenerateDataset(t, "uniform", 100, 2, 17)
+	eng, err := NewEngine(DataBackend(ds), UniformScenario(2, 1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Open(Query{F: Min(), K: 5}, WithTrace()); err == nil {
+		t.Fatal("Open with WithTrace should be rejected")
+	}
+	tr := obs.NewQueryTrace()
+	cur, err := eng.Open(Query{F: Min(), K: 5}, WithNC([]float64{0.5, 0.5}, nil), WithObserver(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cur.Next(); err != nil {
+		t.Fatal(err)
+	}
+	snap := tr.Snapshot()
+	led := cur.Ledger()
+	for i := range led.SortedCounts {
+		if traceAt(snap.SortedAccesses, i) != led.SortedCounts[i] {
+			t.Errorf("cursor trace sorted[%d] = %d, ledger %d",
+				i, traceAt(snap.SortedAccesses, i), led.SortedCounts[i])
+		}
+	}
+	if snap.CostUnits == 0 {
+		t.Error("cursor observer saw no billed cost")
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"repro/internal/access"
 	"repro/internal/algo"
 	"repro/internal/data"
+	"repro/internal/obs"
 	"repro/internal/opt"
 	"repro/internal/parallel"
 	"repro/internal/score"
@@ -63,6 +64,24 @@ type (
 	Plan = opt.Plan
 	// OptimizerConfig tunes the cost-based optimizer.
 	OptimizerConfig = opt.Config
+	// Observer receives engine execution events (see WithObserver).
+	Observer = obs.Observer
+	// TraceSnapshot is a per-query execution trace (see WithTrace).
+	TraceSnapshot = obs.TraceSnapshot
+	// MetricsRegistry is a metrics registry with Prometheus exposition.
+	MetricsRegistry = obs.Registry
+)
+
+// Observability constructors, re-exported so callers wire metrics without
+// importing repro/internal/obs.
+var (
+	// NewMetricsRegistry returns an empty metrics registry.
+	NewMetricsRegistry = obs.NewRegistry
+	// NewMetricsObserver registers the engine metric set on a registry and
+	// returns the observer feeding it (pass to WithObserver).
+	NewMetricsObserver = obs.NewMetrics
+	// MultiObserver fans events out to several observers.
+	MultiObserver = obs.Multi
 )
 
 // Scoring-function constructors.
@@ -137,6 +156,10 @@ type Answer struct {
 	// Truncated reports that a WithBudget run exhausted its budget before
 	// proving the answer; Items then holds best-effort candidates.
 	Truncated bool
+	// Trace is the per-query execution trace (nil unless WithTrace):
+	// phase timings, per-predicate access counts matching the Ledger,
+	// refused accesses, and optimizer/executor statistics.
+	Trace *TraceSnapshot
 }
 
 // TotalCost returns the run's total access cost.
@@ -194,6 +217,23 @@ type runSpec struct {
 	budget    float64
 	hasBudget bool
 	ctx       context.Context
+	observer  obs.Observer
+	trace     bool
+}
+
+// resolveObserver combines the user observer with the run's trace (when
+// requested) into the single observer threaded through the stack. The
+// returned trace is nil unless WithTrace was set; the observer is nil
+// when nothing is watching, keeping the default path at zero overhead.
+func (r *runSpec) resolveObserver() (obs.Observer, *obs.QueryTrace) {
+	if !r.trace {
+		return r.observer, nil
+	}
+	tr := obs.NewQueryTrace()
+	if r.observer == nil {
+		return tr, tr
+	}
+	return obs.Multi(r.observer, tr), tr
 }
 
 func (r *runSpec) context() context.Context {
@@ -269,6 +309,24 @@ func WithContext(ctx context.Context) RunOption {
 	return func(r *runSpec) { r.ctx = ctx }
 }
 
+// WithObserver streams the run's execution events — accesses performed
+// and refused, phase timings, optimizer estimator evaluations, framework
+// iterations, executor concurrency — into the observer. Combine with a
+// registry-backed observer (NewMetricsObserver) for service metrics.
+// Without WithObserver or WithTrace the engine emits nothing and pays no
+// instrumentation cost.
+func WithObserver(o Observer) RunOption {
+	return func(r *runSpec) { r.observer = o }
+}
+
+// WithTrace records a per-query execution trace, returned in the
+// Answer's Trace field: the production analogue of the session's access
+// ledger, extended with phase timings and engine statistics. Composes
+// with WithObserver (both sinks receive every event).
+func WithTrace() RunOption {
+	return func(r *runSpec) { r.trace = true }
+}
+
 // WithApproximation relaxes the query to (1+epsilon)-approximation: every
 // returned object u is guaranteed (1+epsilon)*F(u) >= F(v) for every
 // object v left out, usually at a fraction of the exact cost.
@@ -301,6 +359,7 @@ func (e *Engine) Run(q Query, opts ...RunOption) (*Answer, error) {
 	if spec.liveB > 0 {
 		return e.runLive(q, spec)
 	}
+	o, tr := spec.resolveObserver()
 	var sessOpts []access.Option
 	if !e.nwg {
 		sessOpts = append(sessOpts, access.WithoutNoWildGuesses())
@@ -321,6 +380,9 @@ func (e *Engine) Run(q Query, opts ...RunOption) (*Answer, error) {
 	if spec.ctx != nil {
 		sessOpts = append(sessOpts, access.WithContext(spec.ctx))
 	}
+	if o != nil {
+		sessOpts = append(sessOpts, access.WithObserver(o))
+	}
 	sess, err := access.NewSession(e.backend, e.scn, sessOpts...)
 	if err != nil {
 		return nil, err
@@ -331,6 +393,12 @@ func (e *Engine) Run(q Query, opts ...RunOption) (*Answer, error) {
 	}
 
 	ans := &Answer{}
+	attachTrace := func() {
+		if tr != nil {
+			snap := tr.Snapshot()
+			ans.Trace = &snap
+		}
+	}
 
 	// Resolve the SR/G configuration when one is needed (fixed, optimized,
 	// or none for named baselines).
@@ -345,12 +413,24 @@ func (e *Engine) Run(q Query, opts ...RunOption) (*Answer, error) {
 	} else if needPlan && !spec.adaptive {
 		cfg := spec.optCfg
 		cfg.DisableNWG = !e.nwg
+		cfg.Observer = o
+		optStart := time.Now()
 		plan, err := opt.Optimize(cfg, sess.CurrentScenario(), q.F, q.K, sess.N())
+		if o != nil {
+			o.PhaseDone(obs.PhaseOptimize, time.Since(optStart))
+		}
 		if err != nil {
 			return nil, err
 		}
 		ans.Plan = &plan
 		h, omega = plan.H, plan.Omega
+	}
+
+	execStart := time.Now()
+	execDone := func() {
+		if o != nil {
+			o.PhaseDone(obs.PhaseExecute, time.Since(execStart))
+		}
 	}
 
 	if spec.parallelB > 0 {
@@ -361,11 +441,13 @@ func (e *Engine) Run(q Query, opts ...RunOption) (*Answer, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := (&parallel.Executor{B: spec.parallelB, Sel: sel}).Run(spec.context(), prob)
+		res, err := (&parallel.Executor{B: spec.parallelB, Sel: sel, Obs: o}).Run(spec.context(), prob)
+		execDone()
 		if err != nil {
 			return nil, err
 		}
 		ans.Items, ans.Ledger, ans.Elapsed = res.Items, res.Ledger, res.Elapsed
+		attachTrace()
 		return ans, nil
 	}
 
@@ -376,24 +458,22 @@ func (e *Engine) Run(q Query, opts ...RunOption) (*Answer, error) {
 	case spec.adaptive:
 		cfg := spec.optCfg
 		cfg.DisableNWG = !e.nwg
+		cfg.Observer = o
 		alg = &opt.Adaptive{Cfg: cfg, Period: spec.period}
-	case spec.epsilon > 0:
+	default:
 		sel, serr := algo.NewSRG(h, omega)
 		if serr != nil {
 			return nil, serr
 		}
-		alg = &algo.NC{Sel: sel, Epsilon: spec.epsilon}
-	default:
-		alg, err = algo.NewNC(h, omega)
-		if err != nil {
-			return nil, err
-		}
+		alg = &algo.NC{Sel: sel, Epsilon: spec.epsilon, Obs: o}
 	}
 	res, err := alg.Run(prob)
+	execDone()
 	if err != nil {
 		return nil, err
 	}
 	ans.Items, ans.Ledger, ans.Truncated = res.Items, res.Ledger, res.Truncated
+	attachTrace()
 	return ans, nil
 }
 
@@ -429,6 +509,9 @@ func (e *Engine) Open(q Query, opts ...RunOption) (*Cursor, error) {
 	if spec.algorithm != nil || spec.adaptive || spec.parallelB > 0 || spec.liveB > 0 {
 		return nil, fmt.Errorf("topk: Open supports only NC-based sequential execution")
 	}
+	if spec.trace {
+		return nil, fmt.Errorf("topk: WithTrace applies to Run; use WithObserver for cursors")
+	}
 	if spec.epsilon < 0 {
 		return nil, fmt.Errorf("topk: approximation epsilon must be >= 0, got %g", spec.epsilon)
 	}
@@ -452,6 +535,9 @@ func (e *Engine) Open(q Query, opts ...RunOption) (*Cursor, error) {
 	if spec.ctx != nil {
 		sessOpts = append(sessOpts, access.WithContext(spec.ctx))
 	}
+	if spec.observer != nil {
+		sessOpts = append(sessOpts, access.WithObserver(spec.observer))
+	}
 	sess, err := access.NewSession(e.backend, e.scn, sessOpts...)
 	if err != nil {
 		return nil, err
@@ -464,7 +550,12 @@ func (e *Engine) Open(q Query, opts ...RunOption) (*Cursor, error) {
 	if h == nil {
 		cfg := spec.optCfg
 		cfg.DisableNWG = !e.nwg
+		cfg.Observer = spec.observer
+		optStart := time.Now()
 		plan, err := opt.Optimize(cfg, e.scn, q.F, q.K, sess.N())
+		if spec.observer != nil {
+			spec.observer.PhaseDone(obs.PhaseOptimize, time.Since(optStart))
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -510,12 +601,18 @@ func (e *Engine) runLive(q Query, spec runSpec) (*Answer, error) {
 	if len(e.shifts) > 0 {
 		return nil, fmt.Errorf("topk: live execution does not support simulated cost shifts")
 	}
+	o, tr := spec.resolveObserver()
 	ans := &Answer{}
 	h, omega := spec.h, spec.omega
 	if h == nil {
 		cfg := spec.optCfg
 		cfg.DisableNWG = !e.nwg
+		cfg.Observer = o
+		optStart := time.Now()
 		plan, err := opt.Optimize(cfg, e.scn, q.F, q.K, e.backend.N())
+		if o != nil {
+			o.PhaseDone(obs.PhaseOptimize, time.Since(optStart))
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -526,12 +623,20 @@ func (e *Engine) runLive(q Query, spec runSpec) (*Answer, error) {
 	if err != nil {
 		return nil, err
 	}
-	live := &parallel.Live{B: spec.liveB, Sel: sel, Scn: e.scn, DisableNWG: !e.nwg}
+	live := &parallel.Live{B: spec.liveB, Sel: sel, Scn: e.scn, DisableNWG: !e.nwg, Obs: o}
+	execStart := time.Now()
 	res, err := live.Run(spec.context(), e.backend, q.F, q.K)
+	if o != nil {
+		o.PhaseDone(obs.PhaseExecute, time.Since(execStart))
+	}
 	if err != nil {
 		return nil, err
 	}
 	ans.Items, ans.Ledger, ans.Wall = res.Items, res.Ledger, res.Wall
+	if tr != nil {
+		snap := tr.Snapshot()
+		ans.Trace = &snap
+	}
 	return ans, nil
 }
 
