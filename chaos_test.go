@@ -1,0 +1,178 @@
+package topk
+
+// Chaos capstone: the Figure-2 scenario matrix is driven through the
+// deterministic fault injector at aggressive fault rates — per-access
+// errors, latency spikes, hangs, and one full predicate outage — with the
+// fault-tolerant engine configuration. The contract under test is the
+// PR's headline invariant: every query either returns the exact top-k or
+// an explicitly degraded (Truncated + machine-readable reasons) answer.
+// No query may hang past its deadline, panic, or silently return a wrong
+// "exact" result.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/access"
+	"repro/internal/data"
+	"repro/internal/fault"
+)
+
+// chaosProfile is one fault regime plus the breaker tuning it is run
+// under.
+type chaosProfile struct {
+	faults  fault.Config
+	breaker BreakerConfig
+}
+
+// chaosProfiles are the two fault regimes of the capstone: "flaky" keeps
+// every source alive but failing ≥30% of the time (plus latency spikes
+// and hangs) under a lenient breaker threshold, so exact answers stay
+// reachable through retries; "outage" additionally takes predicate 2 down
+// permanently under a hair-trigger breaker, so exact min-scoring answers
+// become impossible and every run must degrade explicitly.
+func chaosProfiles(seed int64) map[string]chaosProfile {
+	return map[string]chaosProfile{
+		"flaky": {
+			faults: fault.Config{Seed: seed, Preds: map[int]fault.PredFault{
+				0: {ErrorRate: 0.35, SlowRate: 0.2, SlowDelay: time.Millisecond},
+				1: {ErrorRate: 0.3, HangRate: 0.05},
+				2: {ErrorRate: 0.3, SlowRate: 0.1, SlowDelay: time.Millisecond},
+			}},
+			// 0.35^8 consecutive failures is rare: circuits mostly stay
+			// closed and the framework retries through the noise.
+			breaker: BreakerConfig{FailureThreshold: 8, Cooldown: 10 * time.Millisecond},
+		},
+		"outage": {
+			faults: fault.Config{Seed: seed, Preds: map[int]fault.PredFault{
+				0: {ErrorRate: 0.35, SlowRate: 0.2, SlowDelay: time.Millisecond},
+				1: {ErrorRate: 0.3, HangRate: 0.05},
+				2: {OutageFrom: 0, OutageTo: -1}, // never recovers
+			}},
+			breaker: BreakerConfig{FailureThreshold: 2, Cooldown: 10 * time.Millisecond},
+		},
+	}
+}
+
+// assertExactTopK checks an untruncated answer against the brute-force
+// oracle (multiset of true scores, distinct objects, honest Exact flags).
+func assertExactTopK(t *testing.T, ds *Dataset, f ScoreFunc, k int, ans *Answer) {
+	t.Helper()
+	oracle := TopKOracle(ds, f, k)
+	if len(ans.Items) != len(oracle) {
+		t.Fatalf("returned %d items, oracle has %d", len(ans.Items), len(oracle))
+	}
+	got := make([]float64, len(ans.Items))
+	seen := make(map[int]bool)
+	for i, it := range ans.Items {
+		if seen[it.Obj] {
+			t.Fatalf("duplicate object %d", it.Obj)
+		}
+		seen[it.Obj] = true
+		truth := f.Eval(ds.Scores(it.Obj))
+		if it.Exact && math.Abs(it.Score-truth) > 1e-9 {
+			t.Fatalf("object %d reported exact score %g, truth %g", it.Obj, it.Score, truth)
+		}
+		got[i] = truth
+	}
+	want := make([]float64, len(oracle))
+	for i, it := range oracle {
+		want[i] = it.Score
+	}
+	sort.Float64s(got)
+	sort.Float64s(want)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("score multiset mismatch: got %v, oracle %v", got, want)
+		}
+	}
+}
+
+func TestChaosFigure2Matrix(t *testing.T) {
+	cells := []struct {
+		name string
+		scn  Scenario
+	}{
+		{"sa-cheap_ra-cheap", access.MatrixCell(3, access.Cheap, access.Cheap, 10)},
+		{"sa-cheap_ra-expensive", access.MatrixCell(3, access.Cheap, access.Expensive, 10)},
+		{"sa-cheap_ra-impossible", access.MatrixCell(3, access.Cheap, access.Impossible, 10)},
+		{"sa-impossible_ra-expensive", access.MatrixCell(3, access.Impossible, access.Expensive, 10)},
+		{"sa-expensive_ra-cheap", access.MatrixCell(3, access.Expensive, access.Cheap, 10)},
+	}
+	seeds := []int64{1, 7, 42}
+	const (
+		n        = 60
+		k        = 5
+		deadline = 20 * time.Second
+	)
+
+	exactCount, degradedCount := 0, 0
+	for _, cell := range cells {
+		for _, seed := range seeds {
+			for profile, pr := range chaosProfiles(seed) {
+				name := fmt.Sprintf("%s/seed%d/%s", cell.name, seed, profile)
+				t.Run(name, func(t *testing.T) {
+					ds, err := data.Generate(data.Uniform, n, 3, seed)
+					if err != nil {
+						t.Fatal(err)
+					}
+					eng, err := NewEngine(fault.Wrap(DataBackend(ds), pr.faults), cell.scn)
+					if err != nil {
+						t.Fatal(err)
+					}
+					ctx, cancel := context.WithTimeout(context.Background(), deadline)
+					defer cancel()
+					start := time.Now()
+					ans, err := eng.Run(Query{F: Min(), K: k},
+						WithContext(ctx),
+						WithResilience(&Resilience{
+							Breakers:      NewBreakerSet(3, pr.breaker),
+							AccessTimeout: 50 * time.Millisecond,
+						}))
+					elapsed := time.Since(start)
+					if err != nil {
+						t.Fatalf("chaos run errored (must degrade instead): %v", err)
+					}
+					if elapsed >= deadline {
+						t.Fatalf("query overran its deadline: %v", elapsed)
+					}
+					if ans.Truncated {
+						if len(ans.Degraded) == 0 {
+							t.Fatal("truncated answer carries no degraded reasons")
+						}
+						// A degraded answer must still be honest about what
+						// it knows exactly.
+						for _, it := range ans.Items {
+							if it.Exact {
+								truth := Min().Eval(ds.Scores(it.Obj))
+								if math.Abs(it.Score-truth) > 1e-9 {
+									t.Fatalf("degraded answer lies: object %d exact %g, truth %g", it.Obj, it.Score, truth)
+								}
+							}
+						}
+						degradedCount++
+						return
+					}
+					if len(ans.Degraded) != 0 {
+						t.Fatalf("exact answer carries degraded reasons %v", ans.Degraded)
+					}
+					assertExactTopK(t, ds, Min(), k, ans)
+					exactCount++
+				})
+			}
+		}
+	}
+	// The matrix must exercise both sides of the contract: the flaky
+	// profile recovers to exact answers somewhere, and the outage profile
+	// forces explicit degradation somewhere.
+	if exactCount == 0 {
+		t.Error("no chaos run recovered to an exact answer")
+	}
+	if degradedCount == 0 {
+		t.Error("no chaos run degraded explicitly")
+	}
+}

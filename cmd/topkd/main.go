@@ -50,6 +50,12 @@ func run() error {
 		cr       = flag.Float64("cr", 1, "random access unit cost (without -scenario)")
 		slowQ    = flag.Duration("slow-query", 500*time.Millisecond, "log queries slower than this (0 disables)")
 		pprofOn  = flag.Bool("pprof", true, "serve runtime profiles under /debug/pprof/")
+
+		queryTimeout  = flag.Duration("query-timeout", 30*time.Second, "per-query deadline; timed-out queries return a degraded answer (negative disables)")
+		maxInflight   = flag.Int("max-inflight", 0, "shed queries beyond this many concurrently executing (0 = unlimited)")
+		accessTimeout = flag.Duration("access-timeout", 5*time.Second, "per-access deadline inside a query (negative disables)")
+		brkThreshold  = flag.Int("breaker-threshold", 3, "consecutive access failures that open a capability's circuit")
+		brkCooldown   = flag.Duration("breaker-cooldown", time.Second, "how long an open circuit waits before probing the source again")
 	)
 	flag.Parse()
 
@@ -118,6 +124,10 @@ func run() error {
 		SlowQueryThreshold: *slowQ,
 		EnablePprof:        *pprofOn,
 		HealthBackend:      topk.DataBackend(ds),
+		QueryTimeout:       *queryTimeout,
+		MaxInflight:        *maxInflight,
+		AccessTimeout:      *accessTimeout,
+		Breaker:            topk.BreakerConfig{FailureThreshold: *brkThreshold, Cooldown: *brkCooldown},
 	})
 	if err != nil {
 		return err

@@ -72,6 +72,17 @@ var (
 	// is not performed and nothing is charged; anytime algorithms catch
 	// this sentinel and return their best current answer.
 	ErrBudgetExhausted = errors.New("access: cost budget exhausted")
+	// ErrCircuitOpen is returned when an access is refused because the
+	// capability's circuit breaker is open (WithResilience): the source
+	// failed repeatedly and is being rested. Nothing is charged. Fault-
+	// tolerant algorithms treat this as a scenario change and re-plan.
+	ErrCircuitOpen = errors.New("access: circuit open")
+	// ErrAccessFailed wraps a source-side failure (transport error, source
+	// error, or per-access timeout) under WithResilience. Nothing was
+	// charged; the failure was recorded against the capability's breaker,
+	// and the access is safe to re-derive — the session's cursors did not
+	// move. Fault-tolerant algorithms catch this sentinel and continue.
+	ErrAccessFailed = errors.New("access: source access failed")
 )
 
 // Record is one entry of an access trace.
@@ -161,6 +172,19 @@ func WithObserver(o obs.Observer) Option {
 	}
 }
 
+// WithResilience attaches fault tolerance to the session: per-capability
+// circuit breakers and a per-access deadline. Source failures are recorded
+// against the breakers; when a circuit opens, the session flips that
+// capability off in CurrentScenario() — degradation becomes a scenario
+// change the engine re-plans around instead of an error it aborts on.
+func WithResilience(r *Resilience) Option {
+	return func(s *Session) {
+		if r != nil {
+			s.res = r
+		}
+	}
+}
+
 // Session mediates all accesses of one query execution: it enforces
 // legality, walks sorted lists in order, accrues costs, and records
 // traces. A Session is single-use and not safe for concurrent use; the
@@ -188,6 +212,12 @@ type Session struct {
 	trace   []Record
 
 	obs obs.Observer // nil unless WithObserver
+
+	// Fault tolerance (nil res = none; see WithResilience).
+	res      *Resilience
+	resGen   uint64     // last breaker-set generation folded into current
+	orig     []PredCost // scenario capabilities before breaker degradation
+	degraded []string   // machine-readable degradation reasons, first-seen order
 }
 
 // observeDenied reports a refused or failed access to the observer.
@@ -205,10 +235,15 @@ func obsKind(k Kind) obs.AccessKind {
 	return obs.Random
 }
 
-// denyReason classifies a backend failure: context cancellation is an
-// operational signal distinct from a source-side error.
-func denyReason(err error) obs.DenyReason {
-	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+// denyReason classifies a backend failure: cancellation of the session's
+// own context is an operational signal distinct from a source-side error.
+// A deadline that fired while the session context is still live is the
+// per-access timeout — a hung source, i.e. a backend failure.
+func (s *Session) denyReason(err error) obs.DenyReason {
+	if s.ctx.Err() != nil {
+		return obs.DenyCancelled
+	}
+	if s.res == nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
 		return obs.DenyCancelled
 	}
 	return obs.DenyBackend
@@ -239,6 +274,14 @@ func NewSession(b Backend, scn Scenario, opts ...Option) (*Session, error) {
 	for _, o := range opts {
 		o(s)
 	}
+	if s.res != nil {
+		if err := s.res.validate(m); err != nil {
+			return nil, err
+		}
+		s.orig = make([]PredCost, m)
+		copy(s.orig, scn.Preds)
+		s.syncBreakers()
+	}
 	return s, nil
 }
 
@@ -252,9 +295,13 @@ func (s *Session) M() int { return s.backend.M() }
 func (s *Session) Scenario() Scenario { return s.scn }
 
 // CurrentScenario snapshots the unit costs currently in force (they can
-// differ from the initial scenario under dynamic cost shifts). Adaptive
-// optimizers re-plan against this snapshot.
+// differ from the initial scenario under dynamic cost shifts) and the
+// capabilities currently available (circuit-breaker degradation flips a
+// capability off until its breaker closes again). Adaptive optimizers
+// re-plan against this snapshot — which is exactly how a source outage
+// becomes a scenario change rather than a query failure.
 func (s *Session) CurrentScenario() Scenario {
+	s.syncBreakers()
 	preds := make([]PredCost, len(s.current))
 	copy(preds, s.current)
 	return Scenario{Name: s.scn.Name + "/current", Preds: preds}
@@ -299,6 +346,175 @@ func (s *Session) applyShifts() {
 	}
 }
 
+// FaultTolerant reports whether the session runs with resilience attached
+// (WithResilience). Fault-tolerant algorithms use it to decide between
+// absorbing a source failure and aborting on it.
+func (s *Session) FaultTolerant() bool { return s.res != nil }
+
+// Err surfaces the session context's state, letting algorithms tell a
+// query-level deadline or cancellation apart from a source-side failure.
+func (s *Session) Err() error { return s.ctx.Err() }
+
+// Degraded returns the machine-readable degradation reasons accumulated so
+// far (circuits opened during this session), in first-seen order.
+func (s *Session) Degraded() []string {
+	return append([]string(nil), s.degraded...)
+}
+
+// FailureBudget is how many consecutive unbilled failures a fault-tolerant
+// algorithm should absorb before declaring the answer degraded. It is
+// sized so that a fully dead source trips every breaker with room to
+// spare; zero (no resilience) means any failure is terminal.
+func (s *Session) FailureBudget() int {
+	if s.res == nil {
+		return 0
+	}
+	threshold := 3
+	if s.res.Breakers != nil {
+		threshold = s.res.Breakers.cfg.FailureThreshold
+	}
+	return 16 + 8*threshold*s.M()
+}
+
+// noteDegraded records a degradation reason once.
+func (s *Session) noteDegraded(reason string) {
+	for _, r := range s.degraded {
+		if r == reason {
+			return
+		}
+	}
+	s.degraded = append(s.degraded, reason)
+}
+
+// noteTransitions emits breaker transitions to the observer and records
+// newly opened circuits as degradation reasons. Open/close transitions
+// also refresh the session's capability view.
+func (s *Session) noteTransitions(trs []BreakerTransition) {
+	if len(trs) == 0 {
+		return
+	}
+	for _, tr := range trs {
+		if s.obs != nil {
+			s.obs.BreakerTransition(obsKind(tr.Kind), tr.Pred, obsBreakerState(tr.From), obsBreakerState(tr.To))
+		}
+		if tr.To == BreakerOpen {
+			s.noteDegraded(fmt.Sprintf("circuit_open:%s:p%d", tr.Kind, tr.Pred+1))
+		}
+	}
+	s.refreshCapabilities()
+}
+
+// obsBreakerState maps a breaker state onto the observability mirror type.
+func obsBreakerState(st BreakerState) obs.BreakerState {
+	switch st {
+	case BreakerOpen:
+		return obs.BreakerOpen
+	case BreakerHalfOpen:
+		return obs.BreakerHalfOpen
+	default:
+		return obs.BreakerClosed
+	}
+}
+
+// syncBreakers folds the shared breaker set's state into the session's
+// capability view: it advances cooldown-elapsed circuits to half-open and,
+// when any session sharing the set changed a circuit, refreshes which
+// capabilities read as supported. With no resilience attached this is a
+// nil check; with all circuits closed it is one atomic load.
+func (s *Session) syncBreakers() {
+	if s.res == nil || s.res.Breakers == nil {
+		return
+	}
+	s.noteTransitions(s.res.Breakers.Poll())
+	if g := s.res.Breakers.Generation(); g != s.resGen {
+		s.resGen = g
+		s.refreshCapabilities()
+	}
+}
+
+// refreshCapabilities recomputes the capability bits of the current
+// scenario from the breakers: a capability is available iff the original
+// scenario supports it and its circuit is not open. Unit costs are left
+// alone (they belong to shifts).
+func (s *Session) refreshCapabilities() {
+	set := s.res.Breakers
+	if set == nil {
+		return
+	}
+	for i := range s.current {
+		bi := s.res.breakerIndex(i)
+		s.current[i].SortedOK = s.orig[i].SortedOK && set.State(SortedAccess, bi) != BreakerOpen
+		s.current[i].RandomOK = s.orig[i].RandomOK && set.State(RandomAccess, bi) != BreakerOpen
+	}
+}
+
+// breakerTripped reports whether a capability the original scenario
+// supports currently reads as unsupported because of breaker degradation.
+func (s *Session) breakerTripped(kind Kind, i int) bool {
+	if s.res == nil {
+		return false
+	}
+	if kind == SortedAccess {
+		return s.orig[i].SortedOK && !s.current[i].SortedOK
+	}
+	return s.orig[i].RandomOK && !s.current[i].RandomOK
+}
+
+// acquireBreaker asks the breaker set for permission to access; a refusal
+// (open circuit, or a half-open circuit whose probe slot another session
+// holds) suppresses the capability locally so choice construction stops
+// proposing it until the set's state moves again.
+func (s *Session) acquireBreaker(kind Kind, i int) bool {
+	if s.res == nil || s.res.Breakers == nil {
+		return true
+	}
+	if s.res.Breakers.Acquire(kind, s.res.breakerIndex(i)) {
+		return true
+	}
+	if kind == SortedAccess {
+		s.current[i].SortedOK = false
+	} else {
+		s.current[i].RandomOK = false
+	}
+	return false
+}
+
+// recordBreaker reports an access outcome to the breaker set.
+func (s *Session) recordBreaker(kind Kind, i int, ok bool) {
+	if s.res == nil || s.res.Breakers == nil {
+		return
+	}
+	s.noteTransitions(s.res.Breakers.Record(kind, s.res.breakerIndex(i), ok))
+}
+
+// accessCtx bounds one backend access with the per-access deadline. The
+// returned cancel must be called as soon as the access returns.
+func (s *Session) accessCtx() (context.Context, context.CancelFunc) {
+	if s.res != nil && s.res.AccessTimeout > 0 {
+		return context.WithTimeout(s.ctx, s.res.AccessTimeout)
+	}
+	return s.ctx, func() {}
+}
+
+// failAccess classifies a backend failure under resilience: a source-side
+// failure (including a per-access timeout) is recorded against the breaker
+// and wrapped in ErrAccessFailed so fault-tolerant algorithms absorb it; a
+// failure caused by the session's own context stays terminal.
+func (s *Session) failAccess(kind Kind, i int, err error) error {
+	if s.res == nil {
+		return err
+	}
+	if s.ctx.Err() == nil {
+		s.recordBreaker(kind, i, false)
+		return fmt.Errorf("%w: %w", ErrAccessFailed, err)
+	}
+	// Caller-side cancellation: no verdict on the source; free any probe.
+	if s.res.Breakers != nil {
+		s.res.Breakers.Release(kind, s.res.breakerIndex(i))
+	}
+	return err
+}
+
 // SortedNext performs sa_i: it returns the next object in descending p_i
 // order along with its score, accruing cs_i. It fails with ErrExhausted at
 // the end of the list and ErrSortedUnsupported if the scenario forbids it.
@@ -306,7 +522,12 @@ func (s *Session) SortedNext(i int) (obj int, score float64, err error) {
 	if i < 0 || i >= s.M() {
 		return 0, 0, fmt.Errorf("access: predicate %d out of range", i)
 	}
+	s.syncBreakers()
 	if !s.current[i].SortedOK {
+		if s.breakerTripped(SortedAccess, i) {
+			s.observeDenied(SortedAccess, i, obs.DenyBreaker)
+			return 0, 0, fmt.Errorf("%w: sa on p%d", ErrCircuitOpen, i+1)
+		}
 		s.observeDenied(SortedAccess, i, obs.DenyUnsupported)
 		return 0, 0, fmt.Errorf("%w: p%d", ErrSortedUnsupported, i+1)
 	}
@@ -319,12 +540,19 @@ func (s *Session) SortedNext(i int) (obj int, score float64, err error) {
 		s.observeDenied(SortedAccess, i, obs.DenyBudget)
 		return 0, 0, fmt.Errorf("%w: sa%d would cost %v with %v left", ErrBudgetExhausted, i+1, s.current[i].Sorted, s.budget-s.cost)
 	}
-	rank := s.cursor[i]
-	obj, score, err = s.backend.Sorted(s.ctx, i, rank)
-	if err != nil {
-		s.observeDenied(SortedAccess, i, denyReason(err))
-		return 0, 0, fmt.Errorf("access: backend sorted(p%d, rank %d): %w", i+1, rank, err)
+	if !s.acquireBreaker(SortedAccess, i) {
+		s.observeDenied(SortedAccess, i, obs.DenyBreaker)
+		return 0, 0, fmt.Errorf("%w: sa on p%d (probe in flight)", ErrCircuitOpen, i+1)
 	}
+	rank := s.cursor[i]
+	actx, cancel := s.accessCtx()
+	obj, score, err = s.backend.Sorted(actx, i, rank)
+	cancel()
+	if err != nil {
+		s.observeDenied(SortedAccess, i, s.denyReason(err))
+		return 0, 0, s.failAccess(SortedAccess, i, fmt.Errorf("access: backend sorted(p%d, rank %d): %w", i+1, rank, err))
+	}
+	s.recordBreaker(SortedAccess, i, true)
 	s.cursor[i]++
 	s.ns[i]++
 	s.nAccess++
@@ -351,7 +579,12 @@ func (s *Session) Random(i, u int) (float64, error) {
 	if u < 0 || u >= s.N() {
 		return 0, fmt.Errorf("access: object %d out of range", u)
 	}
+	s.syncBreakers()
 	if !s.current[i].RandomOK {
+		if s.breakerTripped(RandomAccess, i) {
+			s.observeDenied(RandomAccess, i, obs.DenyBreaker)
+			return 0, fmt.Errorf("%w: ra on p%d", ErrCircuitOpen, i+1)
+		}
 		s.observeDenied(RandomAccess, i, obs.DenyUnsupported)
 		return 0, fmt.Errorf("%w: p%d", ErrRandomUnsupported, i+1)
 	}
@@ -368,11 +601,18 @@ func (s *Session) Random(i, u int) (float64, error) {
 		s.observeDenied(RandomAccess, i, obs.DenyBudget)
 		return 0, fmt.Errorf("%w: ra%d would cost %v with %v left", ErrBudgetExhausted, i+1, s.current[i].Random, s.budget-s.cost)
 	}
-	score, err := s.backend.Random(s.ctx, i, u)
-	if err != nil {
-		s.observeDenied(RandomAccess, i, denyReason(err))
-		return 0, fmt.Errorf("access: backend random(p%d, u%d): %w", i+1, u, err)
+	if !s.acquireBreaker(RandomAccess, i) {
+		s.observeDenied(RandomAccess, i, obs.DenyBreaker)
+		return 0, fmt.Errorf("%w: ra on p%d (probe in flight)", ErrCircuitOpen, i+1)
 	}
+	actx, cancel := s.accessCtx()
+	score, err := s.backend.Random(actx, i, u)
+	cancel()
+	if err != nil {
+		s.observeDenied(RandomAccess, i, s.denyReason(err))
+		return 0, s.failAccess(RandomAccess, i, fmt.Errorf("access: backend random(p%d, u%d): %w", i+1, u, err))
+	}
+	s.recordBreaker(RandomAccess, i, true)
 	s.probed[i][u] = true
 	s.nr[i]++
 	s.nAccess++

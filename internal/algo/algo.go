@@ -69,11 +69,16 @@ type Item struct {
 type Result struct {
 	Items  []Item
 	Ledger access.Ledger
-	// Truncated is set when a cost budget ran out before the answer was
-	// proven: Items then holds the best current candidates (guaranteed
-	// answers first, then candidates ordered by maximal-possible score,
-	// carrying lower-bound scores with Exact=false).
+	// Truncated is set when a cost budget ran out — or, under a fault-
+	// tolerant session, when degradation left no way to prove the answer —
+	// before the answer was proven: Items then holds the best current
+	// candidates (guaranteed answers first, then candidates ordered by
+	// maximal-possible score, carrying lower-bound scores with Exact=false).
 	Truncated bool
+	// Degraded lists machine-readable reasons the answer is best-effort
+	// rather than exact ("circuit_open:sa:p1", "query_deadline", ...).
+	// Empty for exact answers and plain budget truncation.
+	Degraded []string
 }
 
 // Cost returns the total access cost of the run.

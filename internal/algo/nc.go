@@ -1,6 +1,7 @@
 package algo
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -97,6 +98,34 @@ func (nc *NC) Run(p *Problem) (*Result, error) {
 	emitted := make([]bool, sess.N())
 
 	var items []Item
+	// drain returns the best current answer when the run cannot prove the
+	// exact top-k (budget exhausted, or — fault-tolerant sessions only —
+	// degradation or a query deadline): the emitted (guaranteed) prefix
+	// plus the leading candidates by maximal-possible score, reported with
+	// their lower bounds and Exact=false.
+	drain := func(degraded []string) *Result {
+		for len(items) < p.K {
+			e, ok := q.Pop()
+			if !ok {
+				break
+			}
+			if e.ID == state.UnseenID {
+				continue
+			}
+			if exact, done := tab.Exact(e.ID); done {
+				items = append(items, Item{Obj: e.ID, Score: exact, Exact: true})
+				continue
+			}
+			items = append(items, Item{Obj: e.ID, Score: tab.Lower(e.ID), Exact: false})
+		}
+		return &Result{Items: items, Ledger: sess.Ledger(), Truncated: true, Degraded: degraded}
+	}
+	// Consecutive unbilled failures absorbed so far; bounded by the
+	// session's failure budget so a pathological source cannot spin the
+	// loop forever (each absorbed failure advances a breaker, so in
+	// practice circuits open long before the budget runs out).
+	consecFail := 0
+	failBudget := sess.FailureBudget()
 	for len(items) < p.K {
 		if nc.Obs != nil {
 			nc.Obs.LoopIteration(q.Len())
@@ -133,35 +162,49 @@ func (nc *NC) Run(p *Problem) (*Result, error) {
 		// Selector pick.
 		choices := NecessaryChoices(tab, sess, top.ID)
 		if len(choices) == 0 {
+			if sess.FaultTolerant() && len(sess.Degraded()) > 0 {
+				// Degradation removed every legal choice for this task: the
+				// scenario can no longer answer the query exactly. Return
+				// the best-effort anytime answer instead of an error — the
+				// outage is a scenario change, not a bug.
+				if nc.Obs != nil {
+					nc.Obs.DegradedReplan("no_legal_plan")
+				}
+				return drain(append(sess.Degraded(), "no_legal_plan")), nil
+			}
 			return nil, fmt.Errorf("algo: NC stuck: task for object %d has no legal choices (scenario %q cannot answer the query)", top.ID, sess.Scenario().Name)
 		}
 		ch := nc.Sel.Choose(tab, sess, top.ID, choices)
 		obj, err := performChoice(tab, sess, top.ID, ch)
-		if errors.Is(err, access.ErrBudgetExhausted) {
+		switch {
+		case err == nil:
+			consecFail = 0
+		case errors.Is(err, access.ErrBudgetExhausted):
 			// Anytime behaviour: the budget cannot cover the framework's
-			// chosen access, so return the best current answer — the
-			// emitted (guaranteed) prefix plus the leading candidates by
-			// maximal-possible score, reported with their lower bounds.
-			for len(items) < p.K {
-				e, ok := q.Pop()
-				if !ok {
-					break
-				}
-				if e.ID == state.UnseenID {
-					continue
-				}
-				if exact, done := tab.Exact(e.ID); done {
-					items = append(items, Item{Obj: e.ID, Score: exact, Exact: true})
-					continue
-				}
-				items = append(items, Item{Obj: e.ID, Score: tab.Lower(e.ID), Exact: false})
+			// chosen access, so return the best current answer.
+			return drain(sess.Degraded()), nil
+		case errors.Is(err, access.ErrCircuitOpen) || errors.Is(err, access.ErrAccessFailed):
+			// Fault-tolerant absorption: nothing was billed, the failure was
+			// recorded against the capability's breaker, and the scenario
+			// may have degraded — re-derive the choices and re-plan instead
+			// of failing the query.
+			consecFail++
+			if nc.Obs != nil {
+				nc.Obs.DegradedReplan(replanReason(err))
 			}
-			return &Result{Items: items, Ledger: sess.Ledger(), Truncated: true}, nil
-		}
-		if err != nil {
+			if consecFail > failBudget {
+				return drain(append(sess.Degraded(), "failure_budget_exhausted")), nil
+			}
+			continue
+		case sess.FaultTolerant() && sess.Err() != nil:
+			// The query's own deadline (or cancellation) fired mid-run:
+			// degrade to the best current answer, never hang or lose the
+			// work already paid for.
+			return drain(append(sess.Degraded(), deadlineReason(sess.Err()))), nil
+		default:
 			return nil, err
 		}
-		if ch.Kind == access.SortedAccess && !emitted[obj] && !q.Contains(obj) {
+		if err == nil && ch.Kind == access.SortedAccess && !emitted[obj] && !q.Contains(obj) {
 			q.Add(obj)
 		}
 		if nc.OnAccess != nil {
@@ -169,6 +212,22 @@ func (nc *NC) Run(p *Problem) (*Result, error) {
 		}
 	}
 	return &Result{Items: items, Ledger: sess.Ledger()}, nil
+}
+
+// replanReason labels why the framework re-planned around a failure.
+func replanReason(err error) string {
+	if errors.Is(err, access.ErrCircuitOpen) {
+		return "circuit_open"
+	}
+	return "source_failure"
+}
+
+// deadlineReason labels a query-level context failure.
+func deadlineReason(err error) string {
+	if errors.Is(err, context.Canceled) {
+		return "query_cancelled"
+	}
+	return "query_deadline"
 }
 
 // NecessaryChoices constructs N_j for the unsatisfied task of the given

@@ -1,0 +1,134 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/access"
+	"repro/internal/data"
+)
+
+func testBackend(t *testing.T) access.Backend {
+	t.Helper()
+	ds, err := data.Generate(data.Uniform, 50, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return access.DatasetBackend{DS: ds}
+}
+
+// TestDeterministic pins the replayability contract: same seed, same
+// access sequence, same fault sequence.
+func TestDeterministic(t *testing.T) {
+	cfg := Config{Seed: 42, Preds: map[int]PredFault{
+		0: {ErrorRate: 0.5},
+		1: {ErrorRate: 0.3, SlowRate: 0.2, SlowDelay: time.Microsecond},
+	}}
+	run := func() []bool {
+		b := Wrap(testBackend(t), cfg)
+		var outcomes []bool
+		for r := 0; r < 20; r++ {
+			_, _, err := b.Sorted(context.Background(), 0, r)
+			outcomes = append(outcomes, err == nil)
+			_, err = b.Random(context.Background(), 1, r)
+			outcomes = append(outcomes, err == nil)
+		}
+		return outcomes
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("outcome %d differs across identically-seeded runs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	var failed bool
+	for _, ok := range a {
+		if !ok {
+			failed = true
+		}
+	}
+	if !failed {
+		t.Fatal("no fault injected in 40 accesses at 30-50% error rates")
+	}
+}
+
+// TestOutageWindow drives an access ordinal range through a hard outage.
+func TestOutageWindow(t *testing.T) {
+	b := Wrap(testBackend(t), Config{Seed: 1, Preds: map[int]PredFault{
+		0: {OutageFrom: 2, OutageTo: 4},
+	}})
+	for n := 0; n < 6; n++ {
+		_, _, err := b.Sorted(context.Background(), 0, n)
+		inOutage := n >= 2 && n < 4
+		if inOutage && !errors.Is(err, ErrInjected) {
+			t.Errorf("access %d: want outage failure, got %v", n, err)
+		}
+		if !inOutage && err != nil {
+			t.Errorf("access %d: want success outside outage, got %v", n, err)
+		}
+	}
+}
+
+// TestPermanentOutage checks OutageTo < 0 never recovers.
+func TestPermanentOutage(t *testing.T) {
+	b := Wrap(testBackend(t), Config{Seed: 1, Preds: map[int]PredFault{
+		1: {OutageFrom: 0, OutageTo: -1},
+	}})
+	for n := 0; n < 5; n++ {
+		if _, err := b.Random(context.Background(), 1, n); !errors.Is(err, ErrInjected) {
+			t.Fatalf("access %d: want permanent outage, got %v", n, err)
+		}
+	}
+	// Other predicates stay healthy.
+	if _, _, err := b.Sorted(context.Background(), 0, 0); err != nil {
+		t.Fatalf("healthy predicate failed: %v", err)
+	}
+}
+
+// TestFlapping checks the alternating availability pattern.
+func TestFlapping(t *testing.T) {
+	b := Wrap(testBackend(t), Config{Seed: 1, Preds: map[int]PredFault{
+		0: {FlapPeriod: 3},
+	}})
+	for n := 0; n < 12; n++ {
+		_, _, err := b.Sorted(context.Background(), 0, n%10)
+		down := (n/3)%2 == 1
+		if down != (err != nil) {
+			t.Errorf("access %d: down=%v but err=%v", n, down, err)
+		}
+	}
+}
+
+// TestHangRespectsContext checks a hang resolves only through cancellation
+// and surfaces the context error.
+func TestHangRespectsContext(t *testing.T) {
+	b := Wrap(testBackend(t), Config{Seed: 1, Preds: map[int]PredFault{
+		0: {HangRate: 1},
+	}})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, _, err := b.Sorted(ctx, 0, 0)
+	if !errors.Is(err, ErrInjected) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want injected+deadline error, got %v", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("hang did not resolve promptly after context deadline")
+	}
+}
+
+// TestSlowDelay checks latency spikes delay but do not fail the access.
+func TestSlowDelay(t *testing.T) {
+	b := Wrap(testBackend(t), Config{Seed: 1, Preds: map[int]PredFault{
+		0: {SlowRate: 1, SlowDelay: 5 * time.Millisecond},
+	}})
+	start := time.Now()
+	if _, _, err := b.Sorted(context.Background(), 0, 0); err != nil {
+		t.Fatalf("slow access failed: %v", err)
+	}
+	if d := time.Since(start); d < 5*time.Millisecond {
+		t.Fatalf("slow access returned in %v, want >= 5ms", d)
+	}
+}

@@ -8,6 +8,13 @@
 // correct shape is the existing unlock-wait-relock pattern, which this
 // analyzer accepts.
 //
+// Calls to obs.Observer interface methods are treated the same way: an
+// observer's implementation is unknown at the call site, so emitting an
+// event under a lock couples every producer sharing that lock to the
+// observer's latency. State holders collect events under the lock and
+// emit after release (see access.BreakerSet.Record, which returns
+// transitions to its caller).
+//
 // The analysis is a pragmatic linear scan per function body: it tracks
 // which mutexes are locked through straight-line code, descends into
 // branch and loop bodies with a copy of the lock state, treats
@@ -211,12 +218,31 @@ func (s *scanner) checkExpr(e ast.Expr, locked map[string]token.Pos) {
 		case *ast.CallExpr:
 			if lintutil.IsBlockingCall(s.pass.TypesInfo, x) {
 				s.flag(x.Pos(), "call to blocking function", locked)
-			} else if fn := lintutil.CalleeFunc(s.pass.TypesInfo, x); fn != nil && fn.Pkg() == s.pass.Pkg && s.blocking[fn] {
-				s.flag(x.Pos(), "call to "+fn.Name()+" (may block)", locked)
+			} else if fn := lintutil.CalleeFunc(s.pass.TypesInfo, x); fn != nil {
+				if fn.Pkg() == s.pass.Pkg && s.blocking[fn] {
+					s.flag(x.Pos(), "call to "+fn.Name()+" (may block)", locked)
+				} else if isObserverEmit(fn) {
+					s.flag(x.Pos(), "observer emission ("+fn.Name()+")", locked)
+				}
 			}
 		}
 		return true
 	})
+}
+
+// isObserverEmit reports whether fn is an interface method of
+// repro/internal/obs — an event emission into an observer of unknown
+// implementation. Emitting under a lock serializes every event producer
+// sharing that lock behind the slowest observer (and a blocking observer
+// wedges them all): collect events under the lock, emit after release —
+// the shape access.BreakerSet.Record uses, returning transitions to the
+// caller instead of emitting them.
+func isObserverEmit(fn *types.Func) bool {
+	if fn.Pkg() == nil || fn.Pkg().Path() != "repro/internal/obs" {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	return recv != nil && types.IsInterface(recv.Type())
 }
 
 func (s *scanner) flag(pos token.Pos, what string, locked map[string]token.Pos) {

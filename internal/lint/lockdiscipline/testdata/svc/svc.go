@@ -6,6 +6,8 @@ package svc
 import (
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 type coord struct {
@@ -91,6 +93,47 @@ func (c *coord) goodNonBlockingSelect() int {
 func (c *coord) goodUnlocked() int {
 	time.Sleep(time.Millisecond)
 	return <-c.results
+}
+
+// Observer emissions under a lock couple every producer sharing the lock
+// to the observer's latency; events must be collected under the lock and
+// emitted after release.
+type emitter struct {
+	mu sync.Mutex
+	o  obs.Observer
+}
+
+func (e *emitter) badEmit() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.o.RequestShed() // want "observer emission \(RequestShed\) while holding e\.mu"
+}
+
+func (e *emitter) badEmitInBranch(open bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if open {
+		e.o.BreakerTransition(obs.Sorted, 0, obs.BreakerClosed, obs.BreakerOpen) // want "observer emission \(BreakerTransition\) while holding e\.mu"
+	}
+}
+
+// goodEmitAfterUnlock is the required shape: decide under the lock, emit
+// after release.
+func (e *emitter) goodEmitAfterUnlock() {
+	e.mu.Lock()
+	shed := true
+	e.mu.Unlock()
+	if shed {
+		e.o.RequestShed()
+	}
+}
+
+// goodConcreteCall invokes a concrete observer implementation, whose
+// latency is known and bounded, not the opaque interface.
+func (e *emitter) goodConcreteCall(tr *obs.QueryTrace) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	tr.RequestShed()
 }
 
 // twoLocks reports one diagnostic per held mutex.

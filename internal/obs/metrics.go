@@ -29,6 +29,11 @@ type Metrics struct {
 
 	planHits   *Counter
 	planMisses *Counter
+
+	breakerTo       [3]*Counter // transitions by resulting state
+	breakerOpen     *Gauge      // circuits currently open
+	degradedReplans *Counter
+	shedRequests    *Counter
 }
 
 // NewMetrics registers the engine metric set on the registry and returns
@@ -48,8 +53,14 @@ func NewMetrics(reg *Registry) *Metrics {
 		failures:      reg.Counter("topk_source_failures_total", "Web-source requests that failed for good."),
 		backoff: reg.Histogram("topk_source_backoff_seconds", "Retry backoff sleeps.",
 			[]float64{.001, .01, .05, .1, .5, 1, 5}),
-		planHits:   reg.Counter("topk_plan_cache_requests_total", "Plan-cache lookups by result.", L("result", "hit")),
-		planMisses: reg.Counter("topk_plan_cache_requests_total", "Plan-cache lookups by result.", L("result", "miss")),
+		planHits:        reg.Counter("topk_plan_cache_requests_total", "Plan-cache lookups by result.", L("result", "hit")),
+		planMisses:      reg.Counter("topk_plan_cache_requests_total", "Plan-cache lookups by result.", L("result", "miss")),
+		breakerOpen:     reg.Gauge("topk_breaker_open", "Capability circuit breakers currently open."),
+		degradedReplans: reg.Counter("topk_degraded_replans_total", "Engine re-plans around a degraded scenario."),
+		shedRequests:    reg.Counter("topk_requests_shed_total", "Queries refused at admission (load shedding)."),
+	}
+	for _, st := range []BreakerState{BreakerClosed, BreakerOpen, BreakerHalfOpen} {
+		m.breakerTo[st] = reg.Counter("topk_breaker_transitions_total", "Circuit-breaker state transitions by resulting state.", L("to", st.String()))
 	}
 	for _, k := range []AccessKind{Sorted, Random} {
 		m.accesses[k] = reg.Counter("topk_accesses_total", "Billed source accesses by kind.", L("kind", k.String()))
@@ -129,3 +140,22 @@ func (m *Metrics) PlanCache(hit bool) {
 		m.planMisses.Inc()
 	}
 }
+
+// BreakerTransition implements Observer.
+func (m *Metrics) BreakerTransition(kind AccessKind, pred int, from, to BreakerState) {
+	if int(to) < len(m.breakerTo) {
+		m.breakerTo[to].Inc()
+	}
+	if to == BreakerOpen && from != BreakerOpen {
+		m.breakerOpen.Add(1)
+	}
+	if from == BreakerOpen && to != BreakerOpen {
+		m.breakerOpen.Add(-1)
+	}
+}
+
+// DegradedReplan implements Observer.
+func (m *Metrics) DegradedReplan(string) { m.degradedReplans.Inc() }
+
+// RequestShed implements Observer.
+func (m *Metrics) RequestShed() { m.shedRequests.Inc() }

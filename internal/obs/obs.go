@@ -62,8 +62,11 @@ const (
 	DenyCancelled
 	// DenyBackend: the backend failed the access (transport or source error).
 	DenyBackend
+	// DenyBreaker: the capability's circuit breaker is open after repeated
+	// source failures; the access was refused without touching the source.
+	DenyBreaker
 
-	numDenyReasons = int(DenyBackend) + 1
+	numDenyReasons = int(DenyBreaker) + 1
 )
 
 // String returns the reason's label as exposed in metrics and traces.
@@ -83,6 +86,8 @@ func (d DenyReason) String() string {
 		return "cancelled"
 	case DenyBackend:
 		return "backend"
+	case DenyBreaker:
+		return "breaker"
 	default:
 		return "unknown"
 	}
@@ -94,6 +99,36 @@ func DenyReasons() []DenyReason {
 	return []DenyReason{
 		DenyUnsupported, DenyExhausted, DenyWildGuess,
 		DenyRepeatedProbe, DenyBudget, DenyCancelled, DenyBackend,
+		DenyBreaker,
+	}
+}
+
+// BreakerState mirrors the circuit-breaker states of the access layer's
+// resilience machinery (access.BreakerState) without importing it.
+type BreakerState uint8
+
+const (
+	// BreakerClosed: the capability is healthy; accesses flow through.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: consecutive failures tripped the circuit; the capability
+	// is flipped off in the session's current scenario.
+	BreakerOpen
+	// BreakerHalfOpen: the cooldown elapsed; one probe access is let
+	// through to decide between closing and re-opening.
+	BreakerHalfOpen
+)
+
+// String returns "closed", "open", or "half_open" as exposed in metrics.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half_open"
+	default:
+		return "unknown"
 	}
 }
 
@@ -147,6 +182,18 @@ type Observer interface {
 	SourceFailure()
 	// PlanCache reports a plan-cache lookup outcome.
 	PlanCache(hit bool)
+	// BreakerTransition fires when a capability's circuit breaker changes
+	// state (open on consecutive failures, half-open after the cooldown,
+	// closed on a successful probe).
+	BreakerTransition(kind AccessKind, pred int, from, to BreakerState)
+	// DegradedReplan fires when the engine re-plans around a degraded
+	// scenario instead of failing: a faulted or breaker-refused access was
+	// absorbed and the framework re-derived its choices. The reason is a
+	// machine-readable label ("circuit_open", "source_failure", ...).
+	DegradedReplan(reason string)
+	// RequestShed fires when the service refuses a query at admission
+	// because the inflight cap is reached (load shedding).
+	RequestShed()
 }
 
 // Nop is the zero-allocation no-op Observer: every method returns
@@ -182,6 +229,15 @@ func (Nop) SourceFailure() {}
 
 // PlanCache implements Observer.
 func (Nop) PlanCache(bool) {}
+
+// BreakerTransition implements Observer.
+func (Nop) BreakerTransition(AccessKind, int, BreakerState, BreakerState) {}
+
+// DegradedReplan implements Observer.
+func (Nop) DegradedReplan(string) {}
+
+// RequestShed implements Observer.
+func (Nop) RequestShed() {}
 
 var _ Observer = Nop{}
 
@@ -236,6 +292,21 @@ func (m multi) SourceFailure() {
 func (m multi) PlanCache(hit bool) {
 	for _, o := range m {
 		o.PlanCache(hit)
+	}
+}
+func (m multi) BreakerTransition(k AccessKind, p int, from, to BreakerState) {
+	for _, o := range m {
+		o.BreakerTransition(k, p, from, to)
+	}
+}
+func (m multi) DegradedReplan(reason string) {
+	for _, o := range m {
+		o.DegradedReplan(reason)
+	}
+}
+func (m multi) RequestShed() {
+	for _, o := range m {
+		o.RequestShed()
 	}
 }
 

@@ -34,6 +34,9 @@ func TestNopZeroAlloc(t *testing.T) {
 		o.SourceRetry(time.Millisecond)
 		o.SourceFailure()
 		o.PlanCache(false)
+		o.BreakerTransition(Sorted, 0, BreakerClosed, BreakerOpen)
+		o.DegradedReplan("circuit_open")
+		o.RequestShed()
 	}); avg != 0 {
 		t.Errorf("Nop allocates %.1f per event batch, want 0", avg)
 	}

@@ -50,6 +50,25 @@ type TraceSnapshot struct {
 	// BudgetExhausted reports that at least one access was refused because
 	// the session's cost budget ran dry (the anytime cutoff).
 	BudgetExhausted bool `json:"budgetExhausted,omitempty"`
+	// BreakerTransitions lists circuit-breaker state changes during the
+	// query, in occurrence order.
+	BreakerTransitions []BreakerEvent `json:"breakerTransitions,omitempty"`
+	// DegradedReplans counts how often the engine re-planned around a
+	// degraded scenario instead of failing the query.
+	DegradedReplans int `json:"degradedReplans,omitempty"`
+	// DegradedReasons are the machine-readable degradation labels the
+	// engine reported while re-planning (deduplicated, in first-seen order).
+	DegradedReasons []string `json:"degradedReasons,omitempty"`
+}
+
+// BreakerEvent is one circuit-breaker state change as recorded in a trace.
+type BreakerEvent struct {
+	Kind AccessKind `json:"-"`
+	// KindName is the access kind ("sorted"/"random") in JSON form.
+	KindName string `json:"kind"`
+	Pred     int    `json:"pred"`
+	From     string `json:"from"`
+	To       string `json:"to"`
 }
 
 // QueryTrace is an Observer that accumulates one query's events. It is
@@ -75,6 +94,10 @@ type QueryTrace struct {
 
 	planCacheHit    bool
 	planCacheLooked bool
+
+	breakerEvents   []BreakerEvent
+	degradedReplans int
+	degradedReasons []string
 }
 
 // NewQueryTrace returns an empty trace. Per-predicate slices grow on
@@ -185,6 +208,33 @@ func (t *QueryTrace) PlanCache(hit bool) {
 	t.planCacheHit = hit
 }
 
+// BreakerTransition implements Observer.
+func (t *QueryTrace) BreakerTransition(kind AccessKind, pred int, from, to BreakerState) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.breakerEvents = append(t.breakerEvents, BreakerEvent{
+		Kind: kind, KindName: kind.String(), Pred: pred,
+		From: from.String(), To: to.String(),
+	})
+}
+
+// DegradedReplan implements Observer.
+func (t *QueryTrace) DegradedReplan(reason string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.degradedReplans++
+	for _, r := range t.degradedReasons {
+		if r == reason {
+			return
+		}
+	}
+	t.degradedReasons = append(t.degradedReasons, reason)
+}
+
+// RequestShed implements Observer. Shed requests never execute, so a
+// per-query trace cannot observe one; the event only feeds metrics.
+func (t *QueryTrace) RequestShed() {}
+
 // Snapshot returns a consistent copy of everything accumulated so far.
 func (t *QueryTrace) Snapshot() TraceSnapshot {
 	t.mu.Lock()
@@ -204,6 +254,9 @@ func (t *QueryTrace) Snapshot() TraceSnapshot {
 		SourceFailures:      t.failures,
 		BackoffSeconds:      t.backoff.Seconds(),
 		BudgetExhausted:     t.denied[DenyBudget] > 0,
+		BreakerTransitions:  append([]BreakerEvent(nil), t.breakerEvents...),
+		DegradedReplans:     t.degradedReplans,
+		DegradedReasons:     append([]string(nil), t.degradedReasons...),
 	}
 	for reason, n := range t.denied {
 		if n > 0 {

@@ -270,14 +270,17 @@ func (l *Live) Run(ctx context.Context, b access.Backend, f score.Func, k int) (
 		if inflight == 0 {
 			return nil, fmt.Errorf("parallel: live run stuck with %d/%d answers", len(items), k)
 		}
-		if l.Obs != nil && inflight < l.B {
+		stalled := l.Obs != nil && inflight < l.B
+		// Wait for one completion with the lock released so in-flight
+		// requests can land (observer emissions also happen in this
+		// window — never under the coordinator lock). Cancellation wins
+		// the race: the in-flight goroutines deliver into the buffered
+		// channel and exit on their own once their requests fail or
+		// finish.
+		mu.Unlock()
+		if stalled {
 			l.Obs.DispatchStall()
 		}
-		// Wait for one completion with the lock released so in-flight
-		// requests can land. Cancellation wins the race: the in-flight
-		// goroutines deliver into the buffered channel and exit on their
-		// own once their requests fail or finish.
-		mu.Unlock()
 		var c completion
 		select {
 		case c = <-results:
@@ -285,17 +288,17 @@ func (l *Live) Run(ctx context.Context, b access.Backend, f score.Func, k int) (
 			mu.Lock()
 			return nil, fmt.Errorf("parallel: live run cancelled: %w", ctx.Err())
 		}
+		if l.Obs != nil {
+			l.Obs.InflightChange(-1)
+			if c.err != nil {
+				l.Obs.AccessDenied(liveObsKind(c.kind), c.pred, liveDenyReason(ctx, c.err))
+			}
+		}
 		mu.Lock()
 		inflight--
 		delete(taskBusy, c.task)
 		predInFlight[c.pred]--
-		if l.Obs != nil {
-			l.Obs.InflightChange(-1)
-		}
 		if c.err != nil {
-			if l.Obs != nil {
-				l.Obs.AccessDenied(liveObsKind(c.kind), c.pred, liveDenyReason(ctx, c.err))
-			}
 			return nil, fmt.Errorf("parallel: live %v access on p%d failed: %w", c.kind, c.pred+1, c.err)
 		}
 		switch c.kind {

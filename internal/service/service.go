@@ -26,6 +26,15 @@
 // response's "trace" field: phase timings, per-predicate access counts
 // (matching the ledger exactly), refused accesses, and optimizer
 // statistics.
+//
+// The service is fault-tolerant by construction: every query runs under a
+// deadline (Config.QueryTimeout) with per-access timeouts and shared
+// circuit breakers (one per dataset predicate and access kind), so a
+// failing or hanging backend degrades the answer instead of wedging the
+// service. Degraded answers are still 200s, carrying the best current
+// candidates with "truncated":true and machine-readable reasons in
+// "degraded". Above Config.MaxInflight concurrent queries, new requests
+// are shed with 503 and a Retry-After hint.
 package service
 
 import (
@@ -38,6 +47,7 @@ import (
 	"net/http/pprof"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	topk "repro"
@@ -79,6 +89,29 @@ type Config struct {
 	HealthBackend topk.Backend
 	// HealthTimeout bounds the readiness probe (default 1s).
 	HealthTimeout time.Duration
+
+	// QueryTimeout bounds each /query end to end (default 30s): when it
+	// fires mid-run the response carries the best current candidates with
+	// "degraded":["query_deadline"] instead of hanging. Negative disables
+	// the bound.
+	QueryTimeout time.Duration
+	// MaxInflight caps concurrently executing queries; excess requests are
+	// shed immediately with 503 and a Retry-After hint instead of queuing
+	// into an ever-growing pile. Zero means unlimited.
+	MaxInflight int
+	// AccessTimeout bounds each backend access inside a query (default 5s;
+	// negative disables): a hung source becomes a failed access the
+	// circuit breakers can act on.
+	AccessTimeout time.Duration
+	// Breaker tunes the per-capability circuit breakers shared across
+	// queries. The zero value uses the breaker defaults (3 consecutive
+	// failures open a circuit for 1s).
+	Breaker topk.BreakerConfig
+	// WrapBackend, when non-nil, wraps each query's projected backend
+	// (cols maps the projection's predicates to dataset predicates). The
+	// chaos tests use it to splice a fault injector into the service's
+	// own execution path.
+	WrapBackend func(b topk.Backend, cols []int) topk.Backend
 }
 
 // Handler is the HTTP middleware service.
@@ -95,6 +128,13 @@ type Handler struct {
 	queryKO   *obs.Counter
 	querySec  *obs.Histogram
 	slowTotal *obs.Counter
+
+	// breakers carries circuit-breaker state across queries: one breaker
+	// per (dataset predicate, access kind), consulted by every query's
+	// session through its resilience attachment.
+	breakers *topk.BreakerSet
+	// inflight counts queries currently executing, for load shedding.
+	inflight atomic.Int64
 
 	// planCache memoizes optimizer plans per canonical query: repeated
 	// queries skip the plan search (costs are static for one service
@@ -123,6 +163,12 @@ func NewHandler(cfg Config) (*Handler, error) {
 	if cfg.HealthTimeout <= 0 {
 		cfg.HealthTimeout = time.Second
 	}
+	if cfg.QueryTimeout == 0 {
+		cfg.QueryTimeout = 30 * time.Second
+	}
+	if cfg.AccessTimeout == 0 {
+		cfg.AccessTimeout = 5 * time.Second
+	}
 	reg := cfg.Metrics
 	if reg == nil {
 		reg = obs.NewRegistry()
@@ -141,6 +187,7 @@ func NewHandler(cfg Config) (*Handler, error) {
 		queryKO:   reg.Counter("topk_queries_total", "Queries served by status.", obs.L("status", "error")),
 		querySec:  reg.Histogram("topk_query_seconds", "End-to-end /query latency.", nil),
 		slowTotal: reg.Counter("topk_slow_queries_total", "Queries slower than the configured threshold."),
+		breakers:  topk.NewBreakerSet(cfg.Dataset.M(), cfg.Breaker),
 		planCache: make(map[string]cachedPlan),
 	}
 	h.mux.HandleFunc("/meta", h.handleMeta)
@@ -201,6 +248,10 @@ type QueryResponse struct {
 	Plan           *PlanPayload `json:"plan,omitempty"`
 	SortedAccesses []int        `json:"sortedAccesses"`
 	RandomAccesses []int        `json:"randomAccesses"`
+	// Degraded lists machine-readable reasons the answer is best-effort
+	// rather than exact ("circuit_open:sa:p1", "query_deadline",
+	// "no_legal_plan", ...). Absent for exact answers.
+	Degraded []string `json:"degraded,omitempty"`
 	// Trace is the per-query execution trace, present when the request
 	// asked for it with ?trace=1.
 	Trace *obs.TraceSnapshot `json:"trace,omitempty"`
@@ -262,6 +313,16 @@ func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errPayload{Error: "bad request: " + err.Error()})
 		return
 	}
+	if max := h.cfg.MaxInflight; max > 0 {
+		if h.inflight.Add(1) > int64(max) {
+			h.inflight.Add(-1)
+			h.metrics.RequestShed()
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, errPayload{Error: "service overloaded; retry later"})
+			return
+		}
+		defer h.inflight.Add(-1)
+	}
 	start := time.Now()
 	resp, status, err := h.execute(r.Context(), req, r.URL.Query().Get("trace") == "1")
 	elapsed := time.Since(start)
@@ -284,6 +345,11 @@ func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
 // The engine run always feeds the service metrics; when traced, a
 // per-query trace rides along and lands in the response.
 func (h *Handler) execute(ctx context.Context, req QueryRequest, traced bool) (*QueryResponse, int, error) {
+	if t := h.cfg.QueryTimeout; t > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, t)
+		defer cancel()
+	}
 	var o obs.Observer = h.metrics
 	var tr *obs.QueryTrace
 	if traced {
@@ -309,12 +375,20 @@ func (h *Handler) execute(ctx context.Context, req QueryRequest, traced bool) (*
 	for i, c := range cols {
 		scn.Preds[i] = h.cfg.Scenario.Preds[c]
 	}
-	eng, err := topk.NewEngine(topk.DataBackend(ds), scn)
+	backend := topk.DataBackend(ds)
+	if h.cfg.WrapBackend != nil {
+		backend = h.cfg.WrapBackend(backend, cols)
+	}
+	eng, err := topk.NewEngine(backend, scn)
 	if err != nil {
 		return nil, http.StatusInternalServerError, err
 	}
 
-	opts := []topk.RunOption{topk.WithContext(ctx), topk.WithObserver(o)}
+	res := &topk.Resilience{Breakers: h.breakers, Map: cols}
+	if h.cfg.AccessTimeout > 0 {
+		res.AccessTimeout = h.cfg.AccessTimeout
+	}
+	opts := []topk.RunOption{topk.WithContext(ctx), topk.WithObserver(o), topk.WithResilience(res)}
 	switch alg := req.Algorithm; {
 	case alg == "" || alg == "opt":
 		h.mu.Lock()
@@ -363,6 +437,7 @@ func (h *Handler) execute(ctx context.Context, req QueryRequest, traced bool) (*
 		Truncated:      ans.Truncated,
 		SortedAccesses: ans.Ledger.SortedCounts,
 		RandomAccesses: ans.Ledger.RandomCounts,
+		Degraded:       ans.Degraded,
 	}
 	for _, it := range ans.Items {
 		resp.Items = append(resp.Items, QueryItem{

@@ -5,8 +5,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
+	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/obs"
@@ -26,12 +29,16 @@ type Route struct {
 // exponential backoff up to the configured limit, since real Web sources
 // drop requests under load.
 type Client struct {
-	routes  []Route
-	n       int
-	httpc   *http.Client
-	retries int
-	backoff time.Duration
-	obs     obs.Observer // nil unless WithObserver
+	routes         []Route
+	n              int
+	httpc          *http.Client
+	retries        int
+	backoff        time.Duration
+	attemptTimeout time.Duration
+	obs            obs.Observer // nil unless WithObserver
+
+	jmu    sync.Mutex
+	jitter *rand.Rand // nil unless WithJitterSeed
 }
 
 // ClientOption configures a Client.
@@ -41,6 +48,22 @@ type ClientOption func(*Client)
 // and the initial backoff between attempts (default 10ms, doubling).
 func WithRetries(n int, backoff time.Duration) ClientOption {
 	return func(c *Client) { c.retries, c.backoff = n, backoff }
+}
+
+// WithAttemptTimeout bounds each individual request attempt (default 5s),
+// so a source that hangs mid-request turns into a retryable failure
+// instead of stalling the access until the query's own deadline. d <= 0
+// disables the bound.
+func WithAttemptTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.attemptTimeout = d }
+}
+
+// WithJitterSeed randomizes each retry's backoff sleep uniformly within
+// [backoff/2, backoff] from a private seeded generator, de-synchronizing
+// the retry storms of concurrent clients hammering a recovering source.
+// Equal seeds reproduce equal jitter sequences.
+func WithJitterSeed(seed int64) ClientOption {
+	return func(c *Client) { c.jitter = rand.New(rand.NewSource(seed)) }
 }
 
 // WithObserver streams the client's retry storms and terminal request
@@ -62,7 +85,7 @@ func NewClient(ctx context.Context, httpc *http.Client, routes []Route, opts ...
 	if httpc == nil {
 		httpc = http.DefaultClient
 	}
-	c := &Client{routes: append([]Route(nil), routes...), httpc: httpc, retries: 2, backoff: 10 * time.Millisecond}
+	c := &Client{routes: append([]Route(nil), routes...), httpc: httpc, retries: 2, backoff: 10 * time.Millisecond, attemptTimeout: 5 * time.Second}
 	for _, o := range opts {
 		o(c)
 	}
@@ -87,7 +110,7 @@ func (c *Client) get(ctx context.Context, rawURL string, into interface{}) error
 	backoff := c.backoff
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		err, retryable := c.getOnce(ctx, rawURL, into)
+		err, retryable, retryAfter := c.getOnce(ctx, rawURL, into)
 		if err == nil {
 			return nil
 		}
@@ -98,10 +121,11 @@ func (c *Client) get(ctx context.Context, rawURL string, into interface{}) error
 			}
 			return lastErr
 		}
+		sleep := c.retrySleep(backoff, retryAfter)
 		if c.obs != nil {
-			c.obs.SourceRetry(backoff)
+			c.obs.SourceRetry(sleep)
 		}
-		t := time.NewTimer(backoff)
+		t := time.NewTimer(sleep)
 		select {
 		case <-ctx.Done():
 			t.Stop()
@@ -115,21 +139,49 @@ func (c *Client) get(ctx context.Context, rawURL string, into interface{}) error
 	}
 }
 
-// getOnce performs one request; the second result reports whether the
-// failure is transient (transport error or 5xx) and worth retrying.
-func (c *Client) getOnce(ctx context.Context, rawURL string, into interface{}) (err error, retryable bool) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rawURL, nil)
+// retrySleep computes the pause before the next attempt: the (optionally
+// jittered) exponential backoff, but never less than the server's
+// Retry-After hint — an overloaded source knows best when it will
+// recover, and hammering it earlier only prolongs the outage.
+func (c *Client) retrySleep(backoff, retryAfter time.Duration) time.Duration {
+	d := backoff
+	if c.jitter != nil && backoff > 1 {
+		c.jmu.Lock()
+		d = backoff/2 + time.Duration(c.jitter.Int63n(int64(backoff-backoff/2)+1))
+		c.jmu.Unlock()
+	}
+	if retryAfter > d {
+		d = retryAfter
+	}
+	return d
+}
+
+// getOnce performs one request, bounded by the per-attempt timeout; the
+// second result reports whether the failure is transient (transport error,
+// attempt timeout, or 5xx) and worth retrying, and retryAfter carries the
+// server's Retry-After hint from a 503 (zero when absent).
+func (c *Client) getOnce(ctx context.Context, rawURL string, into interface{}) (err error, retryable bool, retryAfter time.Duration) {
+	actx := ctx
+	if c.attemptTimeout > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, c.attemptTimeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(actx, http.MethodGet, rawURL, nil)
 	if err != nil {
-		return err, false
+		return err, false, 0
 	}
 	resp, err := c.httpc.Do(req)
 	if err != nil {
-		return err, ctx.Err() == nil
+		// Retryable as long as the caller's own context is alive: a
+		// per-attempt timeout converts a hung source into a retryable
+		// failure rather than a dead query.
+		return err, ctx.Err() == nil, 0
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
 	if err != nil {
-		return err, true
+		return err, ctx.Err() == nil, 0
 	}
 	if resp.StatusCode != http.StatusOK {
 		var ep errorPayload
@@ -138,9 +190,32 @@ func (c *Client) getOnce(ctx context.Context, rawURL string, into interface{}) (
 		} else {
 			err = fmt.Errorf("websim: source returned status %d", resp.StatusCode)
 		}
-		return err, resp.StatusCode >= 500
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			retryAfter = parseRetryAfter(resp.Header.Get("Retry-After"))
+		}
+		return err, resp.StatusCode >= 500, retryAfter
 	}
-	return json.Unmarshal(body, into), false
+	return json.Unmarshal(body, into), false, 0
+}
+
+// parseRetryAfter reads an HTTP Retry-After header value (delta-seconds or
+// HTTP-date), returning 0 when absent or unparsable.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // N returns the object count shared by all sources.

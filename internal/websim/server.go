@@ -18,6 +18,7 @@ package websim
 import (
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"strconv"
 	"sync"
@@ -29,13 +30,18 @@ import (
 // Server is an http.Handler serving one Web source: a dataset restricted
 // to the predicates the source can score.
 type Server struct {
-	ds       *data.Dataset
-	preds    []int // local predicate -> dataset predicate
-	latency  time.Duration
-	failery  int    // fail every n-th request with 503 (0 = never)
-	requests uint64 // request counter for deterministic failure injection
-	mu       sync.Mutex
-	mux      *http.ServeMux
+	ds         *data.Dataset
+	preds      []int // local predicate -> dataset predicate
+	latency    time.Duration
+	failery    int           // fail every n-th request with 503 (0 = never)
+	failRate   float64       // fail this fraction of requests with 503 (0 = never)
+	outFrom    int           // outage window in request ordinals, half-open
+	outTo      int           // [outFrom, outTo); outTo <= outFrom disables
+	retryAfter time.Duration // Retry-After hint attached to 503s (0 = none)
+	mu         sync.Mutex
+	requests   uint64     // request counter for deterministic failure injection
+	rng        *rand.Rand // nil unless WithFailRate; guarded by mu
+	mux        *http.ServeMux
 }
 
 // ServerOption configures a Server.
@@ -58,6 +64,30 @@ func WithPredicates(preds ...int) ServerOption {
 // availability of real Web sources. n <= 0 disables failures.
 func WithFailEvery(n int) ServerOption {
 	return func(s *Server) { s.failery = n }
+}
+
+// WithFailRate makes each request fail with 503 with the given
+// probability, drawn from a private generator seeded for replayability:
+// equal seeds and request sequences produce equal failure sequences.
+func WithFailRate(rate float64, seed int64) ServerOption {
+	return func(s *Server) {
+		s.failRate = rate
+		s.rng = rand.New(rand.NewSource(seed))
+	}
+}
+
+// WithOutageWindow fails every request whose ordinal n (0-based arrival
+// order) satisfies from <= n < to with 503, simulating a hard outage that
+// starts and ends at deterministic points. to <= from disables the window.
+func WithOutageWindow(from, to int) ServerOption {
+	return func(s *Server) { s.outFrom, s.outTo = from, to }
+}
+
+// WithRetryAfter attaches a Retry-After header (in whole seconds, rounded
+// up) to every 503 the server emits, telling well-behaved clients when to
+// come back.
+func WithRetryAfter(d time.Duration) ServerOption {
+	return func(s *Server) { s.retryAfter = d }
 }
 
 // NewServer builds a source server over the dataset.
@@ -89,17 +119,34 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if s.latency > 0 {
 		time.Sleep(s.latency)
 	}
-	if s.failery > 0 {
-		s.mu.Lock()
-		s.requests++
-		fail := s.requests%uint64(s.failery) == 0
-		s.mu.Unlock()
-		if fail {
-			writeJSON(w, http.StatusServiceUnavailable, errorPayload{Error: "source temporarily overloaded"})
-			return
+	if s.failRequest() {
+		if s.retryAfter > 0 {
+			secs := int64((s.retryAfter + time.Second - 1) / time.Second)
+			w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
 		}
+		writeJSON(w, http.StatusServiceUnavailable, errorPayload{Error: "source temporarily overloaded"})
+		return
 	}
 	s.mux.ServeHTTP(w, r)
+}
+
+// failRequest advances the request counter and decides whether this
+// request is a simulated failure under any configured fault mode.
+func (s *Server) failRequest() bool {
+	if s.failery <= 0 && s.failRate <= 0 && s.outTo <= s.outFrom {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ordinal := s.requests // 0-based arrival order
+	s.requests++
+	if s.failery > 0 && s.requests%uint64(s.failery) == 0 {
+		return true
+	}
+	if s.outFrom < s.outTo && int(ordinal) >= s.outFrom && int(ordinal) < s.outTo {
+		return true
+	}
+	return s.failRate > 0 && s.rng.Float64() < s.failRate
 }
 
 type metaPayload struct {

@@ -70,6 +70,14 @@ type (
 	TraceSnapshot = obs.TraceSnapshot
 	// MetricsRegistry is a metrics registry with Prometheus exposition.
 	MetricsRegistry = obs.Registry
+	// BreakerSet is a shared set of per-capability circuit breakers (see
+	// WithResilience).
+	BreakerSet = access.BreakerSet
+	// BreakerConfig tunes circuit-breaker thresholds and cooldowns.
+	BreakerConfig = access.BreakerConfig
+	// Resilience attaches circuit breakers and per-access deadlines to a
+	// run (see WithResilience).
+	Resilience = access.Resilience
 )
 
 // Observability constructors, re-exported so callers wire metrics without
@@ -82,6 +90,9 @@ var (
 	NewMetricsObserver = obs.NewMetrics
 	// MultiObserver fans events out to several observers.
 	MultiObserver = obs.Multi
+	// NewBreakerSet builds a closed circuit-breaker set for m predicates,
+	// to be shared across runs via WithResilience.
+	NewBreakerSet = access.NewBreakerSet
 )
 
 // Scoring-function constructors.
@@ -153,9 +164,14 @@ type Answer struct {
 	Elapsed float64
 	// Wall is the measured wall-clock time of live (WithLive) runs.
 	Wall time.Duration
-	// Truncated reports that a WithBudget run exhausted its budget before
-	// proving the answer; Items then holds best-effort candidates.
+	// Truncated reports that a WithBudget run exhausted its budget — or a
+	// WithResilience run degraded — before proving the answer; Items then
+	// holds best-effort candidates.
 	Truncated bool
+	// Degraded lists machine-readable reasons a WithResilience answer is
+	// best-effort rather than exact ("circuit_open:sa:p1",
+	// "query_deadline", "no_legal_plan", ...). Empty for exact answers.
+	Degraded []string
 	// Trace is the per-query execution trace (nil unless WithTrace):
 	// phase timings, per-predicate access counts matching the Ledger,
 	// refused accesses, and optimizer/executor statistics.
@@ -205,20 +221,21 @@ func NewEngine(b Backend, scn Scenario, opts ...EngineOption) (*Engine, error) {
 
 // runSpec captures the execution strategy chosen through RunOptions.
 type runSpec struct {
-	algorithm algo.Algorithm // nil = optimize
-	h         []float64      // fixed NC configuration
-	omega     []int
-	optCfg    OptimizerConfig
-	adaptive  bool
-	period    int
-	parallelB int
-	liveB     int
-	epsilon   float64
-	budget    float64
-	hasBudget bool
-	ctx       context.Context
-	observer  obs.Observer
-	trace     bool
+	algorithm  algo.Algorithm // nil = optimize
+	h          []float64      // fixed NC configuration
+	omega      []int
+	optCfg     OptimizerConfig
+	adaptive   bool
+	period     int
+	parallelB  int
+	liveB      int
+	epsilon    float64
+	budget     float64
+	hasBudget  bool
+	ctx        context.Context
+	observer   obs.Observer
+	trace      bool
+	resilience *access.Resilience
 }
 
 // resolveObserver combines the user observer with the run's trace (when
@@ -327,6 +344,21 @@ func WithTrace() RunOption {
 	return func(r *runSpec) { r.trace = true }
 }
 
+// WithResilience makes the run fault-tolerant: backend failures are
+// absorbed instead of failing the query, consecutive failures open the
+// attached circuit breakers (flipping the capability off in the current
+// scenario, so the framework re-plans against the degraded scenario), and
+// each access is bounded by the attachment's AccessTimeout. When
+// degradation leaves no way to prove the exact answer, the run returns the
+// best current candidates with Truncated set and the reasons in the
+// Answer's Degraded field — the same anytime contract as WithBudget.
+// Share one BreakerSet across runs so breaker state carries across
+// queries. Applies to session-based execution; not compatible with
+// WithLive.
+func WithResilience(r *Resilience) RunOption {
+	return func(spec *runSpec) { spec.resilience = r }
+}
+
 // WithApproximation relaxes the query to (1+epsilon)-approximation: every
 // returned object u is guaranteed (1+epsilon)*F(u) >= F(v) for every
 // object v left out, usually at a fraction of the exact cost.
@@ -357,6 +389,9 @@ func (e *Engine) Run(q Query, opts ...RunOption) (*Answer, error) {
 		return nil, fmt.Errorf("topk: WithApproximation applies only to sequential NC execution")
 	}
 	if spec.liveB > 0 {
+		if spec.resilience != nil {
+			return nil, fmt.Errorf("topk: WithResilience is not compatible with WithLive (the live executor bypasses the session)")
+		}
 		return e.runLive(q, spec)
 	}
 	o, tr := spec.resolveObserver()
@@ -366,6 +401,9 @@ func (e *Engine) Run(q Query, opts ...RunOption) (*Answer, error) {
 	}
 	if len(e.shifts) > 0 {
 		sessOpts = append(sessOpts, access.WithShifts(e.shifts...))
+	}
+	if spec.resilience != nil {
+		sessOpts = append(sessOpts, access.WithResilience(spec.resilience))
 	}
 	if spec.hasBudget {
 		if spec.budget <= 0 {
@@ -472,7 +510,7 @@ func (e *Engine) Run(q Query, opts ...RunOption) (*Answer, error) {
 	if err != nil {
 		return nil, err
 	}
-	ans.Items, ans.Ledger, ans.Truncated = res.Items, res.Ledger, res.Truncated
+	ans.Items, ans.Ledger, ans.Truncated, ans.Degraded = res.Items, res.Ledger, res.Truncated, res.Degraded
 	attachTrace()
 	return ans, nil
 }
@@ -511,6 +549,9 @@ func (e *Engine) Open(q Query, opts ...RunOption) (*Cursor, error) {
 	}
 	if spec.trace {
 		return nil, fmt.Errorf("topk: WithTrace applies to Run; use WithObserver for cursors")
+	}
+	if spec.resilience != nil {
+		return nil, fmt.Errorf("topk: WithResilience applies to Run; cursors have no anytime answer to degrade to")
 	}
 	if spec.epsilon < 0 {
 		return nil, fmt.Errorf("topk: approximation epsilon must be >= 0, got %g", spec.epsilon)
