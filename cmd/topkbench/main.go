@@ -8,28 +8,75 @@
 //	topkbench -exp all -quick    # everything, small sizes
 //	topkbench -list              # show the experiment registry
 //	topkbench -exp E3 -n 2000 -k 25 -seed 7
+//	topkbench -serve-bench       # serve-path throughput in queries/sec
+//	topkbench -serve-bench -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
 
+	topk "repro"
 	"repro/internal/bench"
+	"repro/internal/data"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment id (E1..E12) or 'all'")
-		n      = flag.Int("n", 0, "database size (0 = experiment default)")
-		k      = flag.Int("k", 0, "retrieval size (0 = experiment default)")
-		seed   = flag.Int64("seed", 0, "base random seed (0 = default)")
-		quick  = flag.Bool("quick", false, "shrink sizes ~8x for a fast smoke run")
-		list   = flag.Bool("list", false, "list experiments and exit")
-		format = flag.String("format", "text", "output format: text or csv")
-		verify = flag.Bool("verify", false, "after each experiment, check the paper's shape claim and report PASS/FAIL")
+		exp        = flag.String("exp", "all", "experiment id (E1..E12) or 'all'")
+		n          = flag.Int("n", 0, "database size (0 = experiment default)")
+		k          = flag.Int("k", 0, "retrieval size (0 = experiment default)")
+		seed       = flag.Int64("seed", 0, "base random seed (0 = default)")
+		quick      = flag.Bool("quick", false, "shrink sizes ~8x for a fast smoke run")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		format     = flag.String("format", "text", "output format: text or csv")
+		verify     = flag.Bool("verify", false, "after each experiment, check the paper's shape claim and report PASS/FAIL")
+		serveBench = flag.Bool("serve-bench", false, "run the serve-path throughput workload (BENCH_perf.json) and emit queries/sec")
+		serveQ     = flag.Int("serve-queries", 2000, "queries per serve-bench case")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "topkbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "topkbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "topkbench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "topkbench: %v\n", err)
+			}
+		}()
+	}
+
+	if *serveBench {
+		if err := runServeBench(*serveQ); err != nil {
+			fmt.Fprintf(os.Stderr, "topkbench: serve-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		fmt.Println("id    paper artifact                                  title")
@@ -83,4 +130,51 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// runServeBench times the BENCH_perf.json serve-path workload — the E1
+// query (uniform n=1000 m=2 seed=42, avg, k=10, cs=cr=1) through a fixed
+// NC plan and through the optimizer with and without the plan cache — and
+// reports each case as queries/sec. Combine with -cpuprofile/-memprofile
+// to see where a served query actually spends its time.
+func runServeBench(queries int) error {
+	if queries <= 0 {
+		return fmt.Errorf("need a positive -serve-queries, got %d", queries)
+	}
+	ds, err := data.Generate(data.Uniform, 1000, 2, 42)
+	if err != nil {
+		return err
+	}
+	q := topk.Query{F: topk.Avg(), K: 10}
+	fixed := topk.WithNC([]float64{0.5, 0.5}, nil)
+	optimized := topk.WithOptimizer(topk.OptimizerConfig{})
+	cases := []struct {
+		name string
+		opts []topk.EngineOption
+		run  []topk.RunOption
+	}{
+		{"fixed-plan", nil, []topk.RunOption{fixed}},
+		{"optimizer/no-cache", nil, []topk.RunOption{optimized}},
+		{"optimizer/plan-cache", []topk.EngineOption{topk.WithPlanCache(topk.NewPlanCache(0))}, []topk.RunOption{optimized}},
+	}
+	fmt.Printf("serve-path throughput (%d queries per case, E1 workload)\n", queries)
+	for _, c := range cases {
+		eng, err := topk.NewEngine(topk.DataBackend(ds), topk.UniformScenario(2, 1, 1), c.opts...)
+		if err != nil {
+			return err
+		}
+		if _, err := eng.Run(q, c.run...); err != nil { // warm pools and cache
+			return err
+		}
+		start := time.Now()
+		for i := 0; i < queries; i++ {
+			if _, err := eng.Run(q, c.run...); err != nil {
+				return err
+			}
+		}
+		elapsed := time.Since(start)
+		fmt.Printf("%-22s %10.0f queries/s   (%s/query)\n",
+			c.name, float64(queries)/elapsed.Seconds(), elapsed/time.Duration(queries))
+	}
+	return nil
 }

@@ -258,8 +258,6 @@ func NewSession(b Backend, scn Scenario, opts ...Option) (*Session, error) {
 	s := &Session{
 		backend: b,
 		scn:     scn,
-		nwg:     true,
-		ctx:     context.Background(),
 		cursor:  make([]int, m),
 		probed:  make([][]bool, m),
 		seen:    make([]bool, n),
@@ -267,22 +265,60 @@ func NewSession(b Backend, scn Scenario, opts ...Option) (*Session, error) {
 		nr:      make([]int, m),
 		current: make([]PredCost, m),
 	}
-	copy(s.current, scn.Preds)
 	for i := range s.probed {
 		s.probed[i] = make([]bool, n)
 	}
+	if err := s.Reset(opts...); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Reset restores a used session to the state NewSession would have built —
+// same backend, same scenario, fresh cursors, probe history, ledger, and
+// per-run options — reusing every backing array. It is the recycling hook
+// that lets the facade and the HTTP service pool sessions through
+// sync.Pool instead of reallocating the probed/seen/ledger bookkeeping on
+// every query. Options from the previous run are discarded entirely; pass
+// the full set again.
+func (s *Session) Reset(opts ...Option) error {
+	s.nwg = true
+	s.ctx = context.Background()
+	clear(s.cursor)
+	for i := range s.probed {
+		clear(s.probed[i])
+	}
+	clear(s.seen)
+	s.nseen = 0
+	clear(s.ns)
+	clear(s.nr)
+	s.cost = 0
+	s.nAccess = 0
+	s.shifts = s.shifts[:0]
+	copy(s.current, s.scn.Preds)
+	s.budget, s.hasBudget = 0, false
+	s.traceOn = false
+	s.trace = nil
+	s.obs = nil
+	s.res = nil
+	s.resGen = 0
+	s.degraded = s.degraded[:0]
 	for _, o := range opts {
 		o(s)
 	}
 	if s.res != nil {
+		m := s.backend.M()
 		if err := s.res.validate(m); err != nil {
-			return nil, err
+			return err
 		}
-		s.orig = make([]PredCost, m)
-		copy(s.orig, scn.Preds)
+		if cap(s.orig) < m {
+			s.orig = make([]PredCost, m)
+		}
+		s.orig = s.orig[:m]
+		copy(s.orig, s.scn.Preds)
 		s.syncBreakers()
 	}
-	return s, nil
+	return nil
 }
 
 // N returns the object count.

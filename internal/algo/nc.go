@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/access"
 	"repro/internal/obs"
+	"repro/internal/score"
 	"repro/internal/state"
 )
 
@@ -84,20 +85,78 @@ type NC struct {
 // Name identifies the framework with its selector.
 func (nc *NC) Name() string { return "NC/" + nc.Sel.Name() }
 
+// Scratch holds the reusable per-run working state of Framework NC: the
+// score-state table, the candidate queue, the emitted bitmap, and the
+// necessary-choice buffer. A zero Scratch is ready to use; passing the
+// same Scratch to successive RunScratch calls recycles every backing
+// array, which removes the dominant per-query allocations. A Scratch is
+// owned by one run at a time (not safe for concurrent use); answer Items
+// are never pooled — they escape to the caller.
+type Scratch struct {
+	tab     *state.Table
+	q       *state.Queue
+	emitted []bool
+	choices []Choice
+}
+
+// prepare readies the scratch for a run of size n×m, reallocating only on
+// first use or a shape change.
+func (sc *Scratch) prepare(n, m int, f score.Func, nwg bool) (*state.Table, *state.Queue, []bool, error) {
+	if sc.tab == nil || sc.tab.N() != n || sc.tab.M() != m {
+		t, err := state.NewTable(n, m, f)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		sc.tab = t
+	} else if err := sc.tab.Reset(f); err != nil {
+		return nil, nil, nil, err
+	}
+	if sc.q == nil {
+		sc.q = state.NewQueue(sc.tab, nwg)
+	} else {
+		sc.q.Reset(sc.tab, nwg)
+	}
+	if cap(sc.emitted) < n {
+		sc.emitted = make([]bool, n)
+	} else {
+		sc.emitted = sc.emitted[:n]
+		clear(sc.emitted)
+	}
+	return sc.tab, sc.q, sc.emitted, nil
+}
+
 // Run executes the framework until the top-k is determined.
-func (nc *NC) Run(p *Problem) (*Result, error) {
+func (nc *NC) Run(p *Problem) (*Result, error) { return nc.RunScratch(p, nil) }
+
+// RunScratch is Run with caller-provided reusable working state. A nil
+// scratch allocates fresh state, making it equivalent to Run.
+func (nc *NC) RunScratch(p *Problem, sc *Scratch) (*Result, error) {
 	if err := p.Begin(); err != nil {
 		return nil, err
 	}
 	sess := p.Session
-	tab, err := state.NewTable(sess.N(), sess.M(), p.F)
-	if err != nil {
-		return nil, err
+	var (
+		tab     *state.Table
+		q       *state.Queue
+		emitted []bool
+		err     error
+	)
+	if sc != nil {
+		tab, q, emitted, err = sc.prepare(sess.N(), sess.M(), p.F, sess.NoWildGuesses())
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		sc = &Scratch{}
+		if tab, err = state.NewTable(sess.N(), sess.M(), p.F); err != nil {
+			return nil, err
+		}
+		sc.tab = tab
+		q = state.NewQueue(tab, sess.NoWildGuesses())
+		emitted = make([]bool, sess.N())
 	}
-	q := state.NewQueue(tab, sess.NoWildGuesses())
-	emitted := make([]bool, sess.N())
 
-	var items []Item
+	items := make([]Item, 0, p.K)
 	// drain returns the best current answer when the run cannot prove the
 	// exact top-k (budget exhausted, or — fault-tolerant sessions only —
 	// degradation or a query deadline): the emitted (guaranteed) prefix
@@ -160,7 +219,8 @@ func (nc *NC) Run(p *Problem) (*Result, error) {
 		// Unsatisfied task (Theorem 1, condition 1): gather its necessary
 		// choices (Definition 2, exported as NecessaryChoices) and let the
 		// Selector pick.
-		choices := NecessaryChoices(tab, sess, top.ID)
+		choices := AppendNecessaryChoices(sc.choices[:0], tab, sess, top.ID)
+		sc.choices = choices
 		if len(choices) == 0 {
 			if sess.FaultTolerant() && len(sess.Degraded()) > 0 {
 				// Degradation removed every legal choice for this task: the
@@ -235,7 +295,14 @@ func deadlineReason(err error) string {
 // bounding scores about the object's undetermined predicates. For the
 // virtual unseen object only sorted accesses apply (Figure 10).
 func NecessaryChoices(tab *state.Table, sess AccessContext, id int) []Choice {
-	var out []Choice
+	return AppendNecessaryChoices(nil, tab, sess, id)
+}
+
+// AppendNecessaryChoices is NecessaryChoices writing into a caller-owned
+// buffer: it appends the task's choices to dst and returns it. Hot loops
+// pass a recycled slice to keep choice construction allocation-free.
+func AppendNecessaryChoices(dst []Choice, tab *state.Table, sess AccessContext, id int) []Choice {
+	out := dst
 	if id == state.UnseenID {
 		for i := 0; i < sess.M(); i++ {
 			if sess.Costs(i).SortedOK && !sess.SortedExhausted(i) {

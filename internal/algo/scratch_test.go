@@ -1,0 +1,88 @@
+package algo
+
+import (
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/data"
+	"repro/internal/data/datatest"
+	"repro/internal/score"
+)
+
+// TestRunScratchMatchesFresh proves scratch reuse is invisible: running NC
+// repeatedly through one Scratch yields byte-identical answers and ledgers
+// to fresh-state runs, including across k and scoring-function changes.
+func TestRunScratchMatchesFresh(t *testing.T) {
+	ds := datatest.MustGenerate(data.Correlated, 200, 2, 9)
+	scn := access.Uniform(2, 1, 5)
+	nc := &NC{Sel: MustNewSRG([]float64{0.4, 0.6}, nil)}
+	run := func(sc *Scratch, f score.Func, k int) *Result {
+		t.Helper()
+		sess, err := access.NewSession(access.DatasetBackend{DS: ds}, scn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := NewProblem(f, k, sess)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := nc.RunScratch(p, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	sc := &Scratch{}
+	for _, cfg := range []struct {
+		f score.Func
+		k int
+	}{
+		{score.Avg(), 5},
+		{score.Avg(), 5}, // repeat: warm scratch, same query
+		{score.Min(), 3}, // swap function and k through the same scratch
+		{score.Avg(), 10},
+	} {
+		got := run(sc, cfg.f, cfg.k)
+		want := run(nil, cfg.f, cfg.k)
+		if len(got.Items) != len(want.Items) {
+			t.Fatalf("k=%d %s: scratch run returned %d items, fresh %d",
+				cfg.k, cfg.f.Name(), len(got.Items), len(want.Items))
+		}
+		for i := range got.Items {
+			if got.Items[i] != want.Items[i] {
+				t.Errorf("k=%d %s item %d: scratch %+v fresh %+v",
+					cfg.k, cfg.f.Name(), i, got.Items[i], want.Items[i])
+			}
+		}
+		if got.Ledger.TotalCost != want.Ledger.TotalCost {
+			t.Errorf("k=%d %s: scratch cost %v, fresh %v",
+				cfg.k, cfg.f.Name(), got.Ledger.TotalCost, want.Ledger.TotalCost)
+		}
+	}
+}
+
+// TestRunScratchShapeChange checks a pooled scratch survives moving to a
+// dataset of a different size (the table is rebuilt, not corrupted).
+func TestRunScratchShapeChange(t *testing.T) {
+	sc := &Scratch{}
+	nc := &NC{Sel: MustNewSRG([]float64{0.5, 0.5}, nil)}
+	for _, n := range []int{50, 200, 20} {
+		ds := datatest.MustGenerate(data.Uniform, n, 2, 4)
+		sess, err := access.NewSession(access.DatasetBackend{DS: ds}, access.Uniform(2, 1, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := NewProblem(score.Avg(), 3, sess)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := nc.RunScratch(p, sc)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(res.Items) != 3 {
+			t.Fatalf("n=%d: got %d items, want 3", n, len(res.Items))
+		}
+	}
+}

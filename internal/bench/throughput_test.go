@@ -1,0 +1,108 @@
+package bench_test
+
+// Serve-path throughput benchmarks (external test package: the facade
+// imports internal/bench from its own benchmarks, so this suite must sit
+// outside package bench to import the facade without a cycle).
+//
+// BenchmarkServeThroughput prices one served query on the E1 workload
+// (uniform n=1000 m=2 seed=42, avg scoring, k=10, cs=cr=1) through the
+// paths a production deployment actually exercises: a fixed NC plan
+// sequentially and under RunParallel, and the optimizer path with and
+// without the shared plan cache. BENCH_perf.json records the committed
+// baseline; cmd/topkbench -serve-bench emits the same workload as
+// queries/sec for profiling runs.
+
+import (
+	"testing"
+
+	topk "repro"
+	"repro/internal/data"
+	"repro/internal/data/datatest"
+)
+
+// e1Engine builds the BENCH_obs/BENCH_perf reference workload.
+func e1Engine(b *testing.B, opts ...topk.EngineOption) *topk.Engine {
+	b.Helper()
+	ds := datatest.MustGenerate(data.Uniform, 1000, 2, 42)
+	eng, err := topk.NewEngine(topk.DataBackend(ds), topk.UniformScenario(2, 1, 1), opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return eng
+}
+
+func reportQPS(b *testing.B) {
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(b.N)/s, "queries/s")
+	}
+}
+
+func BenchmarkServeThroughput(b *testing.B) {
+	q := topk.Query{F: topk.Avg(), K: 10}
+	fixed := topk.WithNC([]float64{0.5, 0.5}, nil)
+	optCfg := topk.WithOptimizer(topk.OptimizerConfig{})
+
+	b.Run("fixed/sequential", func(b *testing.B) {
+		eng := e1Engine(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Run(q, fixed); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportQPS(b)
+	})
+	b.Run("fixed/parallel", func(b *testing.B) {
+		eng := e1Engine(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, err := eng.Run(q, fixed); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+		reportQPS(b)
+	})
+	// Every query pays a full HClimb search: the pre-cache serving cost.
+	b.Run("opt/nocache", func(b *testing.B) {
+		eng := e1Engine(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Run(q, optCfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportQPS(b)
+	})
+	// Identical repeated queries resolve their plan from the cache.
+	b.Run("opt/cache", func(b *testing.B) {
+		eng := e1Engine(b, topk.WithPlanCache(topk.NewPlanCache(0)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Run(q, optCfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportQPS(b)
+	})
+	b.Run("opt/cache/parallel", func(b *testing.B) {
+		eng := e1Engine(b, topk.WithPlanCache(topk.NewPlanCache(0)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, err := eng.Run(q, optCfg); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+		reportQPS(b)
+	})
+}

@@ -27,8 +27,9 @@ type Metrics struct {
 	failures *Counter
 	backoff  *Histogram
 
-	planHits   *Counter
-	planMisses *Counter
+	planHits      *Counter
+	planMisses    *Counter
+	planEvictions *Counter
 
 	breakerTo       [3]*Counter // transitions by resulting state
 	breakerOpen     *Gauge      // circuits currently open
@@ -55,6 +56,7 @@ func NewMetrics(reg *Registry) *Metrics {
 			[]float64{.001, .01, .05, .1, .5, 1, 5}),
 		planHits:        reg.Counter("topk_plan_cache_requests_total", "Plan-cache lookups by result.", L("result", "hit")),
 		planMisses:      reg.Counter("topk_plan_cache_requests_total", "Plan-cache lookups by result.", L("result", "miss")),
+		planEvictions:   reg.Counter("topk_plan_cache_evictions_total", "Plan-cache entries discarded (LRU capacity or scenario invalidation)."),
 		breakerOpen:     reg.Gauge("topk_breaker_open", "Capability circuit breakers currently open."),
 		degradedReplans: reg.Counter("topk_degraded_replans_total", "Engine re-plans around a degraded scenario."),
 		shedRequests:    reg.Counter("topk_requests_shed_total", "Queries refused at admission (load shedding)."),
@@ -140,6 +142,9 @@ func (m *Metrics) PlanCache(hit bool) {
 		m.planMisses.Inc()
 	}
 }
+
+// PlanCacheEvict implements Observer.
+func (m *Metrics) PlanCacheEvict() { m.planEvictions.Inc() }
 
 // BreakerTransition implements Observer.
 func (m *Metrics) BreakerTransition(kind AccessKind, pred int, from, to BreakerState) {

@@ -182,6 +182,10 @@ type Observer interface {
 	SourceFailure()
 	// PlanCache reports a plan-cache lookup outcome.
 	PlanCache(hit bool)
+	// PlanCacheEvict fires when the plan cache discards an entry, either
+	// to make room (LRU capacity) or because its scenario fingerprint was
+	// invalidated.
+	PlanCacheEvict()
 	// BreakerTransition fires when a capability's circuit breaker changes
 	// state (open on consecutive failures, half-open after the cooldown,
 	// closed on a successful probe).
@@ -229,6 +233,9 @@ func (Nop) SourceFailure() {}
 
 // PlanCache implements Observer.
 func (Nop) PlanCache(bool) {}
+
+// PlanCacheEvict implements Observer.
+func (Nop) PlanCacheEvict() {}
 
 // BreakerTransition implements Observer.
 func (Nop) BreakerTransition(AccessKind, int, BreakerState, BreakerState) {}
@@ -292,6 +299,11 @@ func (m multi) SourceFailure() {
 func (m multi) PlanCache(hit bool) {
 	for _, o := range m {
 		o.PlanCache(hit)
+	}
+}
+func (m multi) PlanCacheEvict() {
+	for _, o := range m {
+		o.PlanCacheEvict()
 	}
 }
 func (m multi) BreakerTransition(k AccessKind, p int, from, to BreakerState) {

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 	"math"
@@ -284,34 +285,35 @@ func formatFloat(v float64) string {
 // exposition format (version 0.0.4), sorted by name then label set, with
 // one HELP/TYPE header per metric name. Values are individually atomic
 // snapshots; the exposition does not freeze the registry as a whole.
+// Output streams directly into w (no full-exposition intermediate), so
+// callers that pass a recycled buffer get a garbage-free scrape.
 func (r *Registry) WritePrometheus(w io.Writer) error {
-	var b strings.Builder
+	bw := bufio.NewWriter(w)
 	lastName := ""
 	for _, m := range r.snapshot() {
 		if m.name != lastName {
 			if m.help != "" {
-				fmt.Fprintf(&b, "# HELP %s %s\n", m.name, m.help)
+				fmt.Fprintf(bw, "# HELP %s %s\n", m.name, m.help)
 			}
-			fmt.Fprintf(&b, "# TYPE %s %s\n", m.name, m.kind)
+			fmt.Fprintf(bw, "# TYPE %s %s\n", m.name, m.kind)
 			lastName = m.name
 		}
 		switch m.kind {
 		case kindCounter:
-			fmt.Fprintf(&b, "%s%s %d\n", m.name, m.labels, m.counter.Value())
+			fmt.Fprintf(bw, "%s%s %d\n", m.name, m.labels, m.counter.Value())
 		case kindGauge:
-			fmt.Fprintf(&b, "%s%s %d\n", m.name, m.labels, m.gauge.Value())
+			fmt.Fprintf(bw, "%s%s %d\n", m.name, m.labels, m.gauge.Value())
 		case kindHistogram:
-			writeHistogram(&b, m)
+			writeHistogram(bw, m)
 		}
 	}
-	_, err := io.WriteString(w, b.String())
-	return err
+	return bw.Flush()
 }
 
 // writeHistogram renders cumulative le buckets, sum, and count. The
 // per-bucket atomic loads happen once, so the cumulative counts are
 // internally consistent even under concurrent observation.
-func writeHistogram(b *strings.Builder, m *metric) {
+func writeHistogram(b io.Writer, m *metric) {
 	h := m.histogram
 	inner := strings.TrimSuffix(strings.TrimPrefix(m.labels, "{"), "}")
 	withLe := func(le string) string {

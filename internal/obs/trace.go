@@ -47,6 +47,9 @@ type TraceSnapshot struct {
 	// PlanCacheHit reports the service plan-cache outcome (nil when no
 	// lookup happened, e.g. direct engine use).
 	PlanCacheHit *bool `json:"planCacheHit,omitempty"`
+	// PlanCacheEvictions counts plan-cache entries discarded while this
+	// query ran (LRU capacity or scenario invalidation).
+	PlanCacheEvictions int `json:"planCacheEvictions,omitempty"`
 	// BudgetExhausted reports that at least one access was refused because
 	// the session's cost budget ran dry (the anytime cutoff).
 	BudgetExhausted bool `json:"budgetExhausted,omitempty"`
@@ -94,6 +97,7 @@ type QueryTrace struct {
 
 	planCacheHit    bool
 	planCacheLooked bool
+	planEvictions   int
 
 	breakerEvents   []BreakerEvent
 	degradedReplans int
@@ -208,6 +212,13 @@ func (t *QueryTrace) PlanCache(hit bool) {
 	t.planCacheHit = hit
 }
 
+// PlanCacheEvict implements Observer.
+func (t *QueryTrace) PlanCacheEvict() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.planEvictions++
+}
+
 // BreakerTransition implements Observer.
 func (t *QueryTrace) BreakerTransition(kind AccessKind, pred int, from, to BreakerState) {
 	t.mu.Lock()
@@ -253,6 +264,7 @@ func (t *QueryTrace) Snapshot() TraceSnapshot {
 		SourceRetries:       t.retries,
 		SourceFailures:      t.failures,
 		BackoffSeconds:      t.backoff.Seconds(),
+		PlanCacheEvictions:  t.planEvictions,
 		BudgetExhausted:     t.denied[DenyBudget] > 0,
 		BreakerTransitions:  append([]BreakerEvent(nil), t.breakerEvents...),
 		DegradedReplans:     t.degradedReplans,

@@ -1,0 +1,212 @@
+package opt
+
+import (
+	"container/list"
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/access"
+	"repro/internal/score"
+)
+
+// DefaultPlanCacheCapacity bounds a PlanCache built with capacity <= 0.
+const DefaultPlanCacheCapacity = 128
+
+// CacheStats is a point-in-time snapshot of plan-cache effectiveness.
+// Hits include singleflight followers: a query that waited for a
+// concurrent identical optimization still avoided an estimator run.
+type CacheStats struct {
+	Hits, Misses, Evictions uint64
+}
+
+// PlanCache memoizes optimizer results across queries. Optimization is
+// the serve path's dominant fixed cost — an HClimb search prices hundreds
+// of configurations by simulation — while its inputs are fully
+// deterministic, so identical planning problems always yield identical
+// plans and can share one search.
+//
+// The key is a fingerprint of every input Optimize consumes: the
+// scenario's per-predicate capabilities and costs (deliberately not its
+// name — a breaker-degraded scenario differs in capability flags, so
+// degradation invalidates cached plans with no extra wiring), the scoring
+// function's identity, k, n, and the search configuration. Entries are
+// kept in LRU order up to a fixed capacity.
+//
+// Concurrent lookups of the same key are deduplicated singleflight-style:
+// the first caller runs Optimize, every concurrent duplicate blocks on
+// the in-flight call and shares its result, so a stampede of identical
+// queries costs exactly one estimator run.
+//
+// PlanCache is safe for concurrent use. Per the lock discipline, the
+// cache lock is never held across the optimizer run, the in-flight wait,
+// or observer emissions.
+type PlanCache struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[string]*list.Element
+	lru      *list.List // of *cacheEntry, front = most recent
+	inflight map[string]*planCall
+
+	hits, misses, evictions uint64
+}
+
+type cacheEntry struct {
+	key  string
+	plan Plan
+}
+
+type planCall struct {
+	done chan struct{} // closed when plan/err are set
+	plan Plan
+	err  error
+}
+
+// NewPlanCache builds a plan cache bounded to capacity entries
+// (DefaultPlanCacheCapacity when capacity <= 0).
+func NewPlanCache(capacity int) *PlanCache {
+	if capacity <= 0 {
+		capacity = DefaultPlanCacheCapacity
+	}
+	return &PlanCache{
+		capacity: capacity,
+		entries:  make(map[string]*list.Element),
+		lru:      list.New(),
+		inflight: make(map[string]*planCall),
+	}
+}
+
+// Get returns the plan for the planning problem, running Optimize on a
+// miss and caching the result. The returned plan's slices are the
+// caller's to own (defensive copies of the cached entry). Lookup outcomes
+// and evictions are emitted on cfg.Observer; errors are never cached.
+func (c *PlanCache) Get(cfg Config, scn access.Scenario, f score.Func, k, n int) (Plan, error) {
+	norm := cfg.withDefaults()
+	key := cacheKey(scn, f, k, n, norm)
+
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		plan := copyPlan(el.Value.(*cacheEntry).plan)
+		c.hits++
+		c.mu.Unlock()
+		if cfg.Observer != nil {
+			cfg.Observer.PlanCache(true)
+		}
+		return plan, nil
+	}
+	if call, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		<-call.done
+		if call.err != nil {
+			return Plan{}, call.err
+		}
+		c.mu.Lock()
+		c.hits++
+		c.mu.Unlock()
+		if cfg.Observer != nil {
+			cfg.Observer.PlanCache(true)
+		}
+		return copyPlan(call.plan), nil
+	}
+	call := &planCall{done: make(chan struct{})}
+	c.inflight[key] = call
+	c.misses++
+	c.mu.Unlock()
+	if cfg.Observer != nil {
+		cfg.Observer.PlanCache(false)
+	}
+
+	call.plan, call.err = Optimize(cfg, scn, f, k, n)
+	close(call.done)
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	evicted := 0
+	if call.err == nil {
+		evicted = c.insert(key, call.plan)
+	}
+	c.mu.Unlock()
+	for i := 0; i < evicted; i++ {
+		if cfg.Observer != nil {
+			cfg.Observer.PlanCacheEvict()
+		}
+	}
+	if call.err != nil {
+		return Plan{}, call.err
+	}
+	return copyPlan(call.plan), nil
+}
+
+// insert stores the plan under key and trims to capacity, returning how
+// many entries were evicted. Caller holds c.mu.
+func (c *PlanCache) insert(key string, p Plan) int {
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).plan = copyPlan(p)
+		c.lru.MoveToFront(el)
+		return 0
+	}
+	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, plan: copyPlan(p)})
+	evicted := 0
+	for c.lru.Len() > c.capacity {
+		back := c.lru.Back()
+		c.lru.Remove(back)
+		delete(c.entries, back.Value.(*cacheEntry).key)
+		c.evictions++
+		evicted++
+	}
+	return evicted
+}
+
+// Stats returns cumulative hit/miss/eviction counts.
+func (c *PlanCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions}
+}
+
+// Len returns the number of cached plans.
+func (c *PlanCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Purge drops every cached plan (counters are kept). In-flight
+// optimizations complete and re-insert; stale entries otherwise age out
+// via LRU, so Purge exists for tests and operational resets, not
+// correctness.
+func (c *PlanCache) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[string]*list.Element)
+	c.lru.Init()
+}
+
+func copyPlan(p Plan) Plan {
+	p.H = append([]float64(nil), p.H...)
+	p.Omega = append([]int(nil), p.Omega...)
+	return p
+}
+
+// cacheKey fingerprints a planning problem. cfg must already be
+// normalized (withDefaults) so a zero Config and an explicit default
+// Config share an entry. The scenario contributes capabilities and exact
+// costs per predicate; its display name is excluded on purpose (session
+// scenario names mutate — "/current", "/degraded" — without changing the
+// planning problem, and vice versa).
+func cacheKey(scn access.Scenario, f score.Func, k, n int, cfg Config) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "f=%s k=%d n=%d m=%d", f.Name(), k, n, scn.M())
+	for _, pc := range scn.Preds {
+		fmt.Fprintf(&b, "|s:%t:%d r:%t:%d", pc.SortedOK, int64(pc.Sorted), pc.RandomOK, int64(pc.Random))
+	}
+	fmt.Fprintf(&b, "|cfg=%d:%d:%d:%d:%d:%d:%t:%t", cfg.Scheme, cfg.Grid, cfg.SampleSize,
+		cfg.Restarts, cfg.MaxEvals, cfg.Seed, cfg.DisableNWG, cfg.RefineOmega)
+	if cfg.Sample != nil {
+		// A caller-supplied sample changes the estimator's input; identity
+		// (not content) is the practical discriminator for shared datasets.
+		fmt.Fprintf(&b, " sample=%p", cfg.Sample)
+	}
+	return b.String()
+}

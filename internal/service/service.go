@@ -38,6 +38,7 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -45,6 +46,7 @@ import (
 	"log"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -136,17 +138,12 @@ type Handler struct {
 	// inflight counts queries currently executing, for load shedding.
 	inflight atomic.Int64
 
-	// planCache memoizes optimizer plans per canonical query: repeated
-	// queries skip the plan search (costs are static for one service
-	// instance, so plans stay valid until restart).
-	mu        sync.Mutex
-	planCache map[string]cachedPlan
-	hits      int
-}
-
-type cachedPlan struct {
-	h     []float64
-	omega []int
+	// plans memoizes optimizer plans across queries, keyed by the full
+	// planning problem including the scenario the session currently sees —
+	// so a breaker-degraded scenario keys differently and repeated queries
+	// skip the plan search only while the plan is actually valid.
+	// Concurrent identical queries dedup to a single optimization.
+	plans *topk.PlanCache
 }
 
 // NewHandler validates the configuration and builds the service.
@@ -188,12 +185,12 @@ func NewHandler(cfg Config) (*Handler, error) {
 		querySec:  reg.Histogram("topk_query_seconds", "End-to-end /query latency.", nil),
 		slowTotal: reg.Counter("topk_slow_queries_total", "Queries slower than the configured threshold."),
 		breakers:  topk.NewBreakerSet(cfg.Dataset.M(), cfg.Breaker),
-		planCache: make(map[string]cachedPlan),
+		plans:     topk.NewPlanCache(0),
 	}
 	h.mux.HandleFunc("/meta", h.handleMeta)
 	h.mux.HandleFunc("/healthz", h.handleHealth)
 	h.mux.HandleFunc("/query", h.handleQuery)
-	h.mux.Handle("/metrics", reg)
+	h.mux.HandleFunc("/metrics", h.handleMetrics)
 	if cfg.EnablePprof {
 		// Explicit wiring: importing net/http/pprof for its side effect
 		// would publish profiles on http.DefaultServeMux for every binary
@@ -261,10 +258,47 @@ type errPayload struct {
 	Error string `json:"error"`
 }
 
+// bufPool recycles response buffers across requests: JSON answers and
+// metric expositions are encoded into a pooled buffer and written with a
+// single syscall-sized Write, instead of allocating an encoder stream per
+// response. Buffers that grew beyond maxPooledBuf are dropped rather than
+// pinned in the pool.
+var bufPool = sync.Pool{New: func() interface{} { return new(bytes.Buffer) }}
+
+const maxPooledBuf = 1 << 20
+
+func putBuf(b *bytes.Buffer) {
+	if b.Cap() <= maxPooledBuf {
+		bufPool.Put(b)
+	}
+}
+
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	_ = json.NewEncoder(buf).Encode(v)
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(buf.Bytes())
+	putBuf(buf)
+}
+
+// handleMetrics serves the Prometheus exposition through a pooled buffer:
+// the registry streams into recycled memory and the response goes out in
+// one Write with an exact Content-Length.
+func (h *Handler) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := h.reg.WritePrometheus(buf); err != nil {
+		putBuf(buf)
+		w.WriteHeader(http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	_, _ = w.Write(buf.Bytes())
+	putBuf(buf)
 }
 
 // handleHealth answers liveness, and — when a health backend is
@@ -379,7 +413,7 @@ func (h *Handler) execute(ctx context.Context, req QueryRequest, traced bool) (*
 	if h.cfg.WrapBackend != nil {
 		backend = h.cfg.WrapBackend(backend, cols)
 	}
-	eng, err := topk.NewEngine(backend, scn)
+	eng, err := topk.NewEngine(backend, scn, topk.WithPlanCache(h.plans))
 	if err != nil {
 		return nil, http.StatusInternalServerError, err
 	}
@@ -391,18 +425,10 @@ func (h *Handler) execute(ctx context.Context, req QueryRequest, traced bool) (*
 	opts := []topk.RunOption{topk.WithContext(ctx), topk.WithObserver(o), topk.WithResilience(res)}
 	switch alg := req.Algorithm; {
 	case alg == "" || alg == "opt":
-		h.mu.Lock()
-		cp, cached := h.planCache[pq.String()]
-		if cached {
-			h.hits++
-		}
-		h.mu.Unlock()
-		o.PlanCache(cached)
-		if cached {
-			opts = append(opts, topk.WithNC(cp.h, cp.omega))
-		} else {
-			opts = append(opts, topk.WithOptimizer(topk.OptimizerConfig(h.cfg.Optimizer)))
-		}
+		// The engine's plan cache (shared across queries via h.plans)
+		// resolves the plan; hit/miss lands on the observer from inside
+		// the cache, so the trace and metrics see the real outcome.
+		opts = append(opts, topk.WithOptimizer(topk.OptimizerConfig(h.cfg.Optimizer)))
 	case alg == "nc":
 		if req.H == nil {
 			return nil, http.StatusBadRequest, fmt.Errorf("service: algorithm \"nc\" requires h")
@@ -449,9 +475,6 @@ func (h *Handler) execute(ctx context.Context, req QueryRequest, traced bool) (*
 	}
 	if ans.Plan != nil {
 		resp.Plan = &PlanPayload{H: ans.Plan.H, Omega: ans.Plan.Omega}
-		h.mu.Lock()
-		h.planCache[pq.String()] = cachedPlan{h: ans.Plan.H, omega: ans.Plan.Omega}
-		h.mu.Unlock()
 	}
 	if tr != nil {
 		snap := tr.Snapshot()
@@ -461,9 +484,10 @@ func (h *Handler) execute(ctx context.Context, req QueryRequest, traced bool) (*
 }
 
 // PlanCacheHits reports how many queries were answered with a cached plan
-// (for tests and operational visibility).
-func (h *Handler) PlanCacheHits() int {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.hits
-}
+// (for tests and operational visibility). Singleflight followers count:
+// they reused a concurrent identical optimization.
+func (h *Handler) PlanCacheHits() int { return int(h.plans.Stats().Hits) }
+
+// PlanCacheStats reports the plan cache's cumulative hits, misses, and
+// evictions.
+func (h *Handler) PlanCacheStats() topk.PlanCacheStats { return h.plans.Stats() }

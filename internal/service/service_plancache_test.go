@@ -1,0 +1,89 @@
+package service
+
+// Plan-cache behaviour through the service's own execution path: breaker
+// degradation must invalidate cached plans (the scenario fingerprint
+// changes), and concurrent identical queries must share one optimization.
+
+import (
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	topk "repro"
+	"repro/internal/access"
+)
+
+func TestServicePlanCacheBreakerInvalidation(t *testing.T) {
+	ts, h := startFaultService(t, func(cfg *Config) {
+		cfg.Breaker = topk.BreakerConfig{FailureThreshold: 1, Cooldown: time.Hour}
+	})
+	req := QueryRequest{SQL: "select name from db order by min(rating, closeness) stop after 3"}
+	if resp, payload := postRaw(t, ts, "/query", req); resp.StatusCode != http.StatusOK {
+		t.Fatalf("first query: %d: %s", resp.StatusCode, payload)
+	}
+	if resp, payload := postRaw(t, ts, "/query", req); resp.StatusCode != http.StatusOK {
+		t.Fatalf("second query: %d: %s", resp.StatusCode, payload)
+	}
+	if st := h.PlanCacheStats(); st.Misses != 1 || st.Hits != 1 {
+		t.Fatalf("healthy repeat should hit; stats = %+v", st)
+	}
+	// Open the random-access breaker on p1 (threshold 1, 1h cooldown).
+	// Sorted access survives everywhere, so the degraded scenario stays
+	// plannable — but its fingerprint differs, and the repeat query must
+	// MISS: the cached plan solves a planning problem that no longer
+	// matches the world.
+	h.breakers.Record(access.RandomAccess, 1, false)
+	if got := h.breakers.State(access.RandomAccess, 1); got != access.BreakerOpen {
+		t.Fatalf("breaker state after failure = %v, want open", got)
+	}
+	if resp, payload := postRaw(t, ts, "/query", req); resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded repeat: %d: %s", resp.StatusCode, payload)
+	}
+	if st := h.PlanCacheStats(); st.Misses != 2 || st.Hits != 1 {
+		t.Fatalf("breaker flip must invalidate the cached plan; stats = %+v", st)
+	}
+	// The degraded fingerprint is itself cacheable: a fourth run hits.
+	if resp, payload := postRaw(t, ts, "/query", req); resp.StatusCode != http.StatusOK {
+		t.Fatalf("fourth query: %d: %s", resp.StatusCode, payload)
+	}
+	if st := h.PlanCacheStats(); st.Misses != 2 || st.Hits != 2 {
+		t.Fatalf("degraded plan should now be cached; stats = %+v", st)
+	}
+	if got := scrapeMetric(t, ts, "topk_plan_cache_requests_total"); got != 4 {
+		t.Errorf("plan-cache lookups in /metrics = %d, want 4", got)
+	}
+}
+
+func TestServicePlanCacheConcurrentDedup(t *testing.T) {
+	ts, h := startFaultService(t, nil)
+	req := QueryRequest{SQL: "select name from db order by avg(rating, closeness) stop after 5"}
+	const dupes = 8
+	var wg sync.WaitGroup
+	for i := 0; i < dupes; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, payload := postRaw(t, ts, "/query", req)
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("concurrent query: %d: %s", resp.StatusCode, payload)
+			}
+		}()
+	}
+	wg.Wait()
+	// Whatever the interleaving — singleflight followers or late cache
+	// hits — the stampede must have cost exactly one optimization.
+	if st := h.PlanCacheStats(); st.Misses != 1 || st.Hits != dupes-1 {
+		t.Errorf("stats after %d concurrent identical queries = %+v, want 1 miss / %d hits",
+			dupes, st, dupes-1)
+	}
+	// One more run of the same query is a pure hit and must change nothing
+	// about the estimator: evals come only from the single optimization.
+	before := scrapeMetric(t, ts, "topk_estimator_evals_total")
+	if resp, _ := postRaw(t, ts, "/query", req); resp.StatusCode != http.StatusOK {
+		t.Fatal("repeat query failed")
+	}
+	if after := scrapeMetric(t, ts, "topk_estimator_evals_total"); after != before {
+		t.Errorf("cache hit still ran the estimator: evals %d -> %d", before, after)
+	}
+}

@@ -1,7 +1,6 @@
 package state
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -23,20 +22,6 @@ func (e Entry) Before(o Entry) bool {
 	return e.ID > o.ID
 }
 
-type entryHeap []Entry
-
-func (h entryHeap) Len() int            { return len(h) }
-func (h entryHeap) Less(a, b int) bool  { return h[a].Before(h[b]) }
-func (h entryHeap) Swap(a, b int)       { h[a], h[b] = h[b], h[a] }
-func (h *entryHeap) Push(x interface{}) { *h = append(*h, x.(Entry)) }
-func (h *entryHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
-}
-
 // Queue is a priority queue of candidate objects ordered by
 // maximal-possible score, the "search mechanism for finding unsatisfied
 // tasks" suggested by Section 6.1. Because upper bounds only ever
@@ -48,18 +33,43 @@ func (h *entryHeap) Pop() interface{} {
 // unseen object (Figure 10); real objects are added as sorted accesses
 // reveal them. Without the rule, all objects start in the queue with the
 // perfect bound F(1,...,1).
+//
+// The heap is hand-rolled (typed sift-up/sift-down over []Entry) rather
+// than container/heap: the interface-based API boxes every Entry pushed or
+// popped, and those per-access allocations dominated serve-path profiles.
+// All queue operations are allocation-free once the backing arrays have
+// grown to their high-water mark.
 type Queue struct {
 	t        *Table
-	h        entryHeap
-	inQueue  map[int]bool
+	h        []Entry
+	inQueue  []bool // indexed by id+1 so UnseenID (-1) maps to slot 0
 	hasUnsn  bool
 	nwgStart bool
+	scratch  []Entry // TopN result buffer, reused across calls
 }
 
 // NewQueue builds the candidate queue. If nwg is true, only the virtual
 // unseen object is enqueued initially; otherwise every object is.
 func NewQueue(t *Table, nwg bool) *Queue {
-	q := &Queue{t: t, inQueue: make(map[int]bool, t.N()+1), nwgStart: nwg}
+	q := &Queue{}
+	q.Reset(t, nwg)
+	return q
+}
+
+// Reset re-initializes the queue over a (possibly different) table,
+// reusing the backing arrays. It restores exactly the NewQueue state, so
+// pooled queues behave identically to fresh ones.
+func (q *Queue) Reset(t *Table, nwg bool) {
+	q.t = t
+	q.h = q.h[:0]
+	if cap(q.inQueue) < t.N()+1 {
+		q.inQueue = make([]bool, t.N()+1)
+	} else {
+		q.inQueue = q.inQueue[:t.N()+1]
+		clear(q.inQueue)
+	}
+	q.hasUnsn = false
+	q.nwgStart = nwg
 	if nwg {
 		q.pushRaw(Entry{ID: UnseenID, Upper: t.UnseenUpper()})
 	} else {
@@ -67,18 +77,74 @@ func NewQueue(t *Table, nwg bool) *Queue {
 			q.pushRaw(Entry{ID: u, Upper: t.Upper(u)})
 		}
 	}
-	return q
+}
+
+// siftUp restores the heap invariant after appending at index i.
+func (q *Queue) siftUp(i int) {
+	h := q.h
+	e := h[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.Before(h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = e
+}
+
+// siftDown restores the heap invariant after replacing the entry at index
+// i (with n live entries).
+func (q *Queue) siftDown(i int) {
+	h := q.h
+	n := len(h)
+	e := h[i]
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		best := l
+		if r := l + 1; r < n && h[r].Before(h[l]) {
+			best = r
+		}
+		if !h[best].Before(e) {
+			break
+		}
+		h[i] = h[best]
+		i = best
+	}
+	h[i] = e
 }
 
 func (q *Queue) pushRaw(e Entry) {
-	if q.inQueue[e.ID] {
+	if q.inQueue[e.ID+1] {
 		return
 	}
-	q.inQueue[e.ID] = true
+	q.inQueue[e.ID+1] = true
 	if e.ID == UnseenID {
 		q.hasUnsn = true
 	}
-	heap.Push(&q.h, e)
+	q.h = append(q.h, e)
+	q.siftUp(len(q.h) - 1)
+}
+
+// popTop removes and returns the heap root without validation.
+func (q *Queue) popTop() Entry {
+	h := q.h
+	e := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	q.h = h[:last]
+	if last > 0 {
+		q.siftDown(0)
+	}
+	q.inQueue[e.ID+1] = false
+	if e.ID == UnseenID {
+		q.hasUnsn = false
+	}
+	return e
 }
 
 // Add enqueues object u (typically when it is first seen). Adding an
@@ -95,7 +161,7 @@ func (q *Queue) Add(u int) {
 func (q *Queue) Len() int { return len(q.h) }
 
 // Contains reports whether id is in the queue.
-func (q *Queue) Contains(id int) bool { return q.inQueue[id] }
+func (q *Queue) Contains(id int) bool { return q.inQueue[id+1] }
 
 // revalidateTop restores the invariant that the heap root carries its
 // current (not stale) upper bound, dropping the unseen entry once all
@@ -104,15 +170,13 @@ func (q *Queue) revalidateTop() bool {
 	for len(q.h) > 0 {
 		top := q.h[0]
 		if top.ID == UnseenID && q.t.AllSeen() {
-			heap.Pop(&q.h)
-			delete(q.inQueue, UnseenID)
-			q.hasUnsn = false
+			q.popTop()
 			continue
 		}
 		cur := q.t.UpperOf(top.ID)
 		if cur < top.Upper {
 			q.h[0].Upper = cur
-			heap.Fix(&q.h, 0)
+			q.siftDown(0)
 			continue
 		}
 		return true
@@ -133,23 +197,20 @@ func (q *Queue) Pop() (Entry, bool) {
 	if !q.revalidateTop() {
 		return Entry{}, false
 	}
-	e := heap.Pop(&q.h).(Entry)
-	delete(q.inQueue, e.ID)
-	if e.ID == UnseenID {
-		q.hasUnsn = false
-	}
-	return e, true
+	return q.popTop(), true
 }
 
 // TopN returns the current best n candidates in order without disturbing
 // the queue (entries are popped with validation and reinserted). It is
 // used by the parallel executor to find several distinct unsatisfied
-// tasks, and by K_P-style inspection in tests.
+// tasks, and by K_P-style inspection in tests. The returned slice is a
+// scratch buffer owned by the queue, valid only until the next TopN call;
+// callers that retain it must copy.
 func (q *Queue) TopN(n int) []Entry {
 	if n <= 0 {
 		return nil
 	}
-	out := make([]Entry, 0, n)
+	out := q.scratch[:0]
 	for len(out) < n {
 		e, ok := q.Pop()
 		if !ok {
@@ -160,6 +221,7 @@ func (q *Queue) TopN(n int) []Entry {
 	for _, e := range out {
 		q.pushRaw(e)
 	}
+	q.scratch = out
 	return out
 }
 

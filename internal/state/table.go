@@ -63,6 +63,29 @@ func NewTable(n, m int, f score.Func) (*Table, error) {
 	return t, nil
 }
 
+// Reset restores the table to its as-new state for a fresh run over the
+// same n and m, optionally swapping the scoring function (nil keeps the
+// current one). It reuses every backing array, so pooled tables make a
+// query execution allocation-free; val does not need clearing because
+// known gates every read.
+func (t *Table) Reset(f score.Func) error {
+	if f != nil {
+		if err := score.Validate(f, t.m); err != nil {
+			return err
+		}
+		t.f = f
+	}
+	clear(t.known)
+	clear(t.nknown)
+	clear(t.depth)
+	clear(t.seen)
+	t.nseen = 0
+	for i := range t.lastSeen {
+		t.lastSeen[i] = 1
+	}
+	return nil
+}
+
 // N returns the object count.
 func (t *Table) N() int { return t.n }
 

@@ -28,6 +28,7 @@ package topk
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/access"
@@ -64,6 +65,11 @@ type (
 	Plan = opt.Plan
 	// OptimizerConfig tunes the cost-based optimizer.
 	OptimizerConfig = opt.Config
+	// PlanCache memoizes optimizer plans across queries with LRU bounds
+	// and singleflight dedup (see WithPlanCache).
+	PlanCache = opt.PlanCache
+	// PlanCacheStats reports plan-cache hits, misses, and evictions.
+	PlanCacheStats = opt.CacheStats
 	// Observer receives engine execution events (see WithObserver).
 	Observer = obs.Observer
 	// TraceSnapshot is a per-query execution trace (see WithTrace).
@@ -93,6 +99,9 @@ var (
 	// NewBreakerSet builds a closed circuit-breaker set for m predicates,
 	// to be shared across runs via WithResilience.
 	NewBreakerSet = access.NewBreakerSet
+	// NewPlanCache builds a bounded optimizer plan cache (capacity <= 0
+	// selects the default), to be shared across engines via WithPlanCache.
+	NewPlanCache = opt.NewPlanCache
 )
 
 // Scoring-function constructors.
@@ -184,10 +193,45 @@ func (a *Answer) TotalCost() Cost { return a.Ledger.TotalCost }
 // Engine executes top-k queries against a backend under a cost scenario.
 // An Engine is reusable: every Run opens a fresh access session.
 type Engine struct {
-	backend Backend
-	scn     Scenario
-	nwg     bool
-	shifts  []CostShift
+	backend   Backend
+	scn       Scenario
+	nwg       bool
+	shifts    []CostShift
+	planCache *PlanCache
+
+	// pool recycles per-query state (access session + framework scratch)
+	// across sequential Runs. Pooled state is fully reset before reuse;
+	// nothing in an Answer aliases it.
+	pool sync.Pool // of *queryState
+}
+
+// queryState is the per-query allocation unit the engine recycles.
+type queryState struct {
+	sess    *access.Session
+	scratch algo.Scratch
+}
+
+// acquire returns a reset pooled query state, or builds a fresh one.
+func (e *Engine) acquire(sessOpts []access.Option) (*queryState, error) {
+	if st, ok := e.pool.Get().(*queryState); ok {
+		if err := st.sess.Reset(sessOpts...); err != nil {
+			return nil, err
+		}
+		return st, nil
+	}
+	sess, err := access.NewSession(e.backend, e.scn, sessOpts...)
+	if err != nil {
+		return nil, err
+	}
+	return &queryState{sess: sess}, nil
+}
+
+// optimize resolves a plan through the attached cache, or directly.
+func (e *Engine) optimize(cfg OptimizerConfig, scn Scenario, f ScoreFunc, k, n int) (Plan, error) {
+	if e.planCache != nil {
+		return e.planCache.Get(cfg, scn, f, k, n)
+	}
+	return opt.Optimize(cfg, scn, f, k, n)
 }
 
 // EngineOption configures an Engine.
@@ -201,6 +245,17 @@ func WithoutNoWildGuesses() EngineOption { return func(e *Engine) { e.nwg = fals
 // studies; each Run replays them afresh).
 func WithCostShifts(shifts ...CostShift) EngineOption {
 	return func(e *Engine) { e.shifts = append(e.shifts, shifts...) }
+}
+
+// WithPlanCache attaches a plan cache: Runs that would invoke the
+// cost-based optimizer first consult it, keyed by the full planning
+// problem (current scenario capabilities and costs, scoring function, k,
+// n, optimizer config). Identical queries then share one optimization —
+// including concurrent ones, which dedup to a single search. A cache may
+// be shared across engines. Runs against a breaker-degraded scenario key
+// differently, so degradation invalidates cached plans automatically.
+func WithPlanCache(c *PlanCache) EngineOption {
+	return func(e *Engine) { e.planCache = c }
 }
 
 // NewEngine validates the scenario against the backend and builds an
@@ -421,9 +476,25 @@ func (e *Engine) Run(q Query, opts ...RunOption) (*Answer, error) {
 	if o != nil {
 		sessOpts = append(sessOpts, access.WithObserver(o))
 	}
-	sess, err := access.NewSession(e.backend, e.scn, sessOpts...)
-	if err != nil {
-		return nil, err
+	// Sequential runs draw their session and framework scratch from the
+	// engine's pool; the concurrent executor manages its own lifecycle, so
+	// its session stays unpooled.
+	var (
+		sess *access.Session
+		st   *queryState
+	)
+	if spec.parallelB == 0 {
+		var aerr error
+		if st, aerr = e.acquire(sessOpts); aerr != nil {
+			return nil, aerr
+		}
+		sess = st.sess
+		defer e.pool.Put(st)
+	} else {
+		var serr error
+		if sess, serr = access.NewSession(e.backend, e.scn, sessOpts...); serr != nil {
+			return nil, serr
+		}
 	}
 	prob, err := algo.NewProblem(q.F, q.K, sess)
 	if err != nil {
@@ -453,7 +524,7 @@ func (e *Engine) Run(q Query, opts ...RunOption) (*Answer, error) {
 		cfg.DisableNWG = !e.nwg
 		cfg.Observer = o
 		optStart := time.Now()
-		plan, err := opt.Optimize(cfg, sess.CurrentScenario(), q.F, q.K, sess.N())
+		plan, err := e.optimize(cfg, sess.CurrentScenario(), q.F, q.K, sess.N())
 		if o != nil {
 			o.PhaseDone(obs.PhaseOptimize, time.Since(optStart))
 		}
@@ -505,7 +576,12 @@ func (e *Engine) Run(q Query, opts ...RunOption) (*Answer, error) {
 		}
 		alg = &algo.NC{Sel: sel, Epsilon: spec.epsilon, Obs: o}
 	}
-	res, err := alg.Run(prob)
+	var res *algo.Result
+	if nc, ok := alg.(*algo.NC); ok && st != nil {
+		res, err = nc.RunScratch(prob, &st.scratch)
+	} else {
+		res, err = alg.Run(prob)
+	}
 	execDone()
 	if err != nil {
 		return nil, err
@@ -593,7 +669,7 @@ func (e *Engine) Open(q Query, opts ...RunOption) (*Cursor, error) {
 		cfg.DisableNWG = !e.nwg
 		cfg.Observer = spec.observer
 		optStart := time.Now()
-		plan, err := opt.Optimize(cfg, e.scn, q.F, q.K, sess.N())
+		plan, err := e.optimize(cfg, e.scn, q.F, q.K, sess.N())
 		if spec.observer != nil {
 			spec.observer.PhaseDone(obs.PhaseOptimize, time.Since(optStart))
 		}
@@ -650,7 +726,7 @@ func (e *Engine) runLive(q Query, spec runSpec) (*Answer, error) {
 		cfg.DisableNWG = !e.nwg
 		cfg.Observer = o
 		optStart := time.Now()
-		plan, err := opt.Optimize(cfg, e.scn, q.F, q.K, e.backend.N())
+		plan, err := e.optimize(cfg, e.scn, q.F, q.K, e.backend.N())
 		if o != nil {
 			o.PhaseDone(obs.PhaseOptimize, time.Since(optStart))
 		}
