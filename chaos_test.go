@@ -114,55 +114,70 @@ func TestChaosFigure2Matrix(t *testing.T) {
 	for _, cell := range cells {
 		for _, seed := range seeds {
 			for profile, pr := range chaosProfiles(seed) {
-				name := fmt.Sprintf("%s/seed%d/%s", cell.name, seed, profile)
-				t.Run(name, func(t *testing.T) {
-					ds, err := data.Generate(data.Uniform, n, 3, seed)
-					if err != nil {
-						t.Fatal(err)
+				// The matrix runs twice: once against the raw backend and
+				// once with the cross-query sharing layer underneath the
+				// fault injector (the service's composition order — faults
+				// hit sessions and breakers, never poison shared caches).
+				// The degradation contract must hold identically in both.
+				for _, sharing := range []bool{false, true} {
+					name := fmt.Sprintf("%s/seed%d/%s", cell.name, seed, profile)
+					if sharing {
+						name += "/shared"
 					}
-					eng, err := NewEngine(fault.Wrap(DataBackend(ds), pr.faults), cell.scn)
-					if err != nil {
-						t.Fatal(err)
-					}
-					ctx, cancel := context.WithTimeout(context.Background(), deadline)
-					defer cancel()
-					start := time.Now()
-					ans, err := eng.Run(Query{F: Min(), K: k},
-						WithContext(ctx),
-						WithResilience(&Resilience{
-							Breakers:      NewBreakerSet(3, pr.breaker),
-							AccessTimeout: 50 * time.Millisecond,
-						}))
-					elapsed := time.Since(start)
-					if err != nil {
-						t.Fatalf("chaos run errored (must degrade instead): %v", err)
-					}
-					if elapsed >= deadline {
-						t.Fatalf("query overran its deadline: %v", elapsed)
-					}
-					if ans.Truncated {
-						if len(ans.Degraded) == 0 {
-							t.Fatal("truncated answer carries no degraded reasons")
+					t.Run(name, func(t *testing.T) {
+						ds, err := data.Generate(data.Uniform, n, 3, seed)
+						if err != nil {
+							t.Fatal(err)
 						}
-						// A degraded answer must still be honest about what
-						// it knows exactly.
-						for _, it := range ans.Items {
-							if it.Exact {
-								truth := Min().Eval(ds.Scores(it.Obj))
-								if math.Abs(it.Score-truth) > 1e-9 {
-									t.Fatalf("degraded answer lies: object %d exact %g, truth %g", it.Obj, it.Score, truth)
+						breakers := NewBreakerSet(3, pr.breaker)
+						backend := DataBackend(ds)
+						if sharing {
+							backend = NewSharedAccess(backend, SharingOptions{Breakers: breakers})
+						}
+						eng, err := NewEngine(fault.Wrap(backend, pr.faults), cell.scn)
+						if err != nil {
+							t.Fatal(err)
+						}
+						ctx, cancel := context.WithTimeout(context.Background(), deadline)
+						defer cancel()
+						start := time.Now()
+						ans, err := eng.Run(Query{F: Min(), K: k},
+							WithContext(ctx),
+							WithResilience(&Resilience{
+								Breakers:      breakers,
+								AccessTimeout: 50 * time.Millisecond,
+							}))
+						elapsed := time.Since(start)
+						if err != nil {
+							t.Fatalf("chaos run errored (must degrade instead): %v", err)
+						}
+						if elapsed >= deadline {
+							t.Fatalf("query overran its deadline: %v", elapsed)
+						}
+						if ans.Truncated {
+							if len(ans.Degraded) == 0 {
+								t.Fatal("truncated answer carries no degraded reasons")
+							}
+							// A degraded answer must still be honest about what
+							// it knows exactly.
+							for _, it := range ans.Items {
+								if it.Exact {
+									truth := Min().Eval(ds.Scores(it.Obj))
+									if math.Abs(it.Score-truth) > 1e-9 {
+										t.Fatalf("degraded answer lies: object %d exact %g, truth %g", it.Obj, it.Score, truth)
+									}
 								}
 							}
+							degradedCount++
+							return
 						}
-						degradedCount++
-						return
-					}
-					if len(ans.Degraded) != 0 {
-						t.Fatalf("exact answer carries degraded reasons %v", ans.Degraded)
-					}
-					assertExactTopK(t, ds, Min(), k, ans)
-					exactCount++
-				})
+						if len(ans.Degraded) != 0 {
+							t.Fatalf("exact answer carries degraded reasons %v", ans.Degraded)
+						}
+						assertExactTopK(t, ds, Min(), k, ans)
+						exactCount++
+					})
+				}
 			}
 		}
 	}

@@ -1,0 +1,157 @@
+// Command benchtrend gates benchmark trend drift: it parses `go test
+// -bench` output from stdin and compares every measured case against the
+// committed BENCH_*.json baselines, failing when a case drifts beyond the
+// tolerance. The nightly workflow runs the full benchmark suite at
+// -benchtime 2s and pipes it through this tool, so a regression (or an
+// unbelievable speedup — usually a broken benchmark) surfaces as a red
+// run with the offending cases listed.
+//
+// Usage:
+//
+//	go test -bench . -benchtime 2s -run '^$' ./... | benchtrend -tolerance 0.25 BENCH_perf.json BENCH_share.json BENCH_obs.json
+//
+// Benchmark sub-case names map onto baseline case keys by dropping the
+// Benchmark prefix and the -GOMAXPROCS suffix and flattening slashes:
+// "BenchmarkServeThroughput/fixed/sequential-8" is case "fixed_sequential"
+// of the file whose "benchmark" field is "BenchmarkServeThroughput".
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// baselineFile is the slice of a BENCH_*.json file benchtrend consumes.
+type baselineFile struct {
+	Benchmark string                        `json:"benchmark"`
+	Cases     map[string]map[string]float64 `json:"cases"`
+}
+
+// measurement is one parsed benchmark output line.
+type measurement struct {
+	bench string // "BenchmarkServeThroughput"
+	key   string // "fixed_sequential"
+	nsOp  float64
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\w+)/(\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// parseBench extracts the per-case ns/op measurements from `go test
+// -bench` output. Unrecognized lines (headers, PASS, plain tests) are
+// skipped; repeated cases (-count > 1) keep their fastest run, the
+// conventional noise filter for trend comparison.
+func parseBench(r io.Reader) ([]measurement, error) {
+	best := map[string]measurement{}
+	var order []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchtrend: bad ns/op in %q: %w", sc.Text(), err)
+		}
+		key := strings.ReplaceAll(m[2], "/", "_")
+		id := m[1] + "/" + key
+		prev, seen := best[id]
+		if !seen {
+			order = append(order, id)
+		}
+		if !seen || ns < prev.nsOp {
+			best[id] = measurement{bench: m[1], key: key, nsOp: ns}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]measurement, 0, len(order))
+	for _, id := range order {
+		out = append(out, best[id])
+	}
+	return out, nil
+}
+
+// compare checks measurements against the baselines, writing one report
+// line per matched case. It returns how many cases matched and how many
+// drifted beyond the tolerance.
+func compare(w io.Writer, meas []measurement, baselines map[string]baselineFile, tolerance float64) (matched, drifted int) {
+	for _, m := range meas {
+		bl, ok := baselines[m.bench]
+		if !ok {
+			continue
+		}
+		c, ok := bl.Cases[m.key]
+		if !ok {
+			fmt.Fprintf(w, "SKIP %s/%s: no committed baseline case\n", m.bench, m.key)
+			continue
+		}
+		base := c["ns_per_op"]
+		if base <= 0 {
+			fmt.Fprintf(w, "SKIP %s/%s: baseline has no ns_per_op\n", m.bench, m.key)
+			continue
+		}
+		matched++
+		delta := (m.nsOp - base) / base
+		status := "ok  "
+		if delta > tolerance || delta < -tolerance {
+			status = "DRIFT"
+			drifted++
+		}
+		fmt.Fprintf(w, "%s %s/%s: %.0f ns/op vs baseline %.0f (%+.1f%%, tolerance ±%.0f%%)\n",
+			status, m.bench, m.key, m.nsOp, base, delta*100, tolerance*100)
+	}
+	return matched, drifted
+}
+
+func run() error {
+	tolerance := flag.Float64("tolerance", 0.25, "allowed relative drift from the committed ns_per_op")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		return fmt.Errorf("benchtrend: need at least one BENCH_*.json baseline file")
+	}
+	baselines := map[string]baselineFile{}
+	for _, path := range flag.Args() {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("benchtrend: %w", err)
+		}
+		var bl baselineFile
+		if err := json.Unmarshal(raw, &bl); err != nil {
+			return fmt.Errorf("benchtrend: %s: %w", path, err)
+		}
+		if bl.Benchmark == "" || len(bl.Cases) == 0 {
+			return fmt.Errorf("benchtrend: %s: missing benchmark name or cases", path)
+		}
+		baselines[bl.Benchmark] = bl
+	}
+	meas, err := parseBench(os.Stdin)
+	if err != nil {
+		return err
+	}
+	matched, drifted := compare(os.Stdout, meas, baselines, *tolerance)
+	if matched == 0 {
+		return fmt.Errorf("benchtrend: no measured case matched any baseline — wrong -bench selection?")
+	}
+	if drifted > 0 {
+		return fmt.Errorf("benchtrend: %d of %d cases drifted beyond ±%.0f%%", drifted, matched, *tolerance*100)
+	}
+	fmt.Printf("benchtrend: %d cases within ±%.0f%% of committed baselines\n", matched, *tolerance*100)
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro/internal/bench
+BenchmarkServeThroughput/fixed/sequential-8         	    2000	    140000 ns/op	      7142 queries/s	    1049 B/op	      13 allocs/op
+BenchmarkServeThroughput/fixed/sequential-8         	    2000	    138000 ns/op	      7246 queries/s	    1049 B/op	      13 allocs/op
+BenchmarkServeThroughput/opt/cache-8                	    2000	    500000 ns/op	      2000 queries/s	    1592 B/op	      28 allocs/op
+BenchmarkSharedThroughput/shared/parallel-8         	    2000	    163297 ns/op	         0.167 backend-accesses/query	      6124 queries/s	    1056 B/op	      13 allocs/op
+PASS
+`
+
+func sampleBaselines() map[string]baselineFile {
+	return map[string]baselineFile{
+		"BenchmarkServeThroughput": {
+			Benchmark: "BenchmarkServeThroughput",
+			Cases: map[string]map[string]float64{
+				"fixed_sequential": {"ns_per_op": 138616},
+				"opt_cache":        {"ns_per_op": 139713},
+			},
+		},
+		"BenchmarkSharedThroughput": {
+			Benchmark: "BenchmarkSharedThroughput",
+			Cases: map[string]map[string]float64{
+				"shared_parallel": {"ns_per_op": 163297},
+			},
+		},
+	}
+}
+
+func TestParseBench(t *testing.T) {
+	meas, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(meas) != 3 {
+		t.Fatalf("parsed %d cases, want 3 (repeats collapse): %+v", len(meas), meas)
+	}
+	// Repeated cases keep the fastest run.
+	if meas[0].bench != "BenchmarkServeThroughput" || meas[0].key != "fixed_sequential" || meas[0].nsOp != 138000 {
+		t.Errorf("first case = %+v", meas[0])
+	}
+	if meas[2].key != "shared_parallel" {
+		t.Errorf("third case = %+v", meas[2])
+	}
+}
+
+func TestCompareFlagsDrift(t *testing.T) {
+	meas, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report strings.Builder
+	matched, drifted := compare(&report, meas, sampleBaselines(), 0.25)
+	if matched != 3 {
+		t.Errorf("matched = %d, want 3", matched)
+	}
+	// opt/cache measured 500000 vs baseline 139713: far outside ±25%.
+	if drifted != 1 {
+		t.Errorf("drifted = %d, want 1\n%s", drifted, report.String())
+	}
+	if !strings.Contains(report.String(), "DRIFT BenchmarkServeThroughput/opt_cache") {
+		t.Errorf("report missing drift line:\n%s", report.String())
+	}
+
+	report.Reset()
+	if _, drifted := compare(&report, meas, sampleBaselines(), 5.0); drifted != 0 {
+		t.Errorf("generous tolerance should pass everything:\n%s", report.String())
+	}
+}

@@ -148,6 +148,7 @@ func runServeBench(queries int) error {
 	q := topk.Query{F: topk.Avg(), K: 10}
 	fixed := topk.WithNC([]float64{0.5, 0.5}, nil)
 	optimized := topk.WithOptimizer(topk.OptimizerConfig{})
+	shared := topk.NewSharedAccess(topk.DataBackend(ds), topk.SharingOptions{})
 	cases := []struct {
 		name string
 		opts []topk.EngineOption
@@ -156,6 +157,7 @@ func runServeBench(queries int) error {
 		{"fixed-plan", nil, []topk.RunOption{fixed}},
 		{"optimizer/no-cache", nil, []topk.RunOption{optimized}},
 		{"optimizer/plan-cache", []topk.EngineOption{topk.WithPlanCache(topk.NewPlanCache(0))}, []topk.RunOption{optimized}},
+		{"optimizer/shared", []topk.EngineOption{topk.WithPlanCache(topk.NewPlanCache(0)), topk.WithSharing(shared)}, []topk.RunOption{optimized}},
 	}
 	fmt.Printf("serve-path throughput (%d queries per case, E1 workload)\n", queries)
 	for _, c := range cases {

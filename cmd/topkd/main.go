@@ -56,6 +56,9 @@ func run() error {
 		accessTimeout = flag.Duration("access-timeout", 5*time.Second, "per-access deadline inside a query (negative disables)")
 		brkThreshold  = flag.Int("breaker-threshold", 3, "consecutive access failures that open a capability's circuit")
 		brkCooldown   = flag.Duration("breaker-cooldown", time.Second, "how long an open circuit waits before probing the source again")
+
+		shareOn  = flag.Bool("share", false, "share accesses across concurrent queries: shared sorted cursors and a score cache (topk_share_* in /metrics)")
+		shareCap = flag.Int("share-cache", 0, "shared score cache capacity in entries (0 = default, negative disables score caching)")
 	)
 	flag.Parse()
 
@@ -128,12 +131,14 @@ func run() error {
 		MaxInflight:        *maxInflight,
 		AccessTimeout:      *accessTimeout,
 		Breaker:            topk.BreakerConfig{FailureThreshold: *brkThreshold, Cooldown: *brkCooldown},
+		EnableSharing:      *shareOn,
+		ShareScoreCapacity: *shareCap,
 	})
 	if err != nil {
 		return err
 	}
-	log.Printf("topkd: serving %s (%d objects, predicates %v) under scenario %q on %s (metrics on /metrics, pprof=%v)",
-		ds.Name(), ds.N(), columns, scn.Name, *addr, *pprofOn)
+	log.Printf("topkd: serving %s (%d objects, predicates %v) under scenario %q on %s (metrics on /metrics, pprof=%v, share=%v)",
+		ds.Name(), ds.N(), columns, scn.Name, *addr, *pprofOn, *shareOn)
 	return http.ListenAndServe(*addr, h)
 }
 

@@ -203,6 +203,11 @@ func cacheKey(scn access.Scenario, f score.Func, k, n int, cfg Config) string {
 	}
 	fmt.Fprintf(&b, "|cfg=%d:%d:%d:%d:%d:%d:%t:%t", cfg.Scheme, cfg.Grid, cfg.SampleSize,
 		cfg.Restarts, cfg.MaxEvals, cfg.Seed, cfg.DisableNWG, cfg.RefineOmega)
+	if cfg.SortedDiscount > 0 || cfg.RandomDiscount > 0 {
+		// Sharing discounts reshape the scenario Optimize plans against;
+		// quantized rates keep the key space small.
+		fmt.Fprintf(&b, " disc=%g:%g", cfg.SortedDiscount, cfg.RandomDiscount)
+	}
 	if cfg.Sample != nil {
 		// A caller-supplied sample changes the estimator's input; identity
 		// (not content) is the practical discriminator for shared datasets.

@@ -2,6 +2,7 @@ package opt
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/access"
 	"repro/internal/algo"
@@ -32,9 +33,33 @@ type Config struct {
 	// kept. Only honored for m <= 4 (beyond that the greedy schedule
 	// stands, as the paper prescribes).
 	RefineOmega bool
+	// SortedDiscount and RandomDiscount scale the scenario's per-access
+	// costs down before planning, modeling expected savings from the
+	// cross-query sharing layer: a sorted access that hits a shared cursor
+	// prefix (or a random access that hits the score cache) never reaches
+	// the source, so its expected cost is (1 - hit rate) of the nominal
+	// cost. Values are clamped to [0, maxDiscount]; callers should feed
+	// quantized rates (share.Stats.Discounts) so plan-cache keys stay
+	// stable as the observed rate drifts.
+	SortedDiscount float64
+	RandomDiscount float64
 	// Observer, when non-nil, receives optimizer events: one
 	// EstimatorEval per priced configuration (memoized or simulated).
 	Observer obs.Observer
+}
+
+// maxDiscount caps sharing discounts: even a near-perfect cache must not
+// price accesses at zero, or the optimizer would treat the source as free.
+const maxDiscount = 0.95
+
+func clampDiscount(d float64) float64 {
+	if d < 0 || math.IsNaN(d) {
+		return 0
+	}
+	if d > maxDiscount {
+		return maxDiscount
+	}
+	return d
 }
 
 func (c Config) withDefaults() Config {
@@ -50,7 +75,27 @@ func (c Config) withDefaults() Config {
 	if c.MaxEvals == 0 {
 		c.MaxEvals = 20000
 	}
+	c.SortedDiscount = clampDiscount(c.SortedDiscount)
+	c.RandomDiscount = clampDiscount(c.RandomDiscount)
 	return c
+}
+
+// discountScenario applies the sharing discounts to a scenario's costs,
+// returning the input unchanged when both are zero.
+func discountScenario(scn access.Scenario, sd, rd float64) access.Scenario {
+	if sd <= 0 && rd <= 0 {
+		return scn
+	}
+	preds := append([]access.PredCost(nil), scn.Preds...)
+	for i := range preds {
+		if sd > 0 && preds[i].SortedOK {
+			preds[i].Sorted = access.Cost(math.Round(float64(preds[i].Sorted) * (1 - sd)))
+		}
+		if rd > 0 && preds[i].RandomOK {
+			preds[i].Random = access.Cost(math.Round(float64(preds[i].Random) * (1 - rd)))
+		}
+	}
+	return access.Scenario{Name: scn.Name + "/discounted", Preds: preds}
 }
 
 // Optimize searches the SR/G space for a low-cost configuration for a
@@ -60,6 +105,7 @@ func (c Config) withDefaults() Config {
 // two-stage approximation.
 func Optimize(cfg Config, scn access.Scenario, f score.Func, k, n int) (Plan, error) {
 	cfg = cfg.withDefaults()
+	scn = discountScenario(scn, cfg.SortedDiscount, cfg.RandomDiscount)
 	sample := cfg.Sample
 	if sample == nil {
 		var err error

@@ -112,8 +112,24 @@ type Config struct {
 	// WrapBackend, when non-nil, wraps each query's projected backend
 	// (cols maps the projection's predicates to dataset predicates). The
 	// chaos tests use it to splice a fault injector into the service's
-	// own execution path.
+	// own execution path. With sharing enabled the wrapper sits above the
+	// shared layer, so injected faults hit each query's session (and its
+	// breakers) without poisoning the shared caches.
 	WrapBackend func(b topk.Backend, cols []int) topk.Backend
+
+	// EnableSharing routes every query through one cross-query access-
+	// sharing layer over the full dataset: concurrent queries share sorted
+	// cursors and probed scores per dataset predicate (queries selecting
+	// different column subsets still share the predicates they have in
+	// common). Breaker transitions invalidate the affected predicate's
+	// shared state, and the optimizer's expected costs are discounted by
+	// the observed hit rates. Counters land in /metrics (topk_share_*)
+	// and in ?trace=1 responses.
+	EnableSharing bool
+	// ShareScoreCapacity bounds the shared score cache in entries
+	// (default share.DefaultScoreCapacity; negative disables score
+	// caching while keeping shared cursors).
+	ShareScoreCapacity int
 }
 
 // Handler is the HTTP middleware service.
@@ -144,6 +160,11 @@ type Handler struct {
 	// skip the plan search only while the plan is actually valid.
 	// Concurrent identical queries dedup to a single optimization.
 	plans *topk.PlanCache
+
+	// shared is the cross-query access-sharing layer over the full
+	// dataset (nil unless Config.EnableSharing); per-query backends are
+	// projected views into it.
+	shared *topk.SharedAccess
 }
 
 // NewHandler validates the configuration and builds the service.
@@ -186,6 +207,13 @@ func NewHandler(cfg Config) (*Handler, error) {
 		slowTotal: reg.Counter("topk_slow_queries_total", "Queries slower than the configured threshold."),
 		breakers:  topk.NewBreakerSet(cfg.Dataset.M(), cfg.Breaker),
 		plans:     topk.NewPlanCache(0),
+	}
+	if cfg.EnableSharing {
+		h.shared = topk.NewSharedAccess(topk.DataBackend(cfg.Dataset), topk.SharingOptions{
+			ScoreCapacity: cfg.ShareScoreCapacity,
+			Breakers:      h.breakers,
+			Metrics:       reg,
+		})
 	}
 	h.mux.HandleFunc("/meta", h.handleMeta)
 	h.mux.HandleFunc("/healthz", h.handleHealth)
@@ -252,6 +280,10 @@ type QueryResponse struct {
 	// Trace is the per-query execution trace, present when the request
 	// asked for it with ?trace=1.
 	Trace *obs.TraceSnapshot `json:"trace,omitempty"`
+	// Share snapshots the service's cross-query sharing layer at response
+	// time (cumulative across queries, not per-query), present when
+	// sharing is enabled and the request asked for a trace.
+	Share *topk.SharingStats `json:"share,omitempty"`
 }
 
 type errPayload struct {
@@ -410,6 +442,12 @@ func (h *Handler) execute(ctx context.Context, req QueryRequest, traced bool) (*
 		scn.Preds[i] = h.cfg.Scenario.Preds[c]
 	}
 	backend := topk.DataBackend(ds)
+	if h.shared != nil {
+		// The shared layer is keyed by dataset predicate; the view maps
+		// this query's projection onto it, so queries over different
+		// column subsets still share the predicates they have in common.
+		backend = h.shared.View(cols)
+	}
 	if h.cfg.WrapBackend != nil {
 		backend = h.cfg.WrapBackend(backend, cols)
 	}
@@ -428,7 +466,14 @@ func (h *Handler) execute(ctx context.Context, req QueryRequest, traced bool) (*
 		// The engine's plan cache (shared across queries via h.plans)
 		// resolves the plan; hit/miss lands on the observer from inside
 		// the cache, so the trace and metrics see the real outcome.
-		opts = append(opts, topk.WithOptimizer(topk.OptimizerConfig(h.cfg.Optimizer)))
+		ocfg := topk.OptimizerConfig(h.cfg.Optimizer)
+		if h.shared != nil {
+			// Shared accesses never reach the sources; discount the
+			// optimizer's expected costs by the observed (quantized) hit
+			// rates. Quantization keeps the plan-cache key space small.
+			ocfg.SortedDiscount, ocfg.RandomDiscount = h.shared.Stats().Discounts()
+		}
+		opts = append(opts, topk.WithOptimizer(ocfg))
 	case alg == "nc":
 		if req.H == nil {
 			return nil, http.StatusBadRequest, fmt.Errorf("service: algorithm \"nc\" requires h")
@@ -479,6 +524,10 @@ func (h *Handler) execute(ctx context.Context, req QueryRequest, traced bool) (*
 	if tr != nil {
 		snap := tr.Snapshot()
 		resp.Trace = &snap
+		if h.shared != nil {
+			s := h.shared.Stats()
+			resp.Share = &s
+		}
 	}
 	return resp, http.StatusOK, nil
 }
@@ -491,3 +540,15 @@ func (h *Handler) PlanCacheHits() int { return int(h.plans.Stats().Hits) }
 // PlanCacheStats reports the plan cache's cumulative hits, misses, and
 // evictions.
 func (h *Handler) PlanCacheStats() topk.PlanCacheStats { return h.plans.Stats() }
+
+// Sharing reports whether the cross-query sharing layer is enabled.
+func (h *Handler) Sharing() bool { return h.shared != nil }
+
+// ShareStats reports the sharing layer's cumulative counters (the zero
+// Stats when sharing is disabled).
+func (h *Handler) ShareStats() topk.SharingStats {
+	if h.shared == nil {
+		return topk.SharingStats{}
+	}
+	return h.shared.Stats()
+}

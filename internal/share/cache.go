@@ -1,0 +1,199 @@
+package share
+
+import (
+	"container/list"
+	"sync"
+)
+
+// numShards splits the score cache to keep concurrent queries off one
+// mutex. A power of two so the shard pick is a mask.
+const numShards = 16
+
+// probeKey packs (predicate, object) into the cache key.
+func probeKey(pred, obj int) uint64 {
+	return uint64(pred)<<32 | uint64(uint32(obj))
+}
+
+// shardIndex spreads keys over shards (Fibonacci hashing: consecutive
+// object ids land on different shards).
+func shardIndex(key uint64) int {
+	return int((key * 0x9E3779B97F4A7C15) >> 60)
+}
+
+// scoreCache is the sharded random-access score cache.
+type scoreCache struct {
+	shards [numShards]scoreShard
+}
+
+func newScoreCache(capacity int) *scoreCache {
+	per := capacity / numShards
+	if per < 1 {
+		per = 1
+	}
+	c := &scoreCache{}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.capacity = per
+		sh.entries = make(map[uint64]*list.Element)
+		sh.lru = list.New()
+		sh.inflight = make(map[uint64]*probeCall)
+	}
+	return c
+}
+
+func (c *scoreCache) shard(key uint64) *scoreShard {
+	return &c.shards[shardIndex(key)&(numShards-1)]
+}
+
+// invalidatePred drops every cached score of one predicate and bumps each
+// affected shard's generation so in-flight probes started before the
+// invalidation cannot re-insert stale values.
+func (c *scoreCache) invalidatePred(pred int) {
+	for i := range c.shards {
+		c.shards[i].invalidatePred(pred)
+	}
+}
+
+func (c *scoreCache) invalidateAll() {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.gen++
+		sh.entries = make(map[uint64]*list.Element)
+		sh.lru.Init()
+		sh.mu.Unlock()
+	}
+}
+
+// probeCall is one in-flight random access shared by concurrent identical
+// probes (singleflight).
+type probeCall struct {
+	done  chan struct{}
+	score float64
+	err   error
+}
+
+// scoreEntry is one cached (predicate, object) score.
+type scoreEntry struct {
+	key   uint64
+	score float64
+}
+
+// scoreShard is one LRU shard. The mutex is never held across a backend
+// access: begin registers the in-flight call and releases, commit
+// publishes after the access returns.
+type scoreShard struct {
+	mu       sync.Mutex
+	gen      uint64 // bumped on invalidation; guards late commits
+	capacity int
+	entries  map[uint64]*list.Element
+	lru      *list.List // of *scoreEntry, front = most recent
+	inflight map[uint64]*probeCall
+}
+
+// get returns the cached score, refreshing its LRU position. The hit path
+// allocates nothing.
+func (s *scoreShard) get(key uint64) (float64, bool) {
+	s.mu.Lock()
+	el, ok := s.entries[key]
+	if !ok {
+		s.mu.Unlock()
+		return 0, false
+	}
+	s.lru.MoveToFront(el)
+	score := el.Value.(*scoreEntry).score
+	s.mu.Unlock()
+	return score, true
+}
+
+// begin opens a probe: a concurrent insert since the caller's miss is
+// returned as cached; an in-flight identical probe is returned as call to
+// wait on; otherwise the caller becomes the driver (nil call) and must
+// pair this with commit. gen is the shard generation the driver must pass
+// back so a value fetched before an invalidation is not cached after it.
+func (s *scoreShard) begin(key uint64) (score float64, cached bool, call *probeCall, gen uint64) {
+	s.mu.Lock()
+	if el, ok := s.entries[key]; ok {
+		s.lru.MoveToFront(el)
+		score = el.Value.(*scoreEntry).score
+		s.mu.Unlock()
+		return score, true, nil, 0
+	}
+	if c, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		return 0, false, c, 0
+	}
+	c := &probeCall{done: make(chan struct{})}
+	s.inflight[key] = c
+	gen = s.gen
+	s.mu.Unlock()
+	return 0, false, nil, gen
+}
+
+// commit closes the probe opened by begin: the result is published to
+// waiters, and cached when the access succeeded and no invalidation
+// intervened.
+func (s *scoreShard) commit(key uint64, gen uint64, score float64, err error) {
+	s.mu.Lock()
+	call := s.inflight[key]
+	delete(s.inflight, key)
+	if err == nil && gen == s.gen {
+		s.insert(key, score)
+	}
+	s.mu.Unlock()
+	if call != nil {
+		call.score, call.err = score, err
+		close(call.done)
+	}
+}
+
+// put caches a score fetched outside the shard's own singleflight (the
+// batcher resolves probes through its own pending set). gen guards late
+// inserts the same way commit does.
+func (s *scoreShard) put(key uint64, gen uint64, score float64) {
+	s.mu.Lock()
+	if gen == s.gen {
+		s.insert(key, score)
+	}
+	s.mu.Unlock()
+}
+
+// generation snapshots the shard generation for a later put.
+func (s *scoreShard) generation() uint64 {
+	s.mu.Lock()
+	g := s.gen
+	s.mu.Unlock()
+	return g
+}
+
+// insert stores the score and trims to capacity. Caller holds s.mu.
+func (s *scoreShard) insert(key uint64, score float64) {
+	if el, ok := s.entries[key]; ok {
+		el.Value.(*scoreEntry).score = score
+		s.lru.MoveToFront(el)
+		return
+	}
+	s.entries[key] = s.lru.PushFront(&scoreEntry{key: key, score: score})
+	for s.lru.Len() > s.capacity {
+		back := s.lru.Back()
+		s.lru.Remove(back)
+		delete(s.entries, back.Value.(*scoreEntry).key)
+	}
+}
+
+// invalidatePred removes this shard's entries for one predicate and bumps
+// the generation.
+func (s *scoreShard) invalidatePred(pred int) {
+	s.mu.Lock()
+	s.gen++
+	for el := s.lru.Front(); el != nil; {
+		next := el.Next()
+		e := el.Value.(*scoreEntry)
+		if int(e.key>>32) == pred {
+			s.lru.Remove(el)
+			delete(s.entries, e.key)
+		}
+		el = next
+	}
+	s.mu.Unlock()
+}

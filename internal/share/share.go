@@ -1,0 +1,411 @@
+// Package share is the cross-query access-sharing layer: a concurrency-
+// safe access.Backend wrapper that lets many simultaneous queries against
+// the same sources amortize their source accesses.
+//
+// The paper's cost model (Eq. 1) prices individual source accesses; the
+// optimizer minimizes them per query. Under production traffic the same
+// sorted prefixes and probed scores are fetched over and over by
+// near-identical queries, so the next lever after per-query optimization
+// is aggregate: share the access results themselves. The layer has three
+// parts:
+//
+//   - A shared sorted-access cursor per backend predicate. Concurrent
+//     queries attach to one descending stream: a query needing depth d
+//     reads the already-fetched prefix without touching the source, and
+//     only the query driving the deepest frontier performs new backend
+//     accesses (frontier fetches are singleflighted, so n queries racing
+//     at the same depth cost one source access).
+//   - A random-access score cache: a sharded LRU keyed by
+//     (predicate, object) with singleflight on concurrent identical
+//     probes, so a score probed by one query is free for every later one.
+//   - Batched random access: when the wrapped backend advertises the
+//     BatchBackend capability (the websim client does, via POST /batch),
+//     cache misses from concurrent queries coalesce into one round trip
+//     of up to MaxBatch probes, amortizing per-request latency across
+//     queries the way the parallel executor amortizes it within one.
+//
+// Billing is deliberately untouched: the layer sits below access.Session,
+// so every query's ledger still prices its logical accesses exactly as if
+// it ran alone — Framework NC's choice accounting and the trace==ledger
+// invariant hold unchanged. What sharing reduces is the aggregate number
+// of accesses that actually reach the sources, reported by Stats.
+//
+// The layer composes with the resilience layer: attach the service's
+// BreakerSet with Options.Breakers and a capability's breaker opening
+// drops the shared state for that predicate (the cursor for sorted, the
+// cached scores for random), so recovery never serves results fetched
+// from a source that has since been declared unhealthy.
+package share
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/access"
+	"repro/internal/obs"
+)
+
+// BatchBackend is the optional capability a backend may advertise to
+// receive coalesced random accesses: one call resolves every (preds[i],
+// objs[i]) probe, in order, into the returned scores. A batch maps to one
+// round trip, which succeeds or fails as a unit; partial results are not
+// modeled.
+type BatchBackend interface {
+	access.Backend
+	BatchRandom(ctx context.Context, preds, objs []int) ([]float64, error)
+}
+
+// DefaultScoreCapacity bounds the score cache when Options.ScoreCapacity
+// is zero: entries, across all shards.
+const DefaultScoreCapacity = 1 << 16
+
+// Options tunes a Layer.
+type Options struct {
+	// ScoreCapacity bounds the random-access score cache in entries
+	// (DefaultScoreCapacity when 0; negative disables score caching).
+	ScoreCapacity int
+	// MaxBatch enables batched random access: up to MaxBatch concurrent
+	// cache misses are coalesced into one BatchRandom round trip. Values
+	// <= 1 disable batching, as does a backend without the BatchBackend
+	// capability.
+	MaxBatch int
+	// Breakers, when non-nil, ties shared state to the circuit breakers:
+	// a breaker opening for (kind, predicate) invalidates that predicate's
+	// shared cursor (sorted) or cached scores (random). Share the same set
+	// the queries' Resilience attachments use.
+	Breakers *access.BreakerSet
+	// Metrics, when non-nil, registers the topk_share_* metric set on the
+	// registry and feeds it from the hot path (atomic increments only).
+	Metrics *obs.Registry
+}
+
+// Layer is the sharing layer. It implements access.Backend over the
+// wrapped backend and is safe for concurrent use by any number of
+// sessions. Construct one Layer per backend (it is keyed by the backend's
+// own predicate space) and share it across queries.
+type Layer struct {
+	backend access.Backend
+	batch   BatchBackend // nil unless enabled and supported
+	n, m    int
+
+	cursors []cursor
+	scores  *scoreCache // nil when disabled
+	batcher *batcher    // nil unless batching enabled
+
+	breakers *access.BreakerSet
+	brMu     sync.Mutex               // serializes breaker-state folds
+	brGen    atomic.Uint64            // last breaker generation folded into the caches
+	brState  [2][]access.BreakerState // last observed state per (kind, pred); guarded by brMu
+
+	stats   stats
+	metrics *shareMetrics // nil unless Options.Metrics
+}
+
+// New builds a sharing layer over the backend. The returned Layer is the
+// Backend queries should run against (directly, or through a View for
+// column-projected queries).
+func New(b access.Backend, opts Options) *Layer {
+	l := &Layer{
+		backend:  b,
+		n:        b.N(),
+		m:        b.M(),
+		cursors:  make([]cursor, b.M()),
+		breakers: opts.Breakers,
+	}
+	if opts.ScoreCapacity >= 0 {
+		capacity := opts.ScoreCapacity
+		if capacity == 0 {
+			capacity = DefaultScoreCapacity
+		}
+		l.scores = newScoreCache(capacity)
+	}
+	if bb, ok := b.(BatchBackend); ok && opts.MaxBatch > 1 {
+		l.batch = bb
+		l.batcher = newBatcher(l, opts.MaxBatch)
+	}
+	if opts.Metrics != nil {
+		l.metrics = newShareMetrics(opts.Metrics)
+	}
+	if l.breakers != nil {
+		l.brGen.Store(l.breakers.Generation())
+		for kind := range l.brState {
+			l.brState[kind] = make([]access.BreakerState, l.m)
+			for pred := 0; pred < l.m; pred++ {
+				l.brState[kind][pred] = l.breakers.State(access.Kind(kind), pred)
+			}
+		}
+	}
+	return l
+}
+
+// N returns the object count of the wrapped backend.
+func (l *Layer) N() int { return l.n }
+
+// M returns the predicate count of the wrapped backend.
+func (l *Layer) M() int { return l.m }
+
+// Backend returns the wrapped backend.
+func (l *Layer) Backend() access.Backend { return l.backend }
+
+// Batching reports whether batched random access is active.
+func (l *Layer) Batching() bool { return l.batcher != nil }
+
+// entry is one fetched element of a predicate's descending list.
+type entry struct {
+	obj   int
+	score float64
+}
+
+// cursor is the shared sorted-access stream of one predicate: the prefix
+// of its descending list fetched so far, plus the singleflight state for
+// the fetch extending the frontier. The mutex is never held across a
+// backend access — the fetching query releases it, fetches, relocks to
+// publish, and waiters block on the fetch's done channel instead. gen
+// detects invalidation racing an in-flight fetch: a fetch started against
+// a since-dropped prefix must not publish into the fresh one.
+type cursor struct {
+	mu      sync.Mutex
+	gen     uint64
+	entries []entry
+	pending *frontierFetch // non-nil while a frontier fetch is in flight
+}
+
+type frontierFetch struct {
+	done  chan struct{}
+	obj   int
+	score float64
+	err   error
+}
+
+// Sorted implements access.Backend: ranks inside the shared prefix are
+// served without a source access; a rank at the frontier drives (or waits
+// on) exactly one backend access shared by every query needing it.
+func (l *Layer) Sorted(ctx context.Context, pred, rank int) (int, float64, error) {
+	l.syncBreakers()
+	c := &l.cursors[pred]
+	for {
+		c.mu.Lock()
+		if rank < len(c.entries) {
+			e := c.entries[rank]
+			c.mu.Unlock()
+			l.count(&l.stats.sortedHits, l.metrics, metricSortedHits)
+			return e.obj, e.score, nil
+		}
+		if f := c.pending; f != nil {
+			// Another query is extending the frontier: wait for its result
+			// and re-check, without charging the source twice.
+			c.mu.Unlock()
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return 0, 0, ctx.Err()
+			}
+			continue
+		}
+		f := &frontierFetch{done: make(chan struct{})}
+		c.pending = f
+		fetchRank := len(c.entries)
+		fetchGen := c.gen
+		c.mu.Unlock()
+
+		f.obj, f.score, f.err = l.backend.Sorted(ctx, pred, fetchRank)
+		l.stats.backendSorted.Add(1)
+		c.mu.Lock()
+		c.pending = nil
+		if f.err == nil && c.gen == fetchGen {
+			c.entries = append(c.entries, entry{obj: f.obj, score: f.score})
+		}
+		c.mu.Unlock()
+		close(f.done)
+		if f.err != nil {
+			return 0, 0, f.err
+		}
+		l.count(&l.stats.sortedMisses, l.metrics, metricSortedMisses)
+		if rank == fetchRank {
+			return f.obj, f.score, nil
+		}
+		// rank sits deeper than the frontier just fetched (possible after
+		// an invalidation dropped the prefix mid-session): keep extending
+		// until the prefix covers it.
+	}
+}
+
+// Random implements access.Backend: cached scores are served without a
+// source access; misses are singleflighted and, when batching is enabled,
+// coalesced with concurrent misses into one round trip.
+func (l *Layer) Random(ctx context.Context, pred, obj int) (float64, error) {
+	l.syncBreakers()
+	if l.scores == nil {
+		l.count(&l.stats.randomMisses, l.metrics, metricRandomMisses)
+		l.stats.backendRandom.Add(1)
+		return l.backend.Random(ctx, pred, obj)
+	}
+	key := probeKey(pred, obj)
+	shard := l.scores.shard(key)
+	if score, ok := shard.get(key); ok {
+		l.count(&l.stats.randomHits, l.metrics, metricRandomHits)
+		return score, nil
+	}
+	l.count(&l.stats.randomMisses, l.metrics, metricRandomMisses)
+	if l.batcher != nil {
+		return l.batcher.probe(ctx, pred, obj)
+	}
+	return l.probeDirect(ctx, shard, key, pred, obj)
+}
+
+// probeDirect resolves one cache miss with a singleflighted direct
+// backend access.
+func (l *Layer) probeDirect(ctx context.Context, sh *scoreShard, key uint64, pred, obj int) (float64, error) {
+	for {
+		score, cached, call, gen := sh.begin(key)
+		if cached {
+			l.count(&l.stats.coalesced, l.metrics, metricCoalesced)
+			return score, nil
+		}
+		if call == nil {
+			// This query drives the access; concurrent identical probes
+			// block on the in-flight call and share the result.
+			score, err := l.backend.Random(ctx, pred, obj)
+			l.stats.backendRandom.Add(1)
+			sh.commit(key, gen, score, err)
+			return score, err
+		}
+		select {
+		case <-call.done:
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		}
+		if call.err == nil {
+			l.count(&l.stats.coalesced, l.metrics, metricCoalesced)
+			return call.score, nil
+		}
+		// The driving probe failed; retry (and possibly become the driver)
+		// under this query's own context.
+	}
+}
+
+// syncBreakers folds breaker state changes into the shared caches: any
+// predicate whose sorted circuit changed state has its cursor dropped,
+// any whose random circuit changed has its cached scores dropped.
+// Transitions, not just the open state, trigger the drop — a full
+// open→cooldown→closed cycle between two accesses must still invalidate,
+// because entries fetched before the outage may be stale afterwards. With
+// no breaker set attached — or no state change since the last access —
+// this is one atomic load.
+func (l *Layer) syncBreakers() {
+	if l.breakers == nil {
+		return
+	}
+	gen := l.breakers.Generation()
+	if gen == l.brGen.Load() {
+		return
+	}
+	l.brMu.Lock()
+	defer l.brMu.Unlock()
+	if gen = l.breakers.Generation(); gen == l.brGen.Load() {
+		return
+	}
+	l.brGen.Store(gen)
+	for pred := 0; pred < l.m; pred++ {
+		if st := l.breakers.State(access.SortedAccess, pred); st != l.brState[access.SortedAccess][pred] {
+			l.brState[access.SortedAccess][pred] = st
+			l.invalidateCursor(pred)
+		}
+		if st := l.breakers.State(access.RandomAccess, pred); st != l.brState[access.RandomAccess][pred] {
+			l.brState[access.RandomAccess][pred] = st
+			if l.scores != nil {
+				l.scores.invalidatePred(pred)
+				l.count(&l.stats.invalidations, l.metrics, metricInvalidations)
+			}
+		}
+	}
+}
+
+// invalidateCursor drops one predicate's shared prefix and bumps its
+// generation so an in-flight frontier fetch cannot publish stale entries
+// into the fresh stream.
+func (l *Layer) invalidateCursor(pred int) {
+	c := &l.cursors[pred]
+	c.mu.Lock()
+	c.gen++
+	c.entries = nil
+	c.mu.Unlock()
+	l.count(&l.stats.invalidations, l.metrics, metricInvalidations)
+}
+
+// Invalidate drops every shared cursor and cached score. Operational
+// escape hatch (the breaker hook handles degradation automatically).
+func (l *Layer) Invalidate() {
+	for pred := 0; pred < l.m; pred++ {
+		c := &l.cursors[pred]
+		c.mu.Lock()
+		c.gen++
+		c.entries = nil
+		c.mu.Unlock()
+	}
+	if l.scores != nil {
+		l.scores.invalidateAll()
+	}
+}
+
+// Depth reports how many entries of predicate pred's descending list the
+// shared cursor currently holds.
+func (l *Layer) Depth(pred int) int {
+	c := &l.cursors[pred]
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// View returns an access.Backend exposing the layer under a column
+// projection: view predicate i maps to layer predicate preds[i]. Views
+// share the layer's cursors and caches, so queries selecting different
+// column subsets still amortize accesses to the predicates they have in
+// common — the cursor keying is (backend, backend predicate), exactly the
+// granularity the sources see.
+func (l *Layer) View(preds []int) access.Backend {
+	identity := len(preds) == l.m
+	for i, p := range preds {
+		if p != i {
+			identity = false
+			break
+		}
+	}
+	if identity {
+		return l
+	}
+	return &View{layer: l, preds: append([]int(nil), preds...)}
+}
+
+// View is a column-projected window onto a Layer. It implements
+// access.Backend with the projection's predicate numbering.
+type View struct {
+	layer *Layer
+	preds []int
+}
+
+// N returns the object count.
+func (v *View) N() int { return v.layer.n }
+
+// M returns the projected predicate count.
+func (v *View) M() int { return len(v.preds) }
+
+// Layer returns the shared layer behind the view.
+func (v *View) Layer() *Layer { return v.layer }
+
+// Sorted implements access.Backend through the shared cursor of the
+// mapped predicate.
+func (v *View) Sorted(ctx context.Context, pred, rank int) (int, float64, error) {
+	return v.layer.Sorted(ctx, v.preds[pred], rank)
+}
+
+// Random implements access.Backend through the shared score cache of the
+// mapped predicate.
+func (v *View) Random(ctx context.Context, pred, obj int) (float64, error) {
+	return v.layer.Random(ctx, v.preds[pred], obj)
+}
+
+// Stats reports the layer's cumulative counters (sharing is global to
+// the layer, so a view's stats are the layer's).
+func (v *View) Stats() Stats { return v.layer.Stats() }

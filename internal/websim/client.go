@@ -1,6 +1,7 @@
 package websim
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -107,10 +108,24 @@ func NewClient(ctx context.Context, httpc *http.Client, routes []Route, opts ...
 }
 
 func (c *Client) get(ctx context.Context, rawURL string, into interface{}) error {
+	return c.do(ctx, http.MethodGet, rawURL, nil, into)
+}
+
+// post sends the payload as JSON, with the same retry policy as get. The
+// body is marshaled once and replayed on each attempt.
+func (c *Client) post(ctx context.Context, rawURL string, payload, into interface{}) error {
+	body, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("websim: encoding request: %w", err)
+	}
+	return c.do(ctx, http.MethodPost, rawURL, body, into)
+}
+
+func (c *Client) do(ctx context.Context, method, rawURL string, body []byte, into interface{}) error {
 	backoff := c.backoff
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		err, retryable, retryAfter := c.getOnce(ctx, rawURL, into)
+		err, retryable, retryAfter := c.doOnce(ctx, method, rawURL, body, into)
 		if err == nil {
 			return nil
 		}
@@ -156,20 +171,27 @@ func (c *Client) retrySleep(backoff, retryAfter time.Duration) time.Duration {
 	return d
 }
 
-// getOnce performs one request, bounded by the per-attempt timeout; the
+// doOnce performs one request, bounded by the per-attempt timeout; the
 // second result reports whether the failure is transient (transport error,
 // attempt timeout, or 5xx) and worth retrying, and retryAfter carries the
 // server's Retry-After hint from a 503 (zero when absent).
-func (c *Client) getOnce(ctx context.Context, rawURL string, into interface{}) (err error, retryable bool, retryAfter time.Duration) {
+func (c *Client) doOnce(ctx context.Context, method, rawURL string, body []byte, into interface{}) (err error, retryable bool, retryAfter time.Duration) {
 	actx := ctx
 	if c.attemptTimeout > 0 {
 		var cancel context.CancelFunc
 		actx, cancel = context.WithTimeout(ctx, c.attemptTimeout)
 		defer cancel()
 	}
-	req, err := http.NewRequestWithContext(actx, http.MethodGet, rawURL, nil)
+	var reader io.Reader
+	if body != nil {
+		reader = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(actx, method, rawURL, reader)
 	if err != nil {
 		return err, false, 0
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.httpc.Do(req)
 	if err != nil {
@@ -179,13 +201,13 @@ func (c *Client) getOnce(ctx context.Context, rawURL string, into interface{}) (
 		return err, ctx.Err() == nil, 0
 	}
 	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	respBody, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	if err != nil {
 		return err, ctx.Err() == nil, 0
 	}
 	if resp.StatusCode != http.StatusOK {
 		var ep errorPayload
-		if json.Unmarshal(body, &ep) == nil && ep.Error != "" {
+		if json.Unmarshal(respBody, &ep) == nil && ep.Error != "" {
 			err = fmt.Errorf("websim: source error (%d): %s", resp.StatusCode, ep.Error)
 		} else {
 			err = fmt.Errorf("websim: source returned status %d", resp.StatusCode)
@@ -195,7 +217,7 @@ func (c *Client) getOnce(ctx context.Context, rawURL string, into interface{}) (
 		}
 		return err, resp.StatusCode >= 500, retryAfter
 	}
-	return json.Unmarshal(body, into), false, 0
+	return json.Unmarshal(respBody, into), false, 0
 }
 
 // parseRetryAfter reads an HTTP Retry-After header value (delta-seconds or
@@ -255,4 +277,53 @@ func (c *Client) Random(ctx context.Context, pred, obj int) (float64, error) {
 		return 0, err
 	}
 	return p.Score, nil
+}
+
+// BatchRandom implements the share.BatchBackend capability: every
+// (preds[i], objs[i]) probe is resolved, in order, into the returned
+// scores. Probes are grouped by source so each routed server receives one
+// POST /batch round trip, amortizing per-request latency across however
+// many probes the caller coalesced.
+func (c *Client) BatchRandom(ctx context.Context, preds, objs []int) ([]float64, error) {
+	if len(preds) != len(objs) {
+		return nil, fmt.Errorf("websim: batch has %d predicates but %d objects", len(preds), len(objs))
+	}
+	if len(preds) == 0 {
+		return nil, nil
+	}
+	type group struct {
+		indices []int
+		probes  []batchProbe
+	}
+	groups := make(map[string]*group)
+	var order []string
+	for i, pred := range preds {
+		if pred < 0 || pred >= len(c.routes) {
+			return nil, fmt.Errorf("websim: predicate %d out of range", pred)
+		}
+		rt := c.routes[pred]
+		g := groups[rt.BaseURL]
+		if g == nil {
+			g = &group{}
+			groups[rt.BaseURL] = g
+			order = append(order, rt.BaseURL)
+		}
+		g.indices = append(g.indices, i)
+		g.probes = append(g.probes, batchProbe{Pred: rt.Pred, Obj: objs[i]})
+	}
+	scores := make([]float64, len(preds))
+	for _, base := range order {
+		g := groups[base]
+		var p batchPayload
+		if err := c.post(ctx, base+"/batch", batchRequest{Probes: g.probes}, &p); err != nil {
+			return nil, err
+		}
+		if len(p.Scores) != len(g.probes) {
+			return nil, fmt.Errorf("websim: source returned %d scores for %d probes", len(p.Scores), len(g.probes))
+		}
+		for j, idx := range g.indices {
+			scores[idx] = p.Scores[j]
+		}
+	}
+	return scores, nil
 }

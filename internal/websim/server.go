@@ -11,6 +11,13 @@
 //	/sorted?pred=0&rank=3  -> {"obj": 17, "score": 0.83}
 //	/random?pred=0&obj=17  -> {"score": 0.83}
 //
+// plus one POST endpoint coalescing random accesses (JSON body):
+//
+//	POST /batch  {"probes":[{"pred":0,"obj":17},...]} -> {"scores":[0.83,...]}
+//
+// A batch is one HTTP request: it pays one round trip and passes the
+// fault-injection gate once, succeeding or failing as a unit.
+//
 // Predicates in URLs are zero-based and local to the server; a middleware
 // Route maps each query predicate to (server, local predicate).
 package websim
@@ -18,6 +25,7 @@ package websim
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"strconv"
@@ -111,6 +119,7 @@ func NewServer(ds *data.Dataset, opts ...ServerOption) (*Server, error) {
 	s.mux.HandleFunc("/meta", s.handleMeta)
 	s.mux.HandleFunc("/sorted", s.handleSorted)
 	s.mux.HandleFunc("/random", s.handleRandom)
+	s.mux.HandleFunc("/batch", s.handleBatch)
 	return s, nil
 }
 
@@ -166,6 +175,23 @@ type randomPayload struct {
 type errorPayload struct {
 	Error string `json:"error"`
 }
+
+type batchProbe struct {
+	Pred int `json:"pred"`
+	Obj  int `json:"obj"`
+}
+
+type batchRequest struct {
+	Probes []batchProbe `json:"probes"`
+}
+
+type batchPayload struct {
+	Scores []float64 `json:"scores"`
+}
+
+// maxBatchProbes bounds one batch request, keeping a single round trip
+// from turning into an unbounded table scan.
+const maxBatchProbes = 4096
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
@@ -238,4 +264,37 @@ func (s *Server) handleRandom(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, randomPayload{Score: s.ds.Score(obj, pred)})
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorPayload{Error: "batch requires POST"})
+		return
+	}
+	var req batchRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorPayload{Error: fmt.Sprintf("batch body: %v", err)})
+		return
+	}
+	if len(req.Probes) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorPayload{Error: "batch requires at least one probe"})
+		return
+	}
+	if len(req.Probes) > maxBatchProbes {
+		writeJSON(w, http.StatusBadRequest, errorPayload{Error: fmt.Sprintf("batch of %d probes exceeds limit %d", len(req.Probes), maxBatchProbes)})
+		return
+	}
+	scores := make([]float64, len(req.Probes))
+	for i, p := range req.Probes {
+		if p.Pred < 0 || p.Pred >= len(s.preds) {
+			writeJSON(w, http.StatusBadRequest, errorPayload{Error: fmt.Sprintf("probe %d: predicate %d out of range [0,%d)", i, p.Pred, len(s.preds))})
+			return
+		}
+		if p.Obj < 0 || p.Obj >= s.ds.N() {
+			writeJSON(w, http.StatusNotFound, errorPayload{Error: fmt.Sprintf("probe %d: object %d unknown", i, p.Obj)})
+			return
+		}
+		scores[i] = s.ds.Score(p.Obj, s.preds[p.Pred])
+	}
+	writeJSON(w, http.StatusOK, batchPayload{Scores: scores})
 }

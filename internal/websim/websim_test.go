@@ -208,3 +208,72 @@ func TestServerConcurrentClients(t *testing.T) {
 		t.Errorf("concurrent access failed: %v", err)
 	}
 }
+
+func TestBatchRandom(t *testing.T) {
+	ds := datatest.MustNew("d", [][]float64{
+		{0.6, 0.8},
+		{0.65, 0.8},
+		{0.7, 0.9},
+	})
+	// Two sources, one predicate each, so the batch splits per server.
+	tsA := startSource(t, ds, WithPredicates(0))
+	tsB := startSource(t, ds, WithPredicates(1))
+	c, err := NewClient(context.Background(), tsA.Client(), []Route{{tsA.URL, 0}, {tsB.URL, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := []int{0, 1, 0, 1}
+	objs := []int{0, 0, 2, 2}
+	scores, err := c.BatchRandom(context.Background(), preds, objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.6, 0.8, 0.7, 0.9}
+	for i := range want {
+		if scores[i] != want[i] {
+			t.Errorf("scores[%d] = %g, want %g", i, scores[i], want[i])
+		}
+	}
+	// Length mismatch and out-of-range predicates are rejected client-side.
+	if _, err := c.BatchRandom(context.Background(), []int{0}, []int{0, 1}); err == nil {
+		t.Error("mismatched lengths should fail")
+	}
+	if _, err := c.BatchRandom(context.Background(), []int{7}, []int{0}); err == nil {
+		t.Error("out-of-range predicate should fail")
+	}
+	// Unknown objects surface the server's error.
+	if _, err := c.BatchRandom(context.Background(), []int{0}, []int{99}); err == nil || !strings.Contains(err.Error(), "unknown") {
+		t.Errorf("unknown object error = %v", err)
+	}
+}
+
+func TestBatchEndpointValidation(t *testing.T) {
+	ds := datatest.MustNew("d", [][]float64{{0.5}, {0.6}})
+	ts := startSource(t, ds)
+	post := func(body string) int {
+		t.Helper()
+		resp, err := ts.Client().Post(ts.URL+"/batch", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post(`{"probes":[]}`); code != http.StatusBadRequest {
+		t.Errorf("empty batch status = %d", code)
+	}
+	if code := post(`not json`); code != http.StatusBadRequest {
+		t.Errorf("malformed body status = %d", code)
+	}
+	if code := post(`{"probes":[{"pred":9,"obj":0}]}`); code != http.StatusBadRequest {
+		t.Errorf("bad predicate status = %d", code)
+	}
+	resp, err := ts.Client().Get(ts.URL + "/batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /batch status = %d", resp.StatusCode)
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"repro/internal/opt"
 	"repro/internal/parallel"
 	"repro/internal/score"
+	"repro/internal/share"
 )
 
 // Re-exported core types. The facade aliases the internal packages' types
@@ -84,6 +85,17 @@ type (
 	// Resilience attaches circuit breakers and per-access deadlines to a
 	// run (see WithResilience).
 	Resilience = access.Resilience
+	// SharedAccess is the cross-query access-sharing layer: shared sorted
+	// cursors, a score cache, and batched random access over any Backend
+	// (see WithSharing).
+	SharedAccess = share.Layer
+	// SharingOptions tunes a SharedAccess layer.
+	SharingOptions = share.Options
+	// SharingStats snapshots a sharing layer's effectiveness.
+	SharingStats = share.Stats
+	// BatchBackend is the capability a backend advertises to receive
+	// coalesced random accesses (the websim client implements it).
+	BatchBackend = share.BatchBackend
 )
 
 // Observability constructors, re-exported so callers wire metrics without
@@ -102,6 +114,10 @@ var (
 	// NewPlanCache builds a bounded optimizer plan cache (capacity <= 0
 	// selects the default), to be shared across engines via WithPlanCache.
 	NewPlanCache = opt.NewPlanCache
+	// NewSharedAccess builds a cross-query sharing layer over a backend,
+	// to be attached to engines via WithSharing (or viewed per projection
+	// with its View method).
+	NewSharedAccess = share.New
 )
 
 // Scoring-function constructors.
@@ -198,6 +214,7 @@ type Engine struct {
 	nwg       bool
 	shifts    []CostShift
 	planCache *PlanCache
+	share     *share.Layer
 
 	// pool recycles per-query state (access session + framework scratch)
 	// across sequential Runs. Pooled state is fully reset before reuse;
@@ -226,12 +243,28 @@ func (e *Engine) acquire(sessOpts []access.Option) (*queryState, error) {
 	return &queryState{sess: sess}, nil
 }
 
-// optimize resolves a plan through the attached cache, or directly.
+// optimize resolves a plan through the attached cache, or directly. With
+// a sharing layer attached, the scenario's expected costs are discounted
+// by the layer's observed (quantized) hit rates before planning — shared
+// accesses never reach the sources, so the optimizer should not price
+// them at full cost. Explicit discounts in cfg win.
 func (e *Engine) optimize(cfg OptimizerConfig, scn Scenario, f ScoreFunc, k, n int) (Plan, error) {
+	if e.share != nil && cfg.SortedDiscount == 0 && cfg.RandomDiscount == 0 {
+		cfg.SortedDiscount, cfg.RandomDiscount = e.share.Stats().Discounts()
+	}
 	if e.planCache != nil {
 		return e.planCache.Get(cfg, scn, f, k, n)
 	}
 	return opt.Optimize(cfg, scn, f, k, n)
+}
+
+// SharingStats reports the attached sharing layer's cumulative counters
+// (the zero Stats when no layer is attached).
+func (e *Engine) SharingStats() SharingStats {
+	if e.share == nil {
+		return SharingStats{}
+	}
+	return e.share.Stats()
 }
 
 // EngineOption configures an Engine.
@@ -245,6 +278,24 @@ func WithoutNoWildGuesses() EngineOption { return func(e *Engine) { e.nwg = fals
 // studies; each Run replays them afresh).
 func WithCostShifts(shifts ...CostShift) EngineOption {
 	return func(e *Engine) { e.shifts = append(e.shifts, shifts...) }
+}
+
+// WithSharing routes the engine's accesses through a cross-query sharing
+// layer: sorted accesses hit its shared per-predicate cursors, random
+// accesses its score cache, and — when the layer's wrapped backend
+// supports batching — cache misses coalesce into batched round trips.
+// The layer must wrap a backend over the same predicate space as the
+// engine's (typically the very backend passed to NewEngine); it replaces
+// that backend for every Run. Share one layer across engines (and
+// services) to amortize accesses across all their queries; per-query
+// ledgers are unaffected, sharing only reduces the accesses that reach
+// the sources. The optimizer's expected costs are discounted by the
+// layer's observed hit rates (see OptimizerConfig.SortedDiscount).
+func WithSharing(l *SharedAccess) EngineOption {
+	return func(e *Engine) {
+		e.backend = l
+		e.share = l
+	}
 }
 
 // WithPlanCache attaches a plan cache: Runs that would invoke the
@@ -264,12 +315,15 @@ func NewEngine(b Backend, scn Scenario, opts ...EngineOption) (*Engine, error) {
 	if b == nil {
 		return nil, fmt.Errorf("topk: engine requires a backend")
 	}
-	if err := scn.Validate(b.M()); err != nil {
-		return nil, err
-	}
 	e := &Engine{backend: b, scn: scn, nwg: true}
 	for _, o := range opts {
 		o(e)
+	}
+	// Validate after options: WithSharing may have replaced the backend,
+	// and the scenario must match whatever the engine will actually run
+	// against.
+	if err := scn.Validate(e.backend.M()); err != nil {
+		return nil, err
 	}
 	return e, nil
 }
