@@ -28,8 +28,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("topklint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list the analyzers and exit")
+	jsonOut := fs.Bool("json", false, "emit diagnostics as SARIF-lite JSON on stdout")
+	fix := fs.Bool("fix", false, "apply mechanical fixes in place; only unfixable diagnostics remain violations")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: topklint [packages]")
+		fmt.Fprintln(stderr, "usage: topklint [-list] [-json] [-fix] [packages]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -60,8 +62,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		all = append(all, diags...)
 	}
-	for _, d := range all {
-		fmt.Fprintln(stdout, d)
+	if *fix {
+		applied, err := analysis.ApplyFixes(all)
+		if err != nil {
+			fmt.Fprintln(stderr, "topklint:", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "topklint: applied %d fix(es)\n", applied)
+		remaining := all[:0]
+		for _, d := range all {
+			if d.Fix == nil {
+				remaining = append(remaining, d)
+			}
+		}
+		all = remaining
+	}
+	if *jsonOut {
+		names := make([]string, len(analyzers))
+		for i, a := range analyzers {
+			names[i] = a.Name
+		}
+		if err := analysis.WriteJSON(stdout, names, all); err != nil {
+			fmt.Fprintln(stderr, "topklint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range all {
+			fmt.Fprintln(stdout, d)
+		}
 	}
 	if len(all) > 0 {
 		fmt.Fprintf(stderr, "topklint: %d violation(s)\n", len(all))

@@ -1,10 +1,14 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
 )
 
 // chdirRepoRoot moves to the module root (two levels up from cmd/topklint)
@@ -26,7 +30,7 @@ func TestListAnalyzers(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
 		t.Fatalf("run(-list) = %d, stderr: %s", code, errOut.String())
 	}
-	for _, name := range []string{"nopanic", "detrand", "registrycomplete", "ctxfirst", "lockdiscipline"} {
+	for _, name := range []string{"nopanic", "detrand", "registrycomplete", "ctxfirst", "lockdiscipline", "hotpathalloc", "resetcomplete", "poolpair", "billedaccess"} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing analyzer %q:\n%s", name, out.String())
 		}
@@ -44,6 +48,74 @@ func TestTreeIsClean(t *testing.T) {
 	code := run([]string{"./internal/...", "."}, &out, &errOut)
 	if code != 0 {
 		t.Fatalf("topklint found violations (exit %d):\n%s%s", code, out.String(), errOut.String())
+	}
+}
+
+// TestSelfCheck: the linter's own tree must satisfy the invariants it
+// enforces on the rest of the repository.
+func TestSelfCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the lint tree")
+	}
+	chdirRepoRoot(t)
+	var out, errOut strings.Builder
+	code := run([]string{"./internal/lint/...", "./cmd/topklint"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("topklint is not clean on its own tree (exit %d):\n%s%s", code, out.String(), errOut.String())
+	}
+}
+
+// TestJSONOutput checks the machine-readable envelope: a clean run still
+// emits the full SARIF-lite document (version, tool, empty results), so
+// CI artifact consumers never special-case success.
+func TestJSONOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the lint tree")
+	}
+	chdirRepoRoot(t)
+	var out, errOut strings.Builder
+	code := run([]string{"-json", "./internal/lint/linttest"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("run(-json) = %d:\n%s%s", code, out.String(), errOut.String())
+	}
+	var doc struct {
+		Version string `json:"version"`
+		Tool    struct {
+			Name  string   `json:"name"`
+			Rules []string `json:"rules"`
+		} `json:"tool"`
+		Results []interface{} `json:"results"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if doc.Version != analysis.JSONVersion {
+		t.Errorf("version = %q, want %q", doc.Version, analysis.JSONVersion)
+	}
+	if doc.Tool.Name != "topklint" {
+		t.Errorf("tool.name = %q, want topklint", doc.Tool.Name)
+	}
+	if len(doc.Tool.Rules) != len(lint.All()) {
+		t.Errorf("tool.rules has %d entries, want %d", len(doc.Tool.Rules), len(lint.All()))
+	}
+	if doc.Results == nil || len(doc.Results) != 0 {
+		t.Errorf("results = %v, want empty non-null array", doc.Results)
+	}
+}
+
+// TestFixOnCleanTree: -fix on a clean package applies nothing and exits 0.
+func TestFixOnCleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the lint tree")
+	}
+	chdirRepoRoot(t)
+	var out, errOut strings.Builder
+	code := run([]string{"-fix", "./internal/lint/linttest"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("run(-fix) = %d:\n%s%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "applied 0 fix(es)") {
+		t.Errorf("stderr missing fix summary: %s", errOut.String())
 	}
 }
 

@@ -188,10 +188,13 @@ func WithResilience(r *Resilience) Option {
 // Session mediates all accesses of one query execution: it enforces
 // legality, walks sorted lists in order, accrues costs, and records
 // traces. A Session is single-use and not safe for concurrent use; the
-// parallel executor serializes its bookkeeping.
+// parallel executor serializes its bookkeeping. The engine facade pools
+// sessions through sync.Pool (see Reset).
+//
+//topklint:pooled
 type Session struct {
-	backend Backend
-	scn     Scenario
+	backend Backend  //topklint:allow resetcomplete identity: a recycled session serves the same backend
+	scn     Scenario //topklint:allow resetcomplete identity: a recycled session keeps its scenario; Reset re-derives current from it
 	nwg     bool
 	ctx     context.Context
 
@@ -302,6 +305,7 @@ func (s *Session) Reset(opts ...Option) error {
 	s.obs = nil
 	s.res = nil
 	s.resGen = 0
+	s.orig = s.orig[:0]
 	s.degraded = s.degraded[:0]
 	for _, o := range opts {
 		o(s)
@@ -554,6 +558,8 @@ func (s *Session) failAccess(kind Kind, i int, err error) error {
 // SortedNext performs sa_i: it returns the next object in descending p_i
 // order along with its score, accruing cs_i. It fails with ErrExhausted at
 // the end of the list and ErrSortedUnsupported if the scenario forbids it.
+//
+//topklint:hotpath
 func (s *Session) SortedNext(i int) (obj int, score float64, err error) {
 	if i < 0 || i >= s.M() {
 		return 0, 0, fmt.Errorf("access: predicate %d out of range", i)
@@ -608,6 +614,8 @@ func (s *Session) SortedNext(i int) (obj int, score float64, err error) {
 
 // Random performs ra_i(u), accruing cr_i. Under no-wild-guesses the object
 // must already have been seen. Repeating a probe is an error.
+//
+//topklint:hotpath
 func (s *Session) Random(i, u int) (float64, error) {
 	if i < 0 || i >= s.M() {
 		return 0, fmt.Errorf("access: predicate %d out of range", i)

@@ -301,6 +301,8 @@ func NecessaryChoices(tab *state.Table, sess AccessContext, id int) []Choice {
 // AppendNecessaryChoices is NecessaryChoices writing into a caller-owned
 // buffer: it appends the task's choices to dst and returns it. Hot loops
 // pass a recycled slice to keep choice construction allocation-free.
+//
+//topklint:hotpath
 func AppendNecessaryChoices(dst []Choice, tab *state.Table, sess AccessContext, id int) []Choice {
 	out := dst
 	if id == state.UnseenID {
@@ -330,6 +332,8 @@ func AppendNecessaryChoices(dst []Choice, tab *state.Table, sess AccessContext, 
 // the observation into the table. For a sorted access it returns the
 // object the list yielded (the caller decides whether it (re-)enters the
 // candidate queue); for a random access it returns the target.
+//
+//topklint:hotpath
 func performChoice(tab *state.Table, sess *access.Session, target int, ch Choice) (int, error) {
 	switch ch.Kind {
 	case access.SortedAccess:

@@ -41,11 +41,25 @@ func (a *Analyzer) applies(path string) bool {
 	return false
 }
 
+// Fix is a mechanical remediation for a diagnostic: Insert is spliced
+// into the diagnostic's file at byte offset At.Offset. Fixes are inserts
+// only — every mechanically fixable topklint diagnostic (a missing Reset
+// zeroing stub) is an insertion, and insert-only fixes compose: applying
+// several to one file in descending offset order never invalidates the
+// remaining offsets.
+type Fix struct {
+	At     token.Position
+	Insert string
+}
+
 // Diagnostic is one reported violation.
 type Diagnostic struct {
 	Analyzer string
 	Pos      token.Position
 	Message  string
+	// Fix, when non-nil, is a mechanical remediation topklint -fix can
+	// apply.
+	Fix *Fix
 }
 
 // String formats the diagnostic in the conventional file:line:col form.
@@ -84,6 +98,18 @@ const AllowDirective = "//topklint:allow"
 //	//topklint:allow nopanic guarded by caller contract
 //	risky()
 func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.report(pos, nil, format, args...)
+}
+
+// ReportFixf is Reportf carrying a mechanical fix: insert gives the text
+// to splice in at the insertion position. The fix travels with the
+// diagnostic into -json output and is applied by topklint -fix.
+func (p *Pass) ReportFixf(pos, insertAt token.Pos, insert, format string, args ...interface{}) {
+	fix := &Fix{At: p.Fset.Position(insertAt), Insert: insert}
+	p.report(pos, fix, format, args...)
+}
+
+func (p *Pass) report(pos token.Pos, fix *Fix, format string, args ...interface{}) {
 	position := p.Fset.Position(pos)
 	if p.allow[allowKey{position.Filename, position.Line, p.Analyzer.Name}] {
 		return
@@ -92,6 +118,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 		Analyzer: p.Analyzer.Name,
 		Pos:      position,
 		Message:  fmt.Sprintf(format, args...),
+		Fix:      fix,
 	})
 }
 

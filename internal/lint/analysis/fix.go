@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"sort"
+)
+
+// ApplyFixes applies every diagnostic's mechanical fix to the files on
+// disk and returns how many fixes were applied. Fixes are insert-only, so
+// applying a file's fixes in descending offset order keeps every remaining
+// offset valid; duplicate (offset, text) pairs — e.g. the same missing
+// field reported against two pool sites — collapse to one insertion.
+func ApplyFixes(diags []Diagnostic) (int, error) {
+	type insert struct {
+		offset int
+		text   string
+	}
+	byFile := map[string][]insert{}
+	for _, d := range diags {
+		if d.Fix == nil {
+			continue
+		}
+		byFile[d.Fix.At.Filename] = append(byFile[d.Fix.At.Filename], insert{d.Fix.At.Offset, d.Fix.Insert})
+	}
+	applied := 0
+	for file, ins := range byFile {
+		sort.Slice(ins, func(a, b int) bool {
+			if ins[a].offset != ins[b].offset {
+				return ins[a].offset > ins[b].offset
+			}
+			return ins[a].text > ins[b].text
+		})
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return applied, fmt.Errorf("applying fixes: %w", err)
+		}
+		prev := insert{offset: -1}
+		for _, in := range ins {
+			if in == prev {
+				continue
+			}
+			prev = in
+			if in.offset < 0 || in.offset > len(src) {
+				return applied, fmt.Errorf("applying fixes: offset %d out of range for %s (%d bytes)", in.offset, file, len(src))
+			}
+			patched := make([]byte, 0, len(src)+len(in.text))
+			patched = append(patched, src[:in.offset]...)
+			patched = append(patched, in.text...)
+			patched = append(patched, src[in.offset:]...)
+			src = patched
+			applied++
+		}
+		info, err := os.Stat(file)
+		mode := os.FileMode(0o644)
+		if err == nil {
+			mode = info.Mode()
+		}
+		if err := os.WriteFile(file, src, mode); err != nil {
+			return applied, fmt.Errorf("applying fixes: %w", err)
+		}
+	}
+	return applied, nil
+}

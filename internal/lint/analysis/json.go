@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// The -json output is SARIF-lite: the stable subset of SARIF that CI
+// annotation tooling actually consumes — one run, one tool, a flat result
+// list with ruleId/level/message/physical location — without the nested
+// envelope bloat. The schema is versioned independently of topklint so
+// consumers can detect shape changes.
+
+// JSONVersion identifies the -json output schema.
+const JSONVersion = "topklint-sarif-lite/1"
+
+// jsonReport is the top-level -json document.
+type jsonReport struct {
+	Version string       `json:"version"`
+	Tool    jsonTool     `json:"tool"`
+	Results []jsonResult `json:"results"`
+}
+
+type jsonTool struct {
+	Name  string   `json:"name"`
+	Rules []string `json:"rules"`
+}
+
+// jsonResult is one diagnostic in SARIF-lite form.
+type jsonResult struct {
+	RuleID  string   `json:"ruleId"`
+	Level   string   `json:"level"`
+	Message string   `json:"message"`
+	File    string   `json:"file"`
+	Line    int      `json:"line"`
+	Column  int      `json:"column"`
+	Fix     *jsonFix `json:"fix,omitempty"`
+}
+
+// jsonFix mirrors Fix: an insertion at a byte offset of the result's file.
+type jsonFix struct {
+	File   string `json:"file"`
+	Offset int    `json:"offset"`
+	Line   int    `json:"line"`
+	Insert string `json:"insert"`
+}
+
+// WriteJSON encodes the diagnostics as a SARIF-lite document. rules names
+// the analyzers that ran (reported even when clean, so a consumer can tell
+// "no violations" from "analyzer not run").
+func WriteJSON(w io.Writer, rules []string, diags []Diagnostic) error {
+	report := jsonReport{
+		Version: JSONVersion,
+		Tool:    jsonTool{Name: "topklint", Rules: rules},
+		Results: make([]jsonResult, 0, len(diags)),
+	}
+	for _, d := range diags {
+		r := jsonResult{
+			RuleID:  d.Analyzer,
+			Level:   "error",
+			Message: d.Message,
+			File:    d.Pos.Filename,
+			Line:    d.Pos.Line,
+			Column:  d.Pos.Column,
+		}
+		if d.Fix != nil {
+			r.Fix = &jsonFix{
+				File:   d.Fix.At.Filename,
+				Offset: d.Fix.At.Offset,
+				Line:   d.Fix.At.Line,
+				Insert: d.Fix.Insert,
+			}
+		}
+		report.Results = append(report.Results, r)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}

@@ -1,0 +1,51 @@
+package analysis
+
+import (
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func TestWriteJSON(t *testing.T) {
+	diags := []Diagnostic{
+		{
+			Analyzer: "resetcomplete",
+			Pos:      token.Position{Filename: "a.go", Line: 7, Column: 2},
+			Message:  "field x is not reset",
+			Fix: &Fix{
+				At:     token.Position{Filename: "a.go", Line: 10, Offset: 120},
+				Insert: "\n\ts.x = 0",
+			},
+		},
+		{
+			Analyzer: "poolpair",
+			Pos:      token.Position{Filename: "b.go", Line: 3, Column: 1},
+			Message:  "pooled v is dropped",
+		},
+	}
+	var sb strings.Builder
+	if err := WriteJSON(&sb, []string{"resetcomplete", "poolpair"}, diags); err != nil {
+		t.Fatal(err)
+	}
+	var doc jsonReport
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, sb.String())
+	}
+	if doc.Version != JSONVersion {
+		t.Errorf("version = %q, want %q", doc.Version, JSONVersion)
+	}
+	if len(doc.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(doc.Results))
+	}
+	r := doc.Results[0]
+	if r.RuleID != "resetcomplete" || r.File != "a.go" || r.Line != 7 || r.Column != 2 {
+		t.Errorf("result[0] location mismatch: %+v", r)
+	}
+	if r.Fix == nil || r.Fix.Offset != 120 || r.Fix.Insert != "\n\ts.x = 0" {
+		t.Errorf("result[0] fix mismatch: %+v", r.Fix)
+	}
+	if doc.Results[1].Fix != nil {
+		t.Errorf("result[1] should carry no fix: %+v", doc.Results[1].Fix)
+	}
+}

@@ -1,0 +1,12 @@
+package billedaccess_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/billedaccess"
+	"repro/internal/lint/linttest"
+)
+
+func TestBilledaccess(t *testing.T) {
+	linttest.Run(t, billedaccess.Analyzer, "testdata/billed", "repro/internal/billedfix")
+}

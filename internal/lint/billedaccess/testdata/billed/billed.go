@@ -1,0 +1,63 @@
+// Fixture for the billedaccess analyzer: raw backend calls outside the
+// ledgered layers are flagged; forwarding and Session use are not.
+package billed
+
+import (
+	"context"
+
+	"repro/internal/access"
+	"repro/internal/share"
+)
+
+// Probe performs a raw sorted access: invisible to any ledger.
+func Probe(ctx context.Context, b access.Backend) error {
+	_, _, err := b.Sorted(ctx, 0, 0) // want "unbilled Sorted access"
+	return err
+}
+
+// ProbeRandom performs a raw random access.
+func ProbeRandom(ctx context.Context, b access.Backend) (float64, error) {
+	return b.Random(ctx, 0, 0) // want "unbilled Random access"
+}
+
+// Batch performs a raw batched access.
+func Batch(ctx context.Context, b share.BatchBackend) ([]float64, error) {
+	return b.BatchRandom(ctx, nil, nil) // want "unbilled BatchRandom access"
+}
+
+// wrapper composes a backend: same-named delegation is forwarding, not an
+// unbilled access.
+type wrapper struct{ inner access.Backend }
+
+func (w wrapper) N() int { return w.inner.N() }
+func (w wrapper) M() int { return w.inner.M() }
+
+// Sorted forwards to the wrapped backend.
+func (w wrapper) Sorted(ctx context.Context, pred, rank int) (int, float64, error) {
+	return w.inner.Sorted(ctx, pred, rank)
+}
+
+// Random forwards — but its cross-method Sorted call is a genuine access
+// the ledger never sees.
+func (w wrapper) Random(ctx context.Context, pred, obj int) (float64, error) {
+	if pred == 0 {
+		_, _, err := w.inner.Sorted(ctx, 0, 0) // want "unbilled Sorted access"
+		if err != nil {
+			return 0, err
+		}
+	}
+	return w.inner.Random(ctx, pred, obj)
+}
+
+// Health documents its out-of-ledger probe with an allow directive.
+func Health(ctx context.Context, b access.Backend) error {
+	//topklint:allow billedaccess readiness probe, not query traffic (fixture)
+	_, _, err := b.Sorted(ctx, 0, 0)
+	return err
+}
+
+// ViaSession is the sanctioned route: Session bills every access, and its
+// Random has a different shape, so it never matches the Backend interface.
+func ViaSession(s *access.Session) (float64, error) {
+	return s.Random(0, 0)
+}

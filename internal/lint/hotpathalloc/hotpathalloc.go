@@ -1,0 +1,248 @@
+// Package hotpathalloc enforces the zero-allocation invariant of the
+// serve path. PR 4's 13-allocs/op budget (BENCH_perf.json, gated by
+// TestServeAllocGate) holds only while the inner-loop functions — queue
+// sift operations, table observation, session billing, the sharing
+// layer's lookup path — stay heap-allocation-free; a single escaped
+// composite literal multiplies into per-access garbage under load. The
+// runtime gate catches the aggregate after the fact; this analyzer
+// attributes the cause: it drives the real compiler's escape analysis
+// (`go build -gcflags='-m -m'`) over the package and fails on any escape
+// diagnostic inside a function annotated `//topklint:hotpath`.
+//
+// Escapes attributable to error construction (fmt.Errorf, errors.New,
+// fmt.Sprintf, fmt.Sprint) or to panic arguments are skipped by rule: in
+// this codebase constructing an error means the access was refused or the
+// caller contract was violated, which is off the billed steady-state path
+// by definition. Any other deliberate allocation (an answer escaping to
+// the caller, a grow-on-demand resize) must carry
+// `//topklint:allow hotpathalloc <reason>` so the exceptions stay
+// auditable.
+package hotpathalloc
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/lintutil"
+)
+
+// Directive marks a function whose body must stay heap-allocation-free on
+// the steady-state path. It must appear in the function's doc comment.
+const Directive = "//topklint:hotpath"
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "forbid heap allocations (compiler escape diagnostics) in functions annotated //topklint:hotpath",
+	Run:  run,
+}
+
+// escapeRe matches one escape diagnostic of `go build -gcflags='-m -m'`.
+// With -m -m the compiler emits both an explained variant (trailing colon,
+// followed by indented flow lines) and a bare one; matching the bare forms
+// and deduplicating keeps one diagnostic per allocation:
+//
+//	./queue.go:66:19: make([]bool, n) escapes to heap
+//	./json.go:48:6: moved to heap: payload
+var escapeRe = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.* escapes to heap|moved to heap: .*)$`)
+
+// hotFunc is one annotated function with its source extent.
+type hotFunc struct {
+	name  string
+	file  string // base name of the declaring file
+	start token.Position
+	end   token.Position
+}
+
+func run(pass *analysis.Pass) error {
+	hot := annotatedFuncs(pass)
+	if len(hot) == 0 {
+		return nil
+	}
+	// Every file of a package lives in one directory; compile it there so
+	// the fixture trees under testdata (invisible to ./... patterns) build
+	// the same way real packages do.
+	dir := filepath.Dir(pass.Fset.Position(pass.Files[0].Pos()).Filename)
+	out, err := compileEscapes(dir)
+	if err != nil {
+		return err
+	}
+	type reported struct {
+		file string
+		line int
+		col  int
+		msg  string
+	}
+	seen := map[reported]bool{}
+	for _, raw := range strings.Split(out, "\n") {
+		m := escapeRe.FindStringSubmatch(strings.TrimSpace(raw))
+		if m == nil {
+			continue
+		}
+		base := filepath.Base(m[1])
+		line, _ := strconv.Atoi(m[2])
+		col, _ := strconv.Atoi(m[3])
+		msg := m[4]
+		key := reported{base, line, col, msg}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		fn := owner(hot, base, line, col)
+		if fn == nil {
+			continue
+		}
+		pos, astFile := resolvePos(pass, base, line, col)
+		if !pos.IsValid() {
+			continue
+		}
+		if inColdCall(pass.TypesInfo, astFile, pos) {
+			continue
+		}
+		pass.Reportf(pos, "heap allocation in hot path %s: %s (annotate //topklint:allow hotpathalloc <reason> if the escape is deliberate)", fn.name, msg)
+	}
+	return nil
+}
+
+// annotatedFuncs collects the package's //topklint:hotpath functions.
+func annotatedFuncs(pass *analysis.Pass) []hotFunc {
+	var hot []hotFunc
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				if c.Text != Directive && !strings.HasPrefix(c.Text, Directive+" ") {
+					continue
+				}
+				start := pass.Fset.Position(fd.Pos())
+				hot = append(hot, hotFunc{
+					name:  funcDisplayName(fd),
+					file:  filepath.Base(start.Filename),
+					start: start,
+					end:   pass.Fset.Position(fd.End()),
+				})
+				break
+			}
+		}
+	}
+	return hot
+}
+
+// funcDisplayName renders "Type.Method" or "Func" for diagnostics.
+func funcDisplayName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}
+
+// compileEscapes runs the compiler's escape analysis over the package in
+// dir and returns its diagnostic output. The build cache replays compiler
+// diagnostics, so repeated runs cost one cache probe, not a recompile.
+func compileEscapes(dir string) (string, error) {
+	cmd := exec.Command("go", "build", "-gcflags=-m -m", ".")
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Run(); err != nil {
+		// The loader already type-checked this package, so a build failure
+		// here is environmental (toolchain, GOFLAGS), not a fixture bug.
+		return "", fmt.Errorf("hotpathalloc: go build -gcflags=-m -m in %s: %v\n%s", dir, err, out.String())
+	}
+	return out.String(), nil
+}
+
+// owner returns the annotated function whose extent covers the diagnostic
+// position, or nil.
+func owner(hot []hotFunc, file string, line, col int) *hotFunc {
+	for i := range hot {
+		fn := &hot[i]
+		if fn.file != file {
+			continue
+		}
+		afterStart := line > fn.start.Line || (line == fn.start.Line && col >= fn.start.Column)
+		beforeEnd := line < fn.end.Line || (line == fn.end.Line && col <= fn.end.Column)
+		if afterStart && beforeEnd {
+			return fn
+		}
+	}
+	return nil
+}
+
+// resolvePos converts a compiler (file, line, col) into a token.Pos of the
+// pass's FileSet, along with the syntax tree it lands in.
+func resolvePos(pass *analysis.Pass, base string, line, col int) (token.Pos, *ast.File) {
+	for _, f := range pass.Files {
+		tf := pass.Fset.File(f.Pos())
+		if tf == nil || filepath.Base(tf.Name()) != base {
+			continue
+		}
+		if line < 1 || line > tf.LineCount() {
+			return token.NoPos, nil
+		}
+		return tf.LineStart(line) + token.Pos(col-1), f
+	}
+	return token.NoPos, nil
+}
+
+// coldCallees are the error-construction functions whose argument escapes
+// are cold by rule.
+var coldCallees = map[string]bool{
+	"fmt.Errorf":  true,
+	"fmt.Sprintf": true,
+	"fmt.Sprint":  true,
+	"errors.New":  true,
+}
+
+// inColdCall reports whether pos sits inside a call to an error
+// constructor or a panic: escapes there belong to refusal and
+// contract-violation paths, not the billed steady state.
+func inColdCall(info *types.Info, f *ast.File, pos token.Pos) bool {
+	cold := false
+	ast.Inspect(f, func(n ast.Node) bool {
+		if cold || n == nil {
+			return false
+		}
+		if pos < n.Pos() || pos >= n.End() {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && isColdCall(info, call) {
+			cold = true
+			return false
+		}
+		return true
+	})
+	return cold
+}
+
+func isColdCall(info *types.Info, call *ast.CallExpr) bool {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+		if _, ok := info.Uses[id].(*types.Builtin); ok {
+			return true
+		}
+	}
+	fn := lintutil.CalleeFunc(info, call)
+	return fn != nil && coldCallees[fn.FullName()]
+}

@@ -1,0 +1,12 @@
+package hotpathalloc_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/hotpathalloc"
+	"repro/internal/lint/linttest"
+)
+
+func TestHotpathalloc(t *testing.T) {
+	linttest.Run(t, hotpathalloc.Analyzer, "testdata/hot", "repro/internal/hot")
+}

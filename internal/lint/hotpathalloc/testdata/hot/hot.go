@@ -1,0 +1,85 @@
+// Fixture for the hotpathalloc analyzer: escape diagnostics inside
+// //topklint:hotpath functions are flagged, cold error-construction
+// escapes and unannotated functions are not.
+package hot
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Big is large enough that the compiler never stack-allocates an escaping
+// instance.
+type Big struct {
+	Vals [64]int
+}
+
+// sink keeps stored values reachable so stores genuinely escape.
+var sink *Big
+
+// Leak allocates on its only path.
+//
+//topklint:hotpath
+func Leak() *Big {
+	return &Big{} // want "heap allocation in hot path Leak"
+}
+
+// Store escapes through a package-level sink.
+//
+//topklint:hotpath
+func Store(v int) {
+	b := Big{} // want "heap allocation in hot path Store: moved to heap: b"
+	b.Vals[0] = v
+	sink = &b
+}
+
+// Captured demonstrates closure capture: the local is moved to the heap
+// and the escaping func literal is itself an allocation.
+//
+//topklint:hotpath
+func Captured() func() int {
+	x := 0              // want "heap allocation in hot path Captured: moved to heap: x"
+	return func() int { // want "heap allocation in hot path Captured"
+		x++
+		return x
+	}
+}
+
+// Clean is allocation-free: index math over caller-owned memory.
+//
+//topklint:hotpath
+func Clean(vals []int, i int) int {
+	if i < 0 || i >= len(vals) {
+		return -1
+	}
+	return vals[i] * 2
+}
+
+// ColdError's only escapes are fmt.Errorf and errors.New argument boxing
+// on refusal paths, which the analyzer skips by rule.
+//
+//topklint:hotpath
+func ColdError(vals []int, i int) (int, error) {
+	if i < 0 || i >= len(vals) {
+		return 0, fmt.Errorf("hot: index %d out of range (%d vals)", i, len(vals))
+	}
+	if vals[i] < 0 {
+		return 0, errors.New("hot: negative value")
+	}
+	return vals[i], nil
+}
+
+// Deliberate's allocation escapes to the caller by design and is
+// documented with an allow directive.
+//
+//topklint:hotpath
+func Deliberate() *Big {
+	//topklint:allow hotpathalloc result escapes to the caller by design (fixture)
+	return &Big{}
+}
+
+// Unannotated allocates freely; without the directive the analyzer leaves
+// it alone.
+func Unannotated() *Big {
+	return &Big{}
+}

@@ -6,11 +6,15 @@ package lint
 
 import (
 	"repro/internal/lint/analysis"
+	"repro/internal/lint/billedaccess"
 	"repro/internal/lint/ctxfirst"
 	"repro/internal/lint/detrand"
+	"repro/internal/lint/hotpathalloc"
 	"repro/internal/lint/lockdiscipline"
 	"repro/internal/lint/nopanic"
+	"repro/internal/lint/poolpair"
 	"repro/internal/lint/registrycomplete"
+	"repro/internal/lint/resetcomplete"
 )
 
 // All returns the complete analyzer suite in stable order.
@@ -21,5 +25,9 @@ func All() []*analysis.Analyzer {
 		registrycomplete.Analyzer,
 		ctxfirst.Analyzer,
 		lockdiscipline.Analyzer,
+		hotpathalloc.Analyzer,
+		resetcomplete.Analyzer,
+		poolpair.Analyzer,
+		billedaccess.Analyzer,
 	}
 }

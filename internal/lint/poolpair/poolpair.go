@@ -1,0 +1,348 @@
+// Package poolpair enforces the Get/Put discipline around sync.Pool:
+// every value taken from a pool must go back. A dropped pooled value is
+// not a crash — the GC collects it — which is exactly why it survives
+// review: the pool silently degrades into an allocator and the serve
+// path's allocation budget erodes without any test failing.
+//
+// For each pool.Get whose result is bound to a variable, the analyzer
+// checks that the value is discharged:
+//
+//   - a deferred Put (or deferred sink call) covers every exit, or
+//   - on each return path in the variable's scope, the value was Put,
+//     handed to a same-package sink (a function that Puts its parameter,
+//     like a putBuf helper), sent on a channel, stored into a field or
+//     global, or is part of the return value (ownership transfer).
+//
+// Path sensitivity is positional: a discharge counts for the returns
+// that follow it in the source. That is deliberately simple, and it
+// catches the classic leak — an early error return between Get and Put.
+//
+// Additionally, when the asserted type has a Reset method, the function
+// must call it before the value is reused: pool.New-fresh and recycled
+// values must be indistinguishable, and Reset is what erases the
+// previous query. Deliberate exceptions carry
+// `//topklint:allow poolpair <reason>`.
+package poolpair
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/lintutil"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "poolpair",
+	Doc:  "every sync.Pool Get must be paired with a Put (or ownership transfer) on all return paths, with Reset before reuse",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	sinks := sinkFuncs(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd, sinks)
+		}
+	}
+	return nil
+}
+
+// getSite is one pool.Get whose result is bound to a variable.
+type getSite struct {
+	assign   *ast.AssignStmt
+	scope    ast.Node // subtree in which the variable is live
+	v        *types.Var
+	asserted types.Type // nil when the result is not type-asserted
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, sinks map[*types.Func]map[int]bool) {
+	var sites []getSite
+	ifInits := map[ast.Stmt]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.IfStmt:
+			if a, ok := x.Init.(*ast.AssignStmt); ok {
+				ifInits[a] = true
+				if s := getSiteOf(pass, a); s != nil {
+					s.scope = x
+					sites = append(sites, *s)
+				}
+			}
+		case *ast.AssignStmt:
+			if !ifInits[x] {
+				if s := getSiteOf(pass, x); s != nil {
+					s.scope = fd.Body
+					sites = append(sites, *s)
+				}
+			}
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(x.X).(*ast.CallExpr); ok && isPoolGet(pass.TypesInfo, call) {
+				pass.Reportf(x.Pos(), "result of pool.Get is discarded: the pooled value can never be Put back")
+			}
+		}
+		return true
+	})
+	for _, s := range sites {
+		checkSite(pass, &s, sinks)
+	}
+}
+
+// getSiteOf recognizes `v := pool.Get().(*T)`, the comma-ok form, and the
+// assert-free `v := pool.Get()`.
+func getSiteOf(pass *analysis.Pass, a *ast.AssignStmt) *getSite {
+	if len(a.Rhs) != 1 || len(a.Lhs) == 0 {
+		return nil
+	}
+	rhs := ast.Unparen(a.Rhs[0])
+	var asserted types.Type
+	var call *ast.CallExpr
+	if ta, ok := rhs.(*ast.TypeAssertExpr); ok && ta.Type != nil {
+		c, ok := ast.Unparen(ta.X).(*ast.CallExpr)
+		if !ok {
+			return nil
+		}
+		call = c
+		asserted = pass.TypesInfo.TypeOf(ta.Type)
+	} else if c, ok := rhs.(*ast.CallExpr); ok {
+		call = c
+	} else {
+		return nil
+	}
+	if !isPoolGet(pass.TypesInfo, call) {
+		return nil
+	}
+	id, ok := a.Lhs[0].(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	v, _ := pass.TypesInfo.Defs[id].(*types.Var)
+	if v == nil {
+		v, _ = pass.TypesInfo.Uses[id].(*types.Var)
+	}
+	if v == nil {
+		return nil
+	}
+	return &getSite{assign: a, v: v, asserted: asserted}
+}
+
+func checkSite(pass *analysis.Pass, s *getSite, sinks map[*types.Func]map[int]bool) {
+	info := pass.TypesInfo
+	getPos := s.assign.Pos()
+	covered := false // a deferred Put/sink discharges every exit
+	resetCalled := false
+	var discharges []token.Pos
+	var returns []*ast.ReturnStmt
+
+	ast.Inspect(s.scope, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.DeferStmt:
+			if dischargesVar(pass, x.Call, s.v, sinks) {
+				covered = true
+			}
+		case *ast.CallExpr:
+			if dischargesVar(pass, x, s.v, sinks) {
+				discharges = append(discharges, x.Pos())
+			}
+			if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Reset" && rootObj(info, sel.X) == s.v {
+				resetCalled = true
+			}
+		case *ast.SendStmt:
+			if rootObj(info, x.Value) == s.v {
+				discharges = append(discharges, x.Pos())
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range x.Rhs {
+				if !usesVar(info, rhs, s.v) {
+					continue
+				}
+				if i < len(x.Lhs) {
+					switch ast.Unparen(x.Lhs[i]).(type) {
+					case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+						discharges = append(discharges, x.Pos())
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			if x.Pos() > getPos {
+				returns = append(returns, x)
+			}
+		}
+		return true
+	})
+
+	if covered {
+		// Every exit Puts; only the Reset rule remains.
+	} else {
+		leaked := false
+		for _, r := range returns {
+			if returnsVar(info, r, s.v) {
+				continue
+			}
+			if anyBefore(discharges, getPos, r.Pos()) {
+				continue
+			}
+			leaked = true
+			pass.Reportf(r.Pos(), "pooled %s is dropped on this return path: no Put, sink call, or ownership transfer since pool.Get (annotate //topklint:allow poolpair <reason> if the drop is deliberate)", s.v.Name())
+		}
+		if !leaked && len(returns) == 0 && len(discharges) == 0 {
+			pass.Reportf(getPos, "pooled %s is never returned to the pool: no Put, defer, sink call, or ownership transfer in scope", s.v.Name())
+		}
+	}
+
+	if s.asserted != nil && hasResetMethod(s.asserted) && !resetCalled {
+		pass.Reportf(getPos, "pooled %s is reused without Reset: recycled and fresh values must be indistinguishable (call %s.Reset before use)", s.v.Name(), s.v.Name())
+	}
+}
+
+// dischargesVar reports whether the call returns v to a pool: a direct
+// (*sync.Pool).Put, or a same-package sink whose parameter is Put.
+func dischargesVar(pass *analysis.Pass, call *ast.CallExpr, v *types.Var, sinks map[*types.Func]map[int]bool) bool {
+	fn := lintutil.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil {
+		return false
+	}
+	if fn.FullName() == "(*sync.Pool).Put" {
+		return len(call.Args) == 1 && rootObj(pass.TypesInfo, call.Args[0]) == v
+	}
+	if sinkParams := sinks[fn]; sinkParams != nil {
+		for i, arg := range call.Args {
+			if sinkParams[i] && rootObj(pass.TypesInfo, arg) == v {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// sinkFuncs maps each package function that Puts one of its parameters
+// into a sync.Pool to the set of parameter indices it discharges.
+func sinkFuncs(pass *analysis.Pass) map[*types.Func]map[int]bool {
+	out := map[*types.Func]map[int]bool{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Type.Params == nil {
+				continue
+			}
+			fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			// Parameter objects, in declaration order.
+			var params []*types.Var
+			for _, field := range fd.Type.Params.List {
+				for _, name := range field.Names {
+					if obj, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						params = append(params, obj)
+					}
+				}
+			}
+			if len(params) == 0 {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := lintutil.CalleeFunc(pass.TypesInfo, call)
+				if callee == nil || callee.FullName() != "(*sync.Pool).Put" || len(call.Args) != 1 {
+					return true
+				}
+				root := rootObj(pass.TypesInfo, call.Args[0])
+				for i, p := range params {
+					if root == p {
+						if out[fn] == nil {
+							out[fn] = map[int]bool{}
+						}
+						out[fn][i] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// anyBefore reports whether some position in ps lies in (lo, hi).
+func anyBefore(ps []token.Pos, lo, hi token.Pos) bool {
+	for _, p := range ps {
+		if p > lo && p < hi {
+			return true
+		}
+	}
+	return false
+}
+
+// returnsVar reports whether the return statement's results mention v —
+// returning the value (or a struct wrapping it) transfers ownership.
+func returnsVar(info *types.Info, r *ast.ReturnStmt, v *types.Var) bool {
+	for _, res := range r.Results {
+		if usesVar(info, res, v) {
+			return true
+		}
+	}
+	return false
+}
+
+// usesVar reports whether the expression mentions v.
+func usesVar(info *types.Info, e ast.Expr, v *types.Var) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == v {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// rootObj resolves an expression to the variable it names: an identifier,
+// possibly parenthesized or behind a unary &.
+func rootObj(info *types.Info, e ast.Expr) types.Object {
+	e = ast.Unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		e = ast.Unparen(u.X)
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return info.Uses[id]
+}
+
+// isPoolGet reports whether the call is (*sync.Pool).Get.
+func isPoolGet(info *types.Info, call *ast.CallExpr) bool {
+	fn := lintutil.CalleeFunc(info, call)
+	return fn != nil && fn.FullName() == "(*sync.Pool).Get"
+}
+
+// hasResetMethod reports whether the (possibly pointer) type declares a
+// Reset method.
+func hasResetMethod(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	for i := 0; i < named.NumMethods(); i++ {
+		if named.Method(i).Name() == "Reset" {
+			return true
+		}
+	}
+	return false
+}

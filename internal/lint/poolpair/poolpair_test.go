@@ -1,0 +1,12 @@
+package poolpair_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/poolpair"
+)
+
+func TestPoolpair(t *testing.T) {
+	linttest.Run(t, poolpair.Analyzer, "testdata/pool", "repro/internal/pool")
+}

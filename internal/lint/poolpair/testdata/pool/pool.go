@@ -1,0 +1,131 @@
+// Fixture for the poolpair analyzer: pool.Get must pair with Put (or an
+// ownership transfer) on every return path, with Reset before reuse.
+package pool
+
+import (
+	"errors"
+	"sync"
+)
+
+// Conn is the pooled unit.
+type Conn struct{ n int }
+
+// Reset erases the previous use.
+func (c *Conn) Reset() { c.n = 0 }
+
+var connPool = sync.Pool{New: func() interface{} { return new(Conn) }}
+
+var errBoom = errors.New("boom")
+
+// WithDefer discharges through a deferred Put: every exit is covered.
+func WithDefer() int {
+	c := connPool.Get().(*Conn)
+	defer connPool.Put(c)
+	c.Reset()
+	return c.n
+}
+
+// WithPut discharges with an explicit Put before the only return.
+func WithPut() int {
+	c := connPool.Get().(*Conn)
+	c.Reset()
+	n := c.n
+	connPool.Put(c)
+	return n
+}
+
+// Acquire transfers ownership to the caller.
+func Acquire() *Conn {
+	c := connPool.Get().(*Conn)
+	c.Reset()
+	return c
+}
+
+// release is a sink: it Puts its parameter (conditionally, by policy).
+func release(c *Conn) {
+	if c.n < 1<<20 {
+		connPool.Put(c)
+	}
+}
+
+// WithSink discharges through the same-package sink.
+func WithSink() int {
+	c := connPool.Get().(*Conn)
+	c.Reset()
+	n := c.n
+	release(c)
+	return n
+}
+
+// WithDeferSink defers the sink call: every exit is covered.
+func WithDeferSink() int {
+	c := connPool.Get().(*Conn)
+	defer release(c)
+	c.Reset()
+	return c.n
+}
+
+// registry holds transferred connections.
+type registry struct{ conns []*Conn }
+
+var reg registry
+
+// Register transfers ownership into a package-level structure.
+func Register() {
+	c := connPool.Get().(*Conn)
+	c.Reset()
+	reg.conns = append(reg.conns, c)
+}
+
+// LeakOnError drops the pooled value on its error path: the classic bug.
+func LeakOnError(fail bool) (*Conn, error) {
+	c := connPool.Get().(*Conn)
+	c.Reset()
+	if fail {
+		return nil, errBoom // want "dropped on this return path"
+	}
+	return c, nil
+}
+
+// CommaOkLeak mirrors the engine's acquire shape: the comma-ok Get in an
+// if-init, with an error path that drops the recycled state.
+func CommaOkLeak(fail bool) (*Conn, error) {
+	if c, ok := connPool.Get().(*Conn); ok {
+		c.Reset()
+		if fail {
+			return nil, errBoom // want "dropped on this return path"
+		}
+		return c, nil
+	}
+	return new(Conn), nil
+}
+
+// NoReset recycles without erasing the previous use.
+func NoReset() int {
+	c := connPool.Get().(*Conn) // want "reused without Reset"
+	defer connPool.Put(c)
+	return c.n
+}
+
+// FallsOff never discharges the value at all.
+func FallsOff() {
+	c := connPool.Get().(*Conn) // want "never returned to the pool"
+	c.Reset()
+	c.n++
+}
+
+// Dropped discards the Get result outright.
+func Dropped() {
+	connPool.Get() // want "discarded"
+}
+
+// DeliberateDrop documents its policy drop with an allow directive.
+func DeliberateDrop(big bool) {
+	c := connPool.Get().(*Conn)
+	c.Reset()
+	if big {
+		//topklint:allow poolpair oversized values are dropped by policy (fixture)
+		return
+	}
+	connPool.Put(c)
+}

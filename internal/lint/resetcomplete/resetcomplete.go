@@ -1,0 +1,371 @@
+// Package resetcomplete enforces the pooled-state hygiene invariant:
+// every type recycled through a sync.Pool must have a Reset method that
+// restores each of its fields on every path, so no query ever observes a
+// previous query's state. The runtime pooled-vs-fresh oracle
+// (internal/access's reset tests) can only catch a leak the workload
+// happens to exercise; this analyzer makes the field inventory itself the
+// contract, so a field added later without a Reset assignment fails CI
+// before any query runs.
+//
+// A type is considered pooled when the package places it in a sync.Pool
+// (a Put argument or a Get type assertion), or when its declaration is
+// annotated `//topklint:pooled` — the cross-package escape hatch for
+// types pooled by another layer (access.Session is pooled by the topk
+// facade, state.Table and state.Queue by the NC scratch).
+//
+// A field counts as reset when Reset, on every path, assigns it (directly
+// or through an index), passes it to the clear or copy builtins, or
+// delegates to the field's own Reset method. Statements inside `if`
+// without `else` are conditional and do not count; both arms of
+// `if`/`else` must reset the field for the conditional to count. Loop
+// bodies count: a zero-iteration loop over the field's own backing store
+// means there was nothing to clear. Identity fields that deliberately
+// survive recycling (the backend handle, the scenario) are annotated
+// `//topklint:allow resetcomplete <reason>` on their declaration.
+//
+// Diagnostics carry a mechanical fix — a zeroing stub inserted at the top
+// of Reset — applied by topklint -fix.
+package resetcomplete
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/lintutil"
+)
+
+// Directive marks a type as pooled by another package's sync.Pool.
+const Directive = "//topklint:pooled"
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "resetcomplete",
+	Doc:  "every sync.Pool-recycled type's Reset must restore all fields on every path (pooled state may never leak across queries)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	pooled := pooledTypes(pass)
+	if len(pooled) == 0 {
+		return nil
+	}
+	resets := resetMethods(pass)
+	for name, tn := range pooled {
+		fd, ok := resets[name]
+		if !ok {
+			pass.Reportf(tn.pos, "pooled type %s has no Reset method; recycled state must be restored before reuse", name)
+			continue
+		}
+		checkReset(pass, tn, fd)
+	}
+	return nil
+}
+
+// pooledType is one pooled named type of the package.
+type pooledType struct {
+	obj *types.TypeName
+	pos token.Pos
+}
+
+func checkReset(pass *analysis.Pass, tn pooledType, fd *ast.FuncDecl) {
+	st, ok := tn.obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	recv := receiverName(fd)
+	if recv == "" || fd.Body == nil {
+		pass.Reportf(fd.Pos(), "pooled type %s has a Reset that cannot restore state (no receiver or body)", tn.obj.Name())
+		return
+	}
+	reset := map[string]bool{}
+	walkGuaranteed(pass, fd.Body.List, recv, reset)
+	insertAt := fd.Body.Lbrace + 1
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if reset[f.Name()] {
+			continue
+		}
+		fieldPos := fieldDeclPos(pass, tn.obj.Name(), f.Name())
+		if !fieldPos.IsValid() {
+			fieldPos = fd.Pos()
+		}
+		stub := fmt.Sprintf("\n\t%s.%s = %s", recv, f.Name(), zeroExpr(f.Type(), pass.Pkg))
+		pass.ReportFixf(fieldPos, insertAt, stub,
+			"field %s of pooled type %s is not reset on every path of Reset (cross-query state leak); assign it in Reset or annotate the field //topklint:allow resetcomplete <reason>",
+			f.Name(), tn.obj.Name())
+	}
+}
+
+// walkGuaranteed records into reset the fields restored on every path
+// through the statement list.
+func walkGuaranteed(pass *analysis.Pass, stmts []ast.Stmt, recv string, reset map[string]bool) {
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *ast.BlockStmt:
+			walkGuaranteed(pass, st.List, recv, reset)
+		case *ast.IfStmt:
+			if st.Else == nil {
+				continue // conditional: does not count
+			}
+			thenSet := map[string]bool{}
+			walkGuaranteed(pass, st.Body.List, recv, thenSet)
+			elseSet := map[string]bool{}
+			switch e := st.Else.(type) {
+			case *ast.BlockStmt:
+				walkGuaranteed(pass, e.List, recv, elseSet)
+			case *ast.IfStmt:
+				walkGuaranteed(pass, []ast.Stmt{e}, recv, elseSet)
+			}
+			for f := range thenSet {
+				if elseSet[f] {
+					reset[f] = true
+				}
+			}
+		case *ast.ForStmt:
+			walkGuaranteed(pass, st.Body.List, recv, reset)
+		case *ast.RangeStmt:
+			walkGuaranteed(pass, st.Body.List, recv, reset)
+		default:
+			recordStmt(pass, s, recv, reset)
+		}
+	}
+}
+
+// recordStmt records the fields a single (non-compound) statement resets.
+func recordStmt(pass *analysis.Pass, s ast.Stmt, recv string, reset map[string]bool) {
+	switch st := s.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range st.Lhs {
+			if f := fieldOf(lhs, recv); f != "" {
+				reset[f] = true
+			}
+		}
+	case *ast.IncDecStmt:
+		if f := fieldOf(st.X, recv); f != "" {
+			reset[f] = true
+		}
+	case *ast.ExprStmt:
+		call, ok := st.X.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		// clear(x.f) / copy(x.f, ...) / copy(..., x.f)
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin && (id.Name == "clear" || id.Name == "copy") {
+				for _, arg := range call.Args {
+					if f := fieldOf(arg, recv); f != "" {
+						reset[f] = true
+					}
+				}
+				return
+			}
+		}
+		// x.f.Reset(...): delegated reset
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Reset" {
+			if f := fieldOf(sel.X, recv); f != "" {
+				reset[f] = true
+			}
+		}
+	case *ast.ReturnStmt:
+		// return x.f.Reset(...): delegation whose error is propagated.
+		for _, res := range st.Results {
+			call, ok := ast.Unparen(res).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Reset" {
+				if f := fieldOf(sel.X, recv); f != "" {
+					reset[f] = true
+				}
+			}
+		}
+	}
+}
+
+// fieldOf extracts the receiver field an expression roots in: recv.f,
+// recv.f[i], recv.f[i][j], (recv.f)... — or "" when the expression is not
+// rooted in a field of recv.
+func fieldOf(e ast.Expr, recv string) string {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			if id, ok := ast.Unparen(x.X).(*ast.Ident); ok && id.Name == recv {
+				return x.Sel.Name
+			}
+			e = x.X
+		default:
+			return ""
+		}
+	}
+}
+
+// receiverName returns the name of the method's receiver variable.
+func receiverName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return ""
+	}
+	name := fd.Recv.List[0].Names[0].Name
+	if name == "_" {
+		return ""
+	}
+	return name
+}
+
+// pooledTypes finds the package's pooled named types: sync.Pool Put/Get
+// associations plus //topklint:pooled annotations.
+func pooledTypes(pass *analysis.Pass) map[string]pooledType {
+	out := map[string]pooledType{}
+	add := func(t types.Type) {
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok || named.Obj().Pkg() != pass.Pkg {
+			return
+		}
+		name := named.Obj().Name()
+		if _, ok := out[name]; !ok {
+			out[name] = pooledType{obj: named.Obj(), pos: named.Obj().Pos()}
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				if fn := lintutil.CalleeFunc(pass.TypesInfo, x); fn != nil && fn.FullName() == "(*sync.Pool).Put" && len(x.Args) == 1 {
+					if t := pass.TypesInfo.TypeOf(x.Args[0]); t != nil {
+						add(t)
+					}
+				}
+			case *ast.TypeAssertExpr:
+				call, ok := ast.Unparen(x.X).(*ast.CallExpr)
+				if !ok || x.Type == nil {
+					return true
+				}
+				if fn := lintutil.CalleeFunc(pass.TypesInfo, call); fn != nil && fn.FullName() == "(*sync.Pool).Get" {
+					if t := pass.TypesInfo.TypeOf(x.Type); t != nil {
+						add(t)
+					}
+				}
+			}
+			return true
+		})
+		// //topklint:pooled annotations on type declarations.
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			declAnnotated := hasDirective(gd.Doc)
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if declAnnotated || hasDirective(ts.Doc) || hasDirective(ts.Comment) {
+					if obj, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName); ok {
+						if named, ok := obj.Type().(*types.Named); ok {
+							add(named)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func hasDirective(cg *ast.CommentGroup) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if c.Text == Directive || strings.HasPrefix(c.Text, Directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// resetMethods maps type name -> its Reset method declaration.
+func resetMethods(pass *analysis.Pass) map[string]*ast.FuncDecl {
+	out := map[string]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "Reset" || fd.Recv == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			t := fd.Recv.List[0].Type
+			if star, ok := t.(*ast.StarExpr); ok {
+				t = star.X
+			}
+			if id, ok := t.(*ast.Ident); ok {
+				out[id.Name] = fd
+			}
+		}
+	}
+	return out
+}
+
+// fieldDeclPos finds the declaration position of a struct field, for
+// reporting (and allow-directive keying) at the field itself.
+func fieldDeclPos(pass *analysis.Pass, typeName, fieldName string) token.Pos {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || ts.Name.Name != typeName {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, fld := range st.Fields.List {
+					for _, name := range fld.Names {
+						if name.Name == fieldName {
+							return name.Pos()
+						}
+					}
+				}
+			}
+		}
+	}
+	return token.NoPos
+}
+
+// zeroExpr renders the zero value of a type as Go source, qualified
+// relative to the package being analyzed.
+func zeroExpr(t types.Type, pkg *types.Package) string {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		info := u.Info()
+		switch {
+		case info&types.IsBoolean != 0:
+			return "false"
+		case info&types.IsNumeric != 0:
+			return "0"
+		case info&types.IsString != 0:
+			return `""`
+		default:
+			return "nil"
+		}
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Signature, *types.Interface:
+		return "nil"
+	default:
+		return types.TypeString(t, types.RelativeTo(pkg)) + "{}"
+	}
+}

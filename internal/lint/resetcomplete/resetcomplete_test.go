@@ -1,0 +1,72 @@
+package resetcomplete_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/resetcomplete"
+)
+
+func TestResetcomplete(t *testing.T) {
+	linttest.Run(t, resetcomplete.Analyzer, "testdata/pooled", "repro/internal/pooled")
+}
+
+// TestFixRoundTrip copies the fixture, applies topklint's mechanical fixes
+// (zeroing stubs at the top of Reset), and re-runs the analyzer: every
+// diagnostic that carried a fix must be gone, and only the fixless one
+// (the missing Reset method) may remain.
+func TestFixRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	src, err := os.ReadFile(filepath.Join("testdata", "pooled", "pooled.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "pooled.go"), src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	before := linttest.Diagnostics(t, resetcomplete.Analyzer, dir, "repro/internal/pooled")
+	var fixable int
+	for _, d := range before {
+		if d.Fix != nil {
+			fixable++
+		}
+	}
+	if fixable == 0 {
+		t.Fatalf("fixture produced no fixable diagnostics: %v", before)
+	}
+	applied, err := analysis.ApplyFixes(before)
+	if err != nil {
+		t.Fatalf("applying fixes: %v", err)
+	}
+	if applied != fixable {
+		t.Fatalf("applied %d fixes, want %d", applied, fixable)
+	}
+
+	after := linttest.Diagnostics(t, resetcomplete.Analyzer, dir, "repro/internal/pooled")
+	for _, d := range after {
+		if d.Fix != nil {
+			t.Errorf("diagnostic with fix survived the fix: %s", d)
+		}
+		if !strings.Contains(d.Message, "has no Reset method") {
+			t.Errorf("unexpected post-fix diagnostic: %s", d)
+		}
+	}
+	if len(after) != len(before)-fixable {
+		t.Errorf("got %d diagnostics after fixing, want %d", len(after), len(before)-fixable)
+	}
+
+	patched, err := os.ReadFile(filepath.Join(dir, "pooled.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, stub := range []string{"b.dirty = false", "b.cond = 0"} {
+		if !strings.Contains(string(patched), stub) {
+			t.Errorf("patched fixture missing zeroing stub %q", stub)
+		}
+	}
+}

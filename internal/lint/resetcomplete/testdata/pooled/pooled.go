@@ -1,0 +1,109 @@
+// Fixture for the resetcomplete analyzer: pooled types must reset every
+// field on every path of Reset; identity fields carry allow directives.
+package pooled
+
+import "sync"
+
+// Buf is pooled through bufPool below; two of its fields are not restored
+// on every path.
+type Buf struct {
+	vals  []int
+	n     int
+	dirty bool // want "field dirty of pooled type Buf"
+	cond  int  // want "field cond of pooled type Buf"
+	id    int  //topklint:allow resetcomplete identity assigned at construction, survives recycling (fixture)
+}
+
+// Reset misses dirty entirely and only resets cond behind a condition.
+func (b *Buf) Reset() {
+	b.vals = b.vals[:0]
+	b.n = 0
+	if b.cond > 0 {
+		b.cond = 0
+	}
+}
+
+var bufPool = sync.Pool{New: func() interface{} { return new(Buf) }}
+
+// GetBuf associates Buf with the pool through the Get type assertion.
+func GetBuf() *Buf { return bufPool.Get().(*Buf) }
+
+// PutBuf associates Buf with the pool through the Put argument.
+func PutBuf(b *Buf) { bufPool.Put(b) }
+
+var zeros [16]byte
+
+// Annotated is pooled by another package; the directive stands in for the
+// cross-package sync.Pool. Its Reset covers every field: clear, copy,
+// both arms of an if/else, and a delegated Reset all count.
+//
+//topklint:pooled
+type Annotated struct {
+	table map[string]int
+	buf   []byte
+	next  *Annotated
+	state sub
+}
+
+func (a *Annotated) Reset() {
+	clear(a.table)
+	copy(a.buf, zeros[:])
+	if a.next != nil {
+		a.next = nil
+	} else {
+		a.next = nil
+	}
+	a.state.Reset()
+}
+
+type sub struct{ n int }
+
+// Reset resets sub; sub itself is never pooled, so its partial coverage
+// elsewhere would not be checked.
+func (s *sub) Reset() { s.n = 0 }
+
+// Rows shows that loop bodies count: a zero-iteration loop over the
+// field's own backing store means there was nothing to clear.
+//
+//topklint:pooled
+type Rows struct {
+	seen []map[int]bool
+}
+
+func (r *Rows) Reset() {
+	for i := range r.seen {
+		clear(r.seen[i])
+	}
+}
+
+type errReset struct{ n int }
+
+// Reset can fail; callers propagate the error.
+func (e *errReset) Reset() error { e.n = 0; return nil }
+
+// Fwd delegates its whole reset in a return statement: the delegation
+// counts even though it is not an expression statement.
+//
+//topklint:pooled
+type Fwd struct{ inner errReset }
+
+// Reset forwards and propagates the error.
+func (f *Fwd) Reset() error { return f.inner.Reset() }
+
+var statePool sync.Pool
+
+// State is pooled but has no Reset at all.
+type State struct { // want "pooled type State has no Reset method"
+	n int
+}
+
+// PutState puts State into its pool.
+func PutState(s *State) { statePool.Put(s) }
+
+// Plain is never pooled: its partial Reset is fine.
+type Plain struct {
+	a, b int
+}
+
+// Reset only restores a; Plain is not pooled, so this is not checked.
+func (p *Plain) Reset() { p.a = 0 }

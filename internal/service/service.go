@@ -341,6 +341,7 @@ func (h *Handler) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if b := h.cfg.HealthBackend; b != nil {
 		ctx, cancel := context.WithTimeout(r.Context(), h.cfg.HealthTimeout)
 		defer cancel()
+		//topklint:allow billedaccess readiness probe: one unbilled access decides routability, no query pays for it
 		if _, _, err := b.Sorted(ctx, 0, 0); err != nil {
 			writeJSON(w, http.StatusServiceUnavailable, errPayload{Error: "backend unavailable: " + err.Error()})
 			return

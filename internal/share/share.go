@@ -181,6 +181,8 @@ type frontierFetch struct {
 // Sorted implements access.Backend: ranks inside the shared prefix are
 // served without a source access; a rank at the frontier drives (or waits
 // on) exactly one backend access shared by every query needing it.
+//
+//topklint:hotpath
 func (l *Layer) Sorted(ctx context.Context, pred, rank int) (int, float64, error) {
 	l.syncBreakers()
 	c := &l.cursors[pred]
@@ -203,6 +205,7 @@ func (l *Layer) Sorted(ctx context.Context, pred, rank int) (int, float64, error
 			}
 			continue
 		}
+		//topklint:allow hotpathalloc frontier miss pays a source round trip; one fetch handle is noise against it
 		f := &frontierFetch{done: make(chan struct{})}
 		c.pending = f
 		fetchRank := len(c.entries)
@@ -234,6 +237,8 @@ func (l *Layer) Sorted(ctx context.Context, pred, rank int) (int, float64, error
 // Random implements access.Backend: cached scores are served without a
 // source access; misses are singleflighted and, when batching is enabled,
 // coalesced with concurrent misses into one round trip.
+//
+//topklint:hotpath
 func (l *Layer) Random(ctx context.Context, pred, obj int) (float64, error) {
 	l.syncBreakers()
 	if l.scores == nil {

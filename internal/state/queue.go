@@ -39,6 +39,8 @@ func (e Entry) Before(o Entry) bool {
 // popped, and those per-access allocations dominated serve-path profiles.
 // All queue operations are allocation-free once the backing arrays have
 // grown to their high-water mark.
+//
+//topklint:pooled
 type Queue struct {
 	t        *Table
 	h        []Entry
@@ -70,6 +72,7 @@ func (q *Queue) Reset(t *Table, nwg bool) {
 	}
 	q.hasUnsn = false
 	q.nwgStart = nwg
+	q.scratch = q.scratch[:0]
 	if nwg {
 		q.pushRaw(Entry{ID: UnseenID, Upper: t.UnseenUpper()})
 	} else {
@@ -80,6 +83,8 @@ func (q *Queue) Reset(t *Table, nwg bool) {
 }
 
 // siftUp restores the heap invariant after appending at index i.
+//
+//topklint:hotpath
 func (q *Queue) siftUp(i int) {
 	h := q.h
 	e := h[i]
@@ -96,6 +101,8 @@ func (q *Queue) siftUp(i int) {
 
 // siftDown restores the heap invariant after replacing the entry at index
 // i (with n live entries).
+//
+//topklint:hotpath
 func (q *Queue) siftDown(i int) {
 	h := q.h
 	n := len(h)
@@ -118,6 +125,7 @@ func (q *Queue) siftDown(i int) {
 	h[i] = e
 }
 
+//topklint:hotpath
 func (q *Queue) pushRaw(e Entry) {
 	if q.inQueue[e.ID+1] {
 		return
@@ -131,6 +139,8 @@ func (q *Queue) pushRaw(e Entry) {
 }
 
 // popTop removes and returns the heap root without validation.
+//
+//topklint:hotpath
 func (q *Queue) popTop() Entry {
 	h := q.h
 	e := h[0]
@@ -149,6 +159,8 @@ func (q *Queue) popTop() Entry {
 
 // Add enqueues object u (typically when it is first seen). Adding an
 // object already present is a no-op.
+//
+//topklint:hotpath
 func (q *Queue) Add(u int) {
 	if u == UnseenID {
 		//topklint:allow nopanic caller contract: UnseenID is a package-internal sentinel no algorithm receives from an access
@@ -166,6 +178,8 @@ func (q *Queue) Contains(id int) bool { return q.inQueue[id+1] }
 // revalidateTop restores the invariant that the heap root carries its
 // current (not stale) upper bound, dropping the unseen entry once all
 // objects have been seen. Returns false when the queue is empty.
+//
+//topklint:hotpath
 func (q *Queue) revalidateTop() bool {
 	for len(q.h) > 0 {
 		top := q.h[0]
@@ -185,6 +199,8 @@ func (q *Queue) revalidateTop() bool {
 }
 
 // Peek returns the current best candidate without removing it.
+//
+//topklint:hotpath
 func (q *Queue) Peek() (Entry, bool) {
 	if !q.revalidateTop() {
 		return Entry{}, false
@@ -193,6 +209,8 @@ func (q *Queue) Peek() (Entry, bool) {
 }
 
 // Pop removes and returns the current best candidate.
+//
+//topklint:hotpath
 func (q *Queue) Pop() (Entry, bool) {
 	if !q.revalidateTop() {
 		return Entry{}, false

@@ -20,12 +20,15 @@ const UnseenID = -1
 // Table tracks everything an algorithm knows about object scores at a
 // point in time. It is pure bookkeeping: algorithms perform accesses
 // through an access.Session and feed the results in via ObserveSorted and
-// ObserveRandom. Not safe for concurrent use.
+// ObserveRandom. Not safe for concurrent use. Tables are recycled across
+// queries inside the pooled algo.Scratch.
+//
+//topklint:pooled
 type Table struct {
-	f    score.Func
-	n, m int
+	f    score.Func //topklint:allow resetcomplete Reset(nil) deliberately keeps the scoring function; non-nil swaps it
+	n, m int        //topklint:allow resetcomplete identity: a recycled table serves the same n-by-m shape
 
-	val      []float64 // val[u*m+i], meaningful iff known
+	val      []float64 //topklint:allow resetcomplete stale values are unreachable: known gates every read and is cleared
 	known    []bool
 	nknown   []int // per-object count of known predicates
 	lastSeen []float64
@@ -33,7 +36,7 @@ type Table struct {
 	seen     []bool
 	nseen    int
 
-	buf []float64 // scratch for Eval
+	buf []float64 //topklint:allow resetcomplete Eval scratch, fully overwritten before every read
 }
 
 // NewTable creates an empty table for n objects, m predicates, and scoring
@@ -98,6 +101,8 @@ func (t *Table) Func() score.Func { return t.f }
 // ObserveSorted records the result of sa_i returning object u with score
 // s: p_i[u] becomes known, u becomes seen, and the last-seen bound ell_i
 // drops to s (its side effect on all objects still unseen in list i).
+//
+//topklint:hotpath
 func (t *Table) ObserveSorted(i, u int, s float64) {
 	t.setKnown(i, u, s)
 	t.lastSeen[i] = s
@@ -112,10 +117,13 @@ func (t *Table) ObserveSorted(i, u int, s float64) {
 // side effects on other objects and does not make u "seen" (under
 // no-wild-guesses it could only have been issued for a seen object anyway;
 // without the rule, probing is score gathering, not list discovery).
+//
+//topklint:hotpath
 func (t *Table) ObserveRandom(i, u int, s float64) {
 	t.setKnown(i, u, s)
 }
 
+//topklint:hotpath
 func (t *Table) setKnown(i, u int, s float64) {
 	idx := u*t.m + i
 	if !t.known[idx] {
@@ -180,6 +188,8 @@ func (t *Table) AllSeen() bool { return t.nseen == t.n }
 // to the known scores with every undetermined predicate replaced by its
 // last-seen bound ell_i. By monotonicity this upper-bounds F(u), and it is
 // non-increasing over time.
+//
+//topklint:hotpath
 func (t *Table) Upper(u int) float64 {
 	base := u * t.m
 	for i := 0; i < t.m; i++ {
@@ -195,6 +205,8 @@ func (t *Table) Upper(u int) float64 {
 // Lower computes the minimal-possible score F-floor(u): undetermined
 // predicates replaced by 0. It lower-bounds F(u) and is non-decreasing;
 // NRA-style algorithms halt on it.
+//
+//topklint:hotpath
 func (t *Table) Lower(u int) float64 {
 	base := u * t.m
 	for i := 0; i < t.m; i++ {
@@ -219,12 +231,16 @@ func (t *Table) Exact(u int) (float64, bool) {
 
 // UnseenUpper computes the maximal-possible score of the virtual unseen
 // object: F(ell_1, ..., ell_m). Every unseen object is bounded by it.
+//
+//topklint:hotpath
 func (t *Table) UnseenUpper() float64 {
 	copy(t.buf, t.lastSeen)
 	return t.f.Eval(t.buf)
 }
 
 // UpperOf returns Upper(u) for real objects and UnseenUpper for UnseenID.
+//
+//topklint:hotpath
 func (t *Table) UpperOf(id int) float64 {
 	if id == UnseenID {
 		return t.UnseenUpper()

@@ -1,0 +1,18 @@
+#!/bin/sh
+# escapes.sh prints the compiler's escape-analysis inventory of the
+# serve-path packages, one sorted, deduplicated line per heap allocation
+# site. ESCAPES_baseline.txt is this script's committed output; the
+# nightly workflow diffs a fresh run against it so a new allocation on the
+# serve path shows up as a reviewable one-line diff, not a silent
+# regression the next profile has to rediscover.
+#
+# Regenerate the baseline after a deliberate change:
+#
+#	./scripts/escapes.sh > ESCAPES_baseline.txt
+set -e
+cd "$(dirname "$0")/.."
+for pkg in internal/state internal/access internal/algo internal/share .; do
+	go build -gcflags='-m -m' "./$pkg" 2>&1 |
+		grep -E 'escapes to heap$|moved to heap' |
+		sed "s|^\./|$pkg/|"
+done | sed 's|^\./||' | sort -u

@@ -225,21 +225,35 @@ type Engine struct {
 // queryState is the per-query allocation unit the engine recycles.
 type queryState struct {
 	sess    *access.Session
-	scratch algo.Scratch
+	scratch algo.Scratch //topklint:allow resetcomplete re-prepared from the plan by every RunScratch before use
+}
+
+// Reset restores recycled state for a new query: the session re-arms its
+// budget and bookkeeping under the new options. The scratch needs no work
+// here — every RunScratch re-prepares it from the plan before use.
+func (st *queryState) Reset(sessOpts []access.Option) error {
+	return st.sess.Reset(sessOpts...)
 }
 
 // acquire returns a reset pooled query state, or builds a fresh one.
+//
+//topklint:hotpath
 func (e *Engine) acquire(sessOpts []access.Option) (*queryState, error) {
 	if st, ok := e.pool.Get().(*queryState); ok {
-		if err := st.sess.Reset(sessOpts...); err != nil {
+		if err := st.Reset(sessOpts); err != nil {
+			// A failed Reset means bad options, not corrupt state; the
+			// state stays recyclable because the next Get resets again.
+			e.pool.Put(st)
 			return nil, err
 		}
 		return st, nil
 	}
+	//topklint:allow hotpathalloc first-use miss: the fresh state is built once, then recycled
 	sess, err := access.NewSession(e.backend, e.scn, sessOpts...)
 	if err != nil {
 		return nil, err
 	}
+	//topklint:allow hotpathalloc first-use miss: the fresh state is built once, then recycled
 	return &queryState{sess: sess}, nil
 }
 
