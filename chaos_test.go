@@ -13,11 +13,9 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"sort"
 	"testing"
 	"time"
 
-	"repro/internal/access"
 	"repro/internal/data"
 	"repro/internal/fault"
 )
@@ -58,51 +56,8 @@ func chaosProfiles(seed int64) map[string]chaosProfile {
 	}
 }
 
-// assertExactTopK checks an untruncated answer against the brute-force
-// oracle (multiset of true scores, distinct objects, honest Exact flags).
-func assertExactTopK(t *testing.T, ds *Dataset, f ScoreFunc, k int, ans *Answer) {
-	t.Helper()
-	oracle := TopKOracle(ds, f, k)
-	if len(ans.Items) != len(oracle) {
-		t.Fatalf("returned %d items, oracle has %d", len(ans.Items), len(oracle))
-	}
-	got := make([]float64, len(ans.Items))
-	seen := make(map[int]bool)
-	for i, it := range ans.Items {
-		if seen[it.Obj] {
-			t.Fatalf("duplicate object %d", it.Obj)
-		}
-		seen[it.Obj] = true
-		truth := f.Eval(ds.Scores(it.Obj))
-		if it.Exact && math.Abs(it.Score-truth) > 1e-9 {
-			t.Fatalf("object %d reported exact score %g, truth %g", it.Obj, it.Score, truth)
-		}
-		got[i] = truth
-	}
-	want := make([]float64, len(oracle))
-	for i, it := range oracle {
-		want[i] = it.Score
-	}
-	sort.Float64s(got)
-	sort.Float64s(want)
-	for i := range want {
-		if math.Abs(got[i]-want[i]) > 1e-9 {
-			t.Fatalf("score multiset mismatch: got %v, oracle %v", got, want)
-		}
-	}
-}
-
 func TestChaosFigure2Matrix(t *testing.T) {
-	cells := []struct {
-		name string
-		scn  Scenario
-	}{
-		{"sa-cheap_ra-cheap", access.MatrixCell(3, access.Cheap, access.Cheap, 10)},
-		{"sa-cheap_ra-expensive", access.MatrixCell(3, access.Cheap, access.Expensive, 10)},
-		{"sa-cheap_ra-impossible", access.MatrixCell(3, access.Cheap, access.Impossible, 10)},
-		{"sa-impossible_ra-expensive", access.MatrixCell(3, access.Impossible, access.Expensive, 10)},
-		{"sa-expensive_ra-cheap", access.MatrixCell(3, access.Expensive, access.Cheap, 10)},
-	}
+	cells := figure2Cells(3, 10)
 	seeds := []int64{1, 7, 42}
 	const (
 		n        = 60
@@ -130,10 +85,7 @@ func TestChaosFigure2Matrix(t *testing.T) {
 							t.Fatal(err)
 						}
 						breakers := NewBreakerSet(3, pr.breaker)
-						backend := DataBackend(ds)
-						if sharing {
-							backend = NewSharedAccess(backend, SharingOptions{Breakers: breakers})
-						}
+						backend := matrixBackend(ds, sharing, breakers)
 						eng, err := NewEngine(fault.Wrap(backend, pr.faults), cell.scn)
 						if err != nil {
 							t.Fatal(err)
@@ -189,5 +141,126 @@ func TestChaosFigure2Matrix(t *testing.T) {
 	}
 	if degradedCount == 0 {
 		t.Error("no chaos run degraded explicitly")
+	}
+}
+
+// TestChaosCursorPagination drives resumable cursors into a mid-pagination
+// outage: predicate 3 is healthy while the cursor opens and serves its
+// first pages, then goes down permanently partway through the deepening
+// sequence. The contract is the cursor analogue of the chaos capstone:
+// every page either deepens exactly or degrades explicitly (re-planned
+// around the outage, or Truncated with reasons) — and the cumulative
+// ledger is never stale or double-billed: after every page the trace's
+// per-predicate counts equal the cursor ledger exactly, and counts only
+// grow.
+func TestChaosCursorPagination(t *testing.T) {
+	const (
+		n     = 60
+		k     = 2
+		pages = 6
+	)
+	seeds := []int64{1, 7, 42}
+	degradedSeen, continuedPastOutage := 0, 0
+	for _, cell := range figure2Cells(3, 10) {
+		for _, seed := range seeds {
+			for _, sharing := range []bool{false, true} {
+				name := fmt.Sprintf("%s/seed%d", cell.name, seed)
+				if sharing {
+					name += "/shared"
+				}
+				t.Run(name, func(t *testing.T) {
+					ds, err := data.Generate(data.Uniform, n, 3, seed)
+					if err != nil {
+						t.Fatal(err)
+					}
+					faults := fault.Config{Seed: seed, Preds: map[int]fault.PredFault{
+						0: {ErrorRate: 0.2},
+						2: {OutageFrom: 25, OutageTo: -1}, // healthy while the cursor opens, then gone
+					}}
+					breakers := NewBreakerSet(3, BreakerConfig{FailureThreshold: 2, Cooldown: 10 * time.Millisecond})
+					eng, err := NewEngine(fault.Wrap(matrixBackend(ds, sharing, breakers), faults), cell.scn)
+					if err != nil {
+						t.Fatal(err)
+					}
+					cur, err := eng.Open(Query{F: Min(), K: k},
+						WithTrace(),
+						WithResilience(&Resilience{Breakers: breakers, AccessTimeout: 50 * time.Millisecond}))
+					if err != nil {
+						t.Skipf("cell cannot open (no legal plan): %v", err)
+					}
+					defer cur.Close()
+
+					var prevLedger Ledger
+					seen := make(map[int]bool)
+					truncated := false
+					for page := 0; page < pages; page++ {
+						res, err := cur.Next(k)
+						if err != nil {
+							t.Fatalf("page %d errored (must degrade instead): %v", page, err)
+						}
+						if truncated && !res.Truncated {
+							t.Fatalf("page %d lost the sticky Truncated flag", page)
+						}
+						if res.Truncated {
+							truncated = true
+							if len(res.Degraded) == 0 {
+								t.Fatal("truncated page carries no degraded reasons")
+							}
+						}
+						for _, it := range res.Items {
+							if seen[it.Obj] {
+								t.Fatalf("page %d re-emitted object %d", page, it.Obj)
+							}
+							seen[it.Obj] = true
+							if it.Exact {
+								truth := Min().Eval(ds.Scores(it.Obj))
+								if math.Abs(it.Score-truth) > 1e-9 {
+									t.Fatalf("page %d lies: object %d exact %g, truth %g", page, it.Obj, it.Score, truth)
+								}
+							}
+						}
+						// Never double-billed, never rolled back: per-predicate
+						// counts are monotone across pages...
+						for i := range res.Ledger.SortedCounts {
+							if i < len(prevLedger.SortedCounts) &&
+								(res.Ledger.SortedCounts[i] < prevLedger.SortedCounts[i] ||
+									res.Ledger.RandomCounts[i] < prevLedger.RandomCounts[i]) {
+								t.Fatalf("page %d ledger went backwards at pred %d", page, i)
+							}
+						}
+						prevLedger = res.Ledger
+						// ...and never stale: after every page the cumulative
+						// trace equals the cumulative ledger exactly.
+						snap := cur.Trace()
+						led := cur.Ledger()
+						for i := range led.SortedCounts {
+							st, rt := 0, 0
+							if i < len(snap.SortedAccesses) {
+								st = snap.SortedAccesses[i]
+							}
+							if i < len(snap.RandomAccesses) {
+								rt = snap.RandomAccesses[i]
+							}
+							if st != led.SortedCounts[i] || rt != led.RandomCounts[i] {
+								t.Fatalf("page %d: trace (%d,%d) vs ledger (%d,%d) at pred %d",
+									page, st, rt, led.SortedCounts[i], led.RandomCounts[i], i)
+							}
+						}
+					}
+					if truncated {
+						degradedSeen++
+					}
+					if cur.Emitted() > k {
+						continuedPastOutage++
+					}
+				})
+			}
+		}
+	}
+	if degradedSeen == 0 {
+		t.Error("no paginated run degraded explicitly under the outage")
+	}
+	if continuedPastOutage == 0 {
+		t.Error("no cursor deepened past its first page under faults")
 	}
 }

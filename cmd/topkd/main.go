@@ -57,6 +57,9 @@ func run() error {
 		brkThreshold  = flag.Int("breaker-threshold", 3, "consecutive access failures that open a capability's circuit")
 		brkCooldown   = flag.Duration("breaker-cooldown", time.Second, "how long an open circuit waits before probing the source again")
 
+		cursorTTL  = flag.Duration("cursor-ttl", time.Minute, "reclaim server-side query cursors idle this long (negative disables expiry)")
+		maxCursors = flag.Int("max-cursors", 128, "open server-side cursors beyond this return 503 (negative = unlimited)")
+
 		shareOn  = flag.Bool("share", false, "share accesses across concurrent queries: shared sorted cursors and a score cache (topk_share_* in /metrics)")
 		shareCap = flag.Int("share-cache", 0, "shared score cache capacity in entries (0 = default, negative disables score caching)")
 	)
@@ -133,6 +136,8 @@ func run() error {
 		Breaker:            topk.BreakerConfig{FailureThreshold: *brkThreshold, Cooldown: *brkCooldown},
 		EnableSharing:      *shareOn,
 		ShareScoreCapacity: *shareCap,
+		CursorTTL:          *cursorTTL,
+		MaxCursors:         *maxCursors,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,138 @@
+package topk
+
+// FuzzCursorSequence drives a cursor through arbitrary op sequences —
+// deepen by 0, deepen past n, score-range pages, close, pages after close,
+// pages after exhaustion — and holds every prefix to the recompute oracle:
+// whatever the interleaving, the answers emitted so far must be exactly a
+// fresh run of the same total depth, with the identical bill. The nightly
+// workflow runs the long campaign; CI smokes it briefly.
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func FuzzCursorSequence(f *testing.F) {
+	f.Add(int64(1), []byte{3, 4, 5})
+	f.Add(int64(7), []byte{0, 13, 0, 13, 2})      // zero-delta polls and over-asks
+	f.Add(int64(42), []byte{200, 1})              // exhaust, then keep paging
+	f.Add(int64(3), []byte{2, 0xFF, 3, 4})        // close mid-sequence
+	f.Add(int64(11), []byte{0xFE, 2, 0xFE, 0xFE}) // score-range pages between ordinal ones
+	f.Add(int64(19), []byte{1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1})
+
+	f.Fuzz(func(t *testing.T, seed int64, ops []byte) {
+		const (
+			n = 40
+			m = 2
+			k = 3
+		)
+		if len(ops) > 24 {
+			ops = ops[:24]
+		}
+		ds, err := GenerateDataset("uniform", n, m, seed%1000)
+		if err != nil {
+			t.Skip()
+		}
+		eng, err := NewEngine(DataBackend(ds), UniformScenario(m, 1, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fixed := WithNC([]float64{0.5, 0.5}, nil)
+		cur, err := eng.Open(Query{F: Min(), K: k}, fixed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cur.Close()
+
+		oracle := TopKOracle(ds, Min(), n)
+		var got []Item
+		tau := 0.0 // NextUntil thresholds descend through the true scores
+		closed := false
+		rangeUsed := false
+		for _, op := range ops {
+			switch {
+			case closed:
+				// Every op after close must fail the same way, with no items
+				// and a zeroed ledger view.
+				if _, err := cur.Next(int(op) % 7); !errors.Is(err, ErrCursorClosed) {
+					t.Fatalf("Next after Close: err = %v, want ErrCursorClosed", err)
+				}
+				if led := cur.Ledger(); led.TotalAccesses() != 0 {
+					t.Fatal("closed cursor still exposes a ledger")
+				}
+			case op == 0xFF:
+				if err := cur.Close(); err != nil {
+					t.Fatalf("Close: %v", err)
+				}
+				closed = true
+			case op == 0xFE:
+				// Score-range page: tau exactly on the next unemitted true
+				// score, so the page emits at least that one answer (unless
+				// already exhausted).
+				idx := len(got) + 2
+				if idx >= len(oracle) {
+					idx = len(oracle) - 1
+				}
+				tau = oracle[idx].Score
+				rangeUsed = true
+				page, err := cur.NextUntil(tau)
+				if err != nil {
+					t.Fatalf("NextUntil(%g): %v", tau, err)
+				}
+				got = append(got, page.Items...)
+			default:
+				delta := int(op) % 7
+				if op%13 == 0 && op > 0 {
+					delta = n + 5 // over-ask: must clamp to exhaustion, not error
+				}
+				page, err := cur.Next(delta)
+				if err != nil {
+					t.Fatalf("Next(%d): %v", delta, err)
+				}
+				if len(page.Items) > delta {
+					t.Fatalf("Next(%d) returned %d items", delta, len(page.Items))
+				}
+				got = append(got, page.Items...)
+			}
+			if closed {
+				continue
+			}
+			// Recompute oracle, checked at EVERY prefix: a fresh engine run
+			// of the current depth must reproduce answers and bill exactly.
+			if len(got) > 0 {
+				fresh, err := eng.Run(Query{F: Min(), K: len(got)}, fixed)
+				if err != nil {
+					t.Fatalf("oracle run: %v", err)
+				}
+				if !reflect.DeepEqual(got, fresh.Items) {
+					t.Fatalf("after %d ops: paged answers diverge\n paged %v\n fresh %v", len(got), got, fresh.Items)
+				}
+				// Exhaustion is detected lazily — a page that happens to end
+				// on the last object only learns the queue is empty on the
+				// NEXT call — so the implication runs one way only.
+				if cur.Exhausted() && len(got) != n {
+					t.Fatalf("exhausted with only %d/%d emitted", len(got), n)
+				}
+				led := cur.Ledger()
+				if !rangeUsed {
+					// Ordinal-only sequences resume for free: the bill is
+					// byte-identical to the fresh run at every prefix.
+					if !reflect.DeepEqual(led, fresh.Ledger) {
+						t.Fatalf("after %d ops: paged bill diverges\n paged %+v\n fresh %+v", len(got), led, fresh.Ledger)
+					}
+				} else {
+					// A range page may additionally have paid to prove its
+					// boundary; it must never have paid LESS than emission
+					// required (a short bill means stale or unbilled state).
+					for i := range led.SortedCounts {
+						if led.SortedCounts[i] < fresh.Ledger.SortedCounts[i] ||
+							led.RandomCounts[i] < fresh.Ledger.RandomCounts[i] {
+							t.Fatalf("cursor bill below the oracle at pred %d: %+v vs %+v", i, led, fresh.Ledger)
+						}
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,6 +1,12 @@
 package topk
 
-import "testing"
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/access"
+)
 
 func mustGenerateDataset(t *testing.T, dist string, n, m int, seed int64) *Dataset {
 	t.Helper()
@@ -9,4 +15,70 @@ func mustGenerateDataset(t *testing.T, dist string, n, m int, seed int64) *Datas
 		t.Fatal(err)
 	}
 	return ds
+}
+
+// figure2Cell is one named cell of the paper's Figure-2 cost matrix: a
+// (sorted-access, random-access) capability combination every end-to-end
+// sweep in this package iterates.
+type figure2Cell struct {
+	name string
+	scn  Scenario
+}
+
+// figure2Cells enumerates the legal matrix cells for m predicates at the
+// given access cost. The sa-impossible/ra-impossible corner is excluded —
+// no algorithm can run there.
+func figure2Cells(m int, cost float64) []figure2Cell {
+	return []figure2Cell{
+		{"sa-cheap_ra-cheap", access.MatrixCell(m, access.Cheap, access.Cheap, cost)},
+		{"sa-cheap_ra-expensive", access.MatrixCell(m, access.Cheap, access.Expensive, cost)},
+		{"sa-cheap_ra-impossible", access.MatrixCell(m, access.Cheap, access.Impossible, cost)},
+		{"sa-impossible_ra-expensive", access.MatrixCell(m, access.Impossible, access.Expensive, cost)},
+		{"sa-expensive_ra-cheap", access.MatrixCell(m, access.Expensive, access.Cheap, cost)},
+	}
+}
+
+// matrixBackend composes a matrix run's backend the way the service does:
+// the cross-query sharing layer (when enabled) sits directly over the data,
+// so fault injectors and resilience wrap sessions, never the shared caches.
+func matrixBackend(ds *Dataset, sharing bool, breakers *BreakerSet) Backend {
+	backend := DataBackend(ds)
+	if sharing {
+		backend = NewSharedAccess(backend, SharingOptions{Breakers: breakers})
+	}
+	return backend
+}
+
+// assertExactTopK checks an untruncated answer against the brute-force
+// oracle (multiset of true scores, distinct objects, honest Exact flags).
+func assertExactTopK(t *testing.T, ds *Dataset, f ScoreFunc, k int, ans *Answer) {
+	t.Helper()
+	oracle := TopKOracle(ds, f, k)
+	if len(ans.Items) != len(oracle) {
+		t.Fatalf("returned %d items, oracle has %d", len(ans.Items), len(oracle))
+	}
+	got := make([]float64, len(ans.Items))
+	seen := make(map[int]bool)
+	for i, it := range ans.Items {
+		if seen[it.Obj] {
+			t.Fatalf("duplicate object %d", it.Obj)
+		}
+		seen[it.Obj] = true
+		truth := f.Eval(ds.Scores(it.Obj))
+		if it.Exact && math.Abs(it.Score-truth) > 1e-9 {
+			t.Fatalf("object %d reported exact score %g, truth %g", it.Obj, it.Score, truth)
+		}
+		got[i] = truth
+	}
+	want := make([]float64, len(oracle))
+	for i, it := range oracle {
+		want[i] = it.Score
+	}
+	sort.Float64s(got)
+	sort.Float64s(want)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("score multiset mismatch: got %v, oracle %v", got, want)
+		}
+	}
 }

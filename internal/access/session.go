@@ -395,6 +395,19 @@ func (s *Session) FaultTolerant() bool { return s.res != nil }
 // query-level deadline or cancellation apart from a source-side failure.
 func (s *Session) Err() error { return s.ctx.Err() }
 
+// Bind re-points the session's context for all subsequent accesses,
+// replacing the one WithContext attached (or a previous Bind). Resumable
+// cursors use it to give every page its own deadline: a page's timeout
+// must not outlive the request that asked for the page, yet the session —
+// and the paid-for state behind it — survives between requests. A nil ctx
+// resets to context.Background().
+func (s *Session) Bind(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.ctx = ctx
+}
+
 // Degraded returns the machine-readable degradation reasons accumulated so
 // far (circuits opened during this session), in first-seen order.
 func (s *Session) Degraded() []string {

@@ -28,6 +28,30 @@ func (mp MPro) Name() string { return "MPro" }
 
 // Run executes MPro via Framework NC.
 func (mp MPro) Run(p *Problem) (*Result, error) {
+	nc, err := mp.frame(p)
+	if err != nil {
+		return nil, err
+	}
+	return nc.Run(p)
+}
+
+// Open suspends MPro as a resumable cursor: since MPro is exactly
+// Framework NC under the derived SR/G selector, its cursor is the NC
+// cursor with that selector — deepening inherits NC's byte-identical
+// resume contract for free.
+func (mp MPro) Open(p *Problem, sc *Scratch) (*Cursor, error) {
+	nc, err := mp.frame(p)
+	if err != nil {
+		return nil, err
+	}
+	return nc.Open(p, sc)
+}
+
+// frame derives MPro's point in the NC space for the problem's scenario:
+// a fully-drained depth on the first sorted (retrieval) predicate and
+// probe-only evaluation everywhere else, following the global schedule
+// Omega.
+func (mp MPro) frame(p *Problem) (*NC, error) {
 	sess := p.Session
 	h := make([]float64, sess.M())
 	retrieval := -1
@@ -50,7 +74,7 @@ func (mp MPro) Run(p *Problem) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return (&NC{Sel: sel}).Run(p)
+	return &NC{Sel: sel}, nil
 }
 
 // Upper is the per-object adaptive probing algorithm (Marian et al.),

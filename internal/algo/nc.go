@@ -97,6 +97,10 @@ type Scratch struct {
 	q       *state.Queue
 	emitted []bool
 	choices []Choice
+	// cur is the suspended-execution view of this scratch: NC.Open hands
+	// out &sc.cur, so opening a cursor on pooled scratch allocates nothing
+	// and repooling the scratch reclaims the cursor with it.
+	cur Cursor
 }
 
 // prepare readies the scratch for a run of size n×m, reallocating only on
@@ -129,149 +133,17 @@ func (sc *Scratch) prepare(n, m int, f score.Func, nwg bool) (*state.Table, *sta
 func (nc *NC) Run(p *Problem) (*Result, error) { return nc.RunScratch(p, nil) }
 
 // RunScratch is Run with caller-provided reusable working state. A nil
-// scratch allocates fresh state, making it equivalent to Run.
+// scratch allocates fresh state, making it equivalent to Run. It is
+// implemented as a single full page of the resumable cursor, which makes
+// the deepening contract hold by construction: Open(k).Next(d1)...Next(dn)
+// performs the same accesses and emits the same answers as one
+// RunScratch with K = d1+...+dn.
 func (nc *NC) RunScratch(p *Problem, sc *Scratch) (*Result, error) {
-	if err := p.Begin(); err != nil {
+	cur, err := nc.Open(p, sc)
+	if err != nil {
 		return nil, err
 	}
-	sess := p.Session
-	var (
-		tab     *state.Table
-		q       *state.Queue
-		emitted []bool
-		err     error
-	)
-	if sc != nil {
-		tab, q, emitted, err = sc.prepare(sess.N(), sess.M(), p.F, sess.NoWildGuesses())
-		if err != nil {
-			return nil, err
-		}
-	} else {
-		sc = &Scratch{}
-		if tab, err = state.NewTable(sess.N(), sess.M(), p.F); err != nil {
-			return nil, err
-		}
-		sc.tab = tab
-		q = state.NewQueue(tab, sess.NoWildGuesses())
-		emitted = make([]bool, sess.N())
-	}
-
-	items := make([]Item, 0, p.K)
-	// drain returns the best current answer when the run cannot prove the
-	// exact top-k (budget exhausted, or — fault-tolerant sessions only —
-	// degradation or a query deadline): the emitted (guaranteed) prefix
-	// plus the leading candidates by maximal-possible score, reported with
-	// their lower bounds and Exact=false.
-	drain := func(degraded []string) *Result {
-		for len(items) < p.K {
-			e, ok := q.Pop()
-			if !ok {
-				break
-			}
-			if e.ID == state.UnseenID {
-				continue
-			}
-			if exact, done := tab.Exact(e.ID); done {
-				items = append(items, Item{Obj: e.ID, Score: exact, Exact: true})
-				continue
-			}
-			items = append(items, Item{Obj: e.ID, Score: tab.Lower(e.ID), Exact: false})
-		}
-		return &Result{Items: items, Ledger: sess.Ledger(), Truncated: true, Degraded: degraded}
-	}
-	// Consecutive unbilled failures absorbed so far; bounded by the
-	// session's failure budget so a pathological source cannot spin the
-	// loop forever (each absorbed failure advances a breaker, so in
-	// practice circuits open long before the budget runs out).
-	consecFail := 0
-	failBudget := sess.FailureBudget()
-	for len(items) < p.K {
-		if nc.Obs != nil {
-			nc.Obs.LoopIteration(q.Len())
-		}
-		top, ok := q.Peek()
-		if !ok {
-			break // fewer than k objects exist; return all
-		}
-		if top.ID != state.UnseenID && tab.Complete(top.ID) {
-			// Satisfied task at the head: top.Upper is its exact score and
-			// dominates every remaining candidate's bound, so it is the
-			// next answer (Theorem 1, condition 2, applied incrementally).
-			q.Pop()
-			emitted[top.ID] = true
-			exact, _ := tab.Exact(top.ID)
-			items = append(items, Item{Obj: top.ID, Score: exact, Exact: true})
-			continue
-		}
-		if nc.Epsilon > 0 && top.ID != state.UnseenID {
-			// Approximate emission: the candidate dominates every
-			// remaining bound (it is the queue head), and its own interval
-			// is within the theta = 1+Epsilon slack, so for any later v:
-			// (1+eps)*F(top) >= (1+eps)*F-floor(top) >= F-bar(top)
-			//                >= F-bar(v) >= F(v).
-			if lo := tab.Lower(top.ID); top.Upper <= (1+nc.Epsilon)*lo {
-				q.Pop()
-				emitted[top.ID] = true
-				items = append(items, Item{Obj: top.ID, Score: lo, Exact: false})
-				continue
-			}
-		}
-		// Unsatisfied task (Theorem 1, condition 1): gather its necessary
-		// choices (Definition 2, exported as NecessaryChoices) and let the
-		// Selector pick.
-		choices := AppendNecessaryChoices(sc.choices[:0], tab, sess, top.ID)
-		sc.choices = choices
-		if len(choices) == 0 {
-			if sess.FaultTolerant() && len(sess.Degraded()) > 0 {
-				// Degradation removed every legal choice for this task: the
-				// scenario can no longer answer the query exactly. Return
-				// the best-effort anytime answer instead of an error — the
-				// outage is a scenario change, not a bug.
-				if nc.Obs != nil {
-					nc.Obs.DegradedReplan("no_legal_plan")
-				}
-				return drain(append(sess.Degraded(), "no_legal_plan")), nil
-			}
-			return nil, fmt.Errorf("algo: NC stuck: task for object %d has no legal choices (scenario %q cannot answer the query)", top.ID, sess.Scenario().Name)
-		}
-		ch := nc.Sel.Choose(tab, sess, top.ID, choices)
-		obj, err := performChoice(tab, sess, top.ID, ch)
-		switch {
-		case err == nil:
-			consecFail = 0
-		case errors.Is(err, access.ErrBudgetExhausted):
-			// Anytime behaviour: the budget cannot cover the framework's
-			// chosen access, so return the best current answer.
-			return drain(sess.Degraded()), nil
-		case errors.Is(err, access.ErrCircuitOpen) || errors.Is(err, access.ErrAccessFailed):
-			// Fault-tolerant absorption: nothing was billed, the failure was
-			// recorded against the capability's breaker, and the scenario
-			// may have degraded — re-derive the choices and re-plan instead
-			// of failing the query.
-			consecFail++
-			if nc.Obs != nil {
-				nc.Obs.DegradedReplan(replanReason(err))
-			}
-			if consecFail > failBudget {
-				return drain(append(sess.Degraded(), "failure_budget_exhausted")), nil
-			}
-			continue
-		case sess.FaultTolerant() && sess.Err() != nil:
-			// The query's own deadline (or cancellation) fired mid-run:
-			// degrade to the best current answer, never hang or lose the
-			// work already paid for.
-			return drain(append(sess.Degraded(), deadlineReason(sess.Err()))), nil
-		default:
-			return nil, err
-		}
-		if err == nil && ch.Kind == access.SortedAccess && !emitted[obj] && !q.Contains(obj) {
-			q.Add(obj)
-		}
-		if nc.OnAccess != nil {
-			nc.OnAccess(tab, ch)
-		}
-	}
-	return &Result{Items: items, Ledger: sess.Ledger()}, nil
+	return cur.Next(p.K)
 }
 
 // replanReason labels why the framework re-planned around a failure.

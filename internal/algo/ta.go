@@ -2,7 +2,9 @@ package algo
 
 import (
 	"errors"
+	"fmt"
 
+	"repro/internal/access"
 	"repro/internal/state"
 )
 
@@ -21,6 +23,38 @@ func (TA) Name() string { return "TA" }
 
 // Run executes TA.
 func (TA) Run(p *Problem) (*Result, error) {
+	cur, err := TA{}.Open(p)
+	if err != nil {
+		return nil, err
+	}
+	return cur.Next(p.K)
+}
+
+// TACursor is TA's resumable form: the round-robin sorted rounds, the
+// fully-probed object pool, and the threshold state survive between pages.
+// TA's rounds do not depend on k — only the early-stop test does, and the
+// test for a larger k is strictly harder — so resuming k -> k+delta runs
+// exactly the extra rounds a fresh k+delta execution would have run, and
+// the concatenated pages equal its ranking (the ranking's prefix is stable
+// because the stop test proves the current top-target is final before
+// emitting).
+type TACursor struct {
+	sess      *access.Session
+	tab       *state.Table
+	preds     []int
+	processed []bool
+	probeBuf  []int
+	done      []Item
+	emittedN  int
+	drained   bool
+	closed    bool
+	err       error
+	release   func()
+}
+
+// Open suspends TA over the problem before its first access. The problem
+// is consumed; p.K only validates the query.
+func (TA) Open(p *Problem) (*TACursor, error) {
 	if err := p.Begin(); err != nil {
 		return nil, err
 	}
@@ -32,47 +66,107 @@ func (TA) Run(p *Problem) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	preds := roundRobinPreds(sess)
-	var done []Item
-	processed := make([]bool, sess.N())
-	var scratch []int
+	return &TACursor{
+		sess:      sess,
+		tab:       tab,
+		preds:     roundRobinPreds(sess),
+		processed: make([]bool, sess.N()),
+	}, nil
+}
 
-	for {
-		advanced := false
-		for _, i := range preds {
-			if sess.SortedExhausted(i) {
-				continue
-			}
-			obj, s, err := sess.SortedNext(i)
-			if err != nil {
-				return nil, err
-			}
-			advanced = true
-			tab.ObserveSorted(i, obj, s)
-			if processed[obj] {
-				continue
-			}
-			processed[obj] = true
-			scratch = tab.UnknownPreds(obj, scratch[:0])
-			for _, j := range scratch {
-				v, err := sess.Random(j, obj)
-				if err != nil {
-					return nil, err
-				}
-				tab.ObserveRandom(j, obj, v)
-			}
-			exact, _ := tab.Exact(obj)
-			done = append(done, Item{Obj: obj, Score: exact, Exact: true})
-		}
-		if !advanced {
-			break // every list exhausted: all objects processed
-		}
-		if len(done) >= p.K && kthBest(done, p.K) >= tab.UnseenUpper() {
-			break // early-stop: k objects at or above the threshold
+// Next resumes TA's sorted rounds until delta more answers clear the
+// threshold (fewer if the lists are exhausted first). The page carries
+// only the new answers; the ledger is cumulative.
+func (tc *TACursor) Next(delta int) (*Result, error) {
+	if tc.closed {
+		return nil, ErrCursorClosed
+	}
+	if tc.err != nil {
+		return nil, tc.err
+	}
+	if delta < 0 {
+		return nil, fmt.Errorf("algo: cursor page size must be >= 0, got %d", delta)
+	}
+	if delta == 0 {
+		return &Result{Items: []Item{}, Ledger: tc.sess.Ledger()}, nil
+	}
+	target := tc.emittedN + delta
+	for !tc.drained && !(len(tc.done) >= target && kthBest(tc.done, target) >= tc.tab.UnseenUpper()) {
+		if err := tc.round(); err != nil {
+			return nil, err
 		}
 	}
-	return &Result{Items: rankItems(done, p.K), Ledger: sess.Ledger()}, nil
+	ranked := rankItems(append([]Item(nil), tc.done...), target)
+	page := ranked[min(tc.emittedN, len(ranked)):]
+	tc.emittedN += len(page)
+	return &Result{Items: page, Ledger: tc.sess.Ledger()}, nil
 }
+
+// round performs one equal-depth sorted round with TA's exhaustive random
+// probing of every newly seen object; it marks the cursor drained when
+// every list is exhausted.
+func (tc *TACursor) round() error {
+	advanced := false
+	for _, i := range tc.preds {
+		if tc.sess.SortedExhausted(i) {
+			continue
+		}
+		obj, s, err := tc.sess.SortedNext(i)
+		if err != nil {
+			tc.err = err
+			return err
+		}
+		advanced = true
+		tc.tab.ObserveSorted(i, obj, s)
+		if tc.processed[obj] {
+			continue
+		}
+		tc.processed[obj] = true
+		tc.probeBuf = tc.tab.UnknownPreds(obj, tc.probeBuf[:0])
+		for _, j := range tc.probeBuf {
+			v, err := tc.sess.Random(j, obj)
+			if err != nil {
+				tc.err = err
+				return err
+			}
+			tc.tab.ObserveRandom(j, obj, v)
+		}
+		exact, _ := tc.tab.Exact(obj)
+		tc.done = append(tc.done, Item{Obj: obj, Score: exact, Exact: true})
+	}
+	if !advanced {
+		tc.drained = true // every list exhausted: all objects processed
+	}
+	return nil
+}
+
+// Emitted reports the total answers produced across all pages.
+func (tc *TACursor) Emitted() int { return tc.emittedN }
+
+// Exhausted reports whether every object has been emitted.
+func (tc *TACursor) Exhausted() bool { return tc.drained && tc.emittedN >= len(tc.done) }
+
+// Ledger snapshots the cumulative access ledger.
+func (tc *TACursor) Ledger() access.Ledger { return tc.sess.Ledger() }
+
+// Close ends the run. Idempotent.
+func (tc *TACursor) Close() {
+	if tc.closed {
+		return
+	}
+	tc.closed = true
+	if tc.release != nil {
+		fn := tc.release
+		tc.release = nil
+		fn()
+	}
+}
+
+// SetRelease registers a hook run exactly once when the cursor closes.
+func (tc *TACursor) SetRelease(fn func()) { tc.release = fn }
+
+var _ Pager = (*TACursor)(nil)
+var _ Pager = (*Cursor)(nil)
 
 // kthBest returns the k-th largest score among items (k <= len(items)).
 func kthBest(items []Item, k int) float64 {

@@ -1,0 +1,139 @@
+package bench_test
+
+// BenchmarkDeepening measures what resumable cursors exist to save: the
+// cost of deepening a query from k to 2k answers. "recompute" pays for a
+// fresh 2k-deep run; "resume" opens a cursor at k and pages the second
+// half out of suspended state. TestDeepeningGate holds the access-level
+// contract — the resumed half must cost at most the committed fraction of
+// the recompute — against BENCH_cursor.json, the same committed-baseline
+// idiom as the perf and sharing gates.
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	topk "repro"
+	"repro/internal/data"
+	"repro/internal/data/datatest"
+)
+
+// deepeningWorkload is the shared fixture: the BENCH_perf.json serve
+// workload (uniform n=1000 m=2 seed=42, avg, cs=cr=1) with a fixed NC
+// plan, deepened from k=10 to 2k=20.
+const (
+	deepeningK = 10
+)
+
+func deepeningEngine(tb testing.TB) *topk.Engine {
+	tb.Helper()
+	ds := datatest.MustGenerate(data.Uniform, 1000, 2, 42)
+	eng, err := topk.NewEngine(topk.DataBackend(ds), topk.UniformScenario(2, 1, 1))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return eng
+}
+
+func BenchmarkDeepening(b *testing.B) {
+	eng := deepeningEngine(b)
+	q := topk.Query{F: topk.Avg(), K: 2 * deepeningK}
+	fixed := topk.WithNC([]float64{0.5, 0.5}, nil)
+
+	b.Run("recompute", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Run(q, fixed); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("resume", func(b *testing.B) {
+		b.ReportAllocs()
+		var marginal int
+		for i := 0; i < b.N; i++ {
+			cur, err := eng.Open(topk.Query{F: topk.Avg(), K: deepeningK}, fixed)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := cur.Next(deepeningK); err != nil {
+				b.Fatal(err)
+			}
+			first := cur.Ledger().TotalAccesses()
+			if _, err := cur.Next(deepeningK); err != nil {
+				b.Fatal(err)
+			}
+			marginal = cur.Ledger().TotalAccesses() - first
+			cur.Close()
+		}
+		b.ReportMetric(float64(marginal), "marginal-accesses/op")
+	})
+}
+
+// cursorBaseline is the slice of BENCH_cursor.json the gate consumes.
+type cursorBaseline struct {
+	Baseline struct {
+		Recompute2kAccesses float64 `json:"recompute_2k_accesses"`
+		MarginalAccesses    float64 `json:"resume_marginal_accesses"`
+	} `json:"baseline"`
+	Gate struct {
+		MaxMarginalFraction float64 `json:"max_marginal_access_fraction"`
+	} `json:"gate"`
+}
+
+func loadCursorBaseline(t *testing.T) cursorBaseline {
+	t.Helper()
+	raw, err := os.ReadFile("../../BENCH_cursor.json")
+	if err != nil {
+		t.Fatalf("committed baseline missing: %v", err)
+	}
+	var cb cursorBaseline
+	if err := json.Unmarshal(raw, &cb); err != nil {
+		t.Fatalf("BENCH_cursor.json unparseable: %v", err)
+	}
+	if cb.Baseline.Recompute2kAccesses == 0 || cb.Gate.MaxMarginalFraction == 0 {
+		t.Fatal("BENCH_cursor.json gate values incomplete")
+	}
+	return cb
+}
+
+// TestDeepeningGate is the access-level deepening gate: resuming a cursor
+// from k to 2k must reach the backend for at most the committed fraction
+// (55%) of what a fresh 2k recompute pays, and the cursor's cumulative
+// bill must land exactly on the recompute's — resume saves the first
+// half's accesses and adds nothing.
+func TestDeepeningGate(t *testing.T) {
+	cb := loadCursorBaseline(t)
+	eng := deepeningEngine(t)
+	fixed := topk.WithNC([]float64{0.5, 0.5}, nil)
+
+	fresh, err := eng.Run(topk.Query{F: topk.Avg(), K: 2 * deepeningK}, fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recompute := fresh.Ledger.TotalAccesses()
+
+	cur, err := eng.Open(topk.Query{F: topk.Avg(), K: deepeningK}, fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	if _, err := cur.Next(deepeningK); err != nil {
+		t.Fatal(err)
+	}
+	first := cur.Ledger().TotalAccesses()
+	if _, err := cur.Next(deepeningK); err != nil {
+		t.Fatal(err)
+	}
+	total := cur.Ledger().TotalAccesses()
+	marginal := total - first
+
+	if limit := cb.Gate.MaxMarginalFraction * float64(recompute); float64(marginal) > limit {
+		t.Errorf("resume k->2k performed %d accesses, gate is %.0f%% of the %d-access recompute (%.0f)",
+			marginal, 100*cb.Gate.MaxMarginalFraction, recompute, limit)
+	}
+	if total != recompute {
+		t.Errorf("paged cumulative accesses %d, fresh 2k recompute %d — resume must add nothing", total, recompute)
+	}
+}

@@ -62,6 +62,21 @@ type TraceSnapshot struct {
 	// DegradedReasons are the machine-readable degradation labels the
 	// engine reported while re-planning (deduplicated, in first-seen order).
 	DegradedReasons []string `json:"degradedReasons,omitempty"`
+	// Cursor identifies the server-side cursor a traced page belongs to
+	// (nil for one-shot queries). The trace itself is cumulative across the
+	// cursor's pages, exactly like its ledger.
+	Cursor *CursorTrace `json:"cursor,omitempty"`
+}
+
+// CursorTrace is the cursor-identity block of a traced paged response: which
+// cursor produced the page, how deep pagination has gone, and whether the
+// underlying execution has run dry. The service fills it in — the engine's
+// QueryTrace accumulates per-query events and does not know cursor identity.
+type CursorTrace struct {
+	ID        string `json:"id"`
+	Page      int    `json:"page"`
+	Emitted   int    `json:"emitted"`
+	Exhausted bool   `json:"exhausted,omitempty"`
 }
 
 // BreakerEvent is one circuit-breaker state change as recorded in a trace.

@@ -22,10 +22,26 @@
 //	                   "cost":14.2,"truncated":false,"plan":{"h":[...],"omega":[...]},
 //	                   "sortedAccesses":[20,50],"randomAccesses":[0,0]}
 //
-// Appending ?trace=1 to /query returns a per-query execution trace in the
-// response's "trace" field: phase timings, per-predicate access counts
-// (matching the ledger exactly), refused accesses, and optimizer
-// statistics.
+// Adding "cursor":true to /query suspends the query server-side instead of
+// discarding its state: the response carries the first page plus a cursor
+// id, and POST /query/next deepens it at only the marginal access cost:
+//
+//	POST /query/next <- {"cursor":"<id>","k":5}      // next 5 answers
+//	                 <- {"cursor":"<id>","tau":0.8}  // all answers scoring >= 0.8
+//	                 <- {"cursor":"<id>","close":true}
+//	                 -> {"cursor":"<id>","page":2,"items":[...],"cost":21.7,
+//	                     "exhausted":false,...}
+//
+// Page responses list only the page's new answers; cost and access counts
+// stay cumulative, so the final page's bill equals a one-shot run of the
+// total depth. Cursors idle longer than Config.CursorTTL expire (a later
+// /query/next gets 404), and at most Config.MaxCursors are open at once.
+//
+// Appending ?trace=1 to /query or /query/next returns a per-query
+// execution trace in the response's "trace" field: phase timings,
+// per-predicate access counts (matching the ledger exactly), refused
+// accesses, and optimizer statistics. On cursor pages the trace is
+// cumulative and carries a "cursor" identity block.
 //
 // The service is fault-tolerant by construction: every query runs under a
 // deadline (Config.QueryTimeout) with per-access timeouts and shared
@@ -130,6 +146,16 @@ type Config struct {
 	// (default share.DefaultScoreCapacity; negative disables score
 	// caching while keeping shared cursors).
 	ShareScoreCapacity int
+
+	// CursorTTL expires server-side cursors idle longer than this: a
+	// background reaper closes them and returns their pooled query state
+	// (default 60s; negative disables expiry, so cursors live until the
+	// client closes them or the handler shuts down). A request naming an
+	// expired cursor gets 404 and re-runs from scratch.
+	CursorTTL time.Duration
+	// MaxCursors caps concurrently open server-side cursors; opening past
+	// the cap is shed with 503 (default 128; negative means unlimited).
+	MaxCursors int
 }
 
 // Handler is the HTTP middleware service.
@@ -165,6 +191,24 @@ type Handler struct {
 	// dataset (nil unless Config.EnableSharing); per-query backends are
 	// projected views into it.
 	shared *topk.SharedAccess
+
+	// Cursor registry: open server-side cursors by id, their pooled state
+	// alive between requests. curPrefix makes ids unguessable across
+	// handler restarts; the reaper (started lazily with the first cursor)
+	// expires idle entries.
+	curMu      sync.Mutex
+	cursors    map[string]*liveCursor
+	curSeq     atomic.Uint64
+	curPrefix  string
+	reaperOn   bool
+	reaperStop chan struct{}
+	closeOnce  sync.Once
+
+	cursorOpened  *obs.Counter
+	cursorPages   *obs.Counter
+	cursorClosed  *obs.Counter
+	cursorExpired *obs.Counter
+	cursorOpenG   *obs.Gauge
 }
 
 // NewHandler validates the configuration and builds the service.
@@ -187,6 +231,12 @@ func NewHandler(cfg Config) (*Handler, error) {
 	if cfg.AccessTimeout == 0 {
 		cfg.AccessTimeout = 5 * time.Second
 	}
+	if cfg.CursorTTL == 0 {
+		cfg.CursorTTL = 60 * time.Second
+	}
+	if cfg.MaxCursors == 0 {
+		cfg.MaxCursors = 128
+	}
 	reg := cfg.Metrics
 	if reg == nil {
 		reg = obs.NewRegistry()
@@ -207,6 +257,14 @@ func NewHandler(cfg Config) (*Handler, error) {
 		slowTotal: reg.Counter("topk_slow_queries_total", "Queries slower than the configured threshold."),
 		breakers:  topk.NewBreakerSet(cfg.Dataset.M(), cfg.Breaker),
 		plans:     topk.NewPlanCache(0),
+		cursors:   make(map[string]*liveCursor),
+		curPrefix: cursorPrefix(),
+
+		cursorOpened:  reg.Counter("topk_cursor_opened_total", "Server-side cursors opened."),
+		cursorPages:   reg.Counter("topk_cursor_pages_total", "Cursor pages served, including each cursor's opening page."),
+		cursorClosed:  reg.Counter("topk_cursor_closed_total", "Cursors closed by client request or handler shutdown."),
+		cursorExpired: reg.Counter("topk_cursor_expired_total", "Idle cursors expired by the TTL reaper."),
+		cursorOpenG:   reg.Gauge("topk_cursor_open", "Server-side cursors currently open."),
 	}
 	if cfg.EnableSharing {
 		h.shared = topk.NewSharedAccess(topk.DataBackend(cfg.Dataset), topk.SharingOptions{
@@ -218,6 +276,7 @@ func NewHandler(cfg Config) (*Handler, error) {
 	h.mux.HandleFunc("/meta", h.handleMeta)
 	h.mux.HandleFunc("/healthz", h.handleHealth)
 	h.mux.HandleFunc("/query", h.handleQuery)
+	h.mux.HandleFunc("/query/next", h.handleNext)
 	h.mux.HandleFunc("/metrics", h.handleMetrics)
 	if cfg.EnablePprof {
 		// Explicit wiring: importing net/http/pprof for its side effect
@@ -248,6 +307,27 @@ type QueryRequest struct {
 	Budget    float64   `json:"budget,omitempty"`
 	Epsilon   float64   `json:"epsilon,omitempty"`
 	Parallel  int       `json:"parallel,omitempty"`
+	// Cursor opens the query as a resumable server-side cursor instead of
+	// a one-shot run: the response carries the first page (the query's
+	// "stop after k" answers) plus a cursor id for POST /query/next.
+	// Incompatible with "parallel" and batch-only baselines.
+	Cursor bool `json:"cursor,omitempty"`
+}
+
+// NextRequest is the POST /query/next payload: deepen, score-page, or close
+// an open cursor.
+type NextRequest struct {
+	// Cursor is the id returned by POST /query with "cursor":true.
+	Cursor string `json:"cursor"`
+	// K asks for the next K answers (ordinal deepening). K=0 with no tau
+	// is a metadata poll: an empty, access-free page that still reports
+	// cumulative cost and exhaustion.
+	K int `json:"k,omitempty"`
+	// Tau switches this page to score-range mode: emit every remaining
+	// answer provably scoring at least tau (NC-shaped cursors only).
+	Tau *float64 `json:"tau,omitempty"`
+	// Close releases the cursor instead of paging.
+	Close bool `json:"close,omitempty"`
 }
 
 // QueryItem is one ranked answer in a response.
@@ -284,6 +364,16 @@ type QueryResponse struct {
 	// time (cumulative across queries, not per-query), present when
 	// sharing is enabled and the request asked for a trace.
 	Share *topk.SharingStats `json:"share,omitempty"`
+
+	// Cursor/Page/Exhausted are the pagination fields of cursor-backed
+	// responses. Items then holds only the page's new answers, while Cost
+	// and the access counts stay cumulative across the cursor's life — the
+	// final page's bill equals a one-shot run of the total depth. Closed
+	// acknowledges a NextRequest.Close.
+	Cursor    string `json:"cursor,omitempty"`
+	Page      int    `json:"page,omitempty"`
+	Exhausted bool   `json:"exhausted,omitempty"`
+	Closed    bool   `json:"closed,omitempty"`
 }
 
 type errPayload struct {
@@ -391,7 +481,17 @@ func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
 		defer h.inflight.Add(-1)
 	}
 	start := time.Now()
-	resp, status, err := h.execute(r.Context(), req, r.URL.Query().Get("trace") == "1")
+	traced := r.URL.Query().Get("trace") == "1"
+	var (
+		resp   *QueryResponse
+		status int
+		err    error
+	)
+	if req.Cursor {
+		resp, status, err = h.openCursor(req, traced)
+	} else {
+		resp, status, err = h.execute(r.Context(), req, traced)
+	}
 	elapsed := time.Since(start)
 	h.querySec.Observe(elapsed.Seconds())
 	if t := h.cfg.SlowQueryThreshold; t > 0 && elapsed >= t {
@@ -407,16 +507,25 @@ func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// execute runs one query request against the configured database. The
-// context (the HTTP request's) cancels the run when the client goes away.
-// The engine run always feeds the service metrics; when traced, a
-// per-query trace rides along and lands in the response.
-func (h *Handler) execute(ctx context.Context, req QueryRequest, traced bool) (*QueryResponse, int, error) {
-	if t := h.cfg.QueryTimeout; t > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, t)
-		defer cancel()
-	}
+// prepared is one parsed, bound, and configured query that has not run
+// yet: everything the one-shot path (execute) and the cursor path
+// (openCursor) share. opts deliberately excludes the context — one-shot
+// runs attach the HTTP request's, cursors rebind a fresh deadline per page.
+type prepared struct {
+	pq   *sqlq.Query
+	ds   *data.Dataset
+	eng  *topk.Engine
+	opts []topk.RunOption
+	o    obs.Observer
+	tr   *obs.QueryTrace
+}
+
+// prepare parses, binds, and configures one query request against the
+// configured database: projection, scenario, backend composition (sharing,
+// chaos wrapper), engine, resilience, and the algorithm/budget/epsilon/
+// parallel options. The engine run always feeds the service metrics; when
+// traced, a per-query trace rides along.
+func (h *Handler) prepare(req QueryRequest, traced bool) (*prepared, int, error) {
 	var o obs.Observer = h.metrics
 	var tr *obs.QueryTrace
 	if traced {
@@ -461,7 +570,7 @@ func (h *Handler) execute(ctx context.Context, req QueryRequest, traced bool) (*
 	if h.cfg.AccessTimeout > 0 {
 		res.AccessTimeout = h.cfg.AccessTimeout
 	}
-	opts := []topk.RunOption{topk.WithContext(ctx), topk.WithObserver(o), topk.WithResilience(res)}
+	opts := []topk.RunOption{topk.WithObserver(o), topk.WithResilience(res)}
 	switch alg := req.Algorithm; {
 	case alg == "" || alg == "opt":
 		// The engine's plan cache (shared across queries via h.plans)
@@ -493,8 +602,22 @@ func (h *Handler) execute(ctx context.Context, req QueryRequest, traced bool) (*
 		opts = append(opts, topk.WithParallel(req.Parallel))
 	}
 	o.PhaseDone(obs.PhasePlan, time.Since(planStart))
+	return &prepared{pq: pq, ds: ds, eng: eng, opts: opts, o: o, tr: tr}, http.StatusOK, nil
+}
 
-	ans, err := eng.Run(topk.Query{F: pq.Func, K: pq.K}, opts...)
+// execute runs one query request to completion. The context (the HTTP
+// request's) cancels the run when the client goes away.
+func (h *Handler) execute(ctx context.Context, req QueryRequest, traced bool) (*QueryResponse, int, error) {
+	if t := h.cfg.QueryTimeout; t > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, t)
+		defer cancel()
+	}
+	p, status, err := h.prepare(req, traced)
+	if err != nil {
+		return nil, status, err
+	}
+	ans, err := p.eng.Run(topk.Query{F: p.pq.Func, K: p.pq.K}, append(p.opts, topk.WithContext(ctx))...)
 	if err != nil {
 		status := http.StatusBadRequest
 		if strings.Contains(err.Error(), "unknown algorithm") {
@@ -504,7 +627,7 @@ func (h *Handler) execute(ctx context.Context, req QueryRequest, traced bool) (*
 	}
 
 	resp := &QueryResponse{
-		Query:          pq.String(),
+		Query:          p.pq.String(),
 		Cost:           ans.TotalCost().Units(),
 		Truncated:      ans.Truncated,
 		SortedAccesses: ans.Ledger.SortedCounts,
@@ -514,7 +637,7 @@ func (h *Handler) execute(ctx context.Context, req QueryRequest, traced bool) (*
 	for _, it := range ans.Items {
 		resp.Items = append(resp.Items, QueryItem{
 			Object: it.Obj,
-			Label:  ds.Label(it.Obj),
+			Label:  p.ds.Label(it.Obj),
 			Score:  it.Score,
 			Exact:  it.Exact,
 		})
@@ -522,8 +645,8 @@ func (h *Handler) execute(ctx context.Context, req QueryRequest, traced bool) (*
 	if ans.Plan != nil {
 		resp.Plan = &PlanPayload{H: ans.Plan.H, Omega: ans.Plan.Omega}
 	}
-	if tr != nil {
-		snap := tr.Snapshot()
+	if p.tr != nil {
+		snap := p.tr.Snapshot()
 		resp.Trace = &snap
 		if h.shared != nil {
 			s := h.shared.Stats()

@@ -180,23 +180,48 @@ func TestParallelTrace(t *testing.T) {
 }
 
 // TestObserverThroughCursor checks that Open threads an observer into the
-// incremental session, and that traces are refused (a cursor has no single
-// end at which to snapshot one).
+// incremental session and that cursor traces accumulate across pages,
+// always conserving the cumulative ledger.
 func TestObserverThroughCursor(t *testing.T) {
 	ds := mustGenerateDataset(t, "uniform", 100, 2, 17)
 	eng, err := NewEngine(DataBackend(ds), UniformScenario(2, 1, 2))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := eng.Open(Query{F: Min(), K: 5}, WithTrace()); err == nil {
-		t.Fatal("Open with WithTrace should be rejected")
+	traced, err := eng.Open(Query{F: Min(), K: 5}, WithNC([]float64{0.5, 0.5}, nil), WithTrace())
+	if err != nil {
+		t.Fatal(err)
 	}
+	defer traced.Close()
+	if _, err := traced.Next(3); err != nil {
+		t.Fatal(err)
+	}
+	snap1 := traced.Trace()
+	if snap1 == nil {
+		t.Fatal("traced cursor returned no snapshot")
+	}
+	if _, err := traced.Next(3); err != nil {
+		t.Fatal(err)
+	}
+	snap2 := traced.Trace()
+	if snap2.CostUnits <= snap1.CostUnits {
+		t.Errorf("cursor trace should accumulate across pages: %g then %g", snap1.CostUnits, snap2.CostUnits)
+	}
+	tled := traced.Ledger()
+	for i := range tled.SortedCounts {
+		if traceAt(snap2.SortedAccesses, i) != tled.SortedCounts[i] {
+			t.Errorf("paged trace sorted[%d] = %d, ledger %d",
+				i, traceAt(snap2.SortedAccesses, i), tled.SortedCounts[i])
+		}
+	}
+
 	tr := obs.NewQueryTrace()
 	cur, err := eng.Open(Query{F: Min(), K: 5}, WithNC([]float64{0.5, 0.5}, nil), WithObserver(tr))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cur.Next(); err != nil {
+	defer cur.Close()
+	if _, err := cur.Next(1); err != nil {
 		t.Fatal(err)
 	}
 	snap := tr.Snapshot()

@@ -659,53 +659,96 @@ func (e *Engine) Run(q Query, opts ...RunOption) (*Answer, error) {
 	return ans, nil
 }
 
-// Cursor is an incremental result stream: answers arrive best first, the
-// caller decides when to stop, and score state carries across batches so
-// "five more" never re-pays for what is already known.
-type Cursor struct {
-	s *algo.Stream
+// ErrCursorClosed reports a page request on a closed cursor.
+var ErrCursorClosed = algo.ErrCursorClosed
+
+// Page is one batch of answers from a resumable Cursor.
+type Page struct {
+	// Items are the page's new answers, best first — only the answers this
+	// Next/NextUntil call proved, never earlier pages'.
+	Items []Item
+	// Ledger is the cursor's cumulative access ledger: successive pages
+	// show monotone cost, and the final page's ledger is byte-identical to
+	// a fresh run of the total depth.
+	Ledger Ledger
+	// Truncated reports the cursor degraded to anytime draining (budget
+	// exhausted, or resilience ran out of legal plans); sticky across
+	// pages.
+	Truncated bool
+	// Degraded lists machine-readable reasons a truncated page is
+	// best-effort ("circuit_open:sa:p1", "query_deadline", ...).
+	Degraded []string
+	// Exhausted reports every object has been emitted; further pages are
+	// empty and access-free.
+	Exhausted bool
+	// Plan is the SR/G configuration in force while this page was
+	// produced (nil under WithNC or named algorithms). Re-planning on a
+	// scenario change between pages replaces it.
+	Plan *Plan
 }
 
-// Next returns the next-best object; io.EOF when the database is drained.
-func (c *Cursor) Next() (Item, error) { return c.s.Next() }
+// Cursor is a suspended query execution: the per-query score state —
+// table, candidate queue, access session ledger — stays alive between
+// pages, so deepening k -> k+delta resumes exactly where the last page
+// stopped and never re-pays for accesses already performed. Cursors draw
+// their state from the engine's pool; Close returns it. A Cursor is safe
+// for serialized use from multiple goroutines (an internal mutex orders
+// pages) but pages cannot be produced concurrently.
+type Cursor struct {
+	mu    sync.Mutex
+	eng   *Engine
+	pager algo.Pager
+	nc    *algo.Cursor // non-nil for NC-shaped cursors (score-range, re-planning)
+	sess  *access.Session
+	st    *queryState
+	q     Query
 
-// Drain pulls up to k more items.
-func (c *Cursor) Drain(k int) ([]Item, error) { return c.s.Drain(k) }
+	// Re-planning state: when the plan came from the optimizer, a scenario
+	// change between pages (breaker flips, cost shifts) re-optimizes
+	// against the current scenario — through the plan cache, which keys on
+	// the scenario and so re-keys automatically.
+	planned bool
+	planScn []PredCost
+	optCfg  OptimizerConfig
+	plan    *Plan
 
-// Cost reports the access cost accrued so far.
-func (c *Cursor) Cost() Cost { return c.s.Cost() }
+	obsv   Observer
+	tr     *obs.QueryTrace
+	closed bool
+}
 
-// Ledger snapshots the accesses performed so far.
-func (c *Cursor) Ledger() Ledger { return c.s.Ledger() }
-
-// Open starts incremental ("best first") evaluation of a query. The
-// query's K only sizes the optimizer's plan (how deep the configuration
-// expects to go); the cursor itself can be drained past it. Supported
-// options: WithNC, WithOptimizer, WithApproximation, WithBudget; named
-// baselines and the concurrent executors are batch-only.
+// Open suspends a query as a resumable cursor: the first Next(k) performs
+// exactly the accesses Run with K=k would, and each further Next(delta)
+// deepens to k+delta at only the marginal cost. The query's K sizes the
+// optimizer's plan (how deep the configuration expects to go); paging may
+// run past it. Supported options: WithNC, WithOptimizer, WithAlgorithm
+// ("TA", "MPro"), WithApproximation, WithBudget, WithResilience,
+// WithObserver, WithTrace, WithContext (rebind per page with Bind); the
+// concurrent executors and other named baselines are batch-only.
 func (e *Engine) Open(q Query, opts ...RunOption) (*Cursor, error) {
 	var spec runSpec
 	for _, o := range opts {
 		o(&spec)
 	}
-	if spec.algorithm != nil || spec.adaptive || spec.parallelB > 0 || spec.liveB > 0 {
-		return nil, fmt.Errorf("topk: Open supports only NC-based sequential execution")
-	}
-	if spec.trace {
-		return nil, fmt.Errorf("topk: WithTrace applies to Run; use WithObserver for cursors")
-	}
-	if spec.resilience != nil {
-		return nil, fmt.Errorf("topk: WithResilience applies to Run; cursors have no anytime answer to degrade to")
+	if spec.adaptive || spec.parallelB > 0 || spec.liveB > 0 {
+		return nil, fmt.Errorf("topk: Open supports only sequential execution (NC, TA, MPro)")
 	}
 	if spec.epsilon < 0 {
 		return nil, fmt.Errorf("topk: approximation epsilon must be >= 0, got %g", spec.epsilon)
 	}
+	if spec.epsilon > 0 && spec.algorithm != nil {
+		return nil, fmt.Errorf("topk: WithApproximation applies only to NC-based cursors")
+	}
+	o, tr := spec.resolveObserver()
 	var sessOpts []access.Option
 	if !e.nwg {
 		sessOpts = append(sessOpts, access.WithoutNoWildGuesses())
 	}
 	if len(e.shifts) > 0 {
 		sessOpts = append(sessOpts, access.WithShifts(e.shifts...))
+	}
+	if spec.resilience != nil {
+		sessOpts = append(sessOpts, access.WithResilience(spec.resilience))
 	}
 	if spec.hasBudget {
 		if spec.budget <= 0 {
@@ -720,41 +763,252 @@ func (e *Engine) Open(q Query, opts ...RunOption) (*Cursor, error) {
 	if spec.ctx != nil {
 		sessOpts = append(sessOpts, access.WithContext(spec.ctx))
 	}
-	if spec.observer != nil {
-		sessOpts = append(sessOpts, access.WithObserver(spec.observer))
+	if o != nil {
+		sessOpts = append(sessOpts, access.WithObserver(o))
 	}
-	sess, err := access.NewSession(e.backend, e.scn, sessOpts...)
+	st, err := e.acquire(sessOpts)
 	if err != nil {
+		return nil, err
+	}
+	sess := st.sess
+	fail := func(err error) (*Cursor, error) {
+		e.pool.Put(st)
 		return nil, err
 	}
 	prob, err := algo.NewProblem(q.F, q.K, sess)
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
-	h, omega := spec.h, spec.omega
-	if h == nil {
-		cfg := spec.optCfg
-		cfg.DisableNWG = !e.nwg
-		cfg.Observer = spec.observer
-		optStart := time.Now()
-		plan, err := e.optimize(cfg, e.scn, q.F, q.K, sess.N())
-		if spec.observer != nil {
-			spec.observer.PhaseDone(obs.PhaseOptimize, time.Since(optStart))
+	c := &Cursor{eng: e, sess: sess, st: st, q: q, optCfg: spec.optCfg, obsv: o, tr: tr}
+	switch alg := spec.algorithm.(type) {
+	case nil:
+		h, omega := spec.h, spec.omega
+		if h == nil {
+			cfg := spec.optCfg
+			cfg.DisableNWG = !e.nwg
+			cfg.Observer = o
+			optStart := time.Now()
+			plan, perr := e.optimize(cfg, sess.CurrentScenario(), q.F, q.K, sess.N())
+			if o != nil {
+				o.PhaseDone(obs.PhaseOptimize, time.Since(optStart))
+			}
+			if perr != nil {
+				return fail(perr)
+			}
+			c.plan = &plan
+			c.planned = true
+			c.planScn = snapshotPreds(sess.CurrentScenario())
+			h, omega = plan.H, plan.Omega
 		}
-		if err != nil {
-			return nil, err
+		sel, serr := algo.NewSRG(h, omega)
+		if serr != nil {
+			return fail(serr)
 		}
-		h, omega = plan.H, plan.Omega
+		cur, cerr := (&algo.NC{Sel: sel, Epsilon: spec.epsilon, Obs: o}).Open(prob, &st.scratch)
+		if cerr != nil {
+			return fail(cerr)
+		}
+		c.nc, c.pager = cur, cur
+	case algo.TA:
+		cur, cerr := algo.TA{}.Open(prob)
+		if cerr != nil {
+			return fail(cerr)
+		}
+		c.pager = cur
+	case algo.MPro:
+		cur, cerr := alg.Open(prob, &st.scratch)
+		if cerr != nil {
+			return fail(cerr)
+		}
+		c.nc, c.pager = cur, cur
+	case errAlgorithm:
+		return fail(alg.err)
+	default:
+		return fail(fmt.Errorf("topk: Open supports NC, TA, and MPro; %s is batch-only", alg.Name()))
 	}
-	sel, err := algo.NewSRG(h, omega)
+	return c, nil
+}
+
+// Next deepens the query by delta answers: the cursor resumes where the
+// previous page stopped and performs only the accesses needed to prove
+// the next delta. A page shorter than delta means exhaustion or (with
+// Truncated set) a degraded anytime fill. If the access scenario changed
+// since the last page — a breaker flipped mid- or between pages — an
+// optimizer-planned cursor first re-plans against the current scenario on
+// the preserved state.
+func (c *Cursor) Next(delta int) (*Page, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, algo.ErrCursorClosed
+	}
+	c.replan()
+	res, err := c.pager.Next(delta)
 	if err != nil {
 		return nil, err
 	}
-	s, err := algo.NewStream(prob, sel, spec.epsilon)
+	return c.page(res), nil
+}
+
+// NextUntil is score-range paging: it emits every remaining answer
+// provably scoring at least tau, best first, and suspends — without
+// consuming the boundary candidate — once no remaining object can reach
+// tau. Ordinal paging (Next) and further NextUntil calls with lower
+// thresholds continue from exactly that point. Only NC-shaped cursors
+// (default, WithNC, MPro) support it.
+func (c *Cursor) NextUntil(tau float64) (*Page, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, algo.ErrCursorClosed
+	}
+	if c.nc == nil {
+		return nil, fmt.Errorf("topk: score-range paging requires an NC-based cursor (default, WithNC, or MPro)")
+	}
+	c.replan()
+	res, err := c.nc.NextUntil(tau)
 	if err != nil {
 		return nil, err
 	}
-	return &Cursor{s: s}, nil
+	return c.page(res), nil
+}
+
+// replan re-optimizes the SR/G configuration when the access scenario
+// changed since the plan was made (PR 3's mid-query scenario-change
+// machinery, applied at page boundaries). The preserved score state stays
+// valid — which access to perform next is pure policy — so the cursor
+// continues under the new plan without repeating work. A scenario that can
+// no longer be planned keeps the old selector; the framework's own
+// degradation absorbs it.
+func (c *Cursor) replan() {
+	if c.nc == nil || !c.planned {
+		return
+	}
+	cur := c.sess.CurrentScenario()
+	if predsEqual(cur.Preds, c.planScn) {
+		return
+	}
+	c.planScn = snapshotPreds(cur)
+	cfg := c.optCfg
+	cfg.DisableNWG = !c.eng.nwg
+	cfg.Observer = c.obsv
+	plan, err := c.eng.optimize(cfg, cur, c.q.F, c.q.K, c.sess.N())
+	if err != nil {
+		return
+	}
+	if sel, serr := algo.NewSRG(plan.H, plan.Omega); serr == nil && c.nc.SetSelector(sel) == nil {
+		c.plan = &plan
+		if c.obsv != nil {
+			c.obsv.DegradedReplan("scenario_change")
+		}
+	}
+}
+
+// page assembles the public Page from an algo page.
+func (c *Cursor) page(res *algo.Result) *Page {
+	return &Page{
+		Items:     res.Items,
+		Ledger:    res.Ledger,
+		Truncated: res.Truncated,
+		Degraded:  res.Degraded,
+		Exhausted: c.pager.Exhausted(),
+		Plan:      c.plan,
+	}
+}
+
+// Bind re-points the cursor's context for subsequent pages: each page of
+// a server-side cursor gets its own deadline while the session — and the
+// paid-for state behind it — survives between requests. Nil resets to
+// context.Background().
+func (c *Cursor) Bind(ctx context.Context) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.sess.Bind(ctx)
+}
+
+// Emitted reports the total answers produced across all pages.
+func (c *Cursor) Emitted() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pager.Emitted()
+}
+
+// Exhausted reports whether every object has been emitted.
+func (c *Cursor) Exhausted() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pager.Exhausted()
+}
+
+// Cost reports the access cost accrued so far.
+func (c *Cursor) Cost() Cost { return c.Ledger().TotalCost }
+
+// Ledger snapshots the cumulative accesses performed so far.
+func (c *Cursor) Ledger() Ledger {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return Ledger{}
+	}
+	return c.pager.Ledger()
+}
+
+// Plan returns the SR/G configuration currently in force (nil under
+// WithNC or named algorithms).
+func (c *Cursor) Plan() *Plan {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.plan
+}
+
+// Trace snapshots the cursor's cumulative execution trace (nil unless
+// opened with WithTrace). Successive snapshots grow with each page; the
+// access counts always match the cumulative Ledger.
+func (c *Cursor) Trace() *TraceSnapshot {
+	if c.tr == nil {
+		return nil
+	}
+	snap := c.tr.Snapshot()
+	return &snap
+}
+
+// Close ends the execution and returns the cursor's pooled state (session
+// and framework scratch) to the engine. Idempotent; pages after Close fail
+// with algo.ErrCursorClosed.
+func (c *Cursor) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	c.pager.Close()
+	if c.st != nil {
+		st := c.st
+		c.st = nil
+		c.eng.pool.Put(st)
+	}
+	return nil
+}
+
+// snapshotPreds copies a scenario's per-predicate capability/cost entries
+// for later change detection.
+func snapshotPreds(scn Scenario) []PredCost { return append([]PredCost(nil), scn.Preds...) }
+
+// predsEqual reports whether two capability/cost snapshots are identical.
+func predsEqual(a, b []PredCost) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Explain runs the cost-based optimizer for a query without executing it:

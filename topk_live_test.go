@@ -141,21 +141,39 @@ func TestEngineOpenCursor(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	first, err := cur.Drain(4)
-	if err != nil || len(first) != 4 {
-		t.Fatalf("first batch: %v %v", first, err)
+	defer cur.Close()
+	first, err := cur.Next(4)
+	if err != nil || len(first.Items) != 4 {
+		t.Fatalf("first page: %v %v", first, err)
 	}
-	more, err := cur.Drain(4)
-	if err != nil || len(more) != 4 {
-		t.Fatalf("second batch: %v %v", more, err)
+	more, err := cur.Next(4)
+	if err != nil || len(more.Items) != 4 {
+		t.Fatalf("second page: %v %v", more, err)
 	}
-	scoresMatchOracle(t, ds, Min(), 8, append(first, more...))
+	scoresMatchOracle(t, ds, Min(), 8, append(append([]Item(nil), first.Items...), more.Items...))
 	if cur.Cost() <= 0 || cur.Ledger().TotalAccesses() == 0 {
 		t.Error("cursor accounting empty")
 	}
-	// Batch-only options are refused.
-	if _, err := eng.Open(Query{F: Min(), K: 2}, WithAlgorithm("TA")); err == nil {
-		t.Error("cursor + baseline should fail")
+	if cur.Plan() == nil || first.Plan == nil {
+		t.Error("optimizer-planned cursor should expose its plan")
+	}
+	if cur.Emitted() != 8 {
+		t.Errorf("Emitted = %d, want 8", cur.Emitted())
+	}
+	// TA is resumable through the facade; other baselines stay batch-only.
+	ta, err := eng.Open(Query{F: Min(), K: 2}, WithAlgorithm("TA"))
+	if err != nil {
+		t.Fatalf("cursor + TA should work: %v", err)
+	}
+	if page, err := ta.Next(2); err != nil || len(page.Items) != 2 {
+		t.Fatalf("TA cursor page: %v %v", page, err)
+	}
+	if _, err := ta.NextUntil(0.5); err == nil {
+		t.Error("TA cursor should refuse score-range paging")
+	}
+	ta.Close()
+	if _, err := eng.Open(Query{F: Min(), K: 2}, WithAlgorithm("FA")); err == nil {
+		t.Error("cursor + FA should fail")
 	}
 	if _, err := eng.Open(Query{F: Min(), K: 2}, WithParallel(2)); err == nil {
 		t.Error("cursor + parallel should fail")
@@ -171,7 +189,14 @@ func TestEngineOpenCursor(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cur2.Drain(5); err != nil {
+	if _, err := cur2.Next(5); err != nil {
 		t.Fatal(err)
+	}
+	cur2.Close()
+	if _, err := cur2.Next(1); err == nil {
+		t.Error("page after Close should fail")
+	}
+	if err := cur2.Close(); err != nil {
+		t.Errorf("Close should be idempotent, got %v", err)
 	}
 }
