@@ -144,6 +144,79 @@ func TestChaosFigure2Matrix(t *testing.T) {
 	}
 }
 
+// TestChaosDriftAdaptive crosses the fault matrix with statistics drift:
+// the dataset is warped (s^6) so the planner's uniform assumptions are
+// badly wrong, sources are flaky on top, and every run goes through the
+// adaptive pipeline with the contract guard installed. The contract is
+// the union of the chaos and adaptivity invariants: exact or explicitly
+// degraded answers under faults AND wrong statistics, with checkpoints
+// still firing (and somewhere re-planning) through the fault noise.
+func TestChaosDriftAdaptive(t *testing.T) {
+	const (
+		n        = 60
+		k        = 5
+		gamma    = 6
+		deadline = 20 * time.Second
+	)
+	seeds := []int64{1, 7}
+	exactCount, degradedCount, replans := 0, 0, 0
+	for _, cell := range figure2Cells(3, 10) {
+		for _, seed := range seeds {
+			t.Run(fmt.Sprintf("%s/seed%d", cell.name, seed), func(t *testing.T) {
+				ds := driftedDataset(t, n, 3, seed, gamma)
+				pr := chaosProfiles(seed)["flaky"]
+				breakers := NewBreakerSet(3, pr.breaker)
+				eng, err := NewEngine(fault.Wrap(DataBackend(ds), pr.faults), cell.scn,
+					WithContractGuard())
+				if err != nil {
+					t.Fatal(err)
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), deadline)
+				defer cancel()
+				ans, err := eng.Run(Query{F: Min(), K: k},
+					WithContext(ctx),
+					WithAdaptive(16),
+					WithTrace(),
+					WithResilience(&Resilience{
+						Breakers:      breakers,
+						AccessTimeout: 50 * time.Millisecond,
+					}))
+				if err != nil {
+					t.Fatalf("drift chaos run errored (must degrade instead): %v", err)
+				}
+				if v := eng.GuardViolations(); len(v) != 0 {
+					t.Fatalf("drift is honest data, guard must stay silent: %v", v)
+				}
+				replans += len(ans.Trace.AdaptiveReplans)
+				if ans.Truncated {
+					if len(ans.Degraded) == 0 {
+						t.Fatal("truncated answer carries no degraded reasons")
+					}
+					for _, it := range ans.Items {
+						if it.Exact {
+							truth := Min().Eval(ds.Scores(it.Obj))
+							if math.Abs(it.Score-truth) > 1e-9 {
+								t.Fatalf("degraded answer lies: object %d exact %g, truth %g", it.Obj, it.Score, truth)
+							}
+						}
+					}
+					degradedCount++
+					return
+				}
+				assertExactTopK(t, ds, Min(), k, ans)
+				exactCount++
+			})
+		}
+	}
+	if exactCount == 0 {
+		t.Error("no drift chaos run recovered to an exact answer")
+	}
+	if replans == 0 {
+		t.Error("no drift chaos run re-planned: checkpoints must survive fault noise")
+	}
+	_ = degradedCount // outages are not injected here; degradation is allowed, not required
+}
+
 // TestChaosCursorPagination drives resumable cursors into a mid-pagination
 // outage: predicate 3 is healthy while the cursor opens and serves its
 // first pages, then goes down permanently partway through the deepening

@@ -62,6 +62,9 @@ func run() error {
 
 		shareOn  = flag.Bool("share", false, "share accesses across concurrent queries: shared sorted cursors and a score cache (topk_share_* in /metrics)")
 		shareCap = flag.Int("share-cache", 0, "shared score cache capacity in entries (0 = default, negative disables score caching)")
+
+		adaptive = flag.Int("adaptive", 0, "re-plan queries mid-flight when sources diverge from the plan's statistics, checkpointing every this many accesses (0 disables)")
+		guardOn  = flag.Bool("contract-guard", false, "vet every source response against the access contract; lying sources are quarantined via the circuit breakers (topk_contract_violations_total in /metrics)")
 	)
 	flag.Parse()
 
@@ -136,6 +139,8 @@ func run() error {
 		Breaker:            topk.BreakerConfig{FailureThreshold: *brkThreshold, Cooldown: *brkCooldown},
 		EnableSharing:      *shareOn,
 		ShareScoreCapacity: *shareCap,
+		AdaptivePeriod:     *adaptive,
+		ContractGuard:      *guardOn,
 		CursorTTL:          *cursorTTL,
 		MaxCursors:         *maxCursors,
 	})

@@ -1,0 +1,35 @@
+package access
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrContractViolation marks a source response rejected before it could
+// enter the score state: the backend broke the access-model contract the
+// threshold math depends on (descending sorted order, scores in [0,1],
+// distinct ids within a stream, random results consistent with sorted
+// sightings). The contract guard (internal/adapt) returns errors wrapping
+// this sentinel; sessions classify them as DenyContract, never bill them,
+// and — under resilience — record a breaker failure, so a persistently
+// lying capability is quarantined through the same breaker→scenario-change
+// machinery that handles a failing one.
+var ErrContractViolation = errors.New("access: source contract violation")
+
+// ContractViolationError is the structured form of a guard rejection.
+// errors.Is(err, ErrContractViolation) holds through any number of wraps
+// (including the ErrAccessFailed wrap fault-tolerant runs absorb).
+type ContractViolationError struct {
+	Kind   Kind
+	Pred   int
+	Reason string // one of obs.ViolationReasons
+	Detail string
+}
+
+// Error describes the violation.
+func (e *ContractViolationError) Error() string {
+	return fmt.Sprintf("%v: %s %v on p%d: %s", ErrContractViolation, e.Reason, e.Kind, e.Pred+1, e.Detail)
+}
+
+// Unwrap yields the sentinel.
+func (e *ContractViolationError) Unwrap() error { return ErrContractViolation }

@@ -249,7 +249,22 @@ func (s *Session) denyReason(err error) obs.DenyReason {
 	if s.res == nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
 		return obs.DenyCancelled
 	}
+	if errors.Is(err, ErrContractViolation) {
+		return obs.DenyContract
+	}
 	return obs.DenyBackend
+}
+
+// observeFailure reports a failed access: a contract-guard rejection emits
+// its structured violation event before the generic denial.
+func (s *Session) observeFailure(kind Kind, pred int, err error) {
+	if s.obs != nil {
+		var cve *ContractViolationError
+		if errors.As(err, &cve) {
+			s.obs.ContractViolation(obsKind(kind), pred, cve.Reason)
+		}
+	}
+	s.observeDenied(kind, pred, s.denyReason(err))
 }
 
 // NewSession creates a session over the backend with the given scenario.
@@ -604,7 +619,7 @@ func (s *Session) SortedNext(i int) (obj int, score float64, err error) {
 	obj, score, err = s.backend.Sorted(actx, i, rank)
 	cancel()
 	if err != nil {
-		s.observeDenied(SortedAccess, i, s.denyReason(err))
+		s.observeFailure(SortedAccess, i, err)
 		return 0, 0, s.failAccess(SortedAccess, i, fmt.Errorf("access: backend sorted(p%d, rank %d): %w", i+1, rank, err))
 	}
 	s.recordBreaker(SortedAccess, i, true)
@@ -666,7 +681,7 @@ func (s *Session) Random(i, u int) (float64, error) {
 	score, err := s.backend.Random(actx, i, u)
 	cancel()
 	if err != nil {
-		s.observeDenied(RandomAccess, i, s.denyReason(err))
+		s.observeFailure(RandomAccess, i, err)
 		return 0, s.failAccess(RandomAccess, i, fmt.Errorf("access: backend random(p%d, u%d): %w", i+1, u, err))
 	}
 	s.recordBreaker(RandomAccess, i, true)

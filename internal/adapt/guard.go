@@ -1,0 +1,279 @@
+package adapt
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/access"
+)
+
+// orderSlack absorbs float formatting round-trips (websim serves scores
+// through JSON): neighbors within this distance are considered ordered,
+// and a random result within it of the sorted sighting is consistent.
+const orderSlack = 1e-9
+
+// GuardOption configures a Guard.
+type GuardOption func(*Guard)
+
+// WithClampRange makes out-of-[0,1] finite scores a soft violation: the
+// guard counts and reports it but serves the clamped score instead of
+// failing the access. NaN/Inf are always hard failures — no clamp makes
+// the threshold math meaningful.
+func WithClampRange() GuardOption {
+	return func(g *Guard) { g.clampRange = true }
+}
+
+// WithFailFast poisons a predicate's sorted stream on its first violation:
+// every subsequent sorted access fails immediately without consulting the
+// backend. Default behaviour retries through — the access fails, nothing
+// is billed, and the resilience breaker quarantines the capability only if
+// the source keeps lying.
+func WithFailFast() GuardOption {
+	return func(g *Guard) { g.failFast = true }
+}
+
+// WithViolationCallback registers a hook fired once per detected violation
+// (after guard state is updated, outside the guard's lock). The facade
+// uses it to emit obs.ContractViolation events on the engine observer.
+func WithViolationCallback(fn func(kind access.Kind, pred int, reason string)) GuardOption {
+	return func(g *Guard) { g.onViolation = fn }
+}
+
+// guardStream is the per-predicate witness state: everything the source
+// has claimed so far, indexed both by rank and by object, so each new
+// claim can be checked against every earlier one in O(1).
+type guardStream struct {
+	rankScore []float64 // score served at each rank; NaN = not yet served
+	rankObj   []int32   // object served at each rank; -1 = not yet served
+	seenRank  []int32   // rank each object appeared at; -1 = not yet seen
+	value     []float64 // score attributed to each object; NaN = unknown
+	poisoned  bool      // fail-fast tripped: stream is quarantined
+}
+
+// Guard wraps an access.Backend and enforces the source contract on every
+// response before it reaches the session: sorted streams must descend,
+// scores must be finite and in [0,1], each object appears at most once per
+// stream, and random accesses must agree with what the sorted stream
+// already claimed about the same object (and vice versa). Violating
+// responses are rejected with a *access.ContractViolationError — the
+// session refuses to bill them, and under resilience the breaker
+// machinery quarantines a persistently lying capability exactly like a
+// failing one, degrading the answer honestly instead of silently
+// corrupting the threshold math.
+//
+// The guard wraps any Backend: everything above the wrap point sees only
+// vetted responses (the facade installs it as the engine's outermost
+// backend, so every session — and the plan the optimizer prices — works
+// from vetted scores). It is safe for concurrent use; the violation
+// callback is always invoked outside the guard's lock per the lock
+// discipline.
+type Guard struct {
+	inner access.Backend
+
+	clampRange  bool
+	failFast    bool
+	onViolation func(kind access.Kind, pred int, reason string)
+
+	mu         sync.Mutex
+	streams    []guardStream // sized lazily per predicate
+	violations map[string]int
+}
+
+var _ access.Backend = (*Guard)(nil)
+
+// NewGuard wraps the backend with contract enforcement.
+func NewGuard(inner access.Backend, opts ...GuardOption) *Guard {
+	g := &Guard{
+		inner:      inner,
+		streams:    make([]guardStream, inner.M()),
+		violations: make(map[string]int),
+	}
+	for _, o := range opts {
+		o(g)
+	}
+	return g
+}
+
+// N returns the object count.
+func (g *Guard) N() int { return g.inner.N() }
+
+// M returns the predicate count.
+func (g *Guard) M() int { return g.inner.M() }
+
+// Violations snapshots the per-reason violation counts (keys from
+// obs.ViolationReasons).
+func (g *Guard) Violations() map[string]int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make(map[string]int, len(g.violations))
+	for k, v := range g.violations {
+		out[k] = v
+	}
+	return out
+}
+
+// stream returns pred's witness state, sizing it on first use. Caller
+// holds g.mu.
+func (g *Guard) stream(pred int) *guardStream {
+	st := &g.streams[pred]
+	if st.seenRank == nil {
+		n := g.inner.N()
+		st.rankScore = make([]float64, n)
+		st.rankObj = make([]int32, n)
+		st.seenRank = make([]int32, n)
+		st.value = make([]float64, n)
+		for i := 0; i < n; i++ {
+			st.rankScore[i] = math.NaN()
+			st.rankObj[i] = -1
+			st.seenRank[i] = -1
+			st.value[i] = math.NaN()
+		}
+	}
+	return st
+}
+
+// reject records the violation and builds the error; the callback fires
+// from the deferred hook the callers set up, outside g.mu.
+func (g *Guard) reject(kind access.Kind, pred int, reason, detail string) error {
+	g.violations[reason]++
+	return &access.ContractViolationError{Kind: kind, Pred: pred, Reason: reason, Detail: detail}
+}
+
+// Sorted fetches the rank-th entry of pred's list and vets it: finite
+// score in [0,1], object in universe, no object at two ranks, descending
+// order against recorded neighbor ranks, and consistency with any random
+// access that already revealed this object's score.
+func (g *Guard) Sorted(ctx context.Context, pred, rank int) (int, float64, error) {
+	g.mu.Lock()
+	if g.streams[pred].poisoned {
+		g.mu.Unlock()
+		return 0, 0, &access.ContractViolationError{
+			Kind: access.SortedAccess, Pred: pred,
+			Reason: "unsorted", Detail: "stream quarantined after earlier violation (fail-fast)",
+		}
+	}
+	g.mu.Unlock()
+
+	obj, s, err := g.inner.Sorted(ctx, pred, rank)
+	if err != nil {
+		return 0, 0, err
+	}
+
+	g.mu.Lock()
+	st := g.stream(pred)
+	if g.clampRange && !math.IsNaN(s) && !math.IsInf(s, 0) && (s < 0 || s > 1) {
+		g.violations["range"]++ // soft: counted, served clamped
+		s = math.Min(1, math.Max(0, s))
+	}
+	verr := g.vetSorted(st, pred, rank, obj, s)
+	if verr == nil {
+		st.rankScore[rank] = s
+		st.rankObj[rank] = int32(obj)
+		st.seenRank[obj] = int32(rank)
+		st.value[obj] = s
+	} else if g.failFast {
+		st.poisoned = true
+	}
+	g.mu.Unlock()
+
+	if verr != nil {
+		g.fire(access.SortedAccess, pred, verr)
+		return 0, 0, verr
+	}
+	return obj, s, nil
+}
+
+// vetSorted checks one sorted response against the witness state. Caller
+// holds g.mu and has already applied the WithClampRange soft clamp, so an
+// out-of-range score reaching the range check here is always a hard
+// violation.
+func (g *Guard) vetSorted(st *guardStream, pred, rank, obj int, s float64) error {
+	if math.IsNaN(s) || math.IsInf(s, 0) {
+		return g.reject(access.SortedAccess, pred, "nan",
+			fmt.Sprintf("rank %d returned non-finite score %v", rank, s))
+	}
+	if s < 0 || s > 1 {
+		return g.reject(access.SortedAccess, pred, "range",
+			fmt.Sprintf("rank %d returned score %g outside [0,1]", rank, s))
+	}
+	if obj < 0 || obj >= len(st.seenRank) {
+		return g.reject(access.SortedAccess, pred, "range",
+			fmt.Sprintf("rank %d returned object %d outside universe [0,%d)", rank, obj, len(st.seenRank)))
+	}
+	if prev := st.seenRank[obj]; prev >= 0 && int(prev) != rank {
+		return g.reject(access.SortedAccess, pred, "dup",
+			fmt.Sprintf("object %d served at rank %d after rank %d", obj, rank, prev))
+	}
+	if prevObj := st.rankObj[rank]; prevObj >= 0 {
+		if int(prevObj) != obj || math.Abs(st.rankScore[rank]-s) > orderSlack {
+			return g.reject(access.SortedAccess, pred, "inconsistent",
+				fmt.Sprintf("rank %d replayed as (u%d,%g) after (u%d,%g)", rank, obj, s, prevObj, st.rankScore[rank]))
+		}
+	}
+	if rank > 0 && !math.IsNaN(st.rankScore[rank-1]) && s > st.rankScore[rank-1]+orderSlack {
+		return g.reject(access.SortedAccess, pred, "unsorted",
+			fmt.Sprintf("rank %d score %g above rank %d score %g", rank, s, rank-1, st.rankScore[rank-1]))
+	}
+	if rank+1 < len(st.rankScore) && !math.IsNaN(st.rankScore[rank+1]) && s+orderSlack < st.rankScore[rank+1] {
+		return g.reject(access.SortedAccess, pred, "unsorted",
+			fmt.Sprintf("rank %d score %g below rank %d score %g", rank, s, rank+1, st.rankScore[rank+1]))
+	}
+	if !math.IsNaN(st.value[obj]) && math.Abs(st.value[obj]-s) > orderSlack {
+		return g.reject(access.SortedAccess, pred, "inconsistent",
+			fmt.Sprintf("object %d sorted score %g contradicts recorded %g", obj, s, st.value[obj]))
+	}
+	return nil
+}
+
+// Random fetches p_pred[obj] and vets it: finite, in [0,1] (clamped under
+// WithClampRange), and consistent with the score any earlier sorted
+// sighting or probe attributed to the same object.
+func (g *Guard) Random(ctx context.Context, pred, obj int) (float64, error) {
+	v, err := g.inner.Random(ctx, pred, obj)
+	if err != nil {
+		return 0, err
+	}
+
+	g.mu.Lock()
+	st := g.stream(pred)
+	if g.clampRange && !math.IsNaN(v) && !math.IsInf(v, 0) && (v < 0 || v > 1) {
+		g.violations["range"]++ // soft: counted, served clamped
+		v = math.Min(1, math.Max(0, v))
+	}
+	var verr error
+	switch {
+	case math.IsNaN(v) || math.IsInf(v, 0):
+		verr = g.reject(access.RandomAccess, pred, "nan",
+			fmt.Sprintf("probe of object %d returned non-finite score %v", obj, v))
+	case obj < 0 || obj >= len(st.value):
+		verr = g.reject(access.RandomAccess, pred, "range",
+			fmt.Sprintf("probe target %d outside universe [0,%d)", obj, len(st.value)))
+	case v < 0 || v > 1:
+		verr = g.reject(access.RandomAccess, pred, "range",
+			fmt.Sprintf("probe of object %d returned score %g outside [0,1]", obj, v))
+	case !math.IsNaN(st.value[obj]) && math.Abs(st.value[obj]-v) > orderSlack:
+		verr = g.reject(access.RandomAccess, pred, "inconsistent",
+			fmt.Sprintf("probe of object %d returned %g but sorted stream claimed %g", obj, v, st.value[obj]))
+	default:
+		st.value[obj] = v
+	}
+	g.mu.Unlock()
+
+	if verr != nil {
+		g.fire(access.RandomAccess, pred, verr)
+		return 0, verr
+	}
+	return v, nil
+}
+
+// fire invokes the violation callback (outside the lock).
+func (g *Guard) fire(kind access.Kind, pred int, err error) {
+	if g.onViolation == nil {
+		return
+	}
+	if cve, ok := err.(*access.ContractViolationError); ok {
+		g.onViolation(kind, pred, cve.Reason)
+	}
+}

@@ -1,0 +1,367 @@
+package adapt
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/algo"
+	"repro/internal/opt"
+	"repro/internal/score"
+	"repro/internal/state"
+)
+
+func newTable(t *testing.T, n, m int) *state.Table {
+	t.Helper()
+	tab, err := state.NewTable(n, m, score.Avg())
+	if err != nil {
+		t.Fatalf("NewTable: %v", err)
+	}
+	return tab
+}
+
+// feedSorted descends pred's stream through the monitor following the
+// power law (1 - d/(n+1))^c, using distinct object ids.
+func feedSorted(mo *Monitor, tab *state.Table, pred, from, to int, c float64) {
+	n := tab.N()
+	for d := from; d <= to; d++ {
+		s := math.Pow(1-float64(d)/float64(n+1), c)
+		obj := (d - 1) % n
+		tab.ObserveSorted(pred, obj, s)
+		mo.Observe(tab, algo.Choice{Kind: access.SortedAccess, Pred: pred}, obj, s)
+	}
+}
+
+func TestObservePeriod(t *testing.T) {
+	mo := NewMonitor(Config{Period: 10})
+	tab := newTable(t, 100, 2)
+	due := 0
+	for d := 1; d <= 25; d++ {
+		s := 1 - float64(d)/101
+		tab.ObserveSorted(0, d-1, s)
+		if mo.Observe(tab, algo.Choice{Kind: access.SortedAccess, Pred: 0}, d-1, s) {
+			due++
+		}
+	}
+	if due != 2 {
+		t.Fatalf("25 accesses at period 10: got %d checkpoints due, want 2", due)
+	}
+}
+
+func TestCheckpointUniformStreamNotDiverged(t *testing.T) {
+	mo := NewMonitor(Config{})
+	tab := newTable(t, 1000, 2)
+	feedSorted(mo, tab, 0, 1, 64, 1)
+	feedSorted(mo, tab, 1, 1, 64, 1)
+	v := mo.Checkpoint(tab)
+	if v.Diverged {
+		t.Fatalf("uniform streams against uniform baseline diverged: score=%g", v.Score)
+	}
+	if v.Score > 0.1 {
+		t.Fatalf("uniform streams should score near zero, got %g", v.Score)
+	}
+}
+
+func TestCheckpointDriftedStreamDiverges(t *testing.T) {
+	// StaleFactor 1.5: the exponent-4 drift scores log2(4) = 2 up to float
+	// rounding, which sits exactly on the default 2.0 stale boundary.
+	mo := NewMonitor(Config{StaleFactor: 1.5})
+	tab := newTable(t, 1000, 2)
+	// Predicate 0 collapses with exponent 4 (scores fall 4x faster in log
+	// space than the uniform baseline predicts); predicate 1 is honest.
+	feedSorted(mo, tab, 0, 1, 64, 4)
+	feedSorted(mo, tab, 1, 1, 64, 1)
+	v := mo.Checkpoint(tab)
+	if !v.Diverged {
+		t.Fatalf("exponent-4 stream against uniform baseline not diverged: score=%g", v.Score)
+	}
+	if v.Score < 1.5 {
+		t.Fatalf("log2(4)=2 expected divergence near 2, got %g", v.Score)
+	}
+	if !v.Stale {
+		t.Fatalf("score %g past threshold*staleFactor should flag stale", v.Score)
+	}
+}
+
+func TestCheckpointShallowStreamTrusted(t *testing.T) {
+	mo := NewMonitor(Config{MinDepth: 8})
+	tab := newTable(t, 1000, 1)
+	// Only 4 accesses: below MinDepth, slope evidence must not fire even
+	// though the scores collapse hard.
+	feedSorted(mo, tab, 0, 1, 4, 8)
+	v := mo.Checkpoint(tab)
+	// The frontier check still sees the collapsed ell, so only assert the
+	// slope path via Observed: no slope should be reported.
+	st := mo.Observed(tab)
+	if st.Slopes[0] != 0 {
+		t.Fatalf("depth 4 < MinDepth 8 should report no slope, got %g", st.Slopes[0])
+	}
+	_ = v
+}
+
+func TestProbeMeanDivergence(t *testing.T) {
+	mo := NewMonitor(Config{})
+	tab := newTable(t, 1000, 2)
+	feedSorted(mo, tab, 0, 1, 16, 1)
+	// Probe predicate 1 with a mean far below the uniform 0.5: scores ~0.1
+	// imply exponent 1/0.1-1 = 9. 32 probes clears minProbes (24) — means
+	// over fewer probes are too noisy to steer a re-plan.
+	for u := 0; u < 32; u++ {
+		tab.ObserveRandom(1, u, 0.1)
+		mo.Observe(tab, algo.Choice{Kind: access.RandomAccess, Pred: 1}, u, 0.1)
+	}
+	v := mo.Checkpoint(tab)
+	if !v.Diverged {
+		t.Fatalf("probe mean 0.1 against uniform baseline not diverged: score=%g", v.Score)
+	}
+	st := mo.Observed(tab)
+	if st.ProbeMeans[1] != opt.QuantizeMean(0.1) {
+		t.Fatalf("observed probe mean = %g, want %g", st.ProbeMeans[1], opt.QuantizeMean(0.1))
+	}
+	if st.ProbeMeans[0] != 0 {
+		t.Fatalf("unprobed predicate reported mean %g", st.ProbeMeans[0])
+	}
+}
+
+func TestRebaseAbsorbsDrift(t *testing.T) {
+	mo := NewMonitor(Config{})
+	tab := newTable(t, 1000, 2)
+	feedSorted(mo, tab, 0, 1, 64, 4)
+	feedSorted(mo, tab, 1, 1, 64, 1)
+	v1 := mo.Checkpoint(tab)
+	if !v1.Diverged {
+		t.Fatalf("setup: drift not detected (score=%g)", v1.Score)
+	}
+	mo.Rebase(mo.Observed(tab))
+	// Continue the same power law deeper: against the rebased baseline the
+	// stream is now on-model.
+	feedSorted(mo, tab, 0, 65, 128, 4)
+	feedSorted(mo, tab, 1, 65, 128, 1)
+	v2 := mo.Checkpoint(tab)
+	if v2.Diverged {
+		t.Fatalf("after rebase the same power law should be on-model, score=%g", v2.Score)
+	}
+}
+
+func TestAdapterReplansOnceForStableDrift(t *testing.T) {
+	tab := newTable(t, 1000, 2)
+	plans, applies := 0, 0
+	ad := &Adapter{
+		Mon:  NewMonitor(Config{Period: 16}),
+		Base: opt.Config{},
+		PlanFunc: func(cfg opt.Config) (opt.Plan, error) {
+			plans++
+			if cfg.Observed == nil {
+				t.Fatalf("re-plan config missing observed stats")
+			}
+			return opt.Plan{H: []float64{0.5, 1}, Omega: []int{0, 1}}, nil
+		},
+		ApplyFunc: func(p opt.Plan) error { applies++; return nil },
+	}
+	// 256 accesses of a stable exponent-4 drift: many checkpoints, but the
+	// quantized observations converge, so the adapter re-plans a bounded
+	// number of times (key-equality skip), not once per checkpoint.
+	n := tab.N()
+	for d := 1; d <= 256; d++ {
+		s := math.Pow(1-float64(d)/float64(n+1), 4)
+		obj := d - 1
+		tab.ObserveSorted(0, obj, s)
+		ad.ObserveAccess(tab, algo.Choice{Kind: access.SortedAccess, Pred: 0}, obj, s)
+	}
+	if ad.Replans() == 0 {
+		t.Fatalf("stable drift never triggered a re-plan")
+	}
+	if ad.Replans() > 4 {
+		t.Fatalf("stable drift re-planned %d times; key-equality skip should bound it", ad.Replans())
+	}
+	if plans != applies || plans != ad.Replans() {
+		t.Fatalf("plans=%d applies=%d replans=%d, want all equal", plans, applies, ad.Replans())
+	}
+}
+
+func TestAdapterTelemetryOnly(t *testing.T) {
+	tab := newTable(t, 1000, 1)
+	ad := &Adapter{Mon: NewMonitor(Config{Period: 8})}
+	n := tab.N()
+	for d := 1; d <= 64; d++ {
+		s := math.Pow(1-float64(d)/float64(n+1), 6)
+		tab.ObserveSorted(0, d-1, s)
+		ad.ObserveAccess(tab, algo.Choice{Kind: access.SortedAccess, Pred: 0}, d-1, s)
+	}
+	if ad.Replans() != 0 {
+		t.Fatalf("nil PlanFunc must never re-plan, got %d", ad.Replans())
+	}
+	if ad.Mon.Checkpoints() == 0 {
+		t.Fatalf("telemetry-only adapter should still checkpoint")
+	}
+}
+
+func TestAdapterSurvivesPlanError(t *testing.T) {
+	tab := newTable(t, 1000, 1)
+	ad := &Adapter{
+		Mon:       NewMonitor(Config{Period: 8}),
+		PlanFunc:  func(opt.Config) (opt.Plan, error) { return opt.Plan{}, errPlan },
+		ApplyFunc: func(opt.Plan) error { t.Fatalf("apply after plan error"); return nil },
+	}
+	n := tab.N()
+	for d := 1; d <= 64; d++ {
+		s := math.Pow(1-float64(d)/float64(n+1), 6)
+		tab.ObserveSorted(0, d-1, s)
+		ad.ObserveAccess(tab, algo.Choice{Kind: access.SortedAccess, Pred: 0}, d-1, s)
+	}
+	if ad.Replans() != 0 {
+		t.Fatalf("failed plans must not count as re-plans")
+	}
+}
+
+var errPlan = errTest("plan failed")
+
+type errTest string
+
+func (e errTest) Error() string { return string(e) }
+
+func TestObservedGlobalDriftPrior(t *testing.T) {
+	mo := NewMonitor(Config{})
+	tab := newTable(t, 1000, 3)
+	// Predicate 0 measured at exponent 4; predicates 1 and 2 untouched.
+	feedSorted(mo, tab, 0, 1, 64, 4)
+	st := mo.Observed(tab)
+	if st.Slopes[0] == 0 {
+		t.Fatalf("measured stream reported no slope")
+	}
+	if st.Slopes[1] == 0 || st.Slopes[2] == 0 {
+		t.Fatalf("unmeasured streams should take the global-drift prior, got %v", st.Slopes)
+	}
+	if st.Slopes[1] != st.Slopes[0] {
+		t.Fatalf("with one measured stream the prior is its exponent: %g vs %g", st.Slopes[1], st.Slopes[0])
+	}
+	// With nothing measured there is no prior to apply.
+	mo2 := NewMonitor(Config{})
+	tab2 := newTable(t, 1000, 3)
+	st2 := mo2.Observed(tab2)
+	for i, s := range st2.Slopes {
+		if s != 0 {
+			t.Fatalf("pred %d got a prior with zero evidence: %g", i, s)
+		}
+	}
+}
+
+func TestAdapterMaxReplansCap(t *testing.T) {
+	tab := newTable(t, 1000, 2)
+	plans := 0
+	ad := &Adapter{
+		Mon:        NewMonitor(Config{Period: 16}),
+		MaxReplans: 1,
+		PlanFunc: func(cfg opt.Config) (opt.Plan, error) {
+			plans++
+			// Return a fresh H each time so the key-equality skip never
+			// masks the cap under test.
+			return opt.Plan{H: []float64{1 / float64(plans+1), 1}, Omega: []int{0, 1}}, nil
+		},
+		ApplyFunc: func(opt.Plan) error { return nil },
+	}
+	n := tab.N()
+	// Escalating drift: exponent grows with depth, so quantized observations
+	// keep changing and every checkpoint would re-plan if uncapped.
+	for d := 1; d <= 256; d++ {
+		c := 2 + float64(d)/32
+		s := math.Pow(1-float64(d)/float64(n+1), c)
+		tab.ObserveSorted(0, d-1, s)
+		ad.ObserveAccess(tab, algo.Choice{Kind: access.SortedAccess, Pred: 0}, d-1, s)
+	}
+	if ad.Replans() != 1 {
+		t.Fatalf("MaxReplans=1 but %d re-plans applied", ad.Replans())
+	}
+}
+
+func TestAdapterIncumbentMargin(t *testing.T) {
+	// Candidate estimates barely below the incumbent's must be rejected;
+	// estimates beating it by more than ReplanMargin must be applied.
+	run := func(candEst access.Cost) int {
+		tab := newTable(t, 1000, 2)
+		ad := &Adapter{
+			Mon:       NewMonitor(Config{Period: 16}),
+			Incumbent: opt.Plan{H: []float64{0.5, 0.5}, Omega: []int{0, 1}},
+			PlanFunc: func(cfg opt.Config) (opt.Plan, error) {
+				return opt.Plan{H: []float64{0.1, 1}, Omega: []int{0, 1}}, nil
+			},
+			ApplyFunc: func(opt.Plan) error { return nil },
+			EstimateFunc: func(cfg opt.Config, h []float64, omega []int) (access.Cost, error) {
+				if h[0] == 0.5 {
+					return 1000, nil // incumbent
+				}
+				return candEst, nil
+			},
+		}
+		n := tab.N()
+		for d := 1; d <= 64; d++ {
+			s := math.Pow(1-float64(d)/float64(n+1), 6)
+			tab.ObserveSorted(0, d-1, s)
+			ad.ObserveAccess(tab, algo.Choice{Kind: access.SortedAccess, Pred: 0}, d-1, s)
+		}
+		return ad.Replans()
+	}
+	if got := run(900); got != 0 {
+		t.Fatalf("10%% modelled win must not clear the %g margin, got %d re-plans", ReplanMargin, got)
+	}
+	if got := run(200); got == 0 {
+		t.Fatalf("5x modelled win must clear the margin")
+	}
+}
+
+func TestAdapterSunkCostCredit(t *testing.T) {
+	// With a Scenario wired, the incumbent is credited with the work already
+	// done: a candidate that would clear the margin on from-scratch
+	// estimates no longer does once the incumbent's spend is subtracted.
+	scn := access.Scenario{Preds: []access.PredCost{
+		{SortedOK: true, Sorted: access.CostOf(10), RandomOK: true, Random: access.CostOf(1)},
+		{SortedOK: true, Sorted: access.CostOf(10), RandomOK: true, Random: access.CostOf(1)},
+	}}
+	tab := newTable(t, 1000, 2)
+	ad := &Adapter{
+		Mon:       NewMonitor(Config{Period: 64}),
+		Incumbent: opt.Plan{H: []float64{0.5, 0.5}, Omega: []int{0, 1}},
+		PlanFunc: func(cfg opt.Config) (opt.Plan, error) {
+			// The candidate abandons predicate 0 entirely: none of the paid
+			// descent counts toward it.
+			return opt.Plan{H: []float64{1, 0.1}, Omega: []int{0, 1}}, nil
+		},
+		ApplyFunc: func(opt.Plan) error { return nil },
+		EstimateFunc: func(cfg opt.Config, h []float64, omega []int) (access.Cost, error) {
+			if h[0] == 0.5 {
+				return access.CostOf(1000), nil // incumbent, from scratch
+			}
+			return access.CostOf(700), nil // candidate: clears 25% alone...
+		},
+		Scenario: func() access.Scenario { return scn },
+	}
+	// ...but 64 sorted accesses at cost 10 are already sunk on the
+	// incumbent's path: remaining 1000-640=360 < 700, so no switch.
+	n := tab.N()
+	for d := 1; d <= 64; d++ {
+		s := math.Pow(1-float64(d)/float64(n+1), 6)
+		tab.ObserveSorted(0, d-1, s)
+		ad.ObserveAccess(tab, algo.Choice{Kind: access.SortedAccess, Pred: 0}, d-1, s)
+	}
+	if ad.Replans() != 0 {
+		t.Fatalf("sunk-cost credit should block the switch, got %d re-plans", ad.Replans())
+	}
+}
+
+func TestTargetDepth(t *testing.T) {
+	if d := targetDepth(1, 2, 100); d != 0 {
+		t.Fatalf("H=1 drains nothing, got %g", d)
+	}
+	if d := targetDepth(0, 2, 100); d != 100 {
+		t.Fatalf("H=0 drains everything, got %g", d)
+	}
+	// Uniform (c=1): threshold 0.25 sits three quarters down the stream.
+	if d := targetDepth(0.25, 1, 100); math.Abs(d-75) > 1e-9 {
+		t.Fatalf("uniform targetDepth(0.25) = %g, want 75", d)
+	}
+	// Steeper descent reaches the same threshold shallower... in score
+	// space scores collapse, so the threshold is crossed *earlier*.
+	if steep, flat := targetDepth(0.25, 4, 100), targetDepth(0.25, 1, 100); steep >= flat {
+		t.Fatalf("exponent 4 should cross 0.25 shallower than exponent 1: %g vs %g", steep, flat)
+	}
+}

@@ -323,7 +323,7 @@ func (c *Cursor) advance(tau float64, haveTau bool) (Item, bool, error) {
 			return Item{}, false, c.err
 		}
 		ch := c.nc.Sel.Choose(tab, sess, top.ID, choices)
-		obj, err := performChoice(tab, sess, top.ID, ch)
+		obj, sc, err := performChoice(tab, sess, top.ID, ch)
 		switch {
 		case err == nil:
 			c.consecFail = 0
@@ -361,6 +361,9 @@ func (c *Cursor) advance(tau float64, haveTau bool) (Item, bool, error) {
 		}
 		if c.nc.OnAccess != nil {
 			c.nc.OnAccess(tab, ch)
+		}
+		if c.nc.Monitor != nil {
+			c.nc.Monitor.ObserveAccess(tab, ch, obj, sc)
 		}
 	}
 }

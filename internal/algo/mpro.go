@@ -21,6 +21,9 @@ type MPro struct {
 	// indices). Nil defaults to index order; the optimizer's
 	// Omega-optimization supplies better schedules.
 	Omega []int
+	// Monitor, when non-nil, is installed on the derived NC frame: MPro
+	// runs fire the same checkpoint hook as any NC execution.
+	Monitor AccessObserver
 }
 
 // Name returns "MPro".
@@ -74,7 +77,7 @@ func (mp MPro) frame(p *Problem) (*NC, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &NC{Sel: sel}, nil
+	return &NC{Sel: sel, Monitor: mp.Monitor}, nil
 }
 
 // Upper is the per-object adaptive probing algorithm (Marian et al.),

@@ -36,6 +36,19 @@ type AccessContext interface {
 
 var _ AccessContext = (*access.Session)(nil)
 
+// AccessObserver receives every performed access with the updated table
+// and the observed result — the checkpoint hook of the adaptive layer
+// (internal/adapt). One implementation covers all three executors: NC
+// fires it from the cursor loop, MPro's cursors are NC cursors, and
+// TACursor fires it from its sorted/probe rounds. Implementations must be
+// allocation-free: the hook sits on the access hot path.
+type AccessObserver interface {
+	// ObserveAccess fires after a performed access: ch is what was chosen,
+	// obj the object observed (the stream's next object for sorted access,
+	// the probe target for random access), score its observed value.
+	ObserveAccess(t *state.Table, ch Choice, obj int, score float64)
+}
+
 // Selector decides which necessary choice to perform — the Select routine
 // of Framework NC (Figure 6, line 6). Different Selectors generate the
 // different concrete algorithms of the NC space; SRG is the paper's
@@ -75,6 +88,12 @@ type NC struct {
 	// Hooks for instrumentation (may be nil): OnAccess fires after each
 	// performed access with the updated table.
 	OnAccess func(t *state.Table, rec Choice)
+	// Monitor is the adaptive layer's checkpoint hook: unlike OnAccess it
+	// also receives the access's observed (object, score), which the
+	// divergence monitor needs to track random-access score means. Fired
+	// after OnAccess on every performed access; read live like Sel, so it
+	// may be attached to a suspended cursor between pages.
+	Monitor AccessObserver
 	// Obs, when non-nil, receives one LoopIteration event per scheduling
 	// iteration with the candidate queue's size — the K_P working set the
 	// observability layer reports as a high-water mark. Access-level
@@ -206,23 +225,23 @@ func AppendNecessaryChoices(dst []Choice, tab *state.Table, sess AccessContext, 
 // candidate queue); for a random access it returns the target.
 //
 //topklint:hotpath
-func performChoice(tab *state.Table, sess *access.Session, target int, ch Choice) (int, error) {
+func performChoice(tab *state.Table, sess *access.Session, target int, ch Choice) (int, float64, error) {
 	switch ch.Kind {
 	case access.SortedAccess:
 		obj, s, err := sess.SortedNext(ch.Pred)
 		if err != nil {
-			return 0, err
+			return 0, 0, err
 		}
 		tab.ObserveSorted(ch.Pred, obj, s)
-		return obj, nil
+		return obj, s, nil
 	case access.RandomAccess:
 		s, err := sess.Random(ch.Pred, target)
 		if err != nil {
-			return 0, err
+			return 0, 0, err
 		}
 		tab.ObserveRandom(ch.Pred, target, s)
-		return target, nil
+		return target, s, nil
 	default:
-		return 0, fmt.Errorf("algo: unknown access kind %v", ch.Kind)
+		return 0, 0, fmt.Errorf("algo: unknown access kind %v", ch.Kind)
 	}
 }

@@ -50,6 +50,12 @@ type TACursor struct {
 	closed    bool
 	err       error
 	release   func()
+
+	// Monitor, when non-nil, receives every performed access — the same
+	// checkpoint hook NC cursors fire, so one divergence monitor covers
+	// all three executors. TA has no plan degrees of freedom to re-plan,
+	// but divergence and guard telemetry still flow. Set between pages.
+	Monitor AccessObserver
 }
 
 // Open suspends TA over the problem before its first access. The problem
@@ -118,6 +124,9 @@ func (tc *TACursor) round() error {
 		}
 		advanced = true
 		tc.tab.ObserveSorted(i, obj, s)
+		if tc.Monitor != nil {
+			tc.Monitor.ObserveAccess(tc.tab, Choice{Kind: access.SortedAccess, Pred: i}, obj, s)
+		}
 		if tc.processed[obj] {
 			continue
 		}
@@ -130,6 +139,9 @@ func (tc *TACursor) round() error {
 				return err
 			}
 			tc.tab.ObserveRandom(j, obj, v)
+			if tc.Monitor != nil {
+				tc.Monitor.ObserveAccess(tc.tab, Choice{Kind: access.RandomAccess, Pred: j}, obj, v)
+			}
 		}
 		exact, _ := tc.tab.Exact(obj)
 		tc.done = append(tc.done, Item{Obj: obj, Score: exact, Exact: true})

@@ -1,0 +1,177 @@
+package bench_test
+
+// Adaptivity benchmarks and their regression gate. Two questions are
+// measured: what does the divergence monitor cost on a healthy (no-drift)
+// serve path where it never fires, and what does mid-query re-planning
+// buy on drifted data where the initial plan's statistics are wrong.
+// TestAdaptGate enforces the committed BENCH_adapt.json budgets — the
+// deterministic parts (allocations, billed access cost) rather than
+// wall-clock, which the nightly benchtrend tracks instead.
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"testing"
+
+	topk "repro"
+	"repro/internal/data"
+	"repro/internal/data/datatest"
+)
+
+type adaptBaseline struct {
+	Gate struct {
+		MaxAllocsAdaptiveFixed float64 `json:"max_allocs_per_op_adaptive_fixed"`
+		MaxAllocOverhead       float64 `json:"max_alloc_overhead_vs_frozen"`
+		MinCostReduction       float64 `json:"min_cost_reduction_drifted"`
+	} `json:"gate"`
+}
+
+func loadAdaptBaseline(t *testing.T) adaptBaseline {
+	t.Helper()
+	raw, err := os.ReadFile("../../BENCH_adapt.json")
+	if err != nil {
+		t.Fatalf("committed baseline missing: %v", err)
+	}
+	var ab adaptBaseline
+	if err := json.Unmarshal(raw, &ab); err != nil {
+		t.Fatalf("BENCH_adapt.json unparseable: %v", err)
+	}
+	if ab.Gate.MaxAllocsAdaptiveFixed == 0 || ab.Gate.MaxAllocOverhead == 0 || ab.Gate.MinCostReduction == 0 {
+		t.Fatal("BENCH_adapt.json gate values incomplete")
+	}
+	return ab
+}
+
+// driftedBenchDataset warps uniform scores through s^gamma: the adaptive
+// workload where the planner's uniform sample is badly wrong.
+func driftedBenchDataset(tb testing.TB, n, m int, seed int64, gamma float64) *data.Dataset {
+	tb.Helper()
+	base := datatest.MustGenerate(data.Uniform, n, m, seed)
+	scores := make([][]float64, n)
+	for u := 0; u < n; u++ {
+		row := base.Scores(u)
+		for i := range row {
+			row[i] = math.Pow(row[i], gamma)
+		}
+		scores[u] = row
+	}
+	ds, err := data.New("drifted", scores)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return ds
+}
+
+// BenchmarkAdapt measures the monitored serve path. nodrift_frozen is the
+// plain fixed-plan baseline; nodrift_adaptive runs the same queries with
+// the divergence monitor checkpointing every 16 accesses (it never
+// diverges — this is the pure overhead case); drift_adaptive runs the
+// full pipeline over drifted data where re-planning actually fires.
+func BenchmarkAdapt(b *testing.B) {
+	uniform := datatest.MustGenerate(data.Uniform, 1000, 2, 42)
+	q := topk.Query{F: topk.Avg(), K: 10}
+	fixed := topk.WithNC([]float64{0.5, 0.5}, nil)
+
+	b.Run("nodrift_frozen", func(b *testing.B) {
+		eng, err := topk.NewEngine(topk.DataBackend(uniform), topk.UniformScenario(2, 1, 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Run(q, fixed); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("nodrift_adaptive", func(b *testing.B) {
+		eng, err := topk.NewEngine(topk.DataBackend(uniform), topk.UniformScenario(2, 1, 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Run(q, fixed, topk.WithAdaptive(16)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("drift_adaptive", func(b *testing.B) {
+		ds := driftedBenchDataset(b, 300, 3, 3, 6)
+		eng, err := topk.NewEngine(topk.DataBackend(ds), topk.UniformScenario(3, 1, 10),
+			topk.WithPlanCache(topk.NewPlanCache(0)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Run(topk.Query{F: topk.Min(), K: 5}, topk.WithAdaptive(16)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// TestAdaptGate is the adaptivity regression gate. It enforces the two
+// deterministic contracts of the PR: (1) the monitored no-drift serve
+// path stays within the committed allocation budget — the divergence
+// monitor must not reintroduce per-access allocation; (2) on the drifted
+// probe-expensive workload, mid-query re-planning cuts billed access cost
+// by at least the committed factor against the frozen plan.
+func TestAdaptGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("adapt gate needs steady-state measurement")
+	}
+	ab := loadAdaptBaseline(t)
+
+	// (1) Allocation overhead of the never-firing monitor.
+	uniform := datatest.MustGenerate(data.Uniform, 1000, 2, 42)
+	q := topk.Query{F: topk.Avg(), K: 10}
+	fixed := topk.WithNC([]float64{0.5, 0.5}, nil)
+	eng, err := topk.NewEngine(topk.DataBackend(uniform), topk.UniformScenario(2, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frozenRun := func() {
+		if _, err := eng.Run(q, fixed); err != nil {
+			t.Fatal(err)
+		}
+	}
+	adaptiveRun := func() {
+		if _, err := eng.Run(q, fixed, topk.WithAdaptive(16)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	frozenRun()
+	adaptiveRun() // warm pools to steady state
+	frozen := testing.AllocsPerRun(50, frozenRun)
+	adaptive := testing.AllocsPerRun(50, adaptiveRun)
+	if adaptive > ab.Gate.MaxAllocsAdaptiveFixed {
+		t.Errorf("monitored fixed-plan path allocates %.1f/op, gate is %.0f", adaptive, ab.Gate.MaxAllocsAdaptiveFixed)
+	}
+	if overhead := adaptive - frozen; overhead > ab.Gate.MaxAllocOverhead {
+		t.Errorf("monitor adds %.1f allocs/op over the frozen path, gate is %.0f", overhead, ab.Gate.MaxAllocOverhead)
+	}
+
+	// (2) Cost reduction on drifted data (deterministic: billed units).
+	ds := driftedBenchDataset(t, 300, 3, 3, 6)
+	deng, err := topk.NewEngine(topk.DataBackend(ds), topk.UniformScenario(3, 1, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fz, err := deng.Run(topk.Query{F: topk.Min(), K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ad, err := deng.Run(topk.Query{F: topk.Min(), K: 5}, topk.WithAdaptive(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if factor := fz.TotalCost().Units() / ad.TotalCost().Units(); factor < ab.Gate.MinCostReduction {
+		t.Errorf("adaptive cost reduction on drifted data is %.2fx, contract is >=%.1fx", factor, ab.Gate.MinCostReduction)
+	}
+}

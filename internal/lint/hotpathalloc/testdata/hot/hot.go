@@ -83,3 +83,45 @@ func Deliberate() *Big {
 func Unannotated() *Big {
 	return &Big{}
 }
+
+// lazySized mirrors the divergence monitor's checkpoint path: per-item
+// state is sized lazily on the first observation through a helper the
+// compiler inlines, so the escape is attributed to the hot call site.
+type lazySized struct {
+	vals []int
+	n    int
+}
+
+func (l *lazySized) grow(n int) {
+	l.n = n
+	l.vals = make([]int, n)
+}
+
+// ObserveBare lazily sizes without an allow annotation: flagged.
+//
+//topklint:hotpath
+func (l *lazySized) ObserveBare(i int) int {
+	if l.n == 0 {
+		l.grow(8) // want "heap allocation in hot path lazySized.ObserveBare"
+	}
+	if i < 0 || i >= l.n {
+		return -1
+	}
+	l.vals[i]++
+	return l.vals[i]
+}
+
+// ObserveAllowed documents the one-time grow at the call site.
+//
+//topklint:hotpath
+func (l *lazySized) ObserveAllowed(i int) int {
+	if l.n == 0 {
+		//topklint:allow hotpathalloc one-time lazy sizing; every later observation is counter updates only (fixture)
+		l.grow(8)
+	}
+	if i < 0 || i >= l.n {
+		return -1
+	}
+	l.vals[i]++
+	return l.vals[i]
+}

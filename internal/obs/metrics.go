@@ -35,6 +35,11 @@ type Metrics struct {
 	breakerOpen     *Gauge      // circuits currently open
 	degradedReplans *Counter
 	shedRequests    *Counter
+
+	replans      map[string]*Counter // adaptive re-plans by trigger
+	otherReplan  *Counter
+	contract     map[string]*Counter // contract violations by reason
+	otherViolate *Counter
 }
 
 // NewMetrics registers the engine metric set on the registry and returns
@@ -75,6 +80,16 @@ func NewMetrics(reg *Registry) *Metrics {
 		m.phases[p] = reg.Histogram("topk_phase_seconds", "Query execution phase latency.", nil, L("phase", string(p)))
 	}
 	m.otherPhase = reg.Histogram("topk_phase_seconds", "Query execution phase latency.", nil, L("phase", "other"))
+	m.replans = make(map[string]*Counter, len(ReplanTriggers()))
+	for _, tr := range ReplanTriggers() {
+		m.replans[tr] = reg.Counter("topk_replan_total", "Mid-query adaptive re-plans by trigger.", L("trigger", tr))
+	}
+	m.otherReplan = reg.Counter("topk_replan_total", "Mid-query adaptive re-plans by trigger.", L("trigger", "other"))
+	m.contract = make(map[string]*Counter, len(ViolationReasons()))
+	for _, v := range ViolationReasons() {
+		m.contract[v] = reg.Counter("topk_contract_violations_total", "Source contract violations caught by the guard, by reason.", L("reason", v))
+	}
+	m.otherViolate = reg.Counter("topk_contract_violations_total", "Source contract violations caught by the guard, by reason.", L("reason", "other"))
 	return m
 }
 
@@ -161,6 +176,24 @@ func (m *Metrics) BreakerTransition(kind AccessKind, pred int, from, to BreakerS
 
 // DegradedReplan implements Observer.
 func (m *Metrics) DegradedReplan(string) { m.degradedReplans.Inc() }
+
+// AdaptiveReplan implements Observer.
+func (m *Metrics) AdaptiveReplan(trigger string, divergence float64) {
+	c, ok := m.replans[trigger]
+	if !ok {
+		c = m.otherReplan
+	}
+	c.Inc()
+}
+
+// ContractViolation implements Observer.
+func (m *Metrics) ContractViolation(kind AccessKind, pred int, reason string) {
+	c, ok := m.contract[reason]
+	if !ok {
+		c = m.otherViolate
+	}
+	c.Inc()
+}
 
 // RequestShed implements Observer.
 func (m *Metrics) RequestShed() { m.shedRequests.Inc() }

@@ -65,8 +65,13 @@ const (
 	// DenyBreaker: the capability's circuit breaker is open after repeated
 	// source failures; the access was refused without touching the source.
 	DenyBreaker
+	// DenyContract: the contract guard rejected the source's response
+	// (sorted-order violation, NaN score, duplicate id, or a random result
+	// inconsistent with an earlier sorted sighting); the corrupt value was
+	// discarded before it could reach the threshold math.
+	DenyContract
 
-	numDenyReasons = int(DenyBreaker) + 1
+	numDenyReasons = int(DenyContract) + 1
 )
 
 // String returns the reason's label as exposed in metrics and traces.
@@ -88,6 +93,8 @@ func (d DenyReason) String() string {
 		return "backend"
 	case DenyBreaker:
 		return "breaker"
+	case DenyContract:
+		return "contract"
 	default:
 		return "unknown"
 	}
@@ -99,7 +106,7 @@ func DenyReasons() []DenyReason {
 	return []DenyReason{
 		DenyUnsupported, DenyExhausted, DenyWildGuess,
 		DenyRepeatedProbe, DenyBudget, DenyCancelled, DenyBackend,
-		DenyBreaker,
+		DenyBreaker, DenyContract,
 	}
 }
 
@@ -195,9 +202,32 @@ type Observer interface {
 	// absorbed and the framework re-derived its choices. The reason is a
 	// machine-readable label ("circuit_open", "source_failure", ...).
 	DegradedReplan(reason string)
+	// AdaptiveReplan fires when the divergence monitor swaps the plan
+	// mid-query: the observed source behavior drifted past the checkpoint
+	// threshold (trigger "divergence"), far enough to distrust the
+	// estimator's sample entirely ("stale_sample"), or the cost scenario
+	// itself changed ("scenario_change"). The divergence score that
+	// triggered the swap rides along (ReplanTriggers lists the labels).
+	AdaptiveReplan(trigger string, divergence float64)
+	// ContractViolation fires when the contract guard rejects a source
+	// response before it can corrupt the threshold math; reason is one of
+	// ViolationReasons ("unsorted", "nan", "range", "dup", "inconsistent").
+	ContractViolation(kind AccessKind, pred int, reason string)
 	// RequestShed fires when the service refuses a query at admission
 	// because the inflight cap is reached (load shedding).
 	RequestShed()
+}
+
+// ReplanTriggers lists every AdaptiveReplan label, for observers that
+// pre-register one metric per label value.
+func ReplanTriggers() []string {
+	return []string{"divergence", "stale_sample", "scenario_change"}
+}
+
+// ViolationReasons lists every ContractViolation label, for observers
+// that pre-register one metric per label value.
+func ViolationReasons() []string {
+	return []string{"unsorted", "nan", "range", "dup", "inconsistent"}
 }
 
 // Nop is the zero-allocation no-op Observer: every method returns
@@ -242,6 +272,12 @@ func (Nop) BreakerTransition(AccessKind, int, BreakerState, BreakerState) {}
 
 // DegradedReplan implements Observer.
 func (Nop) DegradedReplan(string) {}
+
+// AdaptiveReplan implements Observer.
+func (Nop) AdaptiveReplan(string, float64) {}
+
+// ContractViolation implements Observer.
+func (Nop) ContractViolation(AccessKind, int, string) {}
 
 // RequestShed implements Observer.
 func (Nop) RequestShed() {}
@@ -314,6 +350,16 @@ func (m multi) BreakerTransition(k AccessKind, p int, from, to BreakerState) {
 func (m multi) DegradedReplan(reason string) {
 	for _, o := range m {
 		o.DegradedReplan(reason)
+	}
+}
+func (m multi) AdaptiveReplan(trigger string, divergence float64) {
+	for _, o := range m {
+		o.AdaptiveReplan(trigger, divergence)
+	}
+}
+func (m multi) ContractViolation(k AccessKind, p int, reason string) {
+	for _, o := range m {
+		o.ContractViolation(k, p, reason)
 	}
 }
 func (m multi) RequestShed() {

@@ -62,6 +62,13 @@ type TraceSnapshot struct {
 	// DegradedReasons are the machine-readable degradation labels the
 	// engine reported while re-planning (deduplicated, in first-seen order).
 	DegradedReasons []string `json:"degradedReasons,omitempty"`
+	// AdaptiveReplans lists mid-query plan swaps by the divergence monitor,
+	// in occurrence order, each with the trigger and the divergence score
+	// that crossed the threshold.
+	AdaptiveReplans []ReplanEvent `json:"adaptiveReplans,omitempty"`
+	// ContractViolations lists source responses the contract guard
+	// rejected during this query, in occurrence order.
+	ContractViolations []ContractEvent `json:"contractViolations,omitempty"`
 	// Cursor identifies the server-side cursor a traced page belongs to
 	// (nil for one-shot queries). The trace itself is cumulative across the
 	// cursor's pages, exactly like its ledger.
@@ -77,6 +84,22 @@ type CursorTrace struct {
 	Page      int    `json:"page"`
 	Emitted   int    `json:"emitted"`
 	Exhausted bool   `json:"exhausted,omitempty"`
+}
+
+// ReplanEvent is one mid-query adaptive plan swap as recorded in a trace.
+type ReplanEvent struct {
+	Trigger    string  `json:"trigger"`
+	Divergence float64 `json:"divergence"`
+}
+
+// ContractEvent is one guard-rejected source response as recorded in a
+// trace.
+type ContractEvent struct {
+	Kind AccessKind `json:"-"`
+	// KindName is the access kind ("sorted"/"random") in JSON form.
+	KindName string `json:"kind"`
+	Pred     int    `json:"pred"`
+	Reason   string `json:"reason"`
 }
 
 // BreakerEvent is one circuit-breaker state change as recorded in a trace.
@@ -117,6 +140,9 @@ type QueryTrace struct {
 	breakerEvents   []BreakerEvent
 	degradedReplans int
 	degradedReasons []string
+
+	replanEvents   []ReplanEvent
+	contractEvents []ContractEvent
 }
 
 // NewQueryTrace returns an empty trace. Per-predicate slices grow on
@@ -257,6 +283,22 @@ func (t *QueryTrace) DegradedReplan(reason string) {
 	t.degradedReasons = append(t.degradedReasons, reason)
 }
 
+// AdaptiveReplan implements Observer.
+func (t *QueryTrace) AdaptiveReplan(trigger string, divergence float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.replanEvents = append(t.replanEvents, ReplanEvent{Trigger: trigger, Divergence: divergence})
+}
+
+// ContractViolation implements Observer.
+func (t *QueryTrace) ContractViolation(kind AccessKind, pred int, reason string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.contractEvents = append(t.contractEvents, ContractEvent{
+		Kind: kind, KindName: kind.String(), Pred: pred, Reason: reason,
+	})
+}
+
 // RequestShed implements Observer. Shed requests never execute, so a
 // per-query trace cannot observe one; the event only feeds metrics.
 func (t *QueryTrace) RequestShed() {}
@@ -284,6 +326,8 @@ func (t *QueryTrace) Snapshot() TraceSnapshot {
 		BreakerTransitions:  append([]BreakerEvent(nil), t.breakerEvents...),
 		DegradedReplans:     t.degradedReplans,
 		DegradedReasons:     append([]string(nil), t.degradedReasons...),
+		AdaptiveReplans:     append([]ReplanEvent(nil), t.replanEvents...),
+		ContractViolations:  append([]ContractEvent(nil), t.contractEvents...),
 	}
 	for reason, n := range t.denied {
 		if n > 0 {

@@ -208,6 +208,13 @@ func cacheKey(scn access.Scenario, f score.Func, k, n int, cfg Config) string {
 		// quantized rates keep the key space small.
 		fmt.Fprintf(&b, " disc=%g:%g", cfg.SortedDiscount, cfg.RandomDiscount)
 	}
+	if fp := cfg.Observed.Key(); fp != "" {
+		// Mid-query observations reshape the sample Optimize plans against,
+		// exactly like the sharing discounts reshape costs; quantized values
+		// keep the key space small and make repeat re-plans cache hits.
+		b.WriteByte(' ')
+		b.WriteString(fp)
+	}
 	if cfg.Sample != nil {
 		// A caller-supplied sample changes the estimator's input; identity
 		// (not content) is the practical discriminator for shared datasets.

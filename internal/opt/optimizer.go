@@ -43,6 +43,16 @@ type Config struct {
 	// stable as the observed rate drifts.
 	SortedDiscount float64
 	RandomDiscount float64
+	// Observed, when non-nil, injects quantized mid-query observations
+	// (internal/adapt's divergence monitor) into planning: the dummy
+	// sample is warped per predicate to match the observed sorted-descent
+	// slopes and random-access means, the greedy scheme consumes them
+	// directly, and the values are fingerprinted into the plan-cache key —
+	// the same trick SortedDiscount uses — so re-plans against repeated
+	// observations are cache hits. A caller-supplied Sample is never
+	// warped: real samples are ground truth, observations only correct
+	// the dummy uniform assumption.
+	Observed *ObservedStats
 	// Observer, when non-nil, receives optimizer events: one
 	// EstimatorEval per priced configuration (memoized or simulated).
 	Observer obs.Observer
@@ -106,12 +116,21 @@ func discountScenario(scn access.Scenario, sd, rd float64) access.Scenario {
 func Optimize(cfg Config, scn access.Scenario, f score.Func, k, n int) (Plan, error) {
 	cfg = cfg.withDefaults()
 	scn = discountScenario(scn, cfg.SortedDiscount, cfg.RandomDiscount)
+	if cfg.Scheme == SchemeGreedy {
+		return Greedy(scn, f, k, n, cfg.Observed)
+	}
 	sample := cfg.Sample
 	if sample == nil {
 		var err error
 		sample, err = data.DummySample(cfg.SampleSize, scn.M(), cfg.Seed)
 		if err != nil {
 			return Plan{}, fmt.Errorf("opt: synthesizing dummy sample: %w", err)
+		}
+		if cfg.Observed != nil {
+			sample, err = warpSample(sample, cfg.Observed)
+			if err != nil {
+				return Plan{}, fmt.Errorf("opt: warping dummy sample: %w", err)
+			}
 		}
 	}
 	omega := OptimizeOmega(sample, scn)
@@ -146,6 +165,40 @@ func Optimize(cfg Config, scn access.Scenario, f score.Func, k, n int) (Plan, er
 		plan.Evals = est.Evals()
 	}
 	return plan, nil
+}
+
+// EstimateConfiguration prices one (H, Omega) configuration under the
+// same model Optimize plans against: the scenario after sharing
+// discounts, and the dummy sample warped by cfg.Observed. The adaptive
+// layer uses it to price the incumbent plan before a mid-query swap — a
+// re-plan only pays off if the candidate beats the incumbent under the
+// *same* model, and comparing a fresh estimate against the incumbent's
+// original (differently-modelled) estimate would systematically favour
+// switching. cfg.Scheme is irrelevant here: pricing a fixed configuration
+// is scheme-free.
+func EstimateConfiguration(cfg Config, scn access.Scenario, f score.Func, k, n int, h []float64, omega []int) (access.Cost, error) {
+	cfg = cfg.withDefaults()
+	scn = discountScenario(scn, cfg.SortedDiscount, cfg.RandomDiscount)
+	sample := cfg.Sample
+	if sample == nil {
+		var err error
+		sample, err = data.DummySample(cfg.SampleSize, scn.M(), cfg.Seed)
+		if err != nil {
+			return 0, fmt.Errorf("opt: synthesizing dummy sample: %w", err)
+		}
+		if cfg.Observed != nil {
+			sample, err = warpSample(sample, cfg.Observed)
+			if err != nil {
+				return 0, fmt.Errorf("opt: warping dummy sample: %w", err)
+			}
+		}
+	}
+	est, err := NewEstimator(sample, scn, f, k, n, !cfg.DisableNWG)
+	if err != nil {
+		return 0, err
+	}
+	est.SetObserver(cfg.Observer)
+	return est.Estimate(h, omega)
 }
 
 // Optimized is an algo.Algorithm that optimizes before executing: the

@@ -30,6 +30,11 @@ const (
 	// SchemeStrategies focuses on configurations matching the scoring
 	// function's shape (focused for min-like, equal-depth for mean-like).
 	SchemeStrategies
+	// SchemeGreedy is the statistics-free planner: H and Omega picked in
+	// closed form from capability/cost asymmetries and observed stream
+	// slopes, no simulation runs. The mid-query re-plan fast path and the
+	// fallback when the estimator's sample is flagged stale.
+	SchemeGreedy
 )
 
 // String returns the scheme name.
@@ -41,6 +46,8 @@ func (s Scheme) String() string {
 		return "Naive"
 	case SchemeStrategies:
 		return "Strategies"
+	case SchemeGreedy:
+		return "Greedy"
 	default:
 		return fmt.Sprintf("Scheme(%d)", int(s))
 	}
@@ -48,7 +55,7 @@ func (s Scheme) String() string {
 
 // SchemeByName parses a scheme name.
 func SchemeByName(name string) (Scheme, error) {
-	for _, s := range []Scheme{SchemeHClimb, SchemeNaive, SchemeStrategies} {
+	for _, s := range []Scheme{SchemeHClimb, SchemeNaive, SchemeStrategies, SchemeGreedy} {
 		if s.String() == name {
 			return s, nil
 		}

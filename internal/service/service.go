@@ -133,6 +133,24 @@ type Config struct {
 	// breakers) without poisoning the shared caches.
 	WrapBackend func(b topk.Backend, cols []int) topk.Backend
 
+	// AdaptivePeriod, when > 0, runs every default-pipeline query with
+	// mid-query adaptive re-planning: a divergence checkpoint every
+	// AdaptivePeriod accesses compares observed source behaviour against
+	// the plan's assumptions and re-plans through the shared plan cache
+	// when sources drift (topk.WithAdaptive). Re-plans surface in /metrics
+	// (topk_replan_total) and ?trace=1 responses. Skipped for explicit
+	// algorithms, parallel, and approximate runs.
+	AdaptivePeriod int
+	// ContractGuard wraps each query's backend with the source contract
+	// guard (topk.WithContractGuard): responses violating the access
+	// contract — unsorted streams, non-finite or out-of-range scores,
+	// duplicate ids, random results contradicting sorted sightings — are
+	// rejected unbilled and, via the shared breakers, quarantine the lying
+	// capability, so answers degrade honestly instead of going silently
+	// wrong. Violations land in /metrics (topk_contract_violations_total)
+	// and ?trace=1.
+	ContractGuard bool
+
 	// EnableSharing routes every query through one cross-query access-
 	// sharing layer over the full dataset: concurrent queries share sorted
 	// cursors and probed scores per dataset predicate (queries selecting
@@ -561,7 +579,11 @@ func (h *Handler) prepare(req QueryRequest, traced bool) (*prepared, int, error)
 	if h.cfg.WrapBackend != nil {
 		backend = h.cfg.WrapBackend(backend, cols)
 	}
-	eng, err := topk.NewEngine(backend, scn, topk.WithPlanCache(h.plans))
+	engOpts := []topk.EngineOption{topk.WithPlanCache(h.plans)}
+	if h.cfg.ContractGuard {
+		engOpts = append(engOpts, topk.WithContractGuard())
+	}
+	eng, err := topk.NewEngine(backend, scn, engOpts...)
 	if err != nil {
 		return nil, http.StatusInternalServerError, err
 	}
@@ -584,6 +606,9 @@ func (h *Handler) prepare(req QueryRequest, traced bool) (*prepared, int, error)
 			ocfg.SortedDiscount, ocfg.RandomDiscount = h.shared.Stats().Discounts()
 		}
 		opts = append(opts, topk.WithOptimizer(ocfg))
+		if h.cfg.AdaptivePeriod > 0 && req.Parallel == 0 && req.Epsilon == 0 {
+			opts = append(opts, topk.WithAdaptive(h.cfg.AdaptivePeriod))
+		}
 	case alg == "nc":
 		if req.H == nil {
 			return nil, http.StatusBadRequest, fmt.Errorf("service: algorithm \"nc\" requires h")

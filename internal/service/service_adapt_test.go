@@ -1,0 +1,94 @@
+package service
+
+// Service-level adaptivity: a handler configured with AdaptivePeriod and
+// ContractGuard over heavily drifted data must re-plan mid-query, surface
+// the re-plan events through ?trace=1 and /metrics, and keep the guard
+// silent — drift is honest data, only its statistics are wrong.
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/data"
+)
+
+func driftedServiceDataset(t *testing.T, n, m int, seed int64, gamma float64) *data.Dataset {
+	t.Helper()
+	base, err := data.Generate(data.Uniform, n, m, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := make([][]float64, n)
+	for u := 0; u < n; u++ {
+		row := base.Scores(u)
+		for i := range row {
+			row[i] = math.Pow(row[i], gamma)
+		}
+		scores[u] = row
+	}
+	ds, err := data.New("drifted", scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestServiceAdaptiveReplanTraced(t *testing.T) {
+	ds := driftedServiceDataset(t, 300, 3, 3, 6)
+	h, err := NewHandler(Config{
+		Dataset:        ds,
+		Columns:        []string{"a", "b", "c"},
+		Scenario:       access.Uniform(3, 1, 10),
+		AdaptivePeriod: 16,
+		ContractGuard:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+
+	sql := "select name from db order by min(a, b, c) stop after 5"
+	traced, code := postTo(t, ts, "/query?trace=1", QueryRequest{SQL: sql})
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if traced.Trace == nil {
+		t.Fatal("?trace=1 returned no trace")
+	}
+	if len(traced.Trace.AdaptiveReplans) == 0 {
+		t.Fatal("drifted data at AdaptivePeriod 16 must surface re-plan events in the trace")
+	}
+	for _, ev := range traced.Trace.AdaptiveReplans {
+		if ev.Trigger == "" || ev.Divergence <= 0 {
+			t.Errorf("re-plan event missing trigger or divergence: %+v", ev)
+		}
+	}
+	// Honest (merely drifted) sources must not trip the contract guard.
+	if len(traced.Trace.ContractViolations) != 0 {
+		t.Fatalf("guard flagged honest drifted data: %v", traced.Trace.ContractViolations)
+	}
+	// The trace's per-predicate counts must still equal the billed ledger
+	// even though the plan was swapped mid-flight.
+	for i := range traced.SortedAccesses {
+		st, rt := 0, 0
+		if i < len(traced.Trace.SortedAccesses) {
+			st = traced.Trace.SortedAccesses[i]
+		}
+		if i < len(traced.Trace.RandomAccesses) {
+			rt = traced.Trace.RandomAccesses[i]
+		}
+		if st != traced.SortedAccesses[i] || rt != traced.RandomAccesses[i] {
+			t.Errorf("pred %d: trace (%d,%d) vs ledger (%d,%d)",
+				i, st, rt, traced.SortedAccesses[i], traced.RandomAccesses[i])
+		}
+	}
+	// The re-plan also lands on the metrics endpoint.
+	metrics := scrapeMetrics(t, ts)
+	if !strings.Contains(metrics, `topk_replan_total{trigger="divergence"}`) {
+		t.Error("metrics missing topk_replan_total{trigger=\"divergence\"}")
+	}
+}

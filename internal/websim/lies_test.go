@@ -1,0 +1,112 @@
+package websim
+
+// Tests for the contract-violating chaos options: score drift (honest but
+// statistically wrong), unsorted lies, and duplicate replays. The latter
+// two are verified both raw (the client faithfully reports what the
+// source said) and through the contract guard (the lie is caught and
+// named).
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/adapt"
+	"repro/internal/data"
+	"repro/internal/data/datatest"
+)
+
+func TestScoreDriftWarpsButHonorsContract(t *testing.T) {
+	ds := datatest.MustGenerate(data.Uniform, 20, 2, 4)
+	ts := startSource(t, ds, WithScoreDrift(3))
+	c, err := NewClient(context.Background(), ts.Client(), []Route{{ts.URL, 0}, {ts.URL, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := math.Inf(1)
+	for rank := 0; rank < 10; rank++ {
+		obj, sc, err := c.Sorted(context.Background(), 0, rank)
+		if err != nil {
+			t.Fatalf("sorted(0,%d): %v", rank, err)
+		}
+		truth := math.Pow(ds.Scores(obj)[0], 3)
+		if math.Abs(sc-truth) > 1e-9 {
+			t.Fatalf("rank %d: served %g, want %g^3 = %g", rank, sc, ds.Scores(obj)[0], truth)
+		}
+		if sc > prev+1e-9 {
+			t.Fatalf("drifted stream broke descending order at rank %d: %g after %g", rank, sc, prev)
+		}
+		prev = sc
+		// The probe must agree with the sorted sighting: drift is applied
+		// consistently, so the source still honors the access contract.
+		psc, err := c.Random(context.Background(), 0, obj)
+		if err != nil {
+			t.Fatalf("random(0,%d): %v", obj, err)
+		}
+		if math.Abs(psc-sc) > 1e-9 {
+			t.Fatalf("probe of object %d disagrees with sorted sighting: %g vs %g", obj, psc, sc)
+		}
+	}
+}
+
+func TestUnsortedRateLiesAndGuardCatches(t *testing.T) {
+	ds := datatest.MustGenerate(data.Uniform, 20, 1, 4)
+	ts := startSource(t, ds, WithUnsortedRate(1, 9))
+	c, err := NewClient(context.Background(), ts.Client(), []Route{{ts.URL, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Raw client: rank 1 must be served inflated above rank 0.
+	_, s0, err := c.Sorted(context.Background(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, s1, err := c.Sorted(context.Background(), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 <= s0 {
+		t.Fatalf("rate-1 unsorted lie not served: rank1 %g <= rank0 %g", s1, s0)
+	}
+	// Guarded client: the same sequence is a named contract violation.
+	g := adapt.NewGuard(c)
+	if _, _, err := g.Sorted(context.Background(), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := g.Sorted(context.Background(), 0, 1); err == nil {
+		t.Fatal("guard passed an out-of-order response")
+	}
+	if v := g.Violations(); v["unsorted"] == 0 {
+		t.Fatalf("guard violations = %v, want unsorted", v)
+	}
+}
+
+func TestDupRateRepaysAndGuardCatches(t *testing.T) {
+	ds := datatest.MustGenerate(data.Uniform, 20, 1, 4)
+	ts := startSource(t, ds, WithDupRate(1, 9))
+	c, err := NewClient(context.Background(), ts.Client(), []Route{{ts.URL, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o0, _, err := c.Sorted(context.Background(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o1, _, err := c.Sorted(context.Background(), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o1 != o0 {
+		t.Fatalf("rate-1 dup lie not served: rank1 object %d, want replay of %d", o1, o0)
+	}
+	g := adapt.NewGuard(c)
+	if _, _, err := g.Sorted(context.Background(), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := g.Sorted(context.Background(), 0, 1); err == nil {
+		t.Fatal("guard passed a duplicate-id response")
+	}
+	if v := g.Violations(); v["dup"] == 0 {
+		t.Fatalf("guard violations = %v, want dup", v)
+	}
+}

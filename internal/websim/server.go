@@ -26,6 +26,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net/http"
 	"strconv"
@@ -46,9 +47,13 @@ type Server struct {
 	outFrom    int           // outage window in request ordinals, half-open
 	outTo      int           // [outFrom, outTo); outTo <= outFrom disables
 	retryAfter time.Duration // Retry-After hint attached to 503s (0 = none)
+	drift      float64       // score drift exponent (0 = honest)
+	unsorted   float64       // fraction of sorted responses served out of order
+	dupRate    float64       // fraction of sorted responses replaying the previous rank
 	mu         sync.Mutex
 	requests   uint64     // request counter for deterministic failure injection
 	rng        *rand.Rand // nil unless WithFailRate; guarded by mu
+	lieRng     *rand.Rand // nil unless WithUnsortedRate/WithDupRate; guarded by mu
 	mux        *http.ServeMux
 }
 
@@ -96,6 +101,47 @@ func WithOutageWindow(from, to int) ServerOption {
 // come back.
 func WithRetryAfter(d time.Duration) ServerOption {
 	return func(s *Server) { s.retryAfter = d }
+}
+
+// WithScoreDrift warps every served score through s -> s^gamma (gamma > 0,
+// 1 = honest). The transform is monotone and applied consistently across
+// the sorted, random, and batch endpoints, so the source still honors the
+// access contract — its score *distribution* just no longer matches any
+// sample taken before the drift. This is the "wrong statistics" chaos mode
+// the adaptive layer exists for: gamma > 1 collapses scores early (steep
+// descent), gamma < 1 flattens the head.
+func WithScoreDrift(gamma float64) ServerOption {
+	return func(s *Server) { s.drift = gamma }
+}
+
+// WithUnsortedRate makes the sorted endpoint lie: each response (beyond
+// rank 0) is, with the given probability, served with its score inflated
+// above the previous rank's — a descending-order violation the contract
+// guard must catch. The true object id is kept, so a later random access
+// to it also contradicts the lie ("inconsistent"). Draws come from a
+// private seeded generator for replayability.
+func WithUnsortedRate(rate float64, seed int64) ServerOption {
+	return func(s *Server) {
+		s.unsorted = rate
+		s.ensureLieRng(seed)
+	}
+}
+
+// WithDupRate makes the sorted endpoint replay: each response (beyond rank
+// 0) is, with the given probability, the previous rank's entry again — the
+// same object at two ranks, a duplicate-id violation. Seeded like
+// WithUnsortedRate; when both are set they share one generator.
+func WithDupRate(rate float64, seed int64) ServerOption {
+	return func(s *Server) {
+		s.dupRate = rate
+		s.ensureLieRng(seed)
+	}
+}
+
+func (s *Server) ensureLieRng(seed int64) {
+	if s.lieRng == nil {
+		s.lieRng = rand.New(rand.NewSource(seed))
+	}
 }
 
 // NewServer builds a source server over the dataset.
@@ -245,7 +291,37 @@ func (s *Server) handleSorted(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	obj, sc := s.ds.SortedAt(pred, rank)
-	writeJSON(w, http.StatusOK, sortedPayload{Obj: obj, Score: sc})
+	obj, sc = s.lieSorted(pred, rank, obj, sc)
+	writeJSON(w, http.StatusOK, sortedPayload{Obj: obj, Score: s.warp(sc)})
+}
+
+// warp applies the configured score drift (identity when unset).
+func (s *Server) warp(sc float64) float64 {
+	if s.drift <= 0 || s.drift == 1 {
+		return sc
+	}
+	return math.Pow(sc, s.drift)
+}
+
+// lieSorted applies the configured contract-violating chaos modes to one
+// sorted response: an inflated out-of-order score (WithUnsortedRate) or a
+// replay of the previous rank's entry (WithDupRate). Rank 0 has no
+// previous entry and is always served honestly.
+func (s *Server) lieSorted(pred, rank, obj int, sc float64) (int, float64) {
+	if (s.unsorted <= 0 && s.dupRate <= 0) || rank == 0 {
+		return obj, sc
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.unsorted > 0 && s.lieRng.Float64() < s.unsorted {
+		_, prev := s.ds.SortedAt(pred, rank-1)
+		return obj, math.Min(1, prev*1.05+0.01) // jumps above the previous rank
+	}
+	if s.dupRate > 0 && s.lieRng.Float64() < s.dupRate {
+		prevObj, prevSc := s.ds.SortedAt(pred, rank-1)
+		return prevObj, prevSc // the previous entry again: duplicate id
+	}
+	return obj, sc
 }
 
 func (s *Server) handleRandom(w http.ResponseWriter, r *http.Request) {
@@ -263,7 +339,7 @@ func (s *Server) handleRandom(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusNotFound, errorPayload{Error: fmt.Sprintf("object %d unknown", obj)})
 		return
 	}
-	writeJSON(w, http.StatusOK, randomPayload{Score: s.ds.Score(obj, pred)})
+	writeJSON(w, http.StatusOK, randomPayload{Score: s.warp(s.ds.Score(obj, pred))})
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -294,7 +370,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusNotFound, errorPayload{Error: fmt.Sprintf("probe %d: object %d unknown", i, p.Obj)})
 			return
 		}
-		scores[i] = s.ds.Score(p.Obj, s.preds[p.Pred])
+		scores[i] = s.warp(s.ds.Score(p.Obj, s.preds[p.Pred]))
 	}
 	writeJSON(w, http.StatusOK, batchPayload{Scores: scores})
 }

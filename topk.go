@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/access"
+	"repro/internal/adapt"
 	"repro/internal/algo"
 	"repro/internal/data"
 	"repro/internal/obs"
@@ -215,6 +216,9 @@ type Engine struct {
 	shifts    []CostShift
 	planCache *PlanCache
 	share     *share.Layer
+	guard     *adapt.Guard
+	guardOpts []GuardOption
+	useGuard  bool
 
 	// pool recycles per-query state (access session + framework scratch)
 	// across sequential Runs. Pooled state is fully reset before reuse;
@@ -272,6 +276,50 @@ func (e *Engine) optimize(cfg OptimizerConfig, scn Scenario, f ScoreFunc, k, n i
 	return opt.Optimize(cfg, scn, f, k, n)
 }
 
+// newAdapter wires the adaptive layer's re-plan loop to this engine:
+// checkpoint re-plans go through optimize — so they get the sharing
+// discounts and hit the plan cache under the observation-extended key —
+// the scenario-change probe watches the live session, and apply installs
+// each new plan on the running execution.
+func (e *Engine) newAdapter(spec *runSpec, sess *access.Session, q Query, o obs.Observer, initial *Plan, apply func(Plan) error) *adapt.Adapter {
+	base := spec.optCfg
+	base.DisableNWG = !e.nwg
+	base.Observer = o
+	lastPreds := snapshotPreds(sess.CurrentScenario())
+	a := &adapt.Adapter{
+		Mon:  adapt.NewMonitor(adapt.Config{Period: spec.period}),
+		Base: base,
+		PlanFunc: func(cfg OptimizerConfig) (Plan, error) {
+			return e.optimize(cfg, sess.CurrentScenario(), q.F, q.K, sess.N())
+		},
+		// EstimateFunc prices the incumbent plan under the re-plan's
+		// observation-warped model (same discounts as PlanFunc) so the
+		// adapter only swaps plans whose modelled advantage clears the
+		// switching cost.
+		EstimateFunc: func(cfg OptimizerConfig, h []float64, omega []int) (access.Cost, error) {
+			if e.share != nil && cfg.SortedDiscount == 0 && cfg.RandomDiscount == 0 {
+				cfg.SortedDiscount, cfg.RandomDiscount = e.share.Stats().Discounts()
+			}
+			return opt.EstimateConfiguration(cfg, sess.CurrentScenario(), q.F, q.K, sess.N(), h, omega)
+		},
+		ApplyFunc: apply,
+		Obs:       o,
+		Scenario:  sess.CurrentScenario,
+		ScenarioChanged: func() bool {
+			cur := sess.CurrentScenario()
+			if predsEqual(cur.Preds, lastPreds) {
+				return false
+			}
+			lastPreds = snapshotPreds(cur)
+			return true
+		},
+	}
+	if initial != nil {
+		a.Incumbent = *initial
+	}
+	return a
+}
+
 // SharingStats reports the attached sharing layer's cumulative counters
 // (the zero Stats when no layer is attached).
 func (e *Engine) SharingStats() SharingStats {
@@ -323,6 +371,35 @@ func WithPlanCache(c *PlanCache) EngineOption {
 	return func(e *Engine) { e.planCache = c }
 }
 
+// GuardOption tunes the source contract guard (see WithContractGuard).
+type GuardOption = adapt.GuardOption
+
+// Contract-guard tuning options, usable with WithContractGuard:
+// GuardClampRange serves finite out-of-[0,1] scores clamped (counted as
+// soft violations) instead of failing the access; GuardFailFast poisons a
+// sorted stream on its first violation instead of letting the resilience
+// breaker quarantine a persistent liar.
+var (
+	GuardClampRange = adapt.WithClampRange
+	GuardFailFast   = adapt.WithFailFast
+)
+
+// WithContractGuard wraps the engine's backend (after all other engine
+// options, so it also covers a sharing layer) with the source contract
+// guard: every response is vetted — descending sorted order, finite
+// scores in [0,1], distinct ids per stream, random results consistent with
+// sorted sightings — before it can reach any session. Violating accesses
+// fail without being billed; under WithResilience the breakers quarantine
+// a persistently lying capability exactly like a failing one, so answers
+// degrade honestly (Truncated + Degraded) instead of going silently wrong.
+// GuardViolations reports the cumulative counts.
+func WithContractGuard(opts ...GuardOption) EngineOption {
+	return func(e *Engine) {
+		e.useGuard = true
+		e.guardOpts = append(e.guardOpts, opts...)
+	}
+}
+
 // NewEngine validates the scenario against the backend and builds an
 // engine.
 func NewEngine(b Backend, scn Scenario, opts ...EngineOption) (*Engine, error) {
@@ -333,6 +410,12 @@ func NewEngine(b Backend, scn Scenario, opts ...EngineOption) (*Engine, error) {
 	for _, o := range opts {
 		o(e)
 	}
+	// The guard wraps last so it vets whatever the engine will actually
+	// talk to — including a sharing layer installed by WithSharing.
+	if e.useGuard {
+		e.guard = adapt.NewGuard(e.backend, e.guardOpts...)
+		e.backend = e.guard
+	}
 	// Validate after options: WithSharing may have replaced the backend,
 	// and the scenario must match whatever the engine will actually run
 	// against.
@@ -340,6 +423,17 @@ func NewEngine(b Backend, scn Scenario, opts ...EngineOption) (*Engine, error) {
 		return nil, err
 	}
 	return e, nil
+}
+
+// GuardViolations reports the contract guard's cumulative per-reason
+// violation counts (nil without WithContractGuard). Reason keys are the
+// obs.ViolationReasons vocabulary: "unsorted", "nan", "range", "dup",
+// "inconsistent".
+func (e *Engine) GuardViolations() map[string]int {
+	if e.guard == nil {
+		return nil
+	}
+	return e.guard.Violations()
 }
 
 // runSpec captures the execution strategy chosen through RunOptions.
@@ -412,8 +506,20 @@ func WithOptimizer(cfg OptimizerConfig) RunOption {
 	return func(r *runSpec) { r.optCfg = cfg }
 }
 
-// WithAdaptive re-optimizes every period accesses against the costs
-// currently in force (use together with engine-level cost shifts).
+// WithAdaptive makes the execution self-correcting: every period accesses
+// (period <= 0 takes the adaptive layer's default) a checkpoint compares
+// each source's observed behaviour — sorted-stream descent slopes,
+// random-access score means, the unseen-object frontier — against the
+// plan's statistical assumptions, and past a divergence threshold the
+// query re-plans mid-flight: the optimizer re-runs with the quantized
+// observations folded into its sample (and into the plan-cache key, so
+// repeat re-plans are cache hits), and the new SR/G configuration swaps in
+// while all paid-for score state carries over. When the divergence is
+// extreme the estimator's sample is flagged stale and the re-plan routes
+// to the statistics-free greedy planner instead. Scenario changes (cost
+// shifts, breaker flips) also trigger checkpoint re-plans, subsuming the
+// earlier costs-only adaptivity. Applies to NC-based execution; on TA
+// cursors the monitor attaches telemetry-only (TA has no plan to change).
 func WithAdaptive(period int) RunOption {
 	return func(r *runSpec) { r.adaptive, r.period = true, period }
 }
@@ -587,7 +693,7 @@ func (e *Engine) Run(q Query, opts ...RunOption) (*Answer, error) {
 	var omega []int
 	if spec.h != nil {
 		h, omega = spec.h, spec.omega
-	} else if needPlan && !spec.adaptive {
+	} else if needPlan {
 		cfg := spec.optCfg
 		cfg.DisableNWG = !e.nwg
 		cfg.Observer = o
@@ -633,10 +739,21 @@ func (e *Engine) Run(q Query, opts ...RunOption) (*Answer, error) {
 	case spec.algorithm != nil:
 		alg = spec.algorithm
 	case spec.adaptive:
-		cfg := spec.optCfg
-		cfg.DisableNWG = !e.nwg
-		cfg.Observer = o
-		alg = &opt.Adaptive{Cfg: cfg, Period: spec.period}
+		sel, serr := algo.NewSRG(h, omega)
+		if serr != nil {
+			return nil, serr
+		}
+		nc := &algo.NC{Sel: sel, Obs: o}
+		nc.Monitor = e.newAdapter(&spec, sess, q, o, ans.Plan, func(p Plan) error {
+			s2, aerr := algo.NewSRG(p.H, p.Omega)
+			if aerr != nil {
+				return aerr
+			}
+			nc.Sel = s2
+			ans.Plan = &p
+			return nil
+		})
+		alg = nc
 	default:
 		sel, serr := algo.NewSRG(h, omega)
 		if serr != nil {
@@ -721,16 +838,18 @@ type Cursor struct {
 // exactly the accesses Run with K=k would, and each further Next(delta)
 // deepens to k+delta at only the marginal cost. The query's K sizes the
 // optimizer's plan (how deep the configuration expects to go); paging may
-// run past it. Supported options: WithNC, WithOptimizer, WithAlgorithm
-// ("TA", "MPro"), WithApproximation, WithBudget, WithResilience,
-// WithObserver, WithTrace, WithContext (rebind per page with Bind); the
-// concurrent executors and other named baselines are batch-only.
+// run past it. Supported options: WithNC, WithOptimizer, WithAdaptive
+// (checkpoint re-plans on NC-shaped cursors; telemetry-only on TA/MPro),
+// WithAlgorithm ("TA", "MPro"), WithApproximation, WithBudget,
+// WithResilience, WithObserver, WithTrace, WithContext (rebind per page
+// with Bind); the concurrent executors and other named baselines are
+// batch-only.
 func (e *Engine) Open(q Query, opts ...RunOption) (*Cursor, error) {
 	var spec runSpec
 	for _, o := range opts {
 		o(&spec)
 	}
-	if spec.adaptive || spec.parallelB > 0 || spec.liveB > 0 {
+	if spec.parallelB > 0 || spec.liveB > 0 {
 		return nil, fmt.Errorf("topk: Open supports only sequential execution (NC, TA, MPro)")
 	}
 	if spec.epsilon < 0 {
@@ -804,18 +923,47 @@ func (e *Engine) Open(q Query, opts ...RunOption) (*Cursor, error) {
 		if serr != nil {
 			return fail(serr)
 		}
-		cur, cerr := (&algo.NC{Sel: sel, Epsilon: spec.epsilon, Obs: o}).Open(prob, &st.scratch)
+		ncAlg := &algo.NC{Sel: sel, Epsilon: spec.epsilon, Obs: o}
+		cur, cerr := ncAlg.Open(prob, &st.scratch)
 		if cerr != nil {
 			return fail(cerr)
 		}
 		c.nc, c.pager = cur, cur
+		if spec.adaptive {
+			// Checkpoint re-plans swap the suspended cursor's selector in
+			// place (all paid-for state carries over) and re-anchor the
+			// page-boundary scenario snapshot so one change is not
+			// re-planned twice.
+			ncAlg.Monitor = e.newAdapter(&spec, sess, q, o, c.plan, func(p Plan) error {
+				s2, aerr := algo.NewSRG(p.H, p.Omega)
+				if aerr != nil {
+					return aerr
+				}
+				if serr := cur.SetSelector(s2); serr != nil {
+					return serr
+				}
+				c.plan = &p
+				c.planScn = snapshotPreds(sess.CurrentScenario())
+				return nil
+			})
+		}
 	case algo.TA:
 		cur, cerr := algo.TA{}.Open(prob)
 		if cerr != nil {
 			return fail(cerr)
 		}
 		c.pager = cur
+		if spec.adaptive {
+			// TA has no plan degrees of freedom: the monitor attaches
+			// telemetry-only (divergence checkpoints, no re-plans).
+			cur.Monitor = e.newAdapter(&spec, sess, q, o, nil, nil)
+		}
 	case algo.MPro:
+		if spec.adaptive {
+			// MPro's configuration is derived from the scenario, not
+			// planned: telemetry-only, like TA.
+			alg.Monitor = e.newAdapter(&spec, sess, q, o, nil, nil)
+		}
 		cur, cerr := alg.Open(prob, &st.scratch)
 		if cerr != nil {
 			return fail(cerr)

@@ -178,8 +178,15 @@ func TestEngineOpenCursor(t *testing.T) {
 	if _, err := eng.Open(Query{F: Min(), K: 2}, WithParallel(2)); err == nil {
 		t.Error("cursor + parallel should fail")
 	}
-	if _, err := eng.Open(Query{F: Min(), K: 2}, WithAdaptive(5)); err == nil {
-		t.Error("cursor + adaptive should fail")
+	// Adaptive cursors are supported: the divergence monitor attaches to
+	// the suspended execution and re-plans between checkpoints.
+	if adc, err := eng.Open(Query{F: Min(), K: 2}, WithAdaptive(5)); err != nil {
+		t.Errorf("cursor + adaptive should work: %v", err)
+	} else {
+		if page, err := adc.Next(2); err != nil || len(page.Items) != 2 {
+			t.Errorf("adaptive cursor page: %v %v", page, err)
+		}
+		adc.Close()
 	}
 	if _, err := eng.Open(Query{F: Min(), K: 2}, WithBudget(-1)); err == nil {
 		t.Error("cursor + bad budget should fail")
