@@ -1,0 +1,162 @@
+package topk
+
+// Chaos matrix row for the cluster: kill one shard mid-query. A 3-shard
+// scatter-gather deployment runs the Figure-2 matrix while one shard's
+// node goes dark partway through the access sequence — permanently
+// ("shard-dies") or for a bounded window ("shard-blips"). The contract is
+// the cluster instance of the repo's headline invariant: every query
+// either returns the exact top-k or an explicitly degraded (Truncated +
+// machine-readable reasons) answer. No query may hang past its deadline,
+// panic, or silently return a wrong "exact" result — a dead shard means
+// missing objects, which is exactly the silent-wrongness a coordinator
+// could smuggle past a client. After every run, trace must equal ledger:
+// recovery and retries may not double-bill or lose accesses.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/data"
+	"repro/internal/fault"
+)
+
+// woundedCluster builds a 3-shard cluster over ds with the given shard's
+// node wrapped in the deterministic fault injector. The wrapped shard
+// loses its paging fast path (the fault layer only speaks the scalar
+// Backend protocol), which is itself realistic: a sick node degrades to
+// entry-at-a-time service before it dies.
+func woundedCluster(t *testing.T, ds *Dataset, victim int, faults fault.Config) *cluster.Coordinator {
+	t.Helper()
+	parts, err := cluster.Partition(ds, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := make([]cluster.Shard, len(parts))
+	for i, sd := range parts {
+		local := cluster.NewLocalShard(sd)
+		if i == victim {
+			members[i] = cluster.WrapShard(fault.Wrap(local, faults), local.LocalN())
+		} else {
+			members[i] = local
+		}
+	}
+	coord, err := cluster.New(members, cluster.Options{
+		FailureThreshold: 2,
+		Cooldown:         20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return coord
+}
+
+// shardChaosProfiles: "shard-dies" takes the victim down permanently after
+// a few accesses per predicate; "shard-blips" takes it down for a bounded
+// access window so retries through the breaker cooldown can recover.
+func shardChaosProfiles(seed int64) map[string]fault.Config {
+	allPreds := func(pf fault.PredFault) map[int]fault.PredFault {
+		return map[int]fault.PredFault{0: pf, 1: pf, 2: pf}
+	}
+	return map[string]fault.Config{
+		"shard-dies":  {Seed: seed, Preds: allPreds(fault.PredFault{OutageFrom: 4, OutageTo: -1})},
+		"shard-blips": {Seed: seed, Preds: allPreds(fault.PredFault{OutageFrom: 3, OutageTo: 8})},
+	}
+}
+
+func TestChaosShardLoss(t *testing.T) {
+	const (
+		n        = 60
+		k        = 5
+		deadline = 20 * time.Second
+	)
+	seeds := []int64{1, 7, 42}
+
+	exactCount, degradedCount := 0, 0
+	for _, cell := range figure2Cells(3, 10) {
+		for _, seed := range seeds {
+			for profile, faults := range shardChaosProfiles(seed) {
+				t.Run(fmt.Sprintf("%s/seed%d/%s", cell.name, seed, profile), func(t *testing.T) {
+					ds, err := data.Generate(data.Uniform, n, 3, seed)
+					if err != nil {
+						t.Fatal(err)
+					}
+					coord := woundedCluster(t, ds, int(seed)%3, faults)
+					breakers := NewBreakerSet(3, BreakerConfig{FailureThreshold: 2, Cooldown: 10 * time.Millisecond})
+					eng, err := NewEngine(coord, cell.scn)
+					if err != nil {
+						t.Fatal(err)
+					}
+					ctx, cancel := context.WithTimeout(context.Background(), deadline)
+					defer cancel()
+					start := time.Now()
+					ans, err := eng.Run(Query{F: Min(), K: k},
+						WithContext(ctx),
+						WithTrace(),
+						WithResilience(&Resilience{
+							Breakers:      breakers,
+							AccessTimeout: 50 * time.Millisecond,
+						}))
+					elapsed := time.Since(start)
+					if err != nil {
+						t.Fatalf("shard-loss run errored (must degrade instead): %v", err)
+					}
+					if elapsed >= deadline {
+						t.Fatalf("query overran its deadline: %v", elapsed)
+					}
+
+					// Trace equals ledger after recovery: fencing, retries,
+					// and re-planning may not double-bill or lose accesses.
+					for i := range ans.Ledger.SortedCounts {
+						st, rt := 0, 0
+						if i < len(ans.Trace.SortedAccesses) {
+							st = ans.Trace.SortedAccesses[i]
+						}
+						if i < len(ans.Trace.RandomAccesses) {
+							rt = ans.Trace.RandomAccesses[i]
+						}
+						if st != ans.Ledger.SortedCounts[i] || rt != ans.Ledger.RandomCounts[i] {
+							t.Fatalf("trace (%d,%d) vs ledger (%d,%d) at pred %d",
+								st, rt, ans.Ledger.SortedCounts[i], ans.Ledger.RandomCounts[i], i)
+						}
+					}
+
+					if ans.Truncated {
+						if len(ans.Degraded) == 0 {
+							t.Fatal("truncated answer carries no degraded reasons")
+						}
+						// A degraded answer must still be honest about what it
+						// claims to know exactly.
+						for _, it := range ans.Items {
+							if it.Exact {
+								truth := Min().Eval(ds.Scores(it.Obj))
+								if math.Abs(it.Score-truth) > 1e-9 {
+									t.Fatalf("degraded answer lies: object %d exact %g, truth %g", it.Obj, it.Score, truth)
+								}
+							}
+						}
+						degradedCount++
+						return
+					}
+					if len(ans.Degraded) != 0 {
+						t.Fatalf("exact answer carries degraded reasons %v", ans.Degraded)
+					}
+					assertExactTopK(t, ds, Min(), k, ans)
+					exactCount++
+				})
+			}
+		}
+	}
+	// Both sides of the contract must be exercised: the blip profile must
+	// recover to exact answers somewhere, and the permanent loss must
+	// force explicit degradation somewhere.
+	if exactCount == 0 {
+		t.Error("no shard-loss run recovered to an exact answer")
+	}
+	if degradedCount == 0 {
+		t.Error("no shard-loss run degraded explicitly")
+	}
+}

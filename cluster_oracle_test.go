@@ -1,0 +1,147 @@
+package topk
+
+// The scatter-gather oracle: sharding the sources must be invisible to the
+// query layer. A 3-shard in-process cluster — the same consistent-hash
+// partition topkd's -shard nodes compute — fronted by the coordinator must
+// produce byte-identical answers AND a byte-identical access ledger to a
+// single-node run over the unsharded dataset, across the Figure-2
+// capability matrix, for every algorithm family (fixed-plan NC, TA, MPro),
+// with the sharing layer off and on. The ledger equality is the strong
+// half: the coordinator may prefetch ahead inside shards, but what it
+// surfaces to the session — and therefore what the client is billed — must
+// match the unsharded source exactly.
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// newTestCluster partitions ds into the given number of in-process shards
+// and fronts them with a fresh coordinator.
+func newTestCluster(t *testing.T, ds *Dataset, shards int) *cluster.Coordinator {
+	t.Helper()
+	parts, err := cluster.Partition(ds, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := make([]cluster.Shard, len(parts))
+	for i, sd := range parts {
+		members[i] = cluster.NewLocalShard(sd)
+	}
+	coord, err := cluster.New(members, cluster.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return coord
+}
+
+func TestClusterScatterGatherOracle(t *testing.T) {
+	const (
+		n      = 120
+		m      = 2
+		k      = 6
+		shards = 3
+	)
+	ds := mustGenerateDataset(t, "uniform", n, m, 31)
+	q := Query{F: Min(), K: k}
+
+	completed := 0
+	for _, cell := range figure2Cells(m, 10) {
+		for _, alg := range cursorOracleAlgos() {
+			for _, sharing := range []bool{false, true} {
+				name := fmt.Sprintf("%s/%s", cell.name, alg.name)
+				if sharing {
+					name += "/shared"
+				}
+				t.Run(name, func(t *testing.T) {
+					opts := alg.opts(m)
+
+					// Single-node oracle over the unsharded dataset.
+					singleEng, err := NewEngine(matrixBackend(ds, sharing, nil), cell.scn)
+					if err != nil {
+						t.Skip("cell has no legal access")
+					}
+					single, err := singleEng.Run(q, opts...)
+					if err != nil {
+						t.Skipf("cell denies an access %s requires: %v", alg.name, err)
+					}
+
+					// The same query through a 3-shard scatter-gather
+					// cluster. When sharing is on the layer sits above the
+					// coordinator, exactly as the service composes it.
+					var backend Backend = newTestCluster(t, ds, shards)
+					if sharing {
+						backend = NewSharedAccess(backend, SharingOptions{})
+					}
+					clusterEng, err := NewEngine(backend, cell.scn)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := clusterEng.Run(q, opts...)
+					if err != nil {
+						t.Fatalf("single-node run succeeded, cluster failed: %v", err)
+					}
+
+					if !reflect.DeepEqual(got.Items, single.Items) {
+						t.Errorf("cluster answers diverge from single-node:\n cluster %v\n single  %v", got.Items, single.Items)
+					}
+					if !reflect.DeepEqual(got.Ledger, single.Ledger) {
+						t.Errorf("cluster ledger diverges from single-node:\n cluster %+v\n single  %+v", got.Ledger, single.Ledger)
+					}
+					if got.Truncated != single.Truncated || !reflect.DeepEqual(got.Degraded, single.Degraded) {
+						t.Errorf("cluster flags (trunc=%v degr=%v) diverge from single-node (trunc=%v degr=%v)",
+							got.Truncated, got.Degraded, single.Truncated, single.Degraded)
+					}
+					assertExactTopK(t, ds, q.F, k, got)
+					completed++
+				})
+			}
+		}
+	}
+	// The sweep must exercise the property across the matrix, not skip its
+	// way to vacuous success.
+	if completed < 15 {
+		t.Fatalf("only %d cell/algorithm combinations completed", completed)
+	}
+}
+
+// TestClusterShardCountInvariance pins the partition-independence half of
+// the contract: for any shard count the coordinator must surface the same
+// global access order, so the answers and the bill cannot depend on how
+// many nodes the data happens to live on.
+func TestClusterShardCountInvariance(t *testing.T) {
+	const (
+		n = 90
+		m = 3
+		k = 5
+	)
+	ds := mustGenerateDataset(t, "zipf", n, m, 17)
+	q := Query{F: Avg(), K: k}
+	scn := UniformScenario(m, 1, 4)
+
+	var ref *Answer
+	for _, shards := range []int{1, 2, 3, 5} {
+		eng, err := NewEngine(newTestCluster(t, ds, shards), scn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ans, err := eng.Run(q, WithNC([]float64{0.6, 0.6, 0.6}, nil))
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if ref == nil {
+			ref = ans
+			assertExactTopK(t, ds, q.F, k, ans)
+			continue
+		}
+		if !reflect.DeepEqual(ans.Items, ref.Items) {
+			t.Errorf("shards=%d answers diverge: %v vs %v", shards, ans.Items, ref.Items)
+		}
+		if !reflect.DeepEqual(ans.Ledger, ref.Ledger) {
+			t.Errorf("shards=%d ledger diverges: %+v vs %+v", shards, ans.Ledger, ref.Ledger)
+		}
+	}
+}

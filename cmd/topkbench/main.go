@@ -37,6 +37,11 @@ func main() {
 		verify     = flag.Bool("verify", false, "after each experiment, check the paper's shape claim and report PASS/FAIL")
 		serveBench = flag.Bool("serve-bench", false, "run the serve-path throughput workload (BENCH_perf.json) and emit queries/sec")
 		serveQ     = flag.Int("serve-queries", 2000, "queries per serve-bench case")
+		clusterOn  = flag.Bool("cluster", false, "run the scatter-gather throughput workload (BENCH_cluster.json) at 1, 2, and 3 shards")
+		clusterN   = flag.Int("cluster-n", 0, "cluster workload dataset size (0 = the BENCH_cluster.json default, 1e6)")
+		clusterQ   = flag.Int("cluster-queries", 0, "queries per cluster case (0 = default)")
+		clusterC   = flag.Duration("cluster-access-cost", 0, "simulated per-entry service time at each node (0 = default)")
+		clusterD   = flag.String("cluster-dist", "", "cluster workload distribution (empty = zipf)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -73,6 +78,14 @@ func main() {
 	if *serveBench {
 		if err := runServeBench(*serveQ); err != nil {
 			fmt.Fprintf(os.Stderr, "topkbench: serve-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *clusterOn {
+		if err := runClusterBench(*clusterN, *clusterQ, *clusterC, *clusterD); err != nil {
+			fmt.Fprintf(os.Stderr, "topkbench: cluster: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -177,6 +190,31 @@ func runServeBench(queries int) error {
 		elapsed := time.Since(start)
 		fmt.Printf("%-22s %10.0f queries/s   (%s/query)\n",
 			c.name, float64(queries)/elapsed.Seconds(), elapsed/time.Duration(queries))
+	}
+	return nil
+}
+
+// runClusterBench drives the BENCH_cluster.json workload at 1, 2, and 3
+// shards and reports aggregate throughput plus the node-side entry counts
+// (billed accesses + coordinator prefetch overshoot). The 1-shard row is
+// the single-node baseline the >=2x cluster gate compares against.
+func runClusterBench(n, queries int, accessCost time.Duration, dist string) error {
+	fmt.Println("cluster scatter-gather throughput (throttled source nodes; see BENCH_cluster.json)")
+	var baseline float64
+	for _, shards := range []int{1, 2, 3} {
+		res, err := bench.RunClusterLoad(bench.ClusterLoad{
+			N: n, Queries: queries, AccessCost: accessCost, Dist: dist, Shards: shards,
+		})
+		if err != nil {
+			return err
+		}
+		speedup := 1.0
+		if shards == 1 {
+			baseline = res.QueriesPerSec
+		} else if baseline > 0 {
+			speedup = res.QueriesPerSec / baseline
+		}
+		fmt.Printf("%-9s %s   speedup=%.2fx\n", fmt.Sprintf("shards=%d", shards), res, speedup)
 	}
 	return nil
 }

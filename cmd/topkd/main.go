@@ -13,20 +13,36 @@
 //	curl -s localhost:8080/meta
 //	curl -s -X POST localhost:8080/query -d '{"sql":
 //	  "select name from db order by min(rating, closeness) stop after 5"}'
+//
+// The same binary also runs as one node of a shard cluster. A shard node
+// serves its consistent-hash slice of the database over the websim source
+// protocol (deterministic: every node partitions the same dataset flags
+// the same way); a coordinator node fronts the shard nodes as one
+// scatter-gather database behind the ordinary query API:
+//
+//	topkd -dist skewed -n 100000 -shards 3 -shard 0 -addr :9090
+//	topkd -dist skewed -n 100000 -shards 3 -shard 1 -addr :9091
+//	topkd -dist skewed -n 100000 -shards 3 -shard 2 -addr :9092
+//	topkd -coordinator http://127.0.0.1:9090,http://127.0.0.1:9091,http://127.0.0.1:9092 \
+//	      -m 2 -addr :8080
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	topk "repro"
 	"repro/internal/access"
+	"repro/internal/cluster"
 	"repro/internal/data"
 	"repro/internal/service"
+	"repro/internal/websim"
 )
 
 func main() {
@@ -65,50 +81,70 @@ func run() error {
 
 		adaptive = flag.Int("adaptive", 0, "re-plan queries mid-flight when sources diverge from the plan's statistics, checkpointing every this many accesses (0 disables)")
 		guardOn  = flag.Bool("contract-guard", false, "vet every source response against the access contract; lying sources are quarantined via the circuit breakers (topk_contract_violations_total in /metrics)")
+
+		shardIdx    = flag.Int("shard", -1, "serve one shard of the database over the websim source protocol: this node's index in [0,-shards)")
+		shardCount  = flag.Int("shards", 0, "total shard count for -shard mode (every node must build the database from identical flags)")
+		coordinator = flag.String("coordinator", "", "comma-separated shard base URLs: front them as one scatter-gather database (-m sets the predicate count; no local database flags apply)")
 	)
 	flag.Parse()
 
 	var (
 		ds      *data.Dataset
+		coord   *cluster.Coordinator
 		columns []string
 		err     error
 	)
-	switch {
-	case *dataFile != "":
-		f, err := os.Open(*dataFile)
+	if *coordinator != "" {
+		coord, err = dialCluster(*coordinator, *m)
 		if err != nil {
 			return err
 		}
-		ds, err = data.ReadJSON(f)
-		f.Close()
-		if err != nil {
-			return err
+		columns = genericColumns(*m)
+	} else {
+		switch {
+		case *dataFile != "":
+			f, err := os.Open(*dataFile)
+			if err != nil {
+				return err
+			}
+			ds, err = data.ReadJSON(f)
+			f.Close()
+			if err != nil {
+				return err
+			}
+			columns = genericColumns(ds.M())
+		case *benchQ == "q1":
+			q, _, err := data.Restaurants(*n, *seed)
+			if err != nil {
+				return err
+			}
+			ds, columns = q.Dataset, q.PredicateNames
+		case *benchQ == "q2":
+			q, _, err := data.Hotels(*n, *seed)
+			if err != nil {
+				return err
+			}
+			ds, columns = q.Dataset, q.PredicateNames
+		case *dist != "":
+			d, derr := data.DistributionByName(*dist)
+			if derr != nil {
+				return derr
+			}
+			ds, err = data.Generate(d, *n, *m, *seed)
+			if err != nil {
+				return err
+			}
+			columns = genericColumns(ds.M())
+		default:
+			return fmt.Errorf("choose a database: -bench, -dist, or -data")
 		}
-		columns = genericColumns(ds.M())
-	case *benchQ == "q1":
-		q, _, err := data.Restaurants(*n, *seed)
-		if err != nil {
-			return err
+	}
+
+	if *shardCount > 0 || *shardIdx >= 0 {
+		if coord != nil {
+			return fmt.Errorf("-shard/-shards and -coordinator are different roles; pick one")
 		}
-		ds, columns = q.Dataset, q.PredicateNames
-	case *benchQ == "q2":
-		q, _, err := data.Hotels(*n, *seed)
-		if err != nil {
-			return err
-		}
-		ds, columns = q.Dataset, q.PredicateNames
-	case *dist != "":
-		d, derr := data.DistributionByName(*dist)
-		if derr != nil {
-			return derr
-		}
-		ds, err = data.Generate(d, *n, *m, *seed)
-		if err != nil {
-			return err
-		}
-		columns = genericColumns(ds.M())
-	default:
-		return fmt.Errorf("choose a database: -bench, -dist, or -data")
+		return serveShard(*addr, ds, *shardIdx, *shardCount)
 	}
 
 	var scn access.Scenario
@@ -123,16 +159,23 @@ func run() error {
 			return err
 		}
 	} else {
-		scn = access.Uniform(ds.M(), *cs, *cr)
+		scn = access.Uniform(len(columns), *cs, *cr)
 	}
 
+	var health topk.Backend
+	if coord != nil {
+		health = coord
+	} else {
+		health = topk.DataBackend(ds)
+	}
 	h, err := service.NewHandler(service.Config{
 		Dataset:            ds,
+		Cluster:            coord,
 		Columns:            columns,
 		Scenario:           scn,
 		SlowQueryThreshold: *slowQ,
 		EnablePprof:        *pprofOn,
-		HealthBackend:      topk.DataBackend(ds),
+		HealthBackend:      health,
 		QueryTimeout:       *queryTimeout,
 		MaxInflight:        *maxInflight,
 		AccessTimeout:      *accessTimeout,
@@ -147,9 +190,64 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	log.Printf("topkd: serving %s (%d objects, predicates %v) under scenario %q on %s (metrics on /metrics, pprof=%v, share=%v)",
-		ds.Name(), ds.N(), columns, scn.Name, *addr, *pprofOn, *shareOn)
+	if coord != nil {
+		log.Printf("topkd: coordinating %d shards (%d objects, predicates %v) under scenario %q on %s (metrics on /metrics, share=%v)",
+			coord.Shards(), coord.N(), columns, scn.Name, *addr, *shareOn)
+	} else {
+		log.Printf("topkd: serving %s (%d objects, predicates %v) under scenario %q on %s (metrics on /metrics, pprof=%v, share=%v)",
+			ds.Name(), ds.N(), columns, scn.Name, *addr, *pprofOn, *shareOn)
+	}
 	return http.ListenAndServe(*addr, h)
+}
+
+// dialCluster connects to every shard node in the comma-separated URL
+// list and fronts them with a scatter-gather coordinator.
+func dialCluster(urls string, m int) (*cluster.Coordinator, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	var shards []cluster.Shard
+	for _, u := range strings.Split(urls, ",") {
+		u = strings.TrimSpace(u)
+		if u == "" {
+			continue
+		}
+		rs, err := cluster.DialShard(ctx, u, m, http.DefaultClient)
+		if err != nil {
+			return nil, fmt.Errorf("dialing shard %s: %w", u, err)
+		}
+		shards = append(shards, rs)
+	}
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("-coordinator lists no shard URLs")
+	}
+	return cluster.New(shards, cluster.Options{})
+}
+
+// serveShard partitions the database the same way every peer node does
+// (consistent hashing is deterministic in the shard count) and serves this
+// node's slice over the websim source protocol for a coordinator to dial.
+func serveShard(addr string, ds *data.Dataset, idx, count int) error {
+	if count < 1 {
+		return fmt.Errorf("-shard requires -shards >= 1")
+	}
+	if idx < 0 || idx >= count {
+		return fmt.Errorf("-shard index %d outside [0,%d)", idx, count)
+	}
+	parts, err := cluster.Partition(ds, count)
+	if err != nil {
+		return err
+	}
+	sd := parts[idx]
+	if sd.LocalN() == 0 {
+		return fmt.Errorf("shard %d of %d owns no objects of %s; use fewer shards", idx, count, ds.Name())
+	}
+	srv, err := websim.NewServer(sd.Local, websim.WithShardObjects(sd.Global, ds.N()))
+	if err != nil {
+		return err
+	}
+	log.Printf("topkd: serving shard %d/%d of %s (%d of %d objects) on %s",
+		idx, count, ds.Name(), sd.LocalN(), ds.N(), addr)
+	return http.ListenAndServe(addr, srv)
 }
 
 func genericColumns(m int) []string {

@@ -96,6 +96,11 @@ func NewGuard(inner access.Backend, opts ...GuardOption) *Guard {
 	return g
 }
 
+// Backend returns the wrapped backend, so callers can unwrap the guard
+// when probing for optional capabilities (e.g. distributed-membership
+// fingerprints) the guard forwards no interface for.
+func (g *Guard) Backend() access.Backend { return g.inner }
+
 // N returns the object count.
 func (g *Guard) N() int { return g.inner.N() }
 

@@ -1,0 +1,116 @@
+package bench
+
+// BenchmarkCluster prices the scatter-gather deployment against the
+// single-node baseline on the BENCH_cluster.json workload: zipf n=1e6 m=3,
+// a fixed NC plan, 12 identical queries from 16 concurrent clients, nodes
+// throttled at 30us of serial service per entry. ns/op is reported as
+// wall-clock per query so the committed baseline reads directly as query
+// latency under load. TestClusterGate enforces the headline contract — a
+// 3-shard cluster must serve at least min_speedup_3_shards times the
+// single node's throughput — over one shared dataset build.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/data"
+)
+
+// clusterDataset builds the committed workload's dataset once per process:
+// at n=10^6 the generate-and-sort cost dwarfs a single deployment run.
+var clusterDataset *data.Dataset
+
+func clusterWorkloadDataset(tb testing.TB) *data.Dataset {
+	tb.Helper()
+	if clusterDataset == nil {
+		cfg := ClusterLoad{}.withDefaults()
+		dist, err := data.DistributionByName(cfg.Dist)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		ds, err := data.Generate(dist, cfg.N, cfg.M, cfg.Seed)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		clusterDataset = ds
+	}
+	return clusterDataset
+}
+
+func BenchmarkCluster(b *testing.B) {
+	ds := clusterWorkloadDataset(b)
+	for _, shards := range []int{1, 2, 3} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			var last ClusterLoadResult
+			for i := 0; i < b.N; i++ {
+				res, err := runClusterLoad(ClusterLoad{Shards: shards}, ds)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			// Report per-query wall clock, not per-iteration: one
+			// iteration is a whole 12-query deployment run and the
+			// committed baseline (and benchtrend) track query latency.
+			b.ReportMetric(float64(last.Elapsed.Nanoseconds())/float64(last.Queries), "ns/op")
+			b.ReportMetric(last.QueriesPerSec, "queries/s")
+			b.ReportMetric(last.EntriesPerQuery, "entries/query")
+		})
+	}
+}
+
+type clusterBaseline struct {
+	Gate struct {
+		MinSpeedup3 float64 `json:"min_speedup_3_shards"`
+	} `json:"gate"`
+}
+
+// TestClusterGate is the distributed-throughput gate: sharding the sources
+// three ways must at least double aggregate throughput on the committed
+// workload. The measured single-core figure is ~2.3x (multi-core runners
+// sit closer to the 3x capacity ratio), so the 2x floor absorbs scheduler
+// noise without ever letting scatter-gather regress to parity.
+func TestClusterGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster gate runs a full n=1e6 throughput measurement")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation inflates client CPU and skews the throughput ratio")
+	}
+	raw, err := os.ReadFile("../../BENCH_cluster.json")
+	if err != nil {
+		t.Fatalf("committed baseline missing: %v", err)
+	}
+	var cb clusterBaseline
+	if err := json.Unmarshal(raw, &cb); err != nil {
+		t.Fatalf("BENCH_cluster.json unparseable: %v", err)
+	}
+	if cb.Gate.MinSpeedup3 == 0 {
+		t.Fatal("BENCH_cluster.json gate values incomplete")
+	}
+
+	ds := clusterWorkloadDataset(t)
+	single, err := runClusterLoad(ClusterLoad{Shards: 1}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := runClusterLoad(ClusterLoad{Shards: 3}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := sharded.QueriesPerSec / single.QueriesPerSec
+	t.Logf("single: %s", single)
+	t.Logf("3-shard: %s (speedup %.2fx)", sharded, speedup)
+	if speedup < cb.Gate.MinSpeedup3 {
+		t.Errorf("3-shard speedup %.2fx below the %.1fx gate", speedup, cb.Gate.MinSpeedup3)
+	}
+	// The footprint guard: scatter-gather must not inflate the bill. The
+	// coordinator's prefetch overshoot is ~0.1% measured; 5% is already a
+	// design break.
+	if sharded.EntriesPerQuery > single.EntriesPerQuery*1.05 {
+		t.Errorf("3-shard serves %.0f entries/query vs %.0f single-node: prefetch overshoot out of bounds",
+			sharded.EntriesPerQuery, single.EntriesPerQuery)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports that this binary was built with the race detector:
+// wall-clock throughput gates skip, since instrumented client CPU skews
+// the very ratio they enforce.
+const raceEnabled = true

@@ -1,0 +1,644 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// ErrShardDown marks an access refused because the owning shard is
+// fenced: it failed FailureThreshold consecutive accesses and its
+// cooldown has not elapsed. The error reaches the engine as an ordinary
+// access failure, so the session's resilience machinery (breakers →
+// scenario change → re-plan/degrade) absorbs a lost shard exactly like a
+// lost source — the answer degrades honestly instead of silently
+// dropping the shard's objects.
+var ErrShardDown = errors.New("cluster: shard down")
+
+// Options tunes a Coordinator.
+type Options struct {
+	// Prefetch is the page size of each per-shard sorted cursor: how many
+	// entries one shard round trip pulls ahead of the merge frontier.
+	// Defaults to 16.
+	Prefetch int
+	// FailureThreshold is how many consecutive failed accesses fence a
+	// shard. Defaults to 3.
+	FailureThreshold int
+	// Cooldown is how long a fenced shard stays fenced before a single
+	// half-open probe is let through. Defaults to 1s.
+	Cooldown time.Duration
+	// Metrics, when set, registers the topk_cluster_* series on the
+	// registry and mirrors the coordinator's counters into them.
+	Metrics *obs.Registry
+}
+
+// Coordinator presents a set of shards as one access.Backend in global
+// object ids. Sorted accesses are served from per-predicate k-way merges
+// of the shard streams (lazy: shard cursors advance only when the merge
+// frontier consumes them, pulling Prefetch entries per round trip);
+// random and batched probes route to the owning shard via the same ring
+// that partitioned the data. All methods are safe for concurrent use.
+type Coordinator struct {
+	shards    []Shard
+	ring      *Ring
+	n, m      int
+	prefetch  int
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	health []shardHealth
+	epoch  atomic.Uint64
+	up     atomic.Int64
+
+	merges []mergeState
+
+	stats   stats
+	metrics *clusterMetrics
+}
+
+// shardHealth is one shard's failure-fencing state. The healthy flag is
+// the lock-free fast path: while it holds, allow and success recording
+// are one atomic load each.
+type shardHealth struct {
+	healthy atomic.Bool
+
+	mu        sync.Mutex
+	fails     int
+	down      bool
+	downSince time.Time
+	probing   bool
+}
+
+// mergeState is one predicate's scatter-gather merge: the globally
+// sorted prefix materialized so far, one cursor head per shard, and the
+// singleflight slot serializing frontier extension. merged is append-only
+// under mu; heads are owned exclusively by the pending driver.
+type mergeState struct {
+	mu      sync.Mutex
+	merged  []Entry
+	heads   []headState
+	pending *mergeFetch
+	bound   atomic.Uint64 // float64 bits of the unseen-score bound
+}
+
+// headState is one shard's cursor into its local sorted stream for one
+// predicate: the current prefetched page, the consume position within
+// it, and the next local rank to fetch. last carries ℓ_i, the score of
+// the most recently seen entry — the shard's contribution to the global
+// unseen-score bound while its page is dry.
+type headState struct {
+	buf  []Entry
+	pos  int
+	next int
+	last float64
+	eof  bool
+}
+
+// mergeFetch is the singleflight handle a frontier-extending driver
+// publishes; waiters block on done and re-check the merged prefix.
+type mergeFetch struct {
+	done chan struct{}
+	err  error
+}
+
+// New builds a coordinator over the shards. Every shard must agree on
+// the global object and predicate counts, and the local slices must add
+// up to the whole dataset.
+func New(shards []Shard, opts Options) (*Coordinator, error) {
+	if len(shards) == 0 {
+		return nil, errors.New("cluster: coordinator requires at least one shard")
+	}
+	ring, err := NewRing(len(shards))
+	if err != nil {
+		return nil, err
+	}
+	n, m := shards[0].N(), shards[0].M()
+	sum := 0
+	for i, sh := range shards {
+		if sh.N() != n || sh.M() != m {
+			return nil, fmt.Errorf("cluster: shard %d reports %dx%d, shard 0 reports %dx%d", i, sh.N(), sh.M(), n, m)
+		}
+		sum += sh.LocalN()
+	}
+	if sum != n {
+		return nil, fmt.Errorf("cluster: shard slices hold %d objects, dataset has %d", sum, n)
+	}
+	c := &Coordinator{
+		shards:    shards,
+		ring:      ring,
+		n:         n,
+		m:         m,
+		prefetch:  opts.Prefetch,
+		threshold: opts.FailureThreshold,
+		cooldown:  opts.Cooldown,
+		now:       time.Now,
+		health:    make([]shardHealth, len(shards)),
+		merges:    make([]mergeState, m),
+	}
+	if c.prefetch <= 0 {
+		c.prefetch = 16
+	}
+	if c.threshold <= 0 {
+		c.threshold = 3
+	}
+	if c.cooldown <= 0 {
+		c.cooldown = time.Second
+	}
+	for i := range c.health {
+		c.health[i].healthy.Store(true)
+	}
+	c.up.Store(int64(len(shards)))
+	one := math.Float64bits(1)
+	for p := range c.merges {
+		ms := &c.merges[p]
+		ms.heads = make([]headState, len(shards))
+		for i := range ms.heads {
+			ms.heads[i].last = 1
+		}
+		ms.bound.Store(one)
+	}
+	if opts.Metrics != nil {
+		c.metrics = newClusterMetrics(opts.Metrics)
+		c.metrics.shardsUp.Set(int64(len(shards)))
+	}
+	return c, nil
+}
+
+// N returns the global object count.
+func (c *Coordinator) N() int { return c.n }
+
+// M returns the predicate count.
+func (c *Coordinator) M() int { return c.m }
+
+// Shards returns the shard count.
+func (c *Coordinator) Shards() int { return len(c.shards) }
+
+// Sorted implements access.Backend over the cluster: ranks inside the
+// merged prefix are served without touching a shard (zero allocations);
+// a rank at the frontier drives (or waits on) one scatter-gather round
+// extending the merge, shared by every query needing it.
+//
+//topklint:hotpath
+func (c *Coordinator) Sorted(ctx context.Context, pred, rank int) (int, float64, error) {
+	if pred < 0 || pred >= c.m {
+		return 0, 0, fmt.Errorf("cluster: predicate %d out of range [0,%d)", pred, c.m)
+	}
+	if rank < 0 || rank >= c.n {
+		return 0, 0, fmt.Errorf("cluster: rank %d out of range [0,%d)", rank, c.n)
+	}
+	ms := &c.merges[pred]
+	for {
+		ms.mu.Lock()
+		if rank < len(ms.merged) {
+			e := ms.merged[rank]
+			ms.mu.Unlock()
+			c.count(&c.stats.mergeHits, metricClusterMergeHits)
+			return e.Obj, e.Score, nil
+		}
+		if f := ms.pending; f != nil {
+			ms.mu.Unlock()
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return 0, 0, ctx.Err()
+			}
+			// Re-check: the fetch may have covered our rank, erred, or
+			// stopped short — in the latter cases this caller drives its
+			// own round and reports its own error.
+			continue
+		}
+		//topklint:allow hotpathalloc frontier miss pays a shard round trip; one fetch handle is noise against it
+		f := &mergeFetch{done: make(chan struct{})}
+		ms.pending = f
+		ms.mu.Unlock()
+		err := c.advance(ctx, pred, ms, rank)
+		ms.mu.Lock()
+		ms.pending = nil
+		ms.mu.Unlock()
+		f.err = err
+		close(f.done)
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+}
+
+// advance extends pred's merged prefix through rank: refill dry shard
+// cursors (concurrently when several are dry), then pop the maximum head
+// into the prefix until the rank is covered. Only the singleflight
+// driver runs here, so heads need no locking; merged is appended under
+// the merge mutex because readers scan it concurrently.
+func (c *Coordinator) advance(ctx context.Context, pred int, ms *mergeState, rank int) error {
+	for {
+		var needs []int
+		for i := range ms.heads {
+			h := &ms.heads[i]
+			if !h.eof && h.pos == len(h.buf) {
+				needs = append(needs, i)
+			}
+		}
+		if len(needs) > 0 {
+			if err := c.refill(ctx, pred, ms, needs); err != nil {
+				return err
+			}
+		}
+		done, err := c.pop(ms, rank)
+		if err != nil || done {
+			return err
+		}
+	}
+}
+
+// refill pulls the next page for each listed shard cursor, fanning out
+// concurrently when more than one is dry.
+func (c *Coordinator) refill(ctx context.Context, pred int, ms *mergeState, needs []int) error {
+	if len(needs) == 1 {
+		return c.fill(ctx, pred, ms, needs[0])
+	}
+	errs := make([]error, len(needs))
+	var wg sync.WaitGroup
+	for j, i := range needs {
+		wg.Add(1)
+		go func(j, i int) {
+			defer wg.Done()
+			errs[j] = c.fill(ctx, pred, ms, i)
+		}(j, i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fill fetches shard i's next page of pred's local sorted stream into
+// its cursor head. Entries fetched before a mid-page failure are kept —
+// they were paid for — and the cursor resumes after them on retry.
+func (c *Coordinator) fill(ctx context.Context, pred int, ms *mergeState, i int) error {
+	h := &ms.heads[i]
+	sh := c.shards[i]
+	remaining := sh.LocalN() - h.next
+	if remaining <= 0 {
+		h.eof = true
+		return nil
+	}
+	if !c.allow(i) {
+		return fmt.Errorf("%w: shard %d fenced, sorted stream for p%d unavailable", ErrShardDown, i, pred)
+	}
+	count := c.prefetch
+	if count > remaining {
+		count = remaining
+	}
+	if h.buf == nil {
+		h.buf = make([]Entry, 0, c.prefetch)
+	}
+	h.buf = h.buf[:0]
+	h.pos = 0
+	var err error
+	if pager, ok := sh.(PageBackend); ok {
+		var page []Entry
+		page, err = pager.SortedPage(ctx, pred, h.next, count)
+		if err == nil {
+			h.buf = append(h.buf, page...)
+		}
+	} else {
+		// No page capability (e.g. a fault-injected shard): pull entry by
+		// entry so every prefetched row passes the wrapper's gate.
+		for j := 0; j < count; j++ {
+			var obj int
+			var score float64
+			obj, score, err = sh.Sorted(ctx, pred, h.next+j)
+			if err != nil {
+				break
+			}
+			h.buf = append(h.buf, Entry{Obj: obj, Score: score})
+		}
+	}
+	h.next += len(h.buf)
+	if len(h.buf) > 0 {
+		h.last = h.buf[len(h.buf)-1].Score
+		c.count(&c.stats.shardFetches, metricClusterShardFetches)
+		c.stats.fetchedEntries.Add(uint64(len(h.buf)))
+		if c.metrics != nil {
+			c.metrics.counters[metricClusterFetchedEntries].Add(int64(len(h.buf)))
+		}
+	}
+	if err != nil {
+		// Mirror the session's failAccess rule: a caller-cancelled access
+		// says nothing about the shard's health.
+		if ctx.Err() == nil {
+			c.recordFailure(i)
+		}
+		return fmt.Errorf("cluster: shard %d sorted p%d rank %d: %w", i, pred, h.next, err)
+	}
+	if h.next == sh.LocalN() {
+		h.eof = true
+	}
+	c.recordSuccess(i)
+	return nil
+}
+
+// pop merges available heads into the prefix until rank is covered
+// (done), a dry non-eof head blocks further popping (needs a refill), or
+// every stream is exhausted.
+//
+//topklint:hotpath
+func (c *Coordinator) pop(ms *mergeState, rank int) (bool, error) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	defer c.updateBound(ms)
+	for len(ms.merged) <= rank {
+		best := -1
+		for i := range ms.heads {
+			h := &ms.heads[i]
+			if h.pos < len(h.buf) {
+				if best < 0 || entryLess(ms.heads[best].buf[ms.heads[best].pos], h.buf[h.pos]) {
+					best = i
+				}
+			} else if !h.eof {
+				// A dry head might hold the true maximum: stop and refill
+				// before committing any more rows.
+				return false, nil
+			}
+		}
+		if best < 0 {
+			return false, fmt.Errorf("cluster: merge exhausted at rank %d of %d", len(ms.merged), c.n)
+		}
+		h := &ms.heads[best]
+		ms.merged = append(ms.merged, h.buf[h.pos])
+		h.pos++
+		c.count(&c.stats.mergedRows, metricClusterMergedRows)
+	}
+	return true, nil
+}
+
+// entryLess orders merge candidates: a loses to b when b scores higher,
+// or ties with a higher global id — the same tie-break as a single-node
+// sorted list, which is what makes the merged stream byte-identical.
+//
+//topklint:hotpath
+func entryLess(a, b Entry) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.Obj < b.Obj
+}
+
+// updateBound recomputes pred's unseen-score bound: the maximum over
+// shards of the next entry each could still contribute — the page head
+// when one is buffered, else ℓ_i, the last score seen from that shard.
+// Rows at ranks beyond the merged prefix are guaranteed to score at or
+// below this bound, which is what lets NRA-style consumers stop before
+// draining the shard streams.
+//
+//topklint:hotpath
+func (c *Coordinator) updateBound(ms *mergeState) {
+	bound := 0.0
+	for i := range ms.heads {
+		h := &ms.heads[i]
+		switch {
+		case h.pos < len(h.buf):
+			if s := h.buf[h.pos].Score; s > bound {
+				bound = s
+			}
+		case !h.eof:
+			if h.last > bound {
+				bound = h.last
+			}
+		}
+	}
+	ms.bound.Store(math.Float64bits(bound))
+}
+
+// UnseenBound returns the current global upper bound on any score not
+// yet surfaced by pred's merged stream.
+func (c *Coordinator) UnseenBound(pred int) float64 {
+	return math.Float64frombits(c.merges[pred].bound.Load())
+}
+
+// Random implements access.Backend: the probe routes to the shard owning
+// the object on the same ring that partitioned the data.
+//
+//topklint:hotpath
+func (c *Coordinator) Random(ctx context.Context, pred, obj int) (float64, error) {
+	if obj < 0 || obj >= c.n {
+		return 0, fmt.Errorf("cluster: object %d out of range [0,%d)", obj, c.n)
+	}
+	i := c.ring.Owner(obj)
+	if !c.allow(i) {
+		return 0, fmt.Errorf("%w: shard %d fenced, probe for object %d refused", ErrShardDown, i, obj)
+	}
+	score, err := c.shards[i].Random(ctx, pred, obj)
+	if err != nil {
+		if ctx.Err() == nil {
+			c.recordFailure(i)
+		}
+		return 0, fmt.Errorf("cluster: shard %d random p%d obj %d: %w", i, pred, obj, err)
+	}
+	c.recordSuccess(i)
+	c.count(&c.stats.randomRouted, metricClusterRandomRouted)
+	return score, nil
+}
+
+// batchBackend is the optional batch capability a shard may offer
+// (structurally share.BatchBackend, redeclared to keep the dependency
+// arrow pointing share → cluster only if ever needed, not both ways).
+type batchBackend interface {
+	BatchRandom(ctx context.Context, preds, objs []int) ([]float64, error)
+}
+
+// BatchRandom implements share.BatchBackend over the cluster: probes
+// group by owning shard (group commit per shard), the groups fan out
+// concurrently, and each shard serves its group in one round trip when
+// it speaks batch, else probe by probe. The batch fails as a unit, like
+// a single backend's BatchRandom.
+func (c *Coordinator) BatchRandom(ctx context.Context, preds, objs []int) ([]float64, error) {
+	if len(preds) != len(objs) {
+		return nil, fmt.Errorf("cluster: batch has %d predicates but %d objects", len(preds), len(objs))
+	}
+	if len(preds) == 0 {
+		return []float64{}, nil
+	}
+	owners := make([]int, len(objs))
+	counts := make([]int, len(c.shards))
+	for j, obj := range objs {
+		if obj < 0 || obj >= c.n {
+			return nil, fmt.Errorf("cluster: object %d out of range [0,%d)", obj, c.n)
+		}
+		o := c.ring.Owner(obj)
+		owners[j] = o
+		counts[o]++
+	}
+	out := make([]float64, len(preds))
+	var wg sync.WaitGroup
+	errs := make([]error, len(c.shards))
+	groups := 0
+	for s := range c.shards {
+		if counts[s] == 0 {
+			continue
+		}
+		groups++
+		idx := make([]int, 0, counts[s])
+		for j := range objs {
+			if owners[j] == s {
+				idx = append(idx, j)
+			}
+		}
+		wg.Add(1)
+		go func(s int, idx []int) {
+			defer wg.Done()
+			errs[s] = c.shardBatch(ctx, s, preds, objs, idx, out)
+		}(s, idx)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	c.stats.batchGroups.Add(uint64(groups))
+	if c.metrics != nil {
+		c.metrics.counters[metricClusterBatchGroups].Add(int64(groups))
+	}
+	return out, nil
+}
+
+// shardBatch serves one shard's slice of a batched probe set, writing
+// scores into the shared result at their original positions.
+func (c *Coordinator) shardBatch(ctx context.Context, s int, preds, objs, idx []int, out []float64) error {
+	if !c.allow(s) {
+		return fmt.Errorf("%w: shard %d fenced, batched probes refused", ErrShardDown, s)
+	}
+	sh := c.shards[s]
+	if bb, ok := sh.(batchBackend); ok {
+		sp := make([]int, len(idx))
+		so := make([]int, len(idx))
+		for j, orig := range idx {
+			sp[j] = preds[orig]
+			so[j] = objs[orig]
+		}
+		scores, err := bb.BatchRandom(ctx, sp, so)
+		if err != nil {
+			if ctx.Err() == nil {
+				c.recordFailure(s)
+			}
+			return fmt.Errorf("cluster: shard %d batch of %d probes: %w", s, len(idx), err)
+		}
+		for j, orig := range idx {
+			out[orig] = scores[j]
+		}
+	} else {
+		for _, orig := range idx {
+			score, err := sh.Random(ctx, preds[orig], objs[orig])
+			if err != nil {
+				if ctx.Err() == nil {
+					c.recordFailure(s)
+				}
+				return fmt.Errorf("cluster: shard %d random p%d obj %d: %w", s, preds[orig], objs[orig], err)
+			}
+			out[orig] = score
+		}
+	}
+	c.recordSuccess(s)
+	return nil
+}
+
+// allow reports whether shard i may be accessed: healthy shards always,
+// fenced shards only as a single half-open probe after the cooldown.
+func (c *Coordinator) allow(i int) bool {
+	h := &c.health[i]
+	if h.healthy.Load() {
+		return true
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.down {
+		// Failures below the threshold never fence the shard.
+		return true
+	}
+	if h.probing || c.now().Sub(h.downSince) < c.cooldown {
+		return false
+	}
+	h.probing = true
+	return true
+}
+
+// recordSuccess clears shard i's failure state; a fenced shard coming
+// back bumps the membership epoch so cached plans re-key.
+func (c *Coordinator) recordSuccess(i int) {
+	h := &c.health[i]
+	if h.healthy.Load() {
+		return
+	}
+	h.mu.Lock()
+	wasDown := h.down
+	h.fails = 0
+	h.down = false
+	h.probing = false
+	h.healthy.Store(true)
+	h.mu.Unlock()
+	if wasDown {
+		c.epoch.Add(1)
+		c.up.Add(1)
+		if c.metrics != nil {
+			c.metrics.shardsUp.Add(1)
+		}
+	}
+}
+
+// recordFailure counts one failed access against shard i, fencing it at
+// the threshold (and restarting the cooldown while it stays fenced).
+func (c *Coordinator) recordFailure(i int) {
+	c.count(&c.stats.shardFailures, metricClusterShardFailures)
+	h := &c.health[i]
+	h.mu.Lock()
+	h.healthy.Store(false)
+	h.fails++
+	h.probing = false
+	wentDown := false
+	if h.down {
+		h.downSince = c.now()
+	} else if h.fails >= c.threshold {
+		h.down = true
+		h.downSince = c.now()
+		wentDown = true
+	}
+	h.mu.Unlock()
+	if wentDown {
+		c.epoch.Add(1)
+		c.up.Add(-1)
+		if c.metrics != nil {
+			c.metrics.shardsUp.Add(-1)
+		}
+	}
+}
+
+// MembershipKey fingerprints the cluster's live membership: the epoch
+// (bumped on every fence and recovery) plus the up/down mask. The
+// optimizer folds it into the plan-cache key so plans chosen against one
+// membership are never replayed against another.
+func (c *Coordinator) MembershipKey() string {
+	var mask strings.Builder
+	for i := range c.health {
+		h := &c.health[i]
+		h.mu.Lock()
+		down := h.down
+		h.mu.Unlock()
+		if down {
+			mask.WriteByte('0')
+		} else {
+			mask.WriteByte('1')
+		}
+	}
+	return fmt.Sprintf("e%d:%s", c.epoch.Load(), mask.String())
+}

@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// Stats is a point-in-time snapshot of a coordinator's scatter-gather
+// activity. MergeHits count sorted accesses served from the merged
+// prefix without a shard round trip; ShardFetches/FetchedEntries count
+// the cursor pages that extended it. Ledgers are unaffected by any of
+// this: queries are billed for the accesses they request, not for what
+// the coordinator fans out.
+type Stats struct {
+	// Shards is the cluster size; ShardsUp how many are currently
+	// unfenced; Epoch the membership epoch (bumped on every fence and
+	// recovery).
+	Shards, ShardsUp int
+	Epoch            uint64
+	// MergedRows counts entries appended to merge prefixes; MergeHits
+	// sorted accesses served from an already-merged prefix.
+	MergedRows, MergeHits uint64
+	// ShardFetches counts shard cursor page fetches; FetchedEntries the
+	// entries they carried.
+	ShardFetches, FetchedEntries uint64
+	// RandomRouted counts probes routed to their owning shard;
+	// BatchGroups the per-shard groups batched probes fanned out into.
+	RandomRouted, BatchGroups uint64
+	// ShardFailures counts failed shard accesses (before fencing turns
+	// further attempts away).
+	ShardFailures uint64
+}
+
+// stats holds the coordinator's internal counters.
+type stats struct {
+	mergedRows, mergeHits        atomic.Uint64
+	shardFetches, fetchedEntries atomic.Uint64
+	randomRouted, batchGroups    atomic.Uint64
+	shardFailures                atomic.Uint64
+}
+
+// Stats snapshots the counters and membership state.
+func (c *Coordinator) Stats() Stats {
+	return Stats{
+		Shards:         len(c.shards),
+		ShardsUp:       int(c.up.Load()),
+		Epoch:          c.epoch.Load(),
+		MergedRows:     c.stats.mergedRows.Load(),
+		MergeHits:      c.stats.mergeHits.Load(),
+		ShardFetches:   c.stats.shardFetches.Load(),
+		FetchedEntries: c.stats.fetchedEntries.Load(),
+		RandomRouted:   c.stats.randomRouted.Load(),
+		BatchGroups:    c.stats.batchGroups.Load(),
+		ShardFailures:  c.stats.shardFailures.Load(),
+	}
+}
+
+// Metric indices into clusterMetrics.counters, so the hot path's mirror
+// increment is an array index away from the internal counter.
+const (
+	metricClusterMergedRows = iota
+	metricClusterMergeHits
+	metricClusterShardFetches
+	metricClusterFetchedEntries
+	metricClusterRandomRouted
+	metricClusterBatchGroups
+	metricClusterShardFailures
+	numClusterMetrics
+)
+
+// clusterMetrics mirrors the coordinator's counters into an obs.Registry
+// under the topk_cluster_* names; every series is registered up front so
+// hot-path delivery is one atomic increment.
+type clusterMetrics struct {
+	counters [numClusterMetrics]*obs.Counter
+	shardsUp *obs.Gauge
+}
+
+func newClusterMetrics(reg *obs.Registry) *clusterMetrics {
+	m := &clusterMetrics{}
+	m.counters[metricClusterMergedRows] = reg.Counter("topk_cluster_merged_rows_total", "Rows appended to coordinator merge prefixes.")
+	m.counters[metricClusterMergeHits] = reg.Counter("topk_cluster_merge_hits_total", "Sorted accesses served from an already-merged prefix.")
+	m.counters[metricClusterShardFetches] = reg.Counter("topk_cluster_shard_fetches_total", "Shard cursor page fetches.")
+	m.counters[metricClusterFetchedEntries] = reg.Counter("topk_cluster_fetched_entries_total", "Entries prefetched from shard sorted streams.")
+	m.counters[metricClusterRandomRouted] = reg.Counter("topk_cluster_random_routed_total", "Random probes routed to their owning shard.")
+	m.counters[metricClusterBatchGroups] = reg.Counter("topk_cluster_batch_groups_total", "Per-shard groups fanned out by batched probes.")
+	m.counters[metricClusterShardFailures] = reg.Counter("topk_cluster_shard_failures_total", "Shard accesses that failed.")
+	m.shardsUp = reg.Gauge("topk_cluster_shards_up", "Shards currently unfenced.")
+	return m
+}
+
+// AttachMetrics mirrors the coordinator's counters into reg under the
+// topk_cluster_* names and publishes the shards-up gauge. Call it once,
+// before the coordinator serves traffic: the hot path reads the metrics
+// pointer without synchronization, so attaching mid-flight would race.
+// Counters registered earlier under the same names are reused (the
+// registry get-or-creates), so sharing reg across handlers is safe.
+func (c *Coordinator) AttachMetrics(reg *obs.Registry) {
+	c.metrics = newClusterMetrics(reg)
+	c.metrics.shardsUp.Set(c.up.Load())
+}
+
+// count bumps an internal counter and, when metrics are attached, its
+// registry mirror.
+func (c *Coordinator) count(ctr *atomic.Uint64, idx int) {
+	ctr.Add(1)
+	if c.metrics != nil {
+		c.metrics.counters[idx].Inc()
+	}
+}

@@ -1,0 +1,221 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/access"
+	"repro/internal/data"
+)
+
+// Entry is one element of a shard's descending sorted stream, in global
+// object ids.
+type Entry struct {
+	Obj   int
+	Score float64
+}
+
+// Shard is the coordinator-facing contract of one shard node. It is an
+// access.Backend whose object ids are *global* — N() returns the full
+// cluster's object count, Sorted returns global ids, Random and
+// BatchRandom accept them — while Sorted's rank walks the shard's
+// *local* descending list, of LocalN() entries. The coordinator owns the
+// translation between local ranks and global ranks (the k-way merge);
+// shards only ever serve their own slice.
+type Shard interface {
+	access.Backend
+	// LocalN returns how many objects this shard owns: the length of each
+	// of its per-predicate sorted lists.
+	LocalN() int
+}
+
+// PageBackend is the optional capability a shard may advertise to serve
+// one prefetch page — count consecutive entries of a predicate's local
+// descending list starting at rank — in a single round trip. Shards
+// without it (e.g. a fault-injector-wrapped shard) are paged entry by
+// entry through Sorted.
+type PageBackend interface {
+	SortedPage(ctx context.Context, pred, rank, count int) ([]Entry, error)
+}
+
+// ShardData is one shard's slice of a partitioned dataset: the local
+// dataset re-indexed to local ids 0..LocalN-1 plus the mapping back to
+// global ids. Local ids are assigned in increasing global-id order, so
+// the local datasets' tie-break (higher local id first) agrees with the
+// global convention (higher OID first) — the property that makes the
+// coordinator's merge byte-identical to a single-node sorted list.
+type ShardData struct {
+	// Index is this shard's position in the cluster.
+	Index int
+	// Local is the shard's slice as a standalone dataset in local ids
+	// (nil when the shard owns no objects).
+	Local *data.Dataset
+	// Global maps local id -> global id, ascending.
+	Global []int
+
+	toLocal []int32 // global id -> local id, -1 when not owned
+	globalN int
+	m       int
+}
+
+// Partition splits the dataset across the given number of shards by
+// consistent hashing on object id. Every object lands on exactly one
+// shard; the union of the returned slices is the dataset.
+func Partition(ds *data.Dataset, shards int) ([]*ShardData, error) {
+	ring, err := NewRing(shards)
+	if err != nil {
+		return nil, err
+	}
+	n, m := ds.N(), ds.M()
+	owned := make([][]int, shards)
+	for u := 0; u < n; u++ {
+		s := ring.Owner(u)
+		owned[s] = append(owned[s], u) // ascending u: preserves the tie-break order
+	}
+	out := make([]*ShardData, shards)
+	for s := 0; s < shards; s++ {
+		sd := &ShardData{
+			Index:   s,
+			Global:  owned[s],
+			toLocal: make([]int32, n),
+			globalN: n,
+			m:       m,
+		}
+		for i := range sd.toLocal {
+			sd.toLocal[i] = -1
+		}
+		for local, global := range owned[s] {
+			sd.toLocal[global] = int32(local)
+		}
+		if len(owned[s]) > 0 {
+			rows := make([][]float64, len(owned[s]))
+			for local, global := range owned[s] {
+				rows[local] = ds.Scores(global)
+			}
+			sd.Local, err = data.New(fmt.Sprintf("%s/shard%d-of-%d", ds.Name(), s, shards), rows)
+			if err != nil {
+				return nil, err
+			}
+		}
+		out[s] = sd
+	}
+	return out, nil
+}
+
+// LocalN returns how many objects the shard owns.
+func (d *ShardData) LocalN() int { return len(d.Global) }
+
+// GlobalN returns the full cluster's object count.
+func (d *ShardData) GlobalN() int { return d.globalN }
+
+// M returns the predicate count.
+func (d *ShardData) M() int { return d.m }
+
+// ToLocal maps a global object id to the shard's local id, or -1 when
+// the shard does not own it.
+func (d *ShardData) ToLocal(global int) int {
+	if global < 0 || global >= len(d.toLocal) {
+		return -1
+	}
+	return int(d.toLocal[global])
+}
+
+// LocalShard serves one ShardData in process: the Shard implementation
+// behind in-process clusters (tests, benchmarks) and the data source a
+// topkd -shard node exposes over HTTP.
+type LocalShard struct {
+	d *ShardData
+}
+
+// NewLocalShard wraps the partition slice as a Shard.
+func NewLocalShard(d *ShardData) *LocalShard { return &LocalShard{d: d} }
+
+// N returns the global object count.
+func (s *LocalShard) N() int { return s.d.globalN }
+
+// M returns the predicate count.
+func (s *LocalShard) M() int { return s.d.m }
+
+// LocalN returns how many objects this shard owns.
+func (s *LocalShard) LocalN() int { return len(s.d.Global) }
+
+// Sorted returns the rank-th entry of the shard's local descending list
+// for pred, as a global object id.
+func (s *LocalShard) Sorted(ctx context.Context, pred, rank int) (int, float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, 0, err
+	}
+	if rank < 0 || rank >= len(s.d.Global) {
+		return 0, 0, fmt.Errorf("cluster: shard %d rank %d beyond local list of %d", s.d.Index, rank, len(s.d.Global))
+	}
+	local, score := s.d.Local.SortedAt(pred, rank)
+	return s.d.Global[local], score, nil
+}
+
+// SortedPage serves one prefetch page of the local descending list.
+func (s *LocalShard) SortedPage(ctx context.Context, pred, rank, count int) ([]Entry, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if rank < 0 || count <= 0 || rank+count > len(s.d.Global) {
+		return nil, fmt.Errorf("cluster: shard %d page [%d,%d) beyond local list of %d", s.d.Index, rank, rank+count, len(s.d.Global))
+	}
+	page := make([]Entry, count)
+	for i := range page {
+		local, score := s.d.Local.SortedAt(pred, rank+i)
+		page[i] = Entry{Obj: s.d.Global[local], Score: score}
+	}
+	return page, nil
+}
+
+// Random returns the exact score of one owned object, addressed by its
+// global id.
+func (s *LocalShard) Random(ctx context.Context, pred, obj int) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	local := s.d.ToLocal(obj)
+	if local < 0 {
+		return 0, fmt.Errorf("cluster: shard %d does not own object %d", s.d.Index, obj)
+	}
+	return s.d.Local.Score(local, pred), nil
+}
+
+// BatchRandom resolves a batch of probes against the shard in one call.
+func (s *LocalShard) BatchRandom(ctx context.Context, preds, objs []int) ([]float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if len(preds) != len(objs) {
+		return nil, fmt.Errorf("cluster: batch has %d predicates but %d objects", len(preds), len(objs))
+	}
+	scores := make([]float64, len(preds))
+	for i := range preds {
+		local := s.d.ToLocal(objs[i])
+		if local < 0 {
+			return nil, fmt.Errorf("cluster: shard %d does not own object %d", s.d.Index, objs[i])
+		}
+		scores[i] = s.d.Local.Score(local, preds[i])
+	}
+	return scores, nil
+}
+
+// shardFacade adapts a plain access.Backend (e.g. a fault-injector
+// wrapping a LocalShard) back into a Shard by restoring the LocalN the
+// wrapper hid. The wrapped backend must keep the Shard contract: global
+// ids, local ranks.
+type shardFacade struct {
+	access.Backend
+	localN int
+}
+
+// WrapShard restores the Shard contract over a wrapped shard backend:
+// chaos tests use it to splice fault.Wrap between a LocalShard and the
+// coordinator. A wrapper without the PageBackend capability is paged
+// entry by entry, so every prefetched entry passes the injector's gate.
+func WrapShard(b access.Backend, localN int) Shard {
+	return &shardFacade{Backend: b, localN: localN}
+}
+
+// LocalN returns the wrapped shard's local object count.
+func (f *shardFacade) LocalN() int { return f.localN }

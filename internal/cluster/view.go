@@ -1,0 +1,95 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/access"
+)
+
+// View restricts a coordinator to a subset of its predicates, re-indexed
+// as backend predicates 0..len(preds)-1 — the cluster analogue of
+// data.Project, so the service can bind a query's columns without
+// duplicating shard state. Views share the coordinator's merge prefixes,
+// health tracking, and stats.
+type View struct {
+	c     *Coordinator
+	preds []int
+}
+
+// View returns the coordinator restricted to the given global predicate
+// columns. Projecting every column in order returns the coordinator
+// itself.
+func (c *Coordinator) View(preds []int) (access.Backend, error) {
+	if len(preds) == 0 {
+		return nil, fmt.Errorf("cluster: view selects no predicates")
+	}
+	identity := len(preds) == c.m
+	seen := make([]bool, c.m)
+	for j, p := range preds {
+		if p < 0 || p >= c.m {
+			return nil, fmt.Errorf("cluster: view predicate %d out of range [0,%d)", p, c.m)
+		}
+		if seen[p] {
+			return nil, fmt.Errorf("cluster: view selects predicate %d twice", p)
+		}
+		seen[p] = true
+		if p != j {
+			identity = false
+		}
+	}
+	if identity {
+		return c, nil
+	}
+	cp := make([]int, len(preds))
+	copy(cp, preds)
+	return &View{c: c, preds: cp}, nil
+}
+
+// Coordinator returns the coordinator behind the view.
+func (v *View) Coordinator() *Coordinator { return v.c }
+
+// N returns the global object count.
+func (v *View) N() int { return v.c.n }
+
+// M returns the number of projected predicates.
+func (v *View) M() int { return len(v.preds) }
+
+// Sorted implements access.Backend on the projected predicate.
+//
+//topklint:hotpath
+func (v *View) Sorted(ctx context.Context, pred, rank int) (int, float64, error) {
+	if pred < 0 || pred >= len(v.preds) {
+		return 0, 0, fmt.Errorf("cluster: view predicate %d out of range [0,%d)", pred, len(v.preds))
+	}
+	return v.c.Sorted(ctx, v.preds[pred], rank)
+}
+
+// Random implements access.Backend on the projected predicate.
+//
+//topklint:hotpath
+func (v *View) Random(ctx context.Context, pred, obj int) (float64, error) {
+	if pred < 0 || pred >= len(v.preds) {
+		return 0, fmt.Errorf("cluster: view predicate %d out of range [0,%d)", pred, len(v.preds))
+	}
+	return v.c.Random(ctx, v.preds[pred], obj)
+}
+
+// BatchRandom implements share.BatchBackend on the projected predicates.
+func (v *View) BatchRandom(ctx context.Context, preds, objs []int) ([]float64, error) {
+	mapped := make([]int, len(preds))
+	for j, p := range preds {
+		if p < 0 || p >= len(v.preds) {
+			return nil, fmt.Errorf("cluster: view predicate %d out of range [0,%d)", p, len(v.preds))
+		}
+		mapped[j] = v.preds[p]
+	}
+	return v.c.BatchRandom(ctx, mapped, objs)
+}
+
+// UnseenBound returns the unseen-score bound of the projected predicate.
+func (v *View) UnseenBound(pred int) float64 { return v.c.UnseenBound(v.preds[pred]) }
+
+// MembershipKey forwards the coordinator's membership fingerprint so the
+// plan cache re-keys on shard fences behind a view too.
+func (v *View) MembershipKey() string { return v.c.MembershipKey() }

@@ -28,6 +28,14 @@ const (
 	// case: objects good on one list are bad on others), the classic
 	// adversarial workload for threshold algorithms.
 	AntiCorrelated
+	// Zipf maps a Zipf(s=3)-drawn rank r to score r/(1+r): the
+	// overwhelming mass scores 0 while a thin power-law tail approaches
+	// 1 — the web-source regime (a few strong answers, a long
+	// irrelevant tail) the cluster throughput workloads run at n=10^6,
+	// where the working set outgrows CPU caches. The top of each sorted
+	// list then drops off polynomially, so threshold drains terminate
+	// at depths ~sqrt-of-n instead of Θ(n).
+	Zipf
 )
 
 // String returns the distribution name.
@@ -43,6 +51,8 @@ func (d Distribution) String() string {
 		return "correlated"
 	case AntiCorrelated:
 		return "anticorrelated"
+	case Zipf:
+		return "zipf"
 	default:
 		return fmt.Sprintf("Distribution(%d)", int(d))
 	}
@@ -50,7 +60,7 @@ func (d Distribution) String() string {
 
 // DistributionByName parses a distribution name as printed by String.
 func DistributionByName(name string) (Distribution, error) {
-	for _, d := range []Distribution{Uniform, Gaussian, Skewed, Correlated, AntiCorrelated} {
+	for _, d := range []Distribution{Uniform, Gaussian, Skewed, Correlated, AntiCorrelated, Zipf} {
 		if d.String() == name {
 			return d, nil
 		}
@@ -75,6 +85,12 @@ func Generate(dist Distribution, n, m int, seed int64) (*Dataset, error) {
 		return nil, fmt.Errorf("data: Generate(n=%d, m=%d) requires positive sizes", n, m)
 	}
 	rng := rand.New(rand.NewSource(seed))
+	var zipf *rand.Zipf
+	if dist == Zipf {
+		// One generator for the whole dataset: rank draws are iid across
+		// objects and predicates, so scores stay exchangeable per cell.
+		zipf = rand.NewZipf(rng, 3, 1, uint64(n-1))
+	}
 	scores := make([][]float64, n)
 	for u := range scores {
 		row := make([]float64, m)
@@ -109,6 +125,11 @@ func Generate(dist Distribution, n, m int, seed int64) (*Dataset, error) {
 			}
 			for i := range row {
 				row[i] = clamp01(budget*float64(m)*weights[i]/sum + 0.05*rng.NormFloat64())
+			}
+		case Zipf:
+			for i := range row {
+				r := float64(zipf.Uint64())
+				row[i] = r / (1 + r)
 			}
 		default:
 			return nil, fmt.Errorf("data: unknown distribution %v", dist)

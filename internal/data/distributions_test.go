@@ -33,7 +33,7 @@ func TestGenerateDeterminism(t *testing.T) {
 }
 
 func TestGenerateBoundsAndSize(t *testing.T) {
-	for _, dist := range []Distribution{Uniform, Gaussian, Skewed, Correlated, AntiCorrelated} {
+	for _, dist := range []Distribution{Uniform, Gaussian, Skewed, Correlated, AntiCorrelated, Zipf} {
 		d := MustGenerate(dist, 200, 4, 7)
 		if d.N() != 200 || d.M() != 4 {
 			t.Fatalf("%v: size %dx%d", dist, d.N(), d.M())
@@ -107,8 +107,28 @@ func TestCorrelationSigns(t *testing.T) {
 	}
 }
 
+func TestZipfHeavyTail(t *testing.T) {
+	d := MustGenerate(Zipf, 2000, 1, 3)
+	zero, high := 0, 0
+	for u := 0; u < d.N(); u++ {
+		switch s := d.Score(u, 0); {
+		case s == 0: // rank-0 draws: the irrelevant mass (P ~ 1/zeta(3))
+			zero++
+		case s >= 0.5: // rank >= 1: the thin power-law tail of answers
+			high++
+		}
+	}
+	if frac := float64(zero) / float64(d.N()); frac < 0.7 {
+		t.Errorf("zipf mass at score 0 = %.2f, want > 0.7", frac)
+	}
+	// P(rank >= 1) = 1 - 1/zeta(3) ~ 0.17: thin but never empty.
+	if frac := float64(high) / float64(d.N()); frac < 0.05 || frac > 0.3 {
+		t.Errorf("zipf tail mass at score >= 0.5 = %.2f, want in [0.05, 0.3]", frac)
+	}
+}
+
 func TestDistributionNames(t *testing.T) {
-	for _, d := range []Distribution{Uniform, Gaussian, Skewed, Correlated, AntiCorrelated} {
+	for _, d := range []Distribution{Uniform, Gaussian, Skewed, Correlated, AntiCorrelated, Zipf} {
 		got, err := DistributionByName(d.String())
 		if err != nil || got != d {
 			t.Errorf("round-trip %v failed: %v, %v", d, got, err)

@@ -37,11 +37,16 @@ var Analyzer = &analysis.Analyzer{
 }
 
 // exempt are the ledgered layers: packages whose job is to wrap raw
-// accesses in accounting.
+// accesses in accounting. internal/cluster is the distribution analogue:
+// the coordinator's prefetch cursors and probe router forward shard
+// accesses beneath the session, and what it surfaces upward is billed
+// there — the scatter-gather oracle pins its ledger byte-identical to the
+// unsharded backend's.
 var exempt = map[string]bool{
-	"repro/internal/access": true,
-	"repro/internal/share":  true,
-	"repro/internal/fault":  true,
+	"repro/internal/access":  true,
+	"repro/internal/share":   true,
+	"repro/internal/fault":   true,
+	"repro/internal/cluster": true,
 }
 
 func run(pass *analysis.Pass) error {

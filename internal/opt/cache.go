@@ -208,6 +208,11 @@ func cacheKey(scn access.Scenario, f score.Func, k, n int, cfg Config) string {
 		// quantized rates keep the key space small.
 		fmt.Fprintf(&b, " disc=%g:%g", cfg.SortedDiscount, cfg.RandomDiscount)
 	}
+	if cfg.ClusterKey != "" {
+		// Cluster membership reshapes which backend serves the accesses a
+		// plan schedules; epoch-keyed so fences and recoveries re-key.
+		fmt.Fprintf(&b, " cluster=%s", cfg.ClusterKey)
+	}
 	if fp := cfg.Observed.Key(); fp != "" {
 		// Mid-query observations reshape the sample Optimize plans against,
 		// exactly like the sharing discounts reshape costs; quantized values

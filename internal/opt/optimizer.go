@@ -53,6 +53,15 @@ type Config struct {
 	// warped: real samples are ground truth, observations only correct
 	// the dummy uniform assumption.
 	Observed *ObservedStats
+	// ClusterKey fingerprints distributed-backend membership (see
+	// cluster.Coordinator.MembershipKey): plans chosen while one shard
+	// set was live must not be replayed against another, so the key joins
+	// the plan-cache fingerprint. Empty for single-node backends. It does
+	// not change the optimization itself — membership shifts surface to
+	// the optimizer as breaker-driven capability changes, which re-key the
+	// scenario on their own; ClusterKey covers the window before breakers
+	// trip and the recovery after they close.
+	ClusterKey string
 	// Observer, when non-nil, receives optimizer events: one
 	// EstimatorEval per priced configuration (memoized or simulated).
 	Observer obs.Observer

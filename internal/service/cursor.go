@@ -22,7 +22,6 @@ import (
 	"time"
 
 	topk "repro"
-	"repro/internal/data"
 	"repro/internal/obs"
 )
 
@@ -32,7 +31,7 @@ import (
 type liveCursor struct {
 	id    string
 	query string
-	ds    *data.Dataset
+	label func(int) string
 	tr    *obs.QueryTrace
 
 	// mu serializes pages — concurrent /query/next calls on the same id
@@ -80,7 +79,7 @@ func (h *Handler) openCursor(req QueryRequest, traced bool) (*QueryResponse, int
 	if err != nil {
 		return nil, http.StatusBadRequest, err
 	}
-	lc := &liveCursor{id: h.nextCursorID(), query: p.pq.String(), ds: p.ds, tr: p.tr, cur: cur}
+	lc := &liveCursor{id: h.nextCursorID(), query: p.pq.String(), label: p.label, tr: p.tr, cur: cur}
 	lc.touch()
 	if err := h.register(lc); err != nil {
 		_ = cur.Close()
@@ -213,7 +212,7 @@ func (lc *liveCursor) response(h *Handler, page *topk.Page, pageNo int, traced b
 	for _, it := range page.Items {
 		resp.Items = append(resp.Items, QueryItem{
 			Object: it.Obj,
-			Label:  lc.ds.Label(it.Obj),
+			Label:  lc.label(it.Obj),
 			Score:  it.Score,
 			Exact:  it.Exact,
 		})
@@ -228,6 +227,10 @@ func (lc *liveCursor) response(h *Handler, page *topk.Page, pageNo int, traced b
 		if h.shared != nil {
 			s := h.shared.Stats()
 			resp.Share = &s
+		}
+		if h.cfg.Cluster != nil {
+			cs := h.cfg.Cluster.Stats()
+			resp.Cluster = &cs
 		}
 	}
 	return resp

@@ -69,6 +69,7 @@ import (
 	"time"
 
 	topk "repro"
+	"repro/internal/cluster"
 	"repro/internal/data"
 	"repro/internal/obs"
 	"repro/internal/opt"
@@ -78,8 +79,16 @@ import (
 // Config describes the database one service instance fronts.
 type Config struct {
 	// Dataset is the in-memory database (the service projects its columns
-	// per query).
+	// per query). Exactly one of Dataset and Cluster must be set.
 	Dataset *data.Dataset
+	// Cluster, when non-nil, fronts a shard cluster instead of a local
+	// dataset: per-query backends are predicate views into the
+	// coordinator's scatter-gather Backend, so every algorithm, breaker,
+	// and sharing feature runs unchanged over the distributed sources.
+	// The coordinator's topk_cluster_* series register on the service's
+	// metrics registry, and ?trace=1 responses carry its shard fan-out
+	// counters.
+	Cluster *cluster.Coordinator
 	// Columns names the dataset's predicates for SQL binding.
 	Columns []string
 	// Scenario is the access cost configuration.
@@ -231,13 +240,22 @@ type Handler struct {
 
 // NewHandler validates the configuration and builds the service.
 func NewHandler(cfg Config) (*Handler, error) {
-	if cfg.Dataset == nil {
-		return nil, fmt.Errorf("service: config requires a dataset")
+	if cfg.Dataset == nil && cfg.Cluster == nil {
+		return nil, fmt.Errorf("service: config requires a dataset or a cluster coordinator")
 	}
-	if len(cfg.Columns) != cfg.Dataset.M() {
-		return nil, fmt.Errorf("service: %d column names for %d predicates", len(cfg.Columns), cfg.Dataset.M())
+	if cfg.Dataset != nil && cfg.Cluster != nil {
+		return nil, fmt.Errorf("service: config names both a dataset and a cluster coordinator")
 	}
-	if err := cfg.Scenario.Validate(cfg.Dataset.M()); err != nil {
+	m := 0
+	if cfg.Dataset != nil {
+		m = cfg.Dataset.M()
+	} else {
+		m = cfg.Cluster.M()
+	}
+	if len(cfg.Columns) != m {
+		return nil, fmt.Errorf("service: %d column names for %d predicates", len(cfg.Columns), m)
+	}
+	if err := cfg.Scenario.Validate(m); err != nil {
 		return nil, err
 	}
 	if cfg.HealthTimeout <= 0 {
@@ -273,7 +291,7 @@ func NewHandler(cfg Config) (*Handler, error) {
 		queryKO:   reg.Counter("topk_queries_total", "Queries served by status.", obs.L("status", "error")),
 		querySec:  reg.Histogram("topk_query_seconds", "End-to-end /query latency.", nil),
 		slowTotal: reg.Counter("topk_slow_queries_total", "Queries slower than the configured threshold."),
-		breakers:  topk.NewBreakerSet(cfg.Dataset.M(), cfg.Breaker),
+		breakers:  topk.NewBreakerSet(m, cfg.Breaker),
 		plans:     topk.NewPlanCache(0),
 		cursors:   make(map[string]*liveCursor),
 		curPrefix: cursorPrefix(),
@@ -284,8 +302,22 @@ func NewHandler(cfg Config) (*Handler, error) {
 		cursorExpired: reg.Counter("topk_cursor_expired_total", "Idle cursors expired by the TTL reaper."),
 		cursorOpenG:   reg.Gauge("topk_cursor_open", "Server-side cursors currently open."),
 	}
+	if cfg.Cluster != nil {
+		// The coordinator's scatter-gather counters join the service's
+		// scrape; safe here because the handler is built before serving.
+		cfg.Cluster.AttachMetrics(reg)
+	}
 	if cfg.EnableSharing {
-		h.shared = topk.NewSharedAccess(topk.DataBackend(cfg.Dataset), topk.SharingOptions{
+		var base topk.Backend
+		if cfg.Cluster != nil {
+			// The sharing layer sits above the coordinator: shared cursor
+			// prefixes and probed scores absorb accesses before they fan
+			// out to the shards.
+			base = cfg.Cluster
+		} else {
+			base = topk.DataBackend(cfg.Dataset)
+		}
+		h.shared = topk.NewSharedAccess(base, topk.SharingOptions{
 			ScoreCapacity: cfg.ShareScoreCapacity,
 			Breakers:      h.breakers,
 			Metrics:       reg,
@@ -382,6 +414,11 @@ type QueryResponse struct {
 	// time (cumulative across queries, not per-query), present when
 	// sharing is enabled and the request asked for a trace.
 	Share *topk.SharingStats `json:"share,omitempty"`
+	// Cluster snapshots the coordinator's scatter-gather counters and
+	// membership at response time (cumulative across queries, like Share),
+	// present when the service fronts a shard cluster and the request
+	// asked for a trace.
+	Cluster *cluster.Stats `json:"cluster,omitempty"`
 
 	// Cursor/Page/Exhausted are the pagination fields of cursor-backed
 	// responses. Items then holds only the page's new answers, while Cost
@@ -467,9 +504,13 @@ type metaPayload struct {
 }
 
 func (h *Handler) handleMeta(w http.ResponseWriter, r *http.Request) {
+	n, m := h.cfg.Dataset.N, h.cfg.Dataset.M
+	if h.cfg.Cluster != nil {
+		n, m = h.cfg.Cluster.N, h.cfg.Cluster.M
+	}
 	writeJSON(w, http.StatusOK, metaPayload{
-		N:        h.cfg.Dataset.N(),
-		M:        h.cfg.Dataset.M(),
+		N:        n(),
+		M:        m(),
 		Columns:  h.cfg.Columns,
 		Scenario: h.cfg.Scenario.Name,
 	})
@@ -530,13 +571,21 @@ func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
 // (openCursor) share. opts deliberately excludes the context — one-shot
 // runs attach the HTTP request's, cursors rebind a fresh deadline per page.
 type prepared struct {
-	pq   *sqlq.Query
-	ds   *data.Dataset
-	eng  *topk.Engine
-	opts []topk.RunOption
-	o    obs.Observer
-	tr   *obs.QueryTrace
+	pq *sqlq.Query
+	// label names answer objects; the projected dataset's labels locally,
+	// the synthesized u<id> form in cluster mode (shards hold scores, not
+	// row metadata).
+	label func(int) string
+	eng   *topk.Engine
+	opts  []topk.RunOption
+	o     obs.Observer
+	tr    *obs.QueryTrace
 }
+
+// clusterLabel names objects when no local dataset carries labels — the
+// same default form data.Dataset falls back to, so answers look alike
+// across deployment modes.
+func clusterLabel(u int) string { return fmt.Sprintf("u%d", u) }
 
 // prepare parses, binds, and configures one query request against the
 // configured database: projection, scenario, backend composition (sharing,
@@ -561,17 +610,29 @@ func (h *Handler) prepare(req QueryRequest, traced bool) (*prepared, int, error)
 		return nil, http.StatusBadRequest, err
 	}
 	planStart := time.Now()
-	ds, err := data.Project(h.cfg.Dataset, cols)
-	if err != nil {
-		return nil, http.StatusBadRequest, err
+	var (
+		backend topk.Backend
+		label   func(int) string
+	)
+	if h.cfg.Cluster != nil {
+		v, verr := h.cfg.Cluster.View(cols)
+		if verr != nil {
+			return nil, http.StatusBadRequest, verr
+		}
+		backend, label = v, clusterLabel
+	} else {
+		ds, derr := data.Project(h.cfg.Dataset, cols)
+		if derr != nil {
+			return nil, http.StatusBadRequest, derr
+		}
+		backend, label = topk.DataBackend(ds), ds.Label
 	}
 	scn := topk.Scenario{Name: h.cfg.Scenario.Name, Preds: make([]topk.PredCost, len(cols))}
 	for i, c := range cols {
 		scn.Preds[i] = h.cfg.Scenario.Preds[c]
 	}
-	backend := topk.DataBackend(ds)
 	if h.shared != nil {
-		// The shared layer is keyed by dataset predicate; the view maps
+		// The shared layer is keyed by database predicate; the view maps
 		// this query's projection onto it, so queries over different
 		// column subsets still share the predicates they have in common.
 		backend = h.shared.View(cols)
@@ -627,7 +688,7 @@ func (h *Handler) prepare(req QueryRequest, traced bool) (*prepared, int, error)
 		opts = append(opts, topk.WithParallel(req.Parallel))
 	}
 	o.PhaseDone(obs.PhasePlan, time.Since(planStart))
-	return &prepared{pq: pq, ds: ds, eng: eng, opts: opts, o: o, tr: tr}, http.StatusOK, nil
+	return &prepared{pq: pq, label: label, eng: eng, opts: opts, o: o, tr: tr}, http.StatusOK, nil
 }
 
 // execute runs one query request to completion. The context (the HTTP
@@ -662,7 +723,7 @@ func (h *Handler) execute(ctx context.Context, req QueryRequest, traced bool) (*
 	for _, it := range ans.Items {
 		resp.Items = append(resp.Items, QueryItem{
 			Object: it.Obj,
-			Label:  p.ds.Label(it.Obj),
+			Label:  p.label(it.Obj),
 			Score:  it.Score,
 			Exact:  it.Exact,
 		})
@@ -676,6 +737,10 @@ func (h *Handler) execute(ctx context.Context, req QueryRequest, traced bool) (*
 		if h.shared != nil {
 			s := h.shared.Stats()
 			resp.Share = &s
+		}
+		if h.cfg.Cluster != nil {
+			cs := h.cfg.Cluster.Stats()
+			resp.Cluster = &cs
 		}
 	}
 	return resp, http.StatusOK, nil

@@ -32,6 +32,7 @@ type Route struct {
 type Client struct {
 	routes         []Route
 	n              int
+	localN         int
 	httpc          *http.Client
 	retries        int
 	backoff        time.Duration
@@ -95,10 +96,17 @@ func NewClient(ctx context.Context, httpc *http.Client, routes []Route, opts ...
 		if err := c.get(ctx, rt.BaseURL+"/meta", &meta); err != nil {
 			return nil, fmt.Errorf("websim: route %d meta: %w", i, err)
 		}
+		localN := meta.LocalN
+		if localN == 0 {
+			localN = meta.N
+		}
 		if i == 0 {
 			c.n = meta.N
+			c.localN = localN
 		} else if meta.N != c.n {
 			return nil, fmt.Errorf("websim: route %d serves %d objects, route 0 serves %d", i, meta.N, c.n)
+		} else if localN != c.localN {
+			return nil, fmt.Errorf("websim: route %d holds %d local objects, route 0 holds %d", i, localN, c.localN)
 		}
 		if rt.Pred < 0 || rt.Pred >= meta.M {
 			return nil, fmt.Errorf("websim: route %d predicate %d out of source range [0,%d)", i, rt.Pred, meta.M)
@@ -240,8 +248,14 @@ func parseRetryAfter(v string) time.Duration {
 	return 0
 }
 
-// N returns the object count shared by all sources.
+// N returns the object count shared by all sources: the universe size
+// when the sources are shards.
 func (c *Client) N() int { return c.n }
+
+// LocalN returns how many objects the sources actually hold: their shard
+// slice size, or N for whole-universe sources. Sorted ranks are local —
+// they walk a list of LocalN entries.
+func (c *Client) LocalN() int { return c.localN }
 
 // M returns the number of routed predicates.
 func (c *Client) M() int { return len(c.routes) }
@@ -262,6 +276,37 @@ func (c *Client) Sorted(ctx context.Context, pred, rank int) (int, float64, erro
 		return 0, 0, fmt.Errorf("websim: source returned out-of-universe object %d", p.Obj)
 	}
 	return p.Obj, p.Score, nil
+}
+
+// SortedEntry is one row of a sorted page.
+type SortedEntry struct {
+	Obj   int
+	Score float64
+}
+
+// SortedPage fetches count consecutive entries of the predicate's
+// descending list starting at rank, in one round trip.
+func (c *Client) SortedPage(ctx context.Context, pred, rank, count int) ([]SortedEntry, error) {
+	if pred < 0 || pred >= len(c.routes) {
+		return nil, fmt.Errorf("websim: predicate %d out of range", pred)
+	}
+	rt := c.routes[pred]
+	u := fmt.Sprintf("%s/sortedpage?pred=%d&rank=%d&count=%d", rt.BaseURL, rt.Pred, rank, count)
+	var p sortedPagePayload
+	if err := c.get(ctx, u, &p); err != nil {
+		return nil, err
+	}
+	if len(p.Entries) != count {
+		return nil, fmt.Errorf("websim: source returned %d entries for a page of %d", len(p.Entries), count)
+	}
+	out := make([]SortedEntry, count)
+	for i, e := range p.Entries {
+		if e.Obj < 0 || e.Obj >= c.n {
+			return nil, fmt.Errorf("websim: source returned out-of-universe object %d", e.Obj)
+		}
+		out[i] = SortedEntry{Obj: e.Obj, Score: e.Score}
+	}
+	return out, nil
 }
 
 // Random fetches the exact score of one object on one predicate.

@@ -18,8 +18,19 @@
 // A batch is one HTTP request: it pays one round trip and passes the
 // fault-injection gate once, succeeding or failing as a unit.
 //
+// A paged variant of the sorted endpoint serves one prefetch window per
+// round trip (the distributed coordinator's shard-cursor refill):
+//
+//	/sortedpage?pred=0&rank=3&count=4 -> {"entries":[{"obj":17,"score":0.83},...]}
+//
 // Predicates in URLs are zero-based and local to the server; a middleware
 // Route maps each query predicate to (server, local predicate).
+//
+// A server may also be one *shard* of a larger object universe
+// (WithShardObjects): the dataset then holds only the shard's local
+// slice, /meta reports the global object count plus the slice size as
+// local_n, sorted responses carry global object ids, and random/batch
+// probes address objects by global id.
 package websim
 
 import (
@@ -41,6 +52,9 @@ import (
 type Server struct {
 	ds         *data.Dataset
 	preds      []int // local predicate -> dataset predicate
+	global     []int // local object -> global id (nil = identity universe)
+	globalN    int   // universe size when global is set
+	toLocal    []int32
 	latency    time.Duration
 	failery    int           // fail every n-th request with 503 (0 = never)
 	failRate   float64       // fail this fraction of requests with 503 (0 = never)
@@ -138,6 +152,18 @@ func WithDupRate(rate float64, seed int64) ServerOption {
 	}
 }
 
+// WithShardObjects declares the server one shard of a larger object
+// universe: the dataset holds the shard's slice in local ids, global[u]
+// is local object u's global id, and globalN is the universe size. The
+// sorted endpoints then serve global ids, and the random and batch
+// endpoints resolve probes addressed by global id (unknown ids 404).
+func WithShardObjects(global []int, globalN int) ServerOption {
+	return func(s *Server) {
+		s.global = append([]int(nil), global...)
+		s.globalN = globalN
+	}
+}
+
 func (s *Server) ensureLieRng(seed int64) {
 	if s.lieRng == nil {
 		s.lieRng = rand.New(rand.NewSource(seed))
@@ -161,12 +187,63 @@ func NewServer(ds *data.Dataset, opts ...ServerOption) (*Server, error) {
 			return nil, fmt.Errorf("websim: predicate %d out of dataset range [0,%d)", p, ds.M())
 		}
 	}
+	if s.global != nil {
+		if len(s.global) != ds.N() {
+			return nil, fmt.Errorf("websim: shard mapping covers %d objects, dataset has %d", len(s.global), ds.N())
+		}
+		s.toLocal = make([]int32, s.globalN)
+		for i := range s.toLocal {
+			s.toLocal[i] = -1
+		}
+		for local, g := range s.global {
+			if g < 0 || g >= s.globalN {
+				return nil, fmt.Errorf("websim: shard object %d has global id %d outside universe [0,%d)", local, g, s.globalN)
+			}
+			if s.toLocal[g] != -1 {
+				return nil, fmt.Errorf("websim: global id %d mapped twice", g)
+			}
+			s.toLocal[g] = int32(local)
+		}
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/meta", s.handleMeta)
 	s.mux.HandleFunc("/sorted", s.handleSorted)
+	s.mux.HandleFunc("/sortedpage", s.handleSortedPage)
 	s.mux.HandleFunc("/random", s.handleRandom)
 	s.mux.HandleFunc("/batch", s.handleBatch)
 	return s, nil
+}
+
+// universeN is the object count the server advertises: the global
+// universe for a shard, the dataset size otherwise.
+func (s *Server) universeN() int {
+	if s.global != nil {
+		return s.globalN
+	}
+	return s.ds.N()
+}
+
+// globalID maps a local object id to the id served on the wire.
+func (s *Server) globalID(local int) int {
+	if s.global == nil {
+		return local
+	}
+	return s.global[local]
+}
+
+// localID resolves a wire object id to a local one, or -1 when the
+// server does not hold it.
+func (s *Server) localID(global int) int {
+	if s.global == nil {
+		if global < 0 || global >= s.ds.N() {
+			return -1
+		}
+		return global
+	}
+	if global < 0 || global >= s.globalN {
+		return -1
+	}
+	return int(s.toLocal[global])
 }
 
 // ServeHTTP implements http.Handler.
@@ -207,6 +284,9 @@ func (s *Server) failRequest() bool {
 type metaPayload struct {
 	N int `json:"n"`
 	M int `json:"m"`
+	// LocalN is the shard's slice size, present only when the server is a
+	// shard of a larger universe (n then reports the universe size).
+	LocalN int `json:"local_n,omitempty"`
 }
 
 type sortedPayload struct {
@@ -233,6 +313,10 @@ type batchRequest struct {
 
 type batchPayload struct {
 	Scores []float64 `json:"scores"`
+}
+
+type sortedPagePayload struct {
+	Entries []sortedPayload `json:"entries"`
 }
 
 // maxBatchProbes bounds one batch request, keeping a single round trip
@@ -272,7 +356,11 @@ func (s *Server) resolvePred(r *http.Request) (int, error) {
 }
 
 func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, metaPayload{N: s.ds.N(), M: len(s.preds)})
+	p := metaPayload{N: s.universeN(), M: len(s.preds)}
+	if s.global != nil {
+		p.LocalN = s.ds.N()
+	}
+	writeJSON(w, http.StatusOK, p)
 }
 
 func (s *Server) handleSorted(w http.ResponseWriter, r *http.Request) {
@@ -292,7 +380,43 @@ func (s *Server) handleSorted(w http.ResponseWriter, r *http.Request) {
 	}
 	obj, sc := s.ds.SortedAt(pred, rank)
 	obj, sc = s.lieSorted(pred, rank, obj, sc)
-	writeJSON(w, http.StatusOK, sortedPayload{Obj: obj, Score: s.warp(sc)})
+	writeJSON(w, http.StatusOK, sortedPayload{Obj: s.globalID(obj), Score: s.warp(sc)})
+}
+
+// handleSortedPage serves count consecutive entries of the sorted list in
+// one round trip: the whole page passes the fault-injection gate (and
+// pays the simulated latency) once, like a batched probe.
+func (s *Server) handleSortedPage(w http.ResponseWriter, r *http.Request) {
+	pred, err := s.resolvePred(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorPayload{Error: err.Error()})
+		return
+	}
+	rank, err := s.intParam(r, "rank")
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorPayload{Error: err.Error()})
+		return
+	}
+	count, err := s.intParam(r, "count")
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorPayload{Error: err.Error()})
+		return
+	}
+	if count <= 0 || count > maxBatchProbes {
+		writeJSON(w, http.StatusBadRequest, errorPayload{Error: fmt.Sprintf("page of %d entries outside limit [1,%d]", count, maxBatchProbes)})
+		return
+	}
+	if rank < 0 || rank+count > s.ds.N() {
+		writeJSON(w, http.StatusNotFound, errorPayload{Error: fmt.Sprintf("page [%d,%d) beyond list end", rank, rank+count)})
+		return
+	}
+	entries := make([]sortedPayload, count)
+	for i := range entries {
+		obj, sc := s.ds.SortedAt(pred, rank+i)
+		obj, sc = s.lieSorted(pred, rank+i, obj, sc)
+		entries[i] = sortedPayload{Obj: s.globalID(obj), Score: s.warp(sc)}
+	}
+	writeJSON(w, http.StatusOK, sortedPagePayload{Entries: entries})
 }
 
 // warp applies the configured score drift (identity when unset).
@@ -335,11 +459,12 @@ func (s *Server) handleRandom(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorPayload{Error: err.Error()})
 		return
 	}
-	if obj < 0 || obj >= s.ds.N() {
+	local := s.localID(obj)
+	if local < 0 {
 		writeJSON(w, http.StatusNotFound, errorPayload{Error: fmt.Sprintf("object %d unknown", obj)})
 		return
 	}
-	writeJSON(w, http.StatusOK, randomPayload{Score: s.warp(s.ds.Score(obj, pred))})
+	writeJSON(w, http.StatusOK, randomPayload{Score: s.warp(s.ds.Score(local, pred))})
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -366,11 +491,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusBadRequest, errorPayload{Error: fmt.Sprintf("probe %d: predicate %d out of range [0,%d)", i, p.Pred, len(s.preds))})
 			return
 		}
-		if p.Obj < 0 || p.Obj >= s.ds.N() {
+		local := s.localID(p.Obj)
+		if local < 0 {
 			writeJSON(w, http.StatusNotFound, errorPayload{Error: fmt.Sprintf("probe %d: object %d unknown", i, p.Obj)})
 			return
 		}
-		scores[i] = s.warp(s.ds.Score(p.Obj, s.preds[p.Pred]))
+		scores[i] = s.warp(s.ds.Score(local, s.preds[p.Pred]))
 	}
 	writeJSON(w, http.StatusOK, batchPayload{Scores: scores})
 }

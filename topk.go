@@ -270,10 +270,41 @@ func (e *Engine) optimize(cfg OptimizerConfig, scn Scenario, f ScoreFunc, k, n i
 	if e.share != nil && cfg.SortedDiscount == 0 && cfg.RandomDiscount == 0 {
 		cfg.SortedDiscount, cfg.RandomDiscount = e.share.Stats().Discounts()
 	}
+	if cfg.ClusterKey == "" {
+		cfg.ClusterKey = clusterKeyOf(e.backend)
+	}
 	if e.planCache != nil {
 		return e.planCache.Get(cfg, scn, f, k, n)
 	}
 	return opt.Optimize(cfg, scn, f, k, n)
+}
+
+// membershipKeyed is the capability a distributed backend (the cluster
+// coordinator, or a view of it) advertises to fingerprint its live shard
+// membership.
+type membershipKeyed interface{ MembershipKey() string }
+
+// clusterKeyOf probes the backend — unwrapping the guard and sharing
+// layers the engine may have stacked over it — for a cluster membership
+// fingerprint to fold into the plan-cache key. Single-node backends key
+// empty, at the cost of a few type assertions per optimization.
+func clusterKeyOf(b Backend) string {
+	for b != nil {
+		if mk, ok := b.(membershipKeyed); ok {
+			return mk.MembershipKey()
+		}
+		switch w := b.(type) {
+		case *share.Layer:
+			b = w.Backend()
+		case *share.View:
+			b = w.Layer().Backend()
+		case *adapt.Guard:
+			b = w.Backend()
+		default:
+			return ""
+		}
+	}
+	return ""
 }
 
 // newAdapter wires the adaptive layer's re-plan loop to this engine:
