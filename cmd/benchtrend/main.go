@@ -24,6 +24,7 @@ import (
 	"io"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -82,9 +83,16 @@ func parseBench(r io.Reader) ([]measurement, error) {
 }
 
 // compare checks measurements against the baselines, writing one report
-// line per matched case. It returns how many cases matched and how many
-// drifted beyond the tolerance.
-func compare(w io.Writer, meas []measurement, baselines map[string]baselineFile, tolerance float64) (matched, drifted int) {
+// line per matched case. It returns how many cases matched per baseline
+// benchmark and how many drifted beyond the tolerance. Every baseline
+// starts at zero in the returned map, so a baseline no measurement
+// matched is visible to the caller — run turns that into a hard failure
+// rather than letting a renamed benchmark silently disable its own gate.
+func compare(w io.Writer, meas []measurement, baselines map[string]baselineFile, tolerance float64) (matched map[string]int, drifted int) {
+	matched = make(map[string]int, len(baselines))
+	for name := range baselines {
+		matched[name] = 0
+	}
 	for _, m := range meas {
 		bl, ok := baselines[m.bench]
 		if !ok {
@@ -100,7 +108,7 @@ func compare(w io.Writer, meas []measurement, baselines map[string]baselineFile,
 			fmt.Fprintf(w, "SKIP %s/%s: baseline has no ns_per_op\n", m.bench, m.key)
 			continue
 		}
-		matched++
+		matched[m.bench]++
 		delta := (m.nsOp - base) / base
 		status := "ok  "
 		if delta > tolerance || delta < -tolerance {
@@ -120,6 +128,7 @@ func run() error {
 		return fmt.Errorf("benchtrend: need at least one BENCH_*.json baseline file")
 	}
 	baselines := map[string]baselineFile{}
+	paths := map[string]string{} // benchmark name -> baseline file, for error messages
 	for _, path := range flag.Args() {
 		raw, err := os.ReadFile(path)
 		if err != nil {
@@ -132,20 +141,37 @@ func run() error {
 		if bl.Benchmark == "" || len(bl.Cases) == 0 {
 			return fmt.Errorf("benchtrend: %s: missing benchmark name or cases", path)
 		}
+		if prev, dup := paths[bl.Benchmark]; dup {
+			return fmt.Errorf("benchtrend: %s and %s both claim benchmark %s", prev, path, bl.Benchmark)
+		}
 		baselines[bl.Benchmark] = bl
+		paths[bl.Benchmark] = path
 	}
 	meas, err := parseBench(os.Stdin)
 	if err != nil {
 		return err
 	}
 	matched, drifted := compare(os.Stdout, meas, baselines, *tolerance)
-	if matched == 0 {
-		return fmt.Errorf("benchtrend: no measured case matched any baseline — wrong -bench selection?")
+	// A baseline nothing matched is a hard failure, not a skip: a renamed
+	// or dropped benchmark would otherwise disable its own trend gate and
+	// the nightly would stay green while measuring nothing.
+	var missing []string
+	total := 0
+	for name, count := range matched {
+		if count == 0 {
+			missing = append(missing, fmt.Sprintf("%s (%s)", name, paths[name]))
+		}
+		total += count
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return fmt.Errorf("benchtrend: no measured case matched baseline %s — renamed benchmark or wrong -bench selection?",
+			strings.Join(missing, ", "))
 	}
 	if drifted > 0 {
-		return fmt.Errorf("benchtrend: %d of %d cases drifted beyond ±%.0f%%", drifted, matched, *tolerance*100)
+		return fmt.Errorf("benchtrend: %d of %d cases drifted beyond ±%.0f%%", drifted, total, *tolerance*100)
 	}
-	fmt.Printf("benchtrend: %d cases within ±%.0f%% of committed baselines\n", matched, *tolerance*100)
+	fmt.Printf("benchtrend: %d cases within ±%.0f%% of committed baselines\n", total, *tolerance*100)
 	return nil
 }
 

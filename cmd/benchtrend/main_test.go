@@ -57,8 +57,8 @@ func TestCompareFlagsDrift(t *testing.T) {
 	}
 	var report strings.Builder
 	matched, drifted := compare(&report, meas, sampleBaselines(), 0.25)
-	if matched != 3 {
-		t.Errorf("matched = %d, want 3", matched)
+	if matched["BenchmarkServeThroughput"] != 2 || matched["BenchmarkSharedThroughput"] != 1 {
+		t.Errorf("matched = %v, want 2 serve + 1 shared", matched)
 	}
 	// opt/cache measured 500000 vs baseline 139713: far outside ±25%.
 	if drifted != 1 {
@@ -71,5 +71,35 @@ func TestCompareFlagsDrift(t *testing.T) {
 	report.Reset()
 	if _, drifted := compare(&report, meas, sampleBaselines(), 5.0); drifted != 0 {
 		t.Errorf("generous tolerance should pass everything:\n%s", report.String())
+	}
+}
+
+// TestCompareReportsUnmatchedBaseline is the regression test for the
+// silent-skip bug: a baseline whose benchmark name no measurement
+// carries (renamed bench, wrong -bench regex) must surface as a
+// zero-match entry so run() can hard-fail instead of quietly gating
+// nothing.
+func TestCompareReportsUnmatchedBaseline(t *testing.T) {
+	meas, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	baselines := sampleBaselines()
+	baselines["BenchmarkStoreAccess"] = baselineFile{
+		Benchmark: "BenchmarkStoreAccess",
+		Cases:     map[string]map[string]float64{"zipf_sorted": {"ns_per_op": 100}},
+	}
+	var report strings.Builder
+	matched, _ := compare(&report, meas, baselines, 0.25)
+	count, present := matched["BenchmarkStoreAccess"]
+	if !present {
+		t.Fatal("unmatched baseline missing from the match map entirely")
+	}
+	if count != 0 {
+		t.Fatalf("unmatched baseline reports %d matches", count)
+	}
+	// The matched baselines are unaffected.
+	if matched["BenchmarkServeThroughput"] != 2 {
+		t.Fatalf("matched = %v", matched)
 	}
 }

@@ -42,6 +42,10 @@ func main() {
 		clusterQ   = flag.Int("cluster-queries", 0, "queries per cluster case (0 = default)")
 		clusterC   = flag.Duration("cluster-access-cost", 0, "simulated per-entry service time at each node (0 = default)")
 		clusterD   = flag.String("cluster-dist", "", "cluster workload distribution (empty = zipf)")
+		storeOn    = flag.Bool("store", false, "run the disk-store workload (BENCH_store.json): IO calibration plus the measured-vs-uniform plan-shift sweep")
+		storeN     = flag.Int("store-n", 0, "store workload dataset size (0 = the BENCH_store.json default, 1e6)")
+		storeDist  = flag.String("store-dist", "", "store workload distribution (empty = zipf)")
+		storeDir   = flag.String("store-root", "", "store cache root (empty = $TOPK_STORE_CACHE or the OS temp dir)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -86,6 +90,14 @@ func main() {
 	if *clusterOn {
 		if err := runClusterBench(*clusterN, *clusterQ, *clusterC, *clusterD); err != nil {
 			fmt.Fprintf(os.Stderr, "topkbench: cluster: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *storeOn {
+		if err := runStoreBench(*storeN, *storeDist, *storeDir); err != nil {
+			fmt.Fprintf(os.Stderr, "topkbench: store: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -191,6 +203,33 @@ func runServeBench(queries int) error {
 		fmt.Printf("%-22s %10.0f queries/s   (%s/query)\n",
 			c.name, float64(queries)/elapsed.Seconds(), elapsed/time.Duration(queries))
 	}
+	return nil
+}
+
+// runStoreBench drives the BENCH_store.json workload: build-or-open the
+// cached store directory, calibrate cs and cr from timed IO (warm and
+// cold), then plan each Figure-2 sweep cell under uniform-assumed and
+// io-measured costs and bill both plans against the store's real prices.
+func runStoreBench(n int, dist, root string) error {
+	fmt.Println("disk-store workload (IO-measured calibration + plan-shift sweep; see BENCH_store.json)")
+	res, err := bench.RunStoreLoad(bench.StoreLoad{N: n, Dist: dist, Root: root})
+	if err != nil {
+		return err
+	}
+	action := "cache hit"
+	if res.Built {
+		action = "built"
+	}
+	fmt.Printf("store %s (%s, n=%d m=%d)\n", res.Dir, action, res.N, res.M)
+	fmt.Printf("warm calibration: %s   (cr/cs %.1fx)\n", res.Warm.Key(), res.Warm.Ratio())
+	fmt.Printf("cold calibration: %s   (cr/cs %.1fx)\n", res.Cold.Key(), res.Cold.Ratio())
+	fmt.Printf("%-12s %-5s %-5s %14s %14s %10s\n", "cell", "f", "k", "uniform-plan", "measured-plan", "advantage")
+	for _, sh := range res.Shifts {
+		fmt.Printf("%-12s %-5s %-5d %12.3fms %12.3fms %9.1f%%\n",
+			sh.Cell, sh.F, sh.K, sh.Uniform, sh.Measured, sh.Advantage*100)
+	}
+	fmt.Printf("best advantage %.1f%%   sweep totals: uniform %.3fms, measured %.3fms\n",
+		res.BestAdvantage*100, res.TotalUniform, res.TotalMeasured)
 	return nil
 }
 

@@ -61,8 +61,10 @@ func run() error {
 		m        = flag.Int("m", 2, "synthetic predicate count")
 		seed     = flag.Int64("seed", 1, "synthetic dataset seed")
 		dataFile = flag.String("data", "", "serve a dataset from this JSON file")
+		storeDir = flag.String("store", "", "serve a disk store directory (built with topk.BuildStore or the topkbench -store workload)")
+		coldCal  = flag.Bool("calibrate-cold", false, "calibrate the store with caches dropped between batches (cold mode)")
 		scnFile  = flag.String("scenario", "", "load the cost scenario from this JSON file")
-		cs       = flag.Float64("cs", 1, "sorted access unit cost (without -scenario)")
+		cs       = flag.Float64("cs", 1, "sorted access unit cost (without -scenario; ignored with -store, which prices accesses from timed IO)")
 		cr       = flag.Float64("cr", 1, "random access unit cost (without -scenario)")
 		slowQ    = flag.Duration("slow-query", 500*time.Millisecond, "log queries slower than this (0 disables)")
 		pprofOn  = flag.Bool("pprof", true, "serve runtime profiles under /debug/pprof/")
@@ -91,6 +93,8 @@ func run() error {
 	var (
 		ds      *data.Dataset
 		coord   *cluster.Coordinator
+		st      *topk.Store
+		cal     topk.StoreCalibration
 		columns []string
 		err     error
 	)
@@ -100,6 +104,23 @@ func run() error {
 			return err
 		}
 		columns = genericColumns(*m)
+	} else if *storeDir != "" {
+		st, err = topk.OpenStore(*storeDir, topk.StoreOptions{})
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		columns = genericColumns(st.M())
+		// Price the scenario from the store's own physics: timed IO at
+		// startup, quantized so repeated boots of unchanged hardware key
+		// to the same cached plans.
+		calCtx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		cal, err = topk.MeasureStore(calCtx, st, topk.StoreMeasureOptions{Cold: *coldCal})
+		cancel()
+		if err != nil {
+			return fmt.Errorf("calibrating %s: %w", *storeDir, err)
+		}
+		log.Printf("topkd: calibrated %s: %s (cr/cs %.1fx)", st.Name(), cal.Key(), cal.Ratio())
 	} else {
 		switch {
 		case *dataFile != "":
@@ -144,11 +165,16 @@ func run() error {
 		if coord != nil {
 			return fmt.Errorf("-shard/-shards and -coordinator are different roles; pick one")
 		}
+		if st != nil {
+			return fmt.Errorf("-shard mode serves an in-memory dataset; it cannot front -store")
+		}
 		return serveShard(*addr, ds, *shardIdx, *shardCount)
 	}
 
 	var scn access.Scenario
-	if *scnFile != "" {
+	if *scnFile == "" && st != nil {
+		scn = topk.CalibratedScenario(st.M(), cal)
+	} else if *scnFile != "" {
 		f, err := os.Open(*scnFile)
 		if err != nil {
 			return err
@@ -163,14 +189,19 @@ func run() error {
 	}
 
 	var health topk.Backend
-	if coord != nil {
+	switch {
+	case coord != nil:
 		health = coord
-	} else {
+	case st != nil:
+		health = st
+	default:
 		health = topk.DataBackend(ds)
 	}
 	h, err := service.NewHandler(service.Config{
 		Dataset:            ds,
 		Cluster:            coord,
+		Store:              st,
+		StoreCalibration:   cal,
 		Columns:            columns,
 		Scenario:           scn,
 		SlowQueryThreshold: *slowQ,
@@ -193,6 +224,9 @@ func run() error {
 	if coord != nil {
 		log.Printf("topkd: coordinating %d shards (%d objects, predicates %v) under scenario %q on %s (metrics on /metrics, share=%v)",
 			coord.Shards(), coord.N(), columns, scn.Name, *addr, *shareOn)
+	} else if st != nil {
+		log.Printf("topkd: serving disk store %s (%d objects, predicates %v) under scenario %q on %s (metrics on /metrics, pprof=%v, share=%v)",
+			st.Name(), st.N(), columns, scn.Name, *addr, *pprofOn, *shareOn)
 	} else {
 		log.Printf("topkd: serving %s (%d objects, predicates %v) under scenario %q on %s (metrics on /metrics, pprof=%v, share=%v)",
 			ds.Name(), ds.N(), columns, scn.Name, *addr, *pprofOn, *shareOn)

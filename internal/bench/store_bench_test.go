@@ -1,0 +1,136 @@
+package bench
+
+// BenchmarkStoreAccess prices the disk store's two access paths on the
+// BENCH_store.json workload (zipf n=1e6 m=3): ns/op is nanoseconds per
+// access, so the committed baseline reads directly as the physical cs
+// and cr the calibrator should rediscover. TestStoreGate enforces the
+// headline contract: the measured cr/cs asymmetry is real (ratio above
+// the gate floor) and feeding it to the optimizer shifts the plan enough
+// to cut the billed cost of at least one Figure-2 cell by the gated
+// fraction versus planning under the uniform-cost assumption.
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/internal/store"
+)
+
+// StoreGateNEnv lets CI tiers shrink the workload: the storage job runs
+// the gate at n=10^5 against its cached dataset; the committed
+// BENCH_store.json figures are from the full n=10^6 run.
+const StoreGateNEnv = "TOPK_STORE_GATE_N"
+
+func storeGateLoad(tb testing.TB) StoreLoad {
+	tb.Helper()
+	cfg := StoreLoad{}
+	if v := os.Getenv(StoreGateNEnv); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			tb.Fatalf("%s=%q is not a positive integer", StoreGateNEnv, v)
+		}
+		cfg.N = n
+	}
+	return cfg.withDefaults()
+}
+
+// benchStore opens (building at most once per process) the workload's
+// cached store directory.
+func benchStore(tb testing.TB) *store.Store {
+	tb.Helper()
+	s, built, err := EnsureStore(storeGateLoad(tb))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(func() { s.Close() })
+	if built {
+		tb.Logf("store cache miss: built %s", s.Dir())
+	}
+	return s
+}
+
+func BenchmarkStoreAccess(b *testing.B) {
+	s := benchStore(b)
+	ctx := context.Background()
+	b.Run("zipf/sorted", func(b *testing.B) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pred := i % s.M()
+			rank := (i / s.M()) % s.N()
+			if _, _, err := s.Sorted(ctx, pred, rank); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("zipf/random", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(1))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Random(ctx, rng.Intn(s.M()), rng.Intn(s.N())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+type storeBaseline struct {
+	Gate struct {
+		MinCrOverCs  float64 `json:"min_cr_over_cs"`
+		MinAdvantage float64 `json:"min_plan_shift_advantage"`
+	} `json:"gate"`
+}
+
+// TestStoreGate is the measured-cost gate: calibration from real IO must
+// find random access genuinely dearer than sorted (cr/cs above the
+// floor — the uniform assumption is wrong on this hardware), and the
+// optimizer given the measured costs must beat the optimizer given
+// uniform costs by the gated margin on at least one Figure-2 cell, both
+// plans billed against the store's real prices.
+func TestStoreGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("store gate calibrates and sweeps a large on-disk dataset")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation distorts the timed IO calibration")
+	}
+	raw, err := os.ReadFile("../../BENCH_store.json")
+	if err != nil {
+		t.Fatalf("committed baseline missing: %v", err)
+	}
+	var sb storeBaseline
+	if err := json.Unmarshal(raw, &sb); err != nil {
+		t.Fatalf("BENCH_store.json unparseable: %v", err)
+	}
+	if sb.Gate.MinCrOverCs == 0 || sb.Gate.MinAdvantage == 0 {
+		t.Fatal("BENCH_store.json gate values incomplete")
+	}
+
+	res, err := RunStoreLoad(storeGateLoad(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("store %s (built=%v, n=%d)", res.Dir, res.Built, res.N)
+	t.Logf("warm: %s (cr/cs %.1fx)", res.Warm.Key(), res.Warm.Ratio())
+	t.Logf("cold: %s (cr/cs %.1fx)", res.Cold.Key(), res.Cold.Ratio())
+	for _, sh := range res.Shifts {
+		t.Logf("%-12s f=%-4s k=%-3d uniform-plan %10.3fms measured-plan %10.3fms advantage %5.1f%%",
+			sh.Cell, sh.F, sh.K, sh.Uniform, sh.Measured, sh.Advantage*100)
+	}
+
+	if r := res.Warm.Ratio(); r < sb.Gate.MinCrOverCs {
+		t.Errorf("warm cr/cs %.2fx below the %.1fx gate: the store is not exhibiting the access asymmetry the optimizer exists to exploit", r, sb.Gate.MinCrOverCs)
+	}
+	if res.BestAdvantage < sb.Gate.MinAdvantage {
+		t.Errorf("best plan-shift advantage %.1f%% below the %.0f%% gate: measured costs did not move the plan",
+			res.BestAdvantage*100, sb.Gate.MinAdvantage*100)
+	}
+	// Totals are reported but not gated: on cells where the estimator's
+	// cardinality model is biased (avg at large k) the measured-cost plan
+	// can bill worse despite truer prices, and that is the estimator's
+	// bug to fix, not this gate's contract.
+	t.Logf("sweep totals: uniform-plan %.3fms, measured-plan %.3fms", res.TotalUniform, res.TotalMeasured)
+}

@@ -11,9 +11,11 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/access"
+	"repro/internal/store"
 )
 
 // Registration describes one predicate served by one source.
@@ -211,6 +213,69 @@ func (c *Catalog) Calibrate(ctx context.Context, name string, probes int) (acces
 		preds[i] = pc
 	}
 	return access.Scenario{Name: name, Preds: preds}, nil
+}
+
+// CalibrateIO measures per-access cost from timed IO using the store
+// measurement harness: batched probes per predicate and access type,
+// median across batches, quantized to two significant figures (see
+// store.QuantizeUnits). Unlike Calibrate — one timed access at a time,
+// raw medians — the batched protocol resolves the sub-microsecond
+// per-access costs a disk store serves (a warm sorted access is a map
+// lookup plus a 12-byte decode), which single-probe timing rounds to
+// noise, and the quantization keeps repeat calibrations keying the plan
+// cache identically. opts.Cold drops backend caches between batches for
+// worst-case pricing. Declared non-zero costs are kept as-is, like
+// Calibrate. The returned key (one predicate calibration per clause,
+// "-" for declared costs) is what topk.WithStore folds into the
+// plan-cache fingerprint.
+func (c *Catalog) CalibrateIO(ctx context.Context, name string, opts store.MeasureOptions) (access.Scenario, string, error) {
+	if len(c.regs) == 0 {
+		return access.Scenario{}, "", fmt.Errorf("catalog: no predicates registered")
+	}
+	preds := make([]access.PredCost, len(c.regs))
+	keys := make([]string, 0, len(c.regs))
+	for i, r := range c.regs {
+		var pc access.PredCost
+		var cal store.Calibration
+		measured := false
+		if r.Sorted && r.SortedCost <= 0 || r.Random && r.RandomCost <= 0 {
+			var err error
+			cal, err = store.MeasurePred(ctx, r.Backend, r.LocalPred, opts)
+			if err != nil {
+				return access.Scenario{}, "", fmt.Errorf("catalog: calibrating %q: %w", r.PredName, err)
+			}
+			measured = true
+		}
+		if r.Sorted {
+			ms := r.SortedCost
+			if ms <= 0 {
+				ms = cal.SortedMS
+			}
+			cost, err := access.CostFromUnits(ms)
+			if err != nil {
+				return access.Scenario{}, "", fmt.Errorf("catalog: predicate %q sorted cost: %w", r.PredName, err)
+			}
+			pc.Sorted, pc.SortedOK = cost, true
+		}
+		if r.Random {
+			ms := r.RandomCost
+			if ms <= 0 {
+				ms = cal.RandomMS
+			}
+			cost, err := access.CostFromUnits(ms)
+			if err != nil {
+				return access.Scenario{}, "", fmt.Errorf("catalog: predicate %q random cost: %w", r.PredName, err)
+			}
+			pc.Random, pc.RandomOK = cost, true
+		}
+		preds[i] = pc
+		if measured {
+			keys = append(keys, cal.Key())
+		} else {
+			keys = append(keys, "-")
+		}
+	}
+	return access.Scenario{Name: name, Preds: preds}, strings.Join(keys, ","), nil
 }
 
 // timeAccesses returns the median latency, in milliseconds, of running fn

@@ -78,63 +78,125 @@ func clamp01(x float64) float64 {
 	return x
 }
 
+// GeneratorVersion identifies the score-generation procedure. It is part
+// of the disk-store dataset cache key (see internal/store and the CI
+// storage job): any change to how Stream draws scores — a new rng
+// consumption order, different constants — must bump it, or a cached
+// on-disk dataset would silently diverge from what Generate builds in
+// memory for the same (dist, n, m, seed).
+const GeneratorVersion = 1
+
+// rowGenerator produces one object's scores at a time, in object order,
+// consuming its rng deterministically so Generate and Stream yield
+// bit-identical scores for equal parameters.
+type rowGenerator struct {
+	dist    Distribution
+	rng     *rand.Rand
+	zipf    *rand.Zipf
+	weights []float64 // anticorrelated scratch
+}
+
+func newRowGenerator(dist Distribution, n, m int, seed int64) (*rowGenerator, error) {
+	switch dist {
+	case Uniform, Gaussian, Skewed, Correlated, AntiCorrelated, Zipf:
+	default:
+		return nil, fmt.Errorf("data: unknown distribution %v", dist)
+	}
+	g := &rowGenerator{dist: dist, rng: rand.New(rand.NewSource(seed))}
+	if dist == Zipf {
+		// One generator for the whole dataset: rank draws are iid across
+		// objects and predicates, so scores stay exchangeable per cell.
+		g.zipf = rand.NewZipf(g.rng, 3, 1, uint64(n-1))
+	}
+	if dist == AntiCorrelated {
+		g.weights = make([]float64, m)
+	}
+	return g, nil
+}
+
+// fill writes the next object's scores into row.
+func (g *rowGenerator) fill(row []float64) {
+	switch g.dist {
+	case Uniform:
+		for i := range row {
+			row[i] = g.rng.Float64()
+		}
+	case Gaussian:
+		for i := range row {
+			row[i] = clamp01(0.5 + 0.15*g.rng.NormFloat64())
+		}
+	case Skewed:
+		const theta = 3.0
+		for i := range row {
+			row[i] = math.Pow(g.rng.Float64(), theta)
+		}
+	case Correlated:
+		latent := g.rng.Float64()
+		for i := range row {
+			row[i] = clamp01(latent + 0.1*g.rng.NormFloat64())
+		}
+	case AntiCorrelated:
+		// Distribute a shared budget across predicates with jitter:
+		// high score on one predicate implies low scores elsewhere.
+		budget := 0.4 + 0.2*g.rng.Float64() // per-predicate average
+		m := len(row)
+		sum := 0.0
+		for i := range g.weights {
+			g.weights[i] = g.rng.ExpFloat64()
+			sum += g.weights[i]
+		}
+		for i := range row {
+			row[i] = clamp01(budget*float64(m)*g.weights[i]/sum + 0.05*g.rng.NormFloat64())
+		}
+	case Zipf:
+		for i := range row {
+			r := float64(g.zipf.Uint64())
+			row[i] = r / (1 + r)
+		}
+	}
+}
+
+// Stream synthesizes the same scores Generate would — bit-identical for
+// equal (dist, n, m, seed) — but delivers them one object at a time
+// through emit(obj, scores) without materializing the dataset. The row
+// slice is reused between calls; emit must copy what it keeps. A non-nil
+// error from emit aborts the stream. This is the write path for disk-
+// backed datasets at n >= 10^6, where an in-memory Dataset (score matrix
+// plus m sorted views) would cost multiples of the raw score payload.
+func Stream(dist Distribution, n, m int, seed int64, emit func(obj int, scores []float64) error) error {
+	if n <= 0 || m <= 0 {
+		return fmt.Errorf("data: Stream(n=%d, m=%d) requires positive sizes", n, m)
+	}
+	g, err := newRowGenerator(dist, n, m, seed)
+	if err != nil {
+		return err
+	}
+	row := make([]float64, m)
+	for u := 0; u < n; u++ {
+		g.fill(row)
+		if err := emit(u, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Generate synthesizes a dataset of n objects and m predicates from the
 // given distribution, deterministically for a given seed.
 func Generate(dist Distribution, n, m int, seed int64) (*Dataset, error) {
 	if n <= 0 || m <= 0 {
 		return nil, fmt.Errorf("data: Generate(n=%d, m=%d) requires positive sizes", n, m)
 	}
-	rng := rand.New(rand.NewSource(seed))
-	var zipf *rand.Zipf
-	if dist == Zipf {
-		// One generator for the whole dataset: rank draws are iid across
-		// objects and predicates, so scores stay exchangeable per cell.
-		zipf = rand.NewZipf(rng, 3, 1, uint64(n-1))
-	}
 	scores := make([][]float64, n)
-	for u := range scores {
-		row := make([]float64, m)
-		switch dist {
-		case Uniform:
-			for i := range row {
-				row[i] = rng.Float64()
-			}
-		case Gaussian:
-			for i := range row {
-				row[i] = clamp01(0.5 + 0.15*rng.NormFloat64())
-			}
-		case Skewed:
-			const theta = 3.0
-			for i := range row {
-				row[i] = math.Pow(rng.Float64(), theta)
-			}
-		case Correlated:
-			latent := rng.Float64()
-			for i := range row {
-				row[i] = clamp01(latent + 0.1*rng.NormFloat64())
-			}
-		case AntiCorrelated:
-			// Distribute a shared budget across predicates with jitter:
-			// high score on one predicate implies low scores elsewhere.
-			budget := 0.4 + 0.2*rng.Float64() // per-predicate average
-			weights := make([]float64, m)
-			sum := 0.0
-			for i := range weights {
-				weights[i] = rng.ExpFloat64()
-				sum += weights[i]
-			}
-			for i := range row {
-				row[i] = clamp01(budget*float64(m)*weights[i]/sum + 0.05*rng.NormFloat64())
-			}
-		case Zipf:
-			for i := range row {
-				r := float64(zipf.Uint64())
-				row[i] = r / (1 + r)
-			}
-		default:
-			return nil, fmt.Errorf("data: unknown distribution %v", dist)
-		}
-		scores[u] = row
+	flat := make([]float64, n*m)
+	err := Stream(dist, n, m, seed, func(u int, row []float64) error {
+		dst := flat[u*m : (u+1)*m : (u+1)*m]
+		copy(dst, row)
+		scores[u] = dst
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return New(fmt.Sprintf("%s(n=%d,m=%d,seed=%d)", dist, n, m, seed), scores)
 }

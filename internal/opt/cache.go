@@ -213,6 +213,12 @@ func cacheKey(scn access.Scenario, f score.Func, k, n int, cfg Config) string {
 		// plan schedules; epoch-keyed so fences and recoveries re-key.
 		fmt.Fprintf(&b, " cluster=%s", cfg.ClusterKey)
 	}
+	if cfg.StorageKey != "" {
+		// Disk-backed sources carry their measured calibration in the key:
+		// a re-calibration that moves the quantized costs re-keys every
+		// plan priced under the old physics.
+		fmt.Fprintf(&b, " storage=%s", cfg.StorageKey)
+	}
 	if fp := cfg.Observed.Key(); fp != "" {
 		// Mid-query observations reshape the sample Optimize plans against,
 		// exactly like the sharing discounts reshape costs; quantized values

@@ -62,6 +62,15 @@ type Config struct {
 	// scenario on their own; ClusterKey covers the window before breakers
 	// trip and the recovery after they close.
 	ClusterKey string
+	// StorageKey fingerprints a disk-backed source's identity and its
+	// IO-measured calibration (see store.Calibration.Key): plans priced
+	// under one measured (cs, cr) must not be replayed after a
+	// re-calibration moved the costs — new hardware, cold vs warm cache
+	// mode — even though n, m, and the capability flags are unchanged.
+	// Calibrated costs are quantized to two significant figures before
+	// they reach this key, so repeat calibrations of unchanged physics
+	// stay cache hits. Empty for declared-cost scenarios.
+	StorageKey string
 	// Observer, when non-nil, receives optimizer events: one
 	// EstimatorEval per priced configuration (memoized or simulated).
 	Observer obs.Observer

@@ -89,6 +89,18 @@ type Config struct {
 	// metrics registry, and ?trace=1 responses carry its shard fan-out
 	// counters.
 	Cluster *cluster.Coordinator
+	// Store, when non-nil, fronts a disk store directory instead of an
+	// in-memory dataset: per-query backends are predicate views into the
+	// store, so sorted accesses run as block scans and random accesses as
+	// point reads while every algorithm, breaker, and sharing feature
+	// runs unchanged. Exactly one of Dataset, Cluster, and Store must be
+	// set.
+	Store *topk.Store
+	// StoreCalibration carries the store's IO-measured (cs, cr) — it
+	// fingerprints every store-mode plan into the shared plan cache
+	// (topk.WithStore) so plans priced under one calibration are not
+	// replayed after the physics moves. Ignored without Store.
+	StoreCalibration topk.StoreCalibration
 	// Columns names the dataset's predicates for SQL binding.
 	Columns []string
 	// Scenario is the access cost configuration.
@@ -240,17 +252,25 @@ type Handler struct {
 
 // NewHandler validates the configuration and builds the service.
 func NewHandler(cfg Config) (*Handler, error) {
-	if cfg.Dataset == nil && cfg.Cluster == nil {
-		return nil, fmt.Errorf("service: config requires a dataset or a cluster coordinator")
-	}
-	if cfg.Dataset != nil && cfg.Cluster != nil {
-		return nil, fmt.Errorf("service: config names both a dataset and a cluster coordinator")
-	}
+	sources := 0
 	m := 0
 	if cfg.Dataset != nil {
+		sources++
 		m = cfg.Dataset.M()
-	} else {
+	}
+	if cfg.Cluster != nil {
+		sources++
 		m = cfg.Cluster.M()
+	}
+	if cfg.Store != nil {
+		sources++
+		m = cfg.Store.M()
+	}
+	if sources == 0 {
+		return nil, fmt.Errorf("service: config requires a dataset, a cluster coordinator, or a disk store")
+	}
+	if sources > 1 {
+		return nil, fmt.Errorf("service: config names more than one of dataset, cluster coordinator, and disk store")
 	}
 	if len(cfg.Columns) != m {
 		return nil, fmt.Errorf("service: %d column names for %d predicates", len(cfg.Columns), m)
@@ -309,12 +329,17 @@ func NewHandler(cfg Config) (*Handler, error) {
 	}
 	if cfg.EnableSharing {
 		var base topk.Backend
-		if cfg.Cluster != nil {
+		switch {
+		case cfg.Cluster != nil:
 			// The sharing layer sits above the coordinator: shared cursor
 			// prefixes and probed scores absorb accesses before they fan
 			// out to the shards.
 			base = cfg.Cluster
-		} else {
+		case cfg.Store != nil:
+			// Likewise above the store: a shared cursor prefix hit or a
+			// cached probe never reaches the disk.
+			base = cfg.Store
+		default:
 			base = topk.DataBackend(cfg.Dataset)
 		}
 		h.shared = topk.NewSharedAccess(base, topk.SharingOptions{
@@ -504,9 +529,14 @@ type metaPayload struct {
 }
 
 func (h *Handler) handleMeta(w http.ResponseWriter, r *http.Request) {
-	n, m := h.cfg.Dataset.N, h.cfg.Dataset.M
-	if h.cfg.Cluster != nil {
+	var n, m func() int
+	switch {
+	case h.cfg.Cluster != nil:
 		n, m = h.cfg.Cluster.N, h.cfg.Cluster.M
+	case h.cfg.Store != nil:
+		n, m = h.cfg.Store.N, h.cfg.Store.M
+	default:
+		n, m = h.cfg.Dataset.N, h.cfg.Dataset.M
 	}
 	writeJSON(w, http.StatusOK, metaPayload{
 		N:        n(),
@@ -614,13 +644,22 @@ func (h *Handler) prepare(req QueryRequest, traced bool) (*prepared, int, error)
 		backend topk.Backend
 		label   func(int) string
 	)
-	if h.cfg.Cluster != nil {
+	switch {
+	case h.cfg.Cluster != nil:
 		v, verr := h.cfg.Cluster.View(cols)
 		if verr != nil {
 			return nil, http.StatusBadRequest, verr
 		}
 		backend, label = v, clusterLabel
-	} else {
+	case h.cfg.Store != nil:
+		v, verr := h.cfg.Store.View(cols)
+		if verr != nil {
+			return nil, http.StatusBadRequest, verr
+		}
+		// The store carries scores only; objects answer under the same
+		// generic labels the cluster mode uses.
+		backend, label = v, clusterLabel
+	default:
 		ds, derr := data.Project(h.cfg.Dataset, cols)
 		if derr != nil {
 			return nil, http.StatusBadRequest, derr
@@ -641,6 +680,11 @@ func (h *Handler) prepare(req QueryRequest, traced bool) (*prepared, int, error)
 		backend = h.cfg.WrapBackend(backend, cols)
 	}
 	engOpts := []topk.EngineOption{topk.WithPlanCache(h.plans)}
+	if h.cfg.Store != nil {
+		// Fingerprint the store identity and its measured calibration into
+		// the shared plan cache: a re-calibration re-keys every plan.
+		engOpts = append(engOpts, topk.WithStore(h.cfg.Store, h.cfg.StoreCalibration))
+	}
 	if h.cfg.ContractGuard {
 		engOpts = append(engOpts, topk.WithContractGuard())
 	}

@@ -217,8 +217,11 @@ type Engine struct {
 	planCache *PlanCache
 	share     *share.Layer
 	guard     *adapt.Guard
-	guardOpts []GuardOption
-	useGuard  bool
+	// storageKey fingerprints a disk store and its IO calibration into
+	// the plan-cache key (see WithStore).
+	storageKey string
+	guardOpts  []GuardOption
+	useGuard   bool
 
 	// pool recycles per-query state (access session + framework scratch)
 	// across sequential Runs. Pooled state is fully reset before reuse;
@@ -272,6 +275,9 @@ func (e *Engine) optimize(cfg OptimizerConfig, scn Scenario, f ScoreFunc, k, n i
 	}
 	if cfg.ClusterKey == "" {
 		cfg.ClusterKey = clusterKeyOf(e.backend)
+	}
+	if cfg.StorageKey == "" {
+		cfg.StorageKey = e.storageKey
 	}
 	if e.planCache != nil {
 		return e.planCache.Get(cfg, scn, f, k, n)
